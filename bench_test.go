@@ -1,0 +1,284 @@
+// Benchmarks regenerating the paper's tables and figures, one benchmark
+// per table or figure (see DESIGN.md's per-experiment index). Each
+// sub-benchmark executes one experiment configuration per iteration on a
+// virtual cluster and reports throughput as well as the wall-clock shape
+// metrics the paper discusses.
+//
+// Scales are reduced so the full suite completes in minutes on a laptop;
+// cmd/experiments runs the same experiments at configurable scales and
+// EXPERIMENTS.md records the paper-versus-measured comparison.
+package miniamr
+
+import (
+	"fmt"
+	"testing"
+
+	"miniamr/internal/harness"
+	"miniamr/internal/simnet"
+	"miniamr/internal/trace"
+)
+
+// benchScale keeps one experiment iteration around a second.
+func benchScale() harness.Scale {
+	return harness.Scale{
+		BlockCells: 8, Vars: 8, Timesteps: 3, StagesPerTimestep: 4, MaxLevel: 2,
+	}
+}
+
+func benchOptions() harness.Options {
+	net := simnet.Default()
+	return harness.Options{
+		Nodes:        2,
+		CoresPerNode: 4,
+		Net:          &net,
+		Scale:        benchScale(),
+	}
+}
+
+// reportRun standardises the per-run metrics: GFLOPS plus the refinement
+// share the paper tracks.
+func reportRun(b *testing.B, m harness.Metrics) {
+	b.ReportMetric(m.GFLOPS, "GFLOPS")
+	if m.Total > 0 {
+		b.ReportMetric(100*m.Refine.Seconds()/m.Total.Seconds(), "%refine")
+	}
+}
+
+// BenchmarkTable1RanksPerNode regenerates Table I: the hybrid variants'
+// execution time while varying ranks per node on a fixed node count
+// (single-sphere input).
+func BenchmarkTable1RanksPerNode(b *testing.B) {
+	opt := benchOptions()
+	root := harness.Factor3(opt.Nodes * opt.CoresPerNode)
+	for _, variant := range []harness.Variant{harness.ForkJoin, harness.DataFlow} {
+		for rpn := 1; rpn <= opt.CoresPerNode; rpn *= 2 {
+			rpn := rpn
+			b.Run(fmt.Sprintf("%s/rpn=%d", variant, rpn), func(b *testing.B) {
+				cfg := harness.SingleSphere(root, opt.Scale)
+				if variant == harness.DataFlow {
+					cfg.SendFaces = true
+					cfg.SeparateBuffers = true
+				}
+				var last harness.Metrics
+				for i := 0; i < b.N; i++ {
+					m, err := harness.Run(harness.RunSpec{
+						Nodes: opt.Nodes, RanksPerNode: rpn,
+						CoresPerRank: opt.CoresPerNode / rpn,
+						Net:          *opt.Net, Cfg: cfg, Variant: variant,
+					})
+					if err != nil {
+						b.Fatal(err)
+					}
+					last = m
+				}
+				reportRun(b, last)
+			})
+		}
+	}
+}
+
+// BenchmarkTable2CommTasks regenerates Table II: TAMPI+OSS non-refinement
+// time versus --max_comm_tasks (four-spheres input, --send_faces).
+func BenchmarkTable2CommTasks(b *testing.B) {
+	opt := benchOptions()
+	root := harness.Factor3(opt.Nodes * opt.CoresPerNode)
+	for _, tasks := range []int{1, 2, 4, 8, 0} {
+		name := fmt.Sprintf("tasks=%d", tasks)
+		if tasks == 0 {
+			name = "tasks=all"
+		}
+		tasks := tasks
+		b.Run(name, func(b *testing.B) {
+			cfg := harness.FourSpheres(root, opt.Scale)
+			cfg.SendFaces = true
+			cfg.SeparateBuffers = true
+			cfg.MaxCommTasks = tasks
+			cfg.DelayedChecksum = true
+			var last harness.Metrics
+			for i := 0; i < b.N; i++ {
+				m, err := harness.Run(harness.RunSpec{
+					Nodes: opt.Nodes, RanksPerNode: 1, CoresPerRank: opt.CoresPerNode,
+					Net: *opt.Net, Cfg: cfg, Variant: harness.DataFlow,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				last = m
+			}
+			reportRun(b, last)
+			b.ReportMetric(last.NoRefine.Seconds(), "norefine-s")
+		})
+	}
+}
+
+// BenchmarkFig1Trace regenerates the Figure 1-3 trace comparison on two
+// nodes and reports the computation/communication overlap that the
+// data-flow variant creates.
+func BenchmarkFig1Trace(b *testing.B) {
+	opt := benchOptions()
+	root, err := harness.WeakMesh(2, opt.CoresPerNode)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, variant := range []harness.Variant{harness.MPIOnly, harness.DataFlow} {
+		variant := variant
+		b.Run(string(variant), func(b *testing.B) {
+			var overlap float64
+			var last harness.Metrics
+			for i := 0; i < b.N; i++ {
+				rec := trace.NewRecorder()
+				cfg := harness.FourSpheres(root, opt.Scale)
+				spec := harness.RunSpec{Nodes: 2, Net: *opt.Net, Cfg: cfg, Variant: variant, Recorder: rec}
+				if variant == harness.MPIOnly {
+					spec.RanksPerNode, spec.CoresPerRank = opt.CoresPerNode, 1
+				} else {
+					spec.RanksPerNode, spec.CoresPerRank = 1, opt.CoresPerNode
+					harness.DataFlowOptions(&spec.Cfg)
+				}
+				m, err := harness.Run(spec)
+				if err != nil {
+					b.Fatal(err)
+				}
+				last = m
+				overlap = trace.ComputeStats(rec.Events()).OverlapTime.Seconds()
+			}
+			reportRun(b, last)
+			b.ReportMetric(overlap, "overlap-s")
+		})
+	}
+}
+
+// BenchmarkFig4WeakScaling regenerates Figure 4's points: every variant at
+// each node count of a weak sweep (problem grows with the cluster).
+func BenchmarkFig4WeakScaling(b *testing.B) {
+	opt := benchOptions()
+	for _, variant := range harness.Variants {
+		for nodes := 1; nodes <= opt.Nodes; nodes *= 2 {
+			variant, nodes := variant, nodes
+			b.Run(fmt.Sprintf("%s/nodes=%d", variant, nodes), func(b *testing.B) {
+				root, err := harness.WeakMesh(nodes, opt.CoresPerNode)
+				if err != nil {
+					b.Fatal(err)
+				}
+				cfg := harness.FourSpheres(root, opt.Scale)
+				spec := harness.RunSpec{Nodes: nodes, Net: *opt.Net, Cfg: cfg, Variant: variant}
+				if variant == harness.MPIOnly {
+					spec.RanksPerNode, spec.CoresPerRank = opt.CoresPerNode, 1
+				} else {
+					spec.RanksPerNode, spec.CoresPerRank = 1, opt.CoresPerNode
+				}
+				if variant == harness.DataFlow {
+					harness.DataFlowOptions(&spec.Cfg)
+				}
+				var last harness.Metrics
+				for i := 0; i < b.N; i++ {
+					m, err := harness.Run(spec)
+					if err != nil {
+						b.Fatal(err)
+					}
+					last = m
+				}
+				reportRun(b, last)
+			})
+		}
+	}
+}
+
+// BenchmarkFig5StrongScaling regenerates Figure 5's points: a fixed
+// problem size across node counts and variants.
+func BenchmarkFig5StrongScaling(b *testing.B) {
+	opt := benchOptions()
+	root, err := harness.WeakMesh(opt.Nodes, opt.CoresPerNode)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, variant := range harness.Variants {
+		for nodes := 1; nodes <= opt.Nodes; nodes *= 2 {
+			variant, nodes := variant, nodes
+			b.Run(fmt.Sprintf("%s/nodes=%d", variant, nodes), func(b *testing.B) {
+				cfg := harness.FourSpheres(root, opt.Scale)
+				spec := harness.RunSpec{Nodes: nodes, Net: *opt.Net, Cfg: cfg, Variant: variant}
+				if variant == harness.MPIOnly {
+					spec.RanksPerNode, spec.CoresPerRank = opt.CoresPerNode, 1
+				} else {
+					spec.RanksPerNode, spec.CoresPerRank = 1, opt.CoresPerNode
+				}
+				if variant == harness.DataFlow {
+					harness.DataFlowOptions(&spec.Cfg)
+				}
+				var last harness.Metrics
+				for i := 0; i < b.N; i++ {
+					m, err := harness.Run(spec)
+					if err != nil {
+						b.Fatal(err)
+					}
+					last = m
+				}
+				reportRun(b, last)
+			})
+		}
+	}
+}
+
+// BenchmarkRefinementTaskification is the Section IV-B ablation: the
+// taskified refinement phase against a fully sequential one.
+func BenchmarkRefinementTaskification(b *testing.B) {
+	opt := benchOptions()
+	root := harness.Factor3(opt.Nodes * opt.CoresPerNode)
+	for _, sequential := range []bool{false, true} {
+		name := "taskified"
+		if sequential {
+			name = "sequential"
+		}
+		sequential := sequential
+		b.Run(name, func(b *testing.B) {
+			cfg := harness.FourSpheres(root, opt.Scale)
+			harness.DataFlowOptions(&cfg)
+			cfg.SequentialRefinement = sequential
+			var last harness.Metrics
+			for i := 0; i < b.N; i++ {
+				m, err := harness.Run(harness.RunSpec{
+					Nodes: opt.Nodes, RanksPerNode: 1, CoresPerRank: opt.CoresPerNode,
+					Net: *opt.Net, Cfg: cfg, Variant: harness.DataFlow,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				last = m
+			}
+			reportRun(b, last)
+			b.ReportMetric(last.Refine.Seconds(), "refine-s")
+		})
+	}
+}
+
+// BenchmarkSchedulerLocality is the Section V-B ablation: the
+// immediate-successor scheduling policy on and off.
+func BenchmarkSchedulerLocality(b *testing.B) {
+	opt := benchOptions()
+	root := harness.Factor3(opt.Nodes * opt.CoresPerNode)
+	for _, disabled := range []bool{false, true} {
+		name := "immediate-successor"
+		if disabled {
+			name = "queue-only"
+		}
+		disabled := disabled
+		b.Run(name, func(b *testing.B) {
+			cfg := harness.FourSpheres(root, opt.Scale)
+			harness.DataFlowOptions(&cfg)
+			cfg.DisableImmediateSuccessor = disabled
+			var last harness.Metrics
+			for i := 0; i < b.N; i++ {
+				m, err := harness.Run(harness.RunSpec{
+					Nodes: opt.Nodes, RanksPerNode: 1, CoresPerRank: opt.CoresPerNode,
+					Net: *opt.Net, Cfg: cfg, Variant: harness.DataFlow,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				last = m
+			}
+			reportRun(b, last)
+		})
+	}
+}

@@ -1,0 +1,166 @@
+// Command experiments regenerates the tables and figures of the paper's
+// evaluation section on a virtual cluster.
+//
+// Subcommands (one per experiment; "all" runs everything):
+//
+//	table1           Table I   — time vs ranks per node (hybrid variants)
+//	table2           Table II  — non-refinement time vs --max_comm_tasks
+//	trace            Figures 1-3 — execution timelines and overlap stats
+//	weak             Figure 4  — weak scaling throughput and efficiency
+//	strong           Figure 5  — strong scaling speedup and efficiency
+//	refine-ablation  Section IV-B — taskified vs sequential refinement
+//	sched-ablation   Section V-B — immediate-successor policy on/off
+//	all              every experiment in paper order
+//
+// Scale flags apply to every subcommand; the defaults finish in minutes on
+// a laptop. Absolute numbers are not comparable to the paper's testbed —
+// the *shapes* (which variant wins, how efficiency decays) are the
+// reproduction target; see EXPERIMENTS.md.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"miniamr/internal/harness"
+	"miniamr/internal/simnet"
+)
+
+func main() {
+	fs := flag.NewFlagSet("experiments", flag.ExitOnError)
+	var (
+		nodes     = fs.Int("nodes", 4, "node count (maximum for scaling sweeps; power of two)")
+		cores     = fs.Int("cores-per-node", 4, "cores per virtual node (paper: 48)")
+		hybridRPN = fs.Int("hybrid-rpn", 0, "ranks per node for hybrid variants (0: cores/4, at least 1)")
+		repeats   = fs.Int("repeats", 1, "repetitions per measured point; the fastest is kept")
+		blockSize = fs.Int("block-size", 8, "cells per block edge")
+		vars      = fs.Int("vars", 8, "variables per cell")
+		timesteps = fs.Int("timesteps", 6, "timesteps")
+		stages    = fs.Int("stages", 6, "stages per timestep")
+		maxLevel  = fs.Int("max-level", 2, "maximum refinement level")
+		netName   = fs.String("net", "default", "interconnect model: none, default or slow")
+		width     = fs.Int("trace-width", 100, "timeline width for the trace experiment")
+		jsonOut   = fs.String("json", "", "also write the experiment's raw results as JSON to this file")
+	)
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	cmd := os.Args[1]
+	if err := fs.Parse(os.Args[2:]); err != nil {
+		os.Exit(2)
+	}
+	var net simnet.Model
+	switch *netName {
+	case "none":
+		net = simnet.None()
+	case "default":
+		net = simnet.Default()
+	case "slow":
+		net = simnet.Slow()
+	default:
+		fmt.Fprintf(os.Stderr, "experiments: unknown net model %q\n", *netName)
+		os.Exit(2)
+	}
+	opt := harness.Options{
+		Nodes:              *nodes,
+		CoresPerNode:       *cores,
+		HybridRanksPerNode: *hybridRPN,
+		Repeats:            *repeats,
+		Net:                &net,
+		Scale: harness.Scale{
+			BlockCells: *blockSize, Vars: *vars,
+			Timesteps: *timesteps, StagesPerTimestep: *stages, MaxLevel: *maxLevel,
+		},
+	}
+
+	var results = map[string]any{}
+	var run func(name string) error
+	run = func(name string) error {
+		switch name {
+		case "table1":
+			rows, err := harness.Table1(opt)
+			if err != nil {
+				return err
+			}
+			harness.PrintTable1(os.Stdout, rows)
+			results[name] = rows
+		case "table2":
+			rows, err := harness.Table2(opt)
+			if err != nil {
+				return err
+			}
+			harness.PrintTable2(os.Stdout, rows)
+			results[name] = rows
+		case "trace":
+			res, err := harness.Traces(opt)
+			if err != nil {
+				return err
+			}
+			harness.PrintTraces(os.Stdout, res, *width)
+			results[name] = map[string]any{"mpionly": res.MPIOnly, "dataflow": res.DataFlow}
+		case "weak":
+			series, err := harness.WeakScaling(opt)
+			if err != nil {
+				return err
+			}
+			harness.PrintScaling(os.Stdout, "Figure 4: weak scaling throughput and efficiency", series)
+			results[name] = series
+		case "strong":
+			series, err := harness.StrongScaling(opt)
+			if err != nil {
+				return err
+			}
+			harness.PrintStrong(os.Stdout, series)
+			results[name] = series
+		case "refine-ablation":
+			res, err := harness.RefineAblation(opt)
+			if err != nil {
+				return err
+			}
+			harness.PrintRefineAblation(os.Stdout, res)
+			results[name] = res
+		case "sched-ablation":
+			res, err := harness.SchedulerAblation(opt)
+			if err != nil {
+				return err
+			}
+			harness.PrintSchedulerAblation(os.Stdout, res)
+			results[name] = res
+		case "all":
+			for _, sub := range []string{"table1", "table2", "trace", "weak", "strong", "refine-ablation", "sched-ablation"} {
+				fmt.Printf("==> %s\n", sub)
+				if err := run(sub); err != nil {
+					return fmt.Errorf("%s: %w", sub, err)
+				}
+				fmt.Println()
+			}
+		default:
+			usage()
+			return fmt.Errorf("unknown subcommand %q", name)
+		}
+		return nil
+	}
+	if err := run(cmd); err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+	if *jsonOut != "" {
+		data, err := json.MarshalIndent(results, "", "  ")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "experiments: encoding json:", err)
+			os.Exit(1)
+		}
+		if err := os.WriteFile(*jsonOut, data, 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			os.Exit(1)
+		}
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage: experiments <table1|table2|trace|weak|strong|refine-ablation|sched-ablation|all> [flags]
+run "experiments all -nodes 4 -cores-per-node 4" to regenerate everything at laptop scale`)
+}

@@ -1,0 +1,95 @@
+// Command snapshotinfo inspects a checkpoint file written by the miniamr
+// tool's -checkpoint flag: loop counters, objects, mesh shape, and the
+// rank's block inventory.
+//
+//	miniamr -variant dataflow -checkpoint "ck-%d.bin" ...
+//	snapshotinfo ck-0.bin
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"miniamr/internal/amr/snapshot"
+)
+
+func main() {
+	if len(os.Args) != 2 {
+		fmt.Fprintln(os.Stderr, "usage: snapshotinfo <checkpoint-file>")
+		os.Exit(2)
+	}
+	if err := info(os.Args[1]); err != nil {
+		fmt.Fprintln(os.Stderr, "snapshotinfo:", err)
+		os.Exit(1)
+	}
+}
+
+func info(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	st, err := snapshot.Read(f)
+	if err != nil {
+		return err
+	}
+
+	fmt.Printf("rank:              %d\n", st.Rank)
+	fmt.Printf("completed:         timestep %d, stage %d\n", st.Step, st.Stage)
+
+	fmt.Printf("objects:           %d\n", len(st.Objects))
+	for i, o := range st.Objects {
+		fmt.Printf("  [%d] %-20s center=(%.3f,%.3f,%.3f) size=(%.3f,%.3f,%.3f) move=(%+.3f,%+.3f,%+.3f)\n",
+			i, o.Type, o.Center[0], o.Center[1], o.Center[2],
+			o.Size[0], o.Size[1], o.Size[2], o.Move[0], o.Move[1], o.Move[2])
+	}
+
+	perLevel := map[int]int{}
+	perRank := map[int]int{}
+	maxLevel := 0
+	for _, l := range st.Leaves {
+		perLevel[l.Coord.Level]++
+		perRank[l.Owner]++
+		if l.Coord.Level > maxLevel {
+			maxLevel = l.Coord.Level
+		}
+	}
+	fmt.Printf("mesh leaves:       %d total\n", len(st.Leaves))
+	for lvl := 0; lvl <= maxLevel; lvl++ {
+		if perLevel[lvl] > 0 {
+			fmt.Printf("  level %d:         %d blocks\n", lvl, perLevel[lvl])
+		}
+	}
+	ranks := 0
+	for r := range perRank {
+		if r+1 > ranks {
+			ranks = r + 1
+		}
+	}
+	fmt.Printf("ownership:         %d ranks", ranks)
+	mn, mx := -1, 0
+	for r := 0; r < ranks; r++ {
+		n := perRank[r]
+		if mn < 0 || n < mn {
+			mn = n
+		}
+		if n > mx {
+			mx = n
+		}
+	}
+	fmt.Printf(" (min %d / max %d blocks per rank)\n", mn, mx)
+
+	var cells int64
+	for _, blk := range st.Blocks {
+		cells += int64(blk.Size().Cells())
+	}
+	fmt.Printf("local blocks:      %d (%d interior cells", len(st.Blocks), cells)
+	for _, blk := range st.Blocks {
+		fmt.Printf(", %dx%dx%d cells x %d vars each",
+			blk.Size().X, blk.Size().Y, blk.Size().Z, blk.Vars())
+		break
+	}
+	fmt.Println(")")
+	return nil
+}

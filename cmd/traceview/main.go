@@ -1,0 +1,85 @@
+// Command traceview renders an execution trace captured by the miniamr
+// tool (the -trace flag) as an ASCII timeline with summary statistics —
+// the reproduction's Paraver.
+//
+//	miniamr -variant dataflow -trace run.csv
+//	traceview -in run.csv -width 120
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"time"
+
+	"miniamr/internal/trace"
+)
+
+func main() {
+	var (
+		in     = flag.String("in", "", "trace CSV file (required)")
+		width  = flag.Int("width", 100, "timeline width in columns")
+		labels = flag.Bool("labels", true, "print per-label time breakdown")
+		chrome = flag.String("chrome", "", "also convert the trace to Chrome Trace Event JSON at this path")
+	)
+	flag.Parse()
+	if *in == "" {
+		fmt.Fprintln(os.Stderr, "traceview: -in is required")
+		os.Exit(2)
+	}
+	if err := view(*in, *width, *labels, *chrome); err != nil {
+		fmt.Fprintln(os.Stderr, "traceview:", err)
+		os.Exit(1)
+	}
+}
+
+func view(path string, width int, labels bool, chrome string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	events, err := trace.ReadCSV(f)
+	if err != nil {
+		return err
+	}
+	fmt.Print(trace.Render(events, width))
+	if chrome != "" {
+		out, err := os.Create(chrome)
+		if err != nil {
+			return err
+		}
+		defer out.Close()
+		if err := trace.WriteChromeTrace(out, events); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s (open in chrome://tracing)\n", chrome)
+	}
+
+	st := trace.ComputeStats(events)
+	fmt.Printf("\nevents:       %d\n", len(events))
+	fmt.Printf("span:         %v over %d lanes\n", st.Span, st.Lanes)
+	fmt.Printf("utilization:  %.1f%%\n", 100*st.Utilization)
+	fmt.Printf("comp time:    %v\n", st.ByPhase["comp"])
+	fmt.Printf("comm time:    %v\n", st.ByPhase["comm"])
+	fmt.Printf("overlap:      %v\n", st.OverlapTime)
+	fmt.Printf("max idle gap: %v\n", st.MaxIdleGap)
+
+	if labels {
+		fmt.Println("\ntime per label:")
+		type kv struct {
+			label string
+			d     time.Duration
+		}
+		var rows []kv
+		for label, d := range st.ByLabel {
+			rows = append(rows, kv{label, d})
+		}
+		sort.Slice(rows, func(i, j int) bool { return rows[i].d > rows[j].d })
+		for _, r := range rows {
+			fmt.Printf("  %-18s %12v\n", r.label, r.d)
+		}
+	}
+	return nil
+}

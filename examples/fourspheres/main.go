@@ -1,0 +1,70 @@
+// Fourspheres runs a miniature weak-scaling sweep on the paper's
+// four-spheres input: the mesh grows with the virtual node count (one
+// block per MPI-only core, doubling one direction per node doubling) and
+// the throughput and efficiency of all three variants are reported —
+// the shape of the paper's Figure 4.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"miniamr"
+)
+
+func main() {
+	const (
+		maxNodes     = 4
+		coresPerNode = 4
+	)
+	sc := miniamr.Scale{Timesteps: 4, StagesPerTimestep: 4}
+
+	type point struct {
+		nodes int
+		m     miniamr.Metrics
+	}
+	series := map[miniamr.Variant][]point{}
+	variants := []miniamr.Variant{miniamr.MPIOnly, miniamr.ForkJoin, miniamr.DataFlow}
+
+	for nodes := 1; nodes <= maxNodes; nodes *= 2 {
+		root, err := miniamr.WeakMesh(nodes, coresPerNode)
+		if err != nil {
+			log.Fatal(err)
+		}
+		for _, v := range variants {
+			cfg := miniamr.FourSpheres(root, sc)
+			spec := miniamr.RunSpec{
+				Nodes: nodes, Net: miniamr.DefaultNet(), Cfg: cfg, Variant: v,
+			}
+			if v == miniamr.MPIOnly {
+				spec.RanksPerNode, spec.CoresPerRank = coresPerNode, 1
+			} else {
+				spec.RanksPerNode, spec.CoresPerRank = 1, coresPerNode
+			}
+			if v == miniamr.DataFlow {
+				miniamr.DataFlowOptions(&spec.Cfg)
+			}
+			m, err := miniamr.Run(spec)
+			if err != nil {
+				log.Fatalf("%s on %d nodes: %v", v, nodes, err)
+			}
+			series[v] = append(series[v], point{nodes, m})
+		}
+	}
+
+	fmt.Printf("%-8s", "nodes")
+	for _, v := range variants {
+		fmt.Printf(" | %-8s GFLOPS eff", v)
+	}
+	fmt.Println()
+	for i := range series[miniamr.MPIOnly] {
+		fmt.Printf("%-8d", series[miniamr.MPIOnly][i].nodes)
+		for _, v := range variants {
+			p := series[v][i]
+			base := series[v][0]
+			eff := p.m.GFLOPS / (base.m.GFLOPS * float64(p.nodes))
+			fmt.Printf(" | %15.3f %5.2f", p.m.GFLOPS, eff)
+		}
+		fmt.Println()
+	}
+}

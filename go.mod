@@ -1,0 +1,3 @@
+module miniamr
+
+go 1.22

@@ -1,0 +1,100 @@
+package app
+
+import (
+	"fmt"
+	"os"
+
+	"miniamr/internal/amr/mesh"
+	"miniamr/internal/amr/snapshot"
+)
+
+// Checkpoint/restart support.
+//
+// When Config.CheckpointFile is set, every rank writes its snapshot at the
+// end of the run; when Config.RestoreFile is set, the run resumes from the
+// saved state instead of initialising a fresh mesh. A restored run
+// continues bit-for-bit identically to an uninterrupted one: the snapshot
+// carries the replicated mesh, the objects at their current positions, the
+// rank's block data, and the loop counters (so checksum and refinement
+// cadences continue in phase), and the initial refinement is skipped
+// because the restored mesh already reflects the objects.
+
+// checkpointPath expands a per-rank pattern ("ckpt-%d.bin").
+func checkpointPath(pattern string, rank int) string {
+	return fmt.Sprintf(pattern, rank)
+}
+
+// saveCheckpoint writes the rank's state after the run's final stage.
+func (s *state) saveCheckpoint(step, stage int) error {
+	st := &snapshot.State{
+		Rank:    s.rank,
+		Step:    step,
+		Stage:   stage,
+		Objects: s.objs,
+		Blocks:  s.data,
+	}
+	for _, c := range s.msh.Leaves() {
+		st.Leaves = append(st.Leaves, snapshot.Leaf{Coord: c, Owner: s.msh.Owner(c)})
+	}
+	path := checkpointPath(s.cfg.CheckpointFile, s.rank)
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("app: checkpoint: %w", err)
+	}
+	defer f.Close()
+	if err := snapshot.Write(f, st); err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+// restoreState rebuilds a rank's state from its snapshot file.
+func (s *state) restoreState() error {
+	path := checkpointPath(s.cfg.RestoreFile, s.rank)
+	f, err := os.Open(path)
+	if err != nil {
+		return fmt.Errorf("app: restore: %w", err)
+	}
+	defer f.Close()
+	st, err := snapshot.Read(f)
+	if err != nil {
+		return err
+	}
+	if st.Rank != s.rank {
+		return fmt.Errorf("app: restore: snapshot %s belongs to rank %d, not %d", path, st.Rank, s.rank)
+	}
+	owners := make(map[mesh.Coord]int, len(st.Leaves))
+	for _, l := range st.Leaves {
+		owners[l.Coord] = l.Owner
+	}
+	m, err := mesh.NewFromLeaves(mesh.Config{Root: s.cfg.RootBlocks, MaxLevel: s.cfg.MaxLevel}, owners)
+	if err != nil {
+		return err
+	}
+	// Sanity: every restored block must be a leaf this rank owns, and
+	// every owned leaf must have data.
+	for c := range st.Blocks {
+		if !m.Has(c) || m.Owner(c) != s.rank {
+			return fmt.Errorf("app: restore: block %v is not an owned leaf", c)
+		}
+		blk := st.Blocks[c]
+		if blk.Size() != s.cfg.BlockSize || blk.Vars() != s.cfg.Vars {
+			return fmt.Errorf("app: restore: block %v shape mismatches the configuration", c)
+		}
+	}
+	for _, c := range m.Owned(s.rank) {
+		if _, ok := st.Blocks[c]; !ok {
+			return fmt.Errorf("app: restore: owned leaf %v has no data in the snapshot", c)
+		}
+	}
+	if st.Step < 0 || st.Step > s.cfg.Timesteps {
+		return fmt.Errorf("app: restore: snapshot at timestep %d outside [0,%d]", st.Step, s.cfg.Timesteps)
+	}
+	s.msh = m
+	s.data = st.Blocks
+	s.objs = st.Objects
+	s.startStep = st.Step
+	s.startStage = st.Stage
+	s.restored = true
+	return s.rebuildComm()
+}

@@ -1,0 +1,128 @@
+package app
+
+import (
+	"math"
+	"os"
+	"path/filepath"
+	"sync/atomic"
+	"testing"
+
+	"miniamr/internal/cluster"
+	"miniamr/internal/mpi"
+	"miniamr/internal/simnet"
+)
+
+// TestCheckpointRestartBitIdentical is the restart oracle: running T
+// timesteps straight through must give bit-identical final checksums to
+// running T/2 timesteps, checkpointing, and resuming for the rest —
+// regardless of which variant resumes the run.
+func TestCheckpointRestartBitIdentical(t *testing.T) {
+	const ranks = 2
+	full := testConfig() // 4 timesteps
+	fullRes := runVariant(t, full, ranks, RunMPIOnly, nil)
+	if t.Failed() {
+		return
+	}
+	fullCk := fullRes[0].Checksums
+	if len(fullCk) == 0 {
+		t.Fatal("no checksums in the reference run")
+	}
+
+	for name, resume := range variants {
+		name, resume := name, resume
+		t.Run("resume-with-"+name, func(t *testing.T) {
+			dir := t.TempDir()
+			pattern := filepath.Join(dir, "ck-%d.bin")
+
+			part1 := testConfig()
+			part1.Timesteps = 2
+			part1.CheckpointFile = pattern
+			runVariant(t, part1, ranks, RunMPIOnly, nil)
+			if t.Failed() {
+				return
+			}
+			for r := 0; r < ranks; r++ {
+				if _, err := os.Stat(checkpointPath(pattern, r)); err != nil {
+					t.Fatalf("rank %d checkpoint missing: %v", r, err)
+				}
+			}
+
+			part2 := testConfig() // full horizon, resumed at timestep 2
+			part2.RestoreFile = pattern
+			res := runVariant(t, part2, ranks, resume, nil)
+			if t.Failed() {
+				return
+			}
+			got := res[0].Checksums
+			if len(got) == 0 {
+				t.Fatal("no checksums after restore")
+			}
+			last := got[len(got)-1]
+			want := fullCk[len(fullCk)-1]
+			if len(last) != len(want) {
+				t.Fatalf("final checksum width %d, want %d", len(last), len(want))
+			}
+			for v := range want {
+				if math.Float64bits(last[v]) != math.Float64bits(want[v]) {
+					t.Fatalf("final checksum var %d = %v, want bit-identical %v", v, last[v], want[v])
+				}
+			}
+		})
+	}
+}
+
+// TestRestoreErrors covers the failure paths of restoring.
+func TestRestoreErrors(t *testing.T) {
+	dir := t.TempDir()
+	pattern := filepath.Join(dir, "missing-%d.bin")
+	cfg := testConfig()
+	cfg.RestoreFile = pattern
+	runExpectingError(t, cfg, "missing snapshot")
+
+	// A snapshot from a different configuration (block size) must be
+	// rejected.
+	ckPattern := filepath.Join(dir, "ck-%d.bin")
+	small := testConfig()
+	small.Timesteps = 1
+	small.CheckpointFile = ckPattern
+	runVariant(t, small, 2, RunMPIOnly, nil)
+	if t.Failed() {
+		return
+	}
+	wrong := testConfig()
+	wrong.BlockSize.X = 8
+	wrong.BlockSize.Y = 8
+	wrong.BlockSize.Z = 8
+	wrong.RestoreFile = ckPattern
+	runExpectingError(t, wrong, "mismatched block size")
+}
+
+// runExpectingError runs a config on 2 ranks and asserts the job fails.
+func runExpectingError(t *testing.T, cfg Config, what string) {
+	t.Helper()
+	w := mpi.NewWorld(cluster.MustNew(1, 2, 1), simnet.None())
+	var failed atomic.Bool
+	_ = w.Run(func(c *mpi.Comm) {
+		if _, err := RunMPIOnly(cfg, c, nil); err != nil {
+			failed.Store(true)
+			panic(err) // unblock peers
+		}
+	})
+	if !failed.Load() {
+		t.Errorf("%s: expected an error, got success", what)
+	}
+}
+
+// TestCheckpointPatternValidation rejects patterns without a rank slot.
+func TestCheckpointPatternValidation(t *testing.T) {
+	cfg := testConfig()
+	cfg.CheckpointFile = "ckpt.bin"
+	if err := cfg.Validate(); err == nil {
+		t.Error("pattern without rank slot accepted")
+	}
+	cfg = testConfig()
+	cfg.RestoreFile = "state"
+	if err := cfg.Validate(); err == nil {
+		t.Error("restore pattern without rank slot accepted")
+	}
+}

@@ -1,0 +1,169 @@
+package app
+
+import (
+	"strings"
+	"testing"
+
+	"miniamr/internal/cluster"
+	"miniamr/internal/mpi"
+	"miniamr/internal/simnet"
+)
+
+// TestChecksumToleranceViolationFails injects an impossible drift
+// tolerance: with refinement interfaces present the stencil is not exactly
+// conservative, so validation must fail and the failure must propagate out
+// of every variant as an error (not a hang or a panic).
+func TestChecksumToleranceViolationFails(t *testing.T) {
+	for name, run := range variants {
+		name, run := name, run
+		t.Run(name, func(t *testing.T) {
+			cfg := testConfig()
+			cfg.ChecksumTolerance = 1e-18
+			cfg.ChecksumEvery = 1 // validate every stage to hit the drift early
+			w := mpi.NewWorld(cluster.MustNew(1, 2, 1), simnet.None())
+			errs := make([]error, 2)
+			_ = w.Run(func(c *mpi.Comm) {
+				_, errs[c.Rank()] = run(cfg, c, nil)
+				if errs[c.Rank()] != nil {
+					// Unblock the peer, which may be waiting in a collective.
+					panic(errs[c.Rank()])
+				}
+			})
+			failed := false
+			for _, err := range errs {
+				if err != nil {
+					failed = true
+					if !strings.Contains(err.Error(), "checksum") {
+						t.Errorf("error does not mention checksum: %v", err)
+					}
+				}
+			}
+			if !failed {
+				t.Error("impossible tolerance did not fail validation")
+			}
+		})
+	}
+}
+
+// TestDelayedChecksumValidatesAtDrain ensures the delayed validation mode
+// settles its final pending checksum: the number of validated checksums
+// must match the non-delayed mode.
+func TestDelayedChecksumValidatesAtDrain(t *testing.T) {
+	base := testConfig()
+	plain := runVariant(t, base, 2, RunDataFlow, nil)
+	if t.Failed() {
+		return
+	}
+	delayed := base
+	delayed.DelayedChecksum = true
+	del := runVariant(t, delayed, 2, RunDataFlow, nil)
+	if t.Failed() {
+		return
+	}
+	if len(del[0].Checksums) != len(plain[0].Checksums) {
+		t.Errorf("delayed mode validated %d checksums, plain %d",
+			len(del[0].Checksums), len(plain[0].Checksums))
+	}
+}
+
+// TestSingleRankRuns covers the degenerate one-rank cluster where every
+// exchange is local.
+func TestSingleRankRuns(t *testing.T) {
+	for name, run := range variants {
+		results := runVariant(t, testConfig(), 1, run, nil)
+		if t.Failed() {
+			return
+		}
+		if results[0].FinalBlocks == 0 {
+			t.Errorf("%s: no blocks", name)
+		}
+	}
+}
+
+// TestManyRanksFewBlocks covers ranks that own nothing at times.
+func TestManyRanksFewBlocks(t *testing.T) {
+	cfg := testConfig()
+	cfg.RootBlocks = [3]int{2, 1, 1} // 2 blocks, 5 ranks
+	cfg.Objects = nil                // no refinement: some ranks stay empty
+	results := runVariant(t, cfg, 5, RunDataFlow, nil)
+	if t.Failed() {
+		return
+	}
+	total := 0
+	for _, r := range results {
+		total += r.FinalBlocks
+	}
+	if total != 2 {
+		t.Errorf("total blocks = %d, want 2", total)
+	}
+	if len(results[0].Checksums) == 0 {
+		t.Error("no checksums validated with idle ranks present")
+	}
+}
+
+// TestChecksumCadenceNotDividingStages covers a checksum interval that
+// does not divide the stage count.
+func TestChecksumCadenceNotDividingStages(t *testing.T) {
+	cfg := testConfig()
+	cfg.StagesPerTimestep = 5
+	cfg.ChecksumEvery = 3
+	results := runVariant(t, cfg, 2, RunMPIOnly, nil)
+	if t.Failed() {
+		return
+	}
+	// 4 timesteps x 5 stages = 20 stages; validations at multiples of 3.
+	if want := 20 / 3; len(results[0].Checksums) != want {
+		t.Errorf("checksums = %d, want %d", len(results[0].Checksums), want)
+	}
+}
+
+// TestGrowingObject exercises the Inc/growth path through full runs.
+func TestGrowingObject(t *testing.T) {
+	cfg := testConfig()
+	cfg.Objects[0].Inc = [3]float64{0.02, 0.02, 0.02}
+	cfg.Objects[0].Bounce = true
+	results := runVariant(t, cfg, 2, RunForkJoin, nil)
+	if t.Failed() {
+		return
+	}
+	if results[0].RefineEpochs == 0 {
+		t.Error("growing object never changed the mesh")
+	}
+}
+
+// TestUniformRefine drives the mesh to the maximum level everywhere and
+// checks the block count: every root block becomes 8^MaxLevel leaves.
+func TestUniformRefine(t *testing.T) {
+	cfg := testConfig()
+	cfg.UniformRefine = true
+	cfg.MaxLevel = 1
+	cfg.Timesteps = 2
+	results := runVariant(t, cfg, 3, RunDataFlow, nil)
+	if t.Failed() {
+		return
+	}
+	total := 0
+	for _, r := range results {
+		total += r.FinalBlocks
+	}
+	if want := 4 * 8; total != want {
+		t.Errorf("blocks = %d, want %d (fully refined)", total, want)
+	}
+}
+
+// TestUniformMaxLevelZero covers a mesh that cannot refine at all.
+func TestUniformMaxLevelZero(t *testing.T) {
+	cfg := testConfig()
+	cfg.MaxLevel = 0
+	results := runVariant(t, cfg, 2, RunDataFlow, nil)
+	if t.Failed() {
+		return
+	}
+	total := 0
+	for _, r := range results {
+		total += r.FinalBlocks
+	}
+	if total != 4 {
+		t.Errorf("blocks = %d, want the 4 root blocks", total)
+	}
+}

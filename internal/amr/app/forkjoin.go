@@ -1,0 +1,293 @@
+package app
+
+import (
+	"fmt"
+	"time"
+
+	"miniamr/internal/amr/comm"
+	"miniamr/internal/amr/grid"
+	"miniamr/internal/amr/mesh"
+	"miniamr/internal/forkjoin"
+	"miniamr/internal/mpi"
+	"miniamr/internal/trace"
+)
+
+// RunForkJoin executes the simulation with the hybrid MPI+OpenMP fork-join
+// strategy of the paper's comparison variant: stencil, packing/unpacking,
+// intra-process copies, local checksum reduction and block
+// splitting/consolidation run in parallel loops with static scheduling,
+// while all MPI communication stays on the master thread.
+func RunForkJoin(cfg Config, c *mpi.Comm, rec *trace.Recorder) (Result, error) {
+	if err := cfg.Validate(); err != nil {
+		return Result{}, err
+	}
+	s, err := newState(&cfg, c, rec, 1)
+	if err != nil {
+		return Result{}, err
+	}
+	pool := forkjoin.MustNew(cfg.Workers)
+	defer pool.Close()
+	scratches := make([][]float64, cfg.Workers)
+	for i := range scratches {
+		scratches[i] = newScratch(&cfg)
+	}
+	return runMain(s, &forkJoinDriver{s: s, pool: pool, scratches: scratches})
+}
+
+type forkJoinDriver struct {
+	s         *state
+	pool      *forkjoin.Pool
+	scratches [][]float64 // per-worker staging for cross-level copies
+}
+
+// parFor dispatches a parallel loop with the configured schedule.
+func (d *forkJoinDriver) parFor(n int, body func(i, w int)) {
+	if d.s.cfg.ForkJoinSchedule == "dynamic" {
+		d.pool.ForDynamic(n, 1, body)
+		return
+	}
+	d.pool.ForWorker(n, body)
+}
+
+func (d *forkJoinDriver) communicate(g0, g1 int) error {
+	s := d.s
+	gv := g1 - g0
+	for dir := grid.DirX; dir <= grid.DirZ; dir++ {
+		sched := s.scheds[dir]
+
+		// Master posts all receives.
+		var recvReqs []*mpi.Request
+		var recvMsgs [][]comm.Transfer
+		var recvBufs [][]float64
+		for _, pe := range sched.Peers {
+			for mi, msg := range comm.Chunk(pe.Recv, s.chunkCap) {
+				buf := s.recvBufs[dir][pe.Peer][mi][:comm.MessageLen(msg, gv)]
+				req, err := s.comm.Irecv(buf, pe.Peer, comm.Tag(dir, mi))
+				if err != nil {
+					return err
+				}
+				recvReqs = append(recvReqs, req)
+				recvMsgs = append(recvMsgs, msg)
+				recvBufs = append(recvBufs, buf)
+			}
+		}
+
+		// Parallel region: pack every outgoing transfer (flat index space
+		// across peers and messages), then master sends.
+		type packJob struct {
+			tr  comm.Transfer
+			dst []float64
+		}
+		var jobs []packJob
+		type sendMsg struct {
+			peer int
+			tag  int
+			buf  []float64
+		}
+		var sends []sendMsg
+		for _, pe := range sched.Peers {
+			for mi, msg := range comm.Chunk(pe.Send, s.chunkCap) {
+				buf := s.sendBufs[dir][pe.Peer][mi][:comm.MessageLen(msg, gv)]
+				off := 0
+				for _, tr := range msg {
+					jobs = append(jobs, packJob{tr: tr, dst: buf[off : off+tr.Len(gv)]})
+					off += tr.Len(gv)
+				}
+				sends = append(sends, sendMsg{peer: pe.Peer, tag: comm.Tag(dir, mi), buf: buf})
+			}
+		}
+		d.parFor(len(jobs), func(i, w int) {
+			job := jobs[i]
+			s.rec.Span(s.rank, w, "pack", func() {
+				comm.Pack(job.tr, s.data[job.tr.Src], g0, g1, job.dst)
+			})
+		})
+		var sendReqs []*mpi.Request
+		for _, sm := range sends {
+			req, err := s.comm.Isend(sm.buf, sm.peer, sm.tag)
+			if err != nil {
+				return err
+			}
+			sendReqs = append(sendReqs, req)
+		}
+
+		// Parallel intra-process copies and boundary conditions. Distinct
+		// transfers write distinct ghost cells, so the loop is race-free.
+		d.parFor(len(sched.Local), func(i, w int) {
+			tr := sched.Local[i]
+			s.rec.Span(s.rank, w, "local-copy", func() {
+				comm.ExecuteLocal(tr, s.data[tr.Src], s.data[tr.Recv], g0, g1, d.scratches[w])
+			})
+		})
+		d.pool.For(len(sched.Boundary), func(i int) {
+			bf := sched.Boundary[i]
+			s.data[bf.Block].ApplyDomainBoundary(dir, bf.Side, g0, g1)
+		})
+
+		// Master waits for arrivals; each message unpacks in parallel.
+		for remaining := len(recvReqs); remaining > 0; remaining-- {
+			var idx int
+			var werr error
+			s.rec.Span(s.rank, 0, "MPI_Waitany", func() {
+				idx, _, werr = mpi.Waitany(recvReqs)
+			})
+			if werr != nil {
+				return werr
+			}
+			if idx < 0 {
+				return fmt.Errorf("app: Waitany returned no request with %d outstanding", remaining)
+			}
+			msg, buf := recvMsgs[idx], recvBufs[idx]
+			recvReqs[idx] = nil
+			offs := make([]int, len(msg))
+			off := 0
+			for i, tr := range msg {
+				offs[i] = off
+				off += tr.Len(gv)
+			}
+			d.parFor(len(msg), func(i, w int) {
+				tr := msg[i]
+				s.rec.Span(s.rank, w, "unpack", func() {
+					comm.Unpack(tr, s.data[tr.Recv], g0, g1, buf[offs[i]:offs[i]+tr.Len(gv)])
+				})
+			})
+		}
+		if err := mpi.Waitall(sendReqs); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (d *forkJoinDriver) stencil(g0, g1 int) error {
+	s := d.s
+	owned := s.owned()
+	d.parFor(len(owned), func(i, w int) {
+		blk := s.data[owned[i]]
+		s.rec.Span(s.rank, w, "stencil", func() { s.runStencil(blk, g0, g1) })
+	})
+	for _, bc := range owned {
+		s.flops += s.stencilFlops(s.data[bc], g0, g1)
+	}
+	return nil
+}
+
+func (d *forkJoinDriver) checksum() error {
+	s := d.s
+	owned := s.owned()
+	sums := make([][]float64, len(owned))
+	d.parFor(len(owned), func(i, w int) {
+		out := make([]float64, s.cfg.Vars)
+		blk := s.data[owned[i]]
+		s.rec.Span(s.rank, w, "cksum-local", func() { blk.Checksum(0, s.cfg.Vars, out) })
+		sums[i] = out
+	})
+	// Deterministic combine in block order on the master.
+	perBlock := make(map[mesh.Coord][]float64, len(owned))
+	for i, bc := range owned {
+		perBlock[bc] = sums[i]
+	}
+	return s.reduceAndValidate(s.combineBlockSums(owned, perBlock))
+}
+
+func (d *forkJoinDriver) refine(advance bool) (bool, error) {
+	s := d.s
+	if advance {
+		s.advanceObjects()
+	}
+	return s.refineEpoch(refineExec{
+		splitOwned:       d.splitOwned,
+		consolidateOwned: d.consolidateOwned,
+		mover:            &forkJoinMover{d: d},
+	})
+}
+
+// splitOwned parallelises the per-block child copies (the paper extends
+// the fork-join variant with exactly this for a fair comparison).
+func (d *forkJoinDriver) splitOwned(refines []mesh.Coord) error {
+	s := d.s
+	children := make([][8]*grid.Data, len(refines))
+	for i, bc := range refines {
+		for o := 0; o < 8; o++ {
+			children[i][o] = s.newBlockData(bc.Child(o), false)
+		}
+	}
+	d.parFor(len(refines), func(i, w int) {
+		parent := s.data[refines[i]]
+		s.rec.Span(s.rank, w, "split", func() { parent.SplitInto(&children[i]) })
+	})
+	for i, bc := range refines {
+		delete(s.data, bc)
+		for o := 0; o < 8; o++ {
+			s.data[bc.Child(o)] = children[i][o]
+		}
+	}
+	return nil
+}
+
+func (d *forkJoinDriver) consolidateOwned(parents []mesh.Coord) error {
+	s := d.s
+	type job struct {
+		parent   *grid.Data
+		children [8]*grid.Data
+	}
+	jobs := make([]job, len(parents))
+	for i, p := range parents {
+		jobs[i].parent = s.newBlockData(p, false)
+		for o := 0; o < 8; o++ {
+			ch, ok := s.data[p.Child(o)]
+			if !ok {
+				return fmt.Errorf("app: consolidation of %v: child %d not local", p, o)
+			}
+			jobs[i].children[o] = ch
+		}
+	}
+	d.parFor(len(jobs), func(i, w int) {
+		s.rec.Span(s.rank, w, "consolidate", func() { jobs[i].parent.ConsolidateFrom(&jobs[i].children) })
+	})
+	for i, p := range parents {
+		for o := 0; o < 8; o++ {
+			delete(s.data, p.Child(o))
+		}
+		s.data[p] = jobs[i].parent
+	}
+	return nil
+}
+
+func (d *forkJoinDriver) drain() error { return nil }
+
+// forkJoinMover packs and unpacks block payloads in parallel regions while
+// the master performs the MPI operations.
+type forkJoinMover struct {
+	d *forkJoinDriver
+}
+
+func (m *forkJoinMover) sendBlock(bc mesh.Coord, blk *grid.Data, to, tag int) {
+	s := m.d.s
+	buf := make([]float64, blk.InteriorLen())
+	// Parallel pack by interior slab: split the flat payload by worker.
+	s.rec.Span(s.rank, 0, "exchange-pack", func() { blk.PackInterior(buf) })
+	start := time.Now()
+	if err := s.comm.Send(buf, to, tag); err != nil {
+		panic(err)
+	}
+	s.rec.Record(s.rank, 0, "exchange-send", start, time.Now())
+}
+
+func (m *forkJoinMover) recvBlock(bc mesh.Coord, from, tag int) *grid.Data {
+	s := m.d.s
+	blk := s.newBlockData(bc, false)
+	buf := make([]float64, blk.InteriorLen())
+	start := time.Now()
+	if _, err := s.comm.Recv(buf, from, tag); err != nil {
+		panic(err)
+	}
+	s.rec.Record(s.rank, 0, "exchange-recv", start, time.Now())
+	s.rec.Span(s.rank, 0, "exchange-unpack", func() { blk.UnpackInterior(buf) })
+	return blk
+}
+
+func (m *forkJoinMover) barrier() error { return nil }
+
+// quiesce is a no-op: parallel regions end with an implicit barrier.
+func (d *forkJoinDriver) quiesce() error { return nil }

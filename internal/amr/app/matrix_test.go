@@ -1,0 +1,66 @@
+package app
+
+import (
+	"fmt"
+	"math"
+	"testing"
+)
+
+// TestFullMatrix sweeps variants x stencils x partitioners and checks that
+// within each (stencil, partitioner) cell the three variants agree
+// bit-for-bit, and that across partitioners they agree to rounding. One
+// table-driven net over the whole configuration surface.
+func TestFullMatrix(t *testing.T) {
+	const ranks = 2
+	type cell struct {
+		stencil     int
+		partitioner string
+	}
+	cells := []cell{
+		{7, "rcb"}, {7, "sfc"}, {27, "rcb"}, {27, "sfc"},
+	}
+	ref := map[int][]float64{} // per stencil, from the first partitioner
+	for _, cl := range cells {
+		cl := cl
+		t.Run(fmt.Sprintf("stencil%d-%s", cl.stencil, cl.partitioner), func(t *testing.T) {
+			var cellRef []float64
+			for name, run := range variants {
+				cfg := testConfig()
+				cfg.Timesteps = 2
+				cfg.Stencil = cl.stencil
+				cfg.Partitioner = cl.partitioner
+				cfg.ChecksumTolerance = 0.25
+				got := checksumsOf(runVariant(t, cfg, ranks, run, nil))
+				if t.Failed() {
+					return
+				}
+				if len(got) == 0 {
+					t.Fatalf("%s: no checksums", name)
+				}
+				if cellRef == nil {
+					cellRef = got
+					continue
+				}
+				if len(got) != len(cellRef) {
+					t.Fatalf("%s: checksum count mismatch", name)
+				}
+				for i := range cellRef {
+					if math.Float64bits(got[i]) != math.Float64bits(cellRef[i]) {
+						t.Fatalf("%s: checksum %d differs within cell", name, i)
+					}
+				}
+			}
+			// Across partitioners of the same stencil: rounding-level.
+			if prev, ok := ref[cl.stencil]; ok {
+				for i := range prev {
+					rel := math.Abs(cellRef[i]-prev[i]) / math.Max(math.Abs(prev[i]), 1e-12)
+					if rel > 1e-9 {
+						t.Fatalf("partitioner changed physics: checksum %d rel error %g", i, rel)
+					}
+				}
+			} else {
+				ref[cl.stencil] = cellRef
+			}
+		})
+	}
+}

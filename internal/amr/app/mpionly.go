@@ -1,0 +1,243 @@
+package app
+
+import (
+	"fmt"
+	"time"
+
+	"miniamr/internal/amr/comm"
+	"miniamr/internal/amr/grid"
+	"miniamr/internal/amr/mesh"
+	"miniamr/internal/mpi"
+	"miniamr/internal/trace"
+)
+
+// RunMPIOnly executes the simulation with the reference MPI-only strategy:
+// one single-threaded rank per core, non-blocking sends and receives per
+// direction, Waitany-driven unpacking, serial refinement and exchange
+// (Algorithm 1/2 of the paper).
+func RunMPIOnly(cfg Config, c *mpi.Comm, rec *trace.Recorder) (Result, error) {
+	if err := cfg.Validate(); err != nil {
+		return Result{}, err
+	}
+	s, err := newState(&cfg, c, rec, 1) // one aggregated message per peer and direction
+	if err != nil {
+		return Result{}, err
+	}
+	return runMain(s, &mpiOnlyDriver{s: s, scratch: newScratch(&cfg)})
+}
+
+// newScratch sizes a staging buffer for the largest cross-level local copy.
+func newScratch(cfg *Config) []float64 {
+	mx := cfg.BlockSize.Y * cfg.BlockSize.Z
+	if n := cfg.BlockSize.X * cfg.BlockSize.Z; n > mx {
+		mx = n
+	}
+	if n := cfg.BlockSize.X * cfg.BlockSize.Y; n > mx {
+		mx = n
+	}
+	return make([]float64, mx*cfg.CommVars)
+}
+
+type mpiOnlyDriver struct {
+	s       *state
+	scratch []float64
+}
+
+func (d *mpiOnlyDriver) communicate(g0, g1 int) error {
+	s := d.s
+	gv := g1 - g0
+	for dir := grid.DirX; dir <= grid.DirZ; dir++ {
+		sched := s.scheds[dir]
+
+		// Start receiving the required faces from every remote neighbour.
+		var recvReqs []*mpi.Request
+		var recvMsgs [][]comm.Transfer
+		var recvBufs [][]float64
+		for _, pe := range sched.Peers {
+			for mi, msg := range comm.Chunk(pe.Recv, s.chunkCap) {
+				buf := s.recvBufs[dir][pe.Peer][mi][:comm.MessageLen(msg, gv)]
+				req, err := s.comm.Irecv(buf, pe.Peer, comm.Tag(dir, mi))
+				if err != nil {
+					return err
+				}
+				recvReqs = append(recvReqs, req)
+				recvMsgs = append(recvMsgs, msg)
+				recvBufs = append(recvBufs, buf)
+			}
+		}
+
+		// Pack and send each outgoing face bundle.
+		var sendReqs []*mpi.Request
+		for _, pe := range sched.Peers {
+			for mi, msg := range comm.Chunk(pe.Send, s.chunkCap) {
+				buf := s.sendBufs[dir][pe.Peer][mi][:comm.MessageLen(msg, gv)]
+				s.rec.Span(s.rank, 0, "pack", func() {
+					off := 0
+					for _, tr := range msg {
+						off += comm.Pack(tr, s.data[tr.Src], g0, g1, buf[off:])
+					}
+				})
+				req, err := s.comm.Isend(buf, pe.Peer, comm.Tag(dir, mi))
+				if err != nil {
+					return err
+				}
+				sendReqs = append(sendReqs, req)
+			}
+		}
+
+		// Intra-process exchanges overlap the in-flight MPI transfers.
+		s.rec.Span(s.rank, 0, "local-copy", func() {
+			for _, tr := range sched.Local {
+				comm.ExecuteLocal(tr, s.data[tr.Src], s.data[tr.Recv], g0, g1, d.scratch)
+			}
+			for _, bf := range sched.Boundary {
+				s.data[bf.Block].ApplyDomainBoundary(dir, bf.Side, g0, g1)
+			}
+		})
+
+		// Unpack faces as they arrive.
+		for remaining := len(recvReqs); remaining > 0; remaining-- {
+			var idx int
+			var werr error
+			s.rec.Span(s.rank, 0, "MPI_Waitany", func() {
+				idx, _, werr = mpi.Waitany(recvReqs)
+			})
+			if werr != nil {
+				return werr
+			}
+			if idx < 0 {
+				return fmt.Errorf("app: Waitany returned no request with %d outstanding", remaining)
+			}
+			msg, buf := recvMsgs[idx], recvBufs[idx]
+			recvReqs[idx] = nil
+			s.rec.Span(s.rank, 0, "unpack", func() {
+				off := 0
+				for _, tr := range msg {
+					off += comm.Unpack(tr, s.data[tr.Recv], g0, g1, buf[off:])
+				}
+			})
+		}
+
+		// Wait until all sends complete before reusing the direction's
+		// buffers, as the reference does.
+		if err := mpi.Waitall(sendReqs); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (d *mpiOnlyDriver) stencil(g0, g1 int) error {
+	s := d.s
+	for _, bc := range s.owned() {
+		blk := s.data[bc]
+		s.rec.Span(s.rank, 0, "stencil", func() { s.runStencil(blk, g0, g1) })
+		s.flops += s.stencilFlops(blk, g0, g1)
+	}
+	return nil
+}
+
+func (d *mpiOnlyDriver) checksum() error {
+	s := d.s
+	owned := s.owned()
+	perBlock := make(map[mesh.Coord][]float64, len(owned))
+	s.rec.Span(s.rank, 0, "cksum-local", func() {
+		for _, bc := range owned {
+			sums := make([]float64, s.cfg.Vars)
+			s.data[bc].Checksum(0, s.cfg.Vars, sums)
+			perBlock[bc] = sums
+		}
+	})
+	return s.reduceAndValidate(s.combineBlockSums(owned, perBlock))
+}
+
+func (d *mpiOnlyDriver) refine(advance bool) (bool, error) {
+	s := d.s
+	if advance {
+		s.advanceObjects()
+	}
+	return s.refineEpoch(s.sequentialRefineExec())
+}
+
+// sequentialRefineExec is the serial refinement execution shared by the
+// MPI-only driver and the data-flow SequentialRefinement ablation.
+func (s *state) sequentialRefineExec() refineExec {
+	return refineExec{
+		splitOwned:       s.splitOwnedSeq,
+		consolidateOwned: s.consolidateOwnedSeq,
+		mover:            &syncMover{s: s},
+	}
+}
+
+func (s *state) splitOwnedSeq(refines []mesh.Coord) error {
+	for _, bc := range refines {
+		parent := s.data[bc]
+		var children [8]*grid.Data
+		for o := range children {
+			children[o] = s.newBlockData(bc.Child(o), false)
+		}
+		s.rec.Span(s.rank, 0, "split", func() { parent.SplitInto(&children) })
+		delete(s.data, bc)
+		for o, ch := range children {
+			s.data[bc.Child(o)] = ch
+		}
+	}
+	return nil
+}
+
+func (s *state) consolidateOwnedSeq(parents []mesh.Coord) error {
+	for _, p := range parents {
+		var children [8]*grid.Data
+		for o := range children {
+			ch, ok := s.data[p.Child(o)]
+			if !ok {
+				return fmt.Errorf("app: consolidation of %v: child %d not local", p, o)
+			}
+			children[o] = ch
+		}
+		parent := s.newBlockData(p, false)
+		s.rec.Span(s.rank, 0, "consolidate", func() { parent.ConsolidateFrom(&children) })
+		for o := 0; o < 8; o++ {
+			delete(s.data, p.Child(o))
+		}
+		s.data[p] = parent
+	}
+	return nil
+}
+
+func (d *mpiOnlyDriver) drain() error { return nil }
+
+// syncMover transfers block payloads inline with blocking operations — the
+// reference behaviour where the single thread performs the whole exchange.
+type syncMover struct {
+	s *state
+}
+
+func (m *syncMover) sendBlock(bc mesh.Coord, d *grid.Data, to, tag int) {
+	s := m.s
+	buf := make([]float64, d.InteriorLen())
+	s.rec.Span(s.rank, 0, "exchange-pack", func() { d.PackInterior(buf) })
+	start := time.Now()
+	if err := s.comm.Send(buf, to, tag); err != nil {
+		panic(err) // protocol code has verified arguments; transport errors are fatal here
+	}
+	s.rec.Record(s.rank, 0, "exchange-send", start, time.Now())
+}
+
+func (m *syncMover) recvBlock(bc mesh.Coord, from, tag int) *grid.Data {
+	s := m.s
+	d := s.newBlockData(bc, false)
+	buf := make([]float64, d.InteriorLen())
+	start := time.Now()
+	if _, err := s.comm.Recv(buf, from, tag); err != nil {
+		panic(err)
+	}
+	s.rec.Record(s.rank, 0, "exchange-recv", start, time.Now())
+	s.rec.Span(s.rank, 0, "exchange-unpack", func() { d.UnpackInterior(buf) })
+	return d
+}
+
+func (m *syncMover) barrier() error { return nil }
+
+// quiesce is a no-op: the MPI-only driver has no asynchronous stage work.
+func (d *mpiOnlyDriver) quiesce() error { return nil }

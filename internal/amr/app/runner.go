@@ -1,0 +1,100 @@
+package app
+
+import "time"
+
+// driver is the variant-specific execution strategy plugged into the
+// shared main loop.
+type driver interface {
+	// communicate exchanges ghost faces for the variable group [g0, g1).
+	communicate(g0, g1 int) error
+	// stencil applies the 7-point stencil to all owned blocks for the
+	// group.
+	stencil(g0, g1 int) error
+	// checksum runs one checksum/validation stage over all variables.
+	checksum() error
+	// quiesce completes all in-flight asynchronous stage work. The runner
+	// calls it before starting the refinement clock so that drained stage
+	// work is not accounted as refinement time.
+	quiesce() error
+	// refine runs one refinement phase; advance moves the objects first.
+	refine(advance bool) (bool, error)
+	// drain completes outstanding asynchronous work at the end of the run
+	// (including a pending delayed checksum validation).
+	drain() error
+}
+
+// runMain executes the miniAMR main loop (the paper's Algorithm 1/4) over
+// a driver and collects the rank's results.
+func runMain(s *state, d driver) (Result, error) {
+	start := time.Now()
+
+	// Initial refinement: iterate to the objects' steady state, one level
+	// per epoch, exactly as the reference refines before the main loop.
+	// A restored run skips it: the snapshot's mesh already reflects the
+	// objects, and re-running it could diverge from the uninterrupted run.
+	if !s.restored {
+		rStart := time.Now()
+		for i := 0; i <= s.cfg.MaxLevel+1; i++ {
+			changed, err := d.refine(false)
+			if err != nil {
+				return Result{}, err
+			}
+			if !changed {
+				break
+			}
+		}
+		s.refineTime += time.Since(rStart)
+	}
+
+	stage := s.startStage
+	for ts := s.startStep + 1; ts <= s.cfg.Timesteps; ts++ {
+		for st := 1; st <= s.cfg.StagesPerTimestep; st++ {
+			stage++
+			for _, g := range s.cfg.Groups() {
+				if err := d.communicate(g[0], g[1]); err != nil {
+					return Result{}, err
+				}
+				if err := d.stencil(g[0], g[1]); err != nil {
+					return Result{}, err
+				}
+			}
+			if stage%s.cfg.ChecksumEvery == 0 {
+				if err := d.checksum(); err != nil {
+					return Result{}, err
+				}
+			}
+		}
+		if ts%s.cfg.RefineEvery == 0 {
+			if err := d.quiesce(); err != nil {
+				return Result{}, err
+			}
+			rStart := time.Now()
+			if _, err := d.refine(true); err != nil {
+				return Result{}, err
+			}
+			s.refineTime += time.Since(rStart)
+		}
+	}
+	if err := d.drain(); err != nil {
+		return Result{}, err
+	}
+	if s.cfg.CheckpointFile != "" {
+		if err := s.saveCheckpoint(s.cfg.Timesteps, stage); err != nil {
+			return Result{}, err
+		}
+	}
+	res := Result{
+		TotalTime:    time.Since(start),
+		RefineTime:   s.refineTime,
+		Flops:        s.flops,
+		Checksums:    s.checksums,
+		FinalBlocks:  len(s.data),
+		RefineEpochs: s.refineCount,
+		Comm:         s.comm.Stats(),
+		MeshHistory:  s.meshHistory,
+	}
+	if s.cfg.RenderMesh {
+		res.FinalMeshView = s.msh.RenderSlice(0.5, false)
+	}
+	return res, nil
+}

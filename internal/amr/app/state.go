@@ -1,0 +1,295 @@
+package app
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"miniamr/internal/amr/balance"
+	"miniamr/internal/amr/comm"
+	"miniamr/internal/amr/grid"
+	"miniamr/internal/amr/mesh"
+	"miniamr/internal/amr/object"
+	"miniamr/internal/mpi"
+	"miniamr/internal/trace"
+)
+
+// state is the per-rank simulation state shared by all driver variants.
+type state struct {
+	cfg  *Config
+	comm *mpi.Comm
+	rank int
+	rec  *trace.Recorder
+
+	msh  *mesh.Mesh
+	data map[mesh.Coord]*grid.Data
+	objs []object.Object // replicated; advanced identically everywhere
+
+	chunkCap int // message chunking mode of the running variant
+
+	scheds   [3]*comm.Schedule
+	sendBufs [3]map[int][][]float64 // dir -> peer -> message -> buffer
+	recvBufs [3]map[int][][]float64
+
+	prevSums    []float64 // last validated global sums, nil right after refinement
+	checksums   [][]float64
+	flops       int64
+	refineTime  time.Duration
+	refineCount int
+	meshHistory []MeshStat
+
+	// Restart bookkeeping: counters carried over from a restored
+	// checkpoint; restored suppresses the initial refinement.
+	startStep, startStage int
+	restored              bool
+}
+
+// MeshStat is a snapshot of the mesh shape after a refinement epoch.
+type MeshStat struct {
+	// Blocks is the total leaf count.
+	Blocks int
+	// PerLevel is the leaf count per refinement level.
+	PerLevel []int
+}
+
+// partition applies the configured load-balancing policy to a mesh.
+func partition(cfg *Config, m *mesh.Mesh, ranks int) map[mesh.Coord]int {
+	if cfg.Partitioner == "sfc" {
+		return balance.Morton(m.Config(), m.Leaves(), ranks)
+	}
+	return balance.RCB(m.Config(), m.Leaves(), ranks)
+}
+
+// initValue is the deterministic initial condition: smooth in space so
+// restriction/prolongation effects stay small, distinct per variable.
+func initValue(v int, x, y, z float64) float64 {
+	return float64(v%7+1)*0.1 + 0.5*x*(1-x) + 0.3*y + 0.2*z*z + 0.1*x*y
+}
+
+// newState builds the initial mesh, partitions it with RCB and fills the
+// rank's blocks.
+func newState(cfg *Config, c *mpi.Comm, rec *trace.Recorder, chunkCap int) (*state, error) {
+	mcfg := mesh.Config{Root: cfg.RootBlocks, MaxLevel: cfg.MaxLevel}
+	m, err := mesh.NewUniform(mcfg, func(mesh.Coord) int { return 0 })
+	if err != nil {
+		return nil, err
+	}
+	for bc, r := range partition(cfg, m, c.Size()) {
+		m.SetOwner(bc, r)
+	}
+	s := &state{
+		cfg:      cfg,
+		comm:     c,
+		rank:     c.Rank(),
+		rec:      rec,
+		msh:      m,
+		data:     make(map[mesh.Coord]*grid.Data),
+		objs:     append([]object.Object(nil), cfg.Objects...),
+		chunkCap: chunkCap,
+	}
+	if cfg.RestoreFile != "" {
+		if err := s.restoreState(); err != nil {
+			return nil, err
+		}
+		return s, nil
+	}
+	for _, bc := range m.Owned(s.rank) {
+		s.data[bc] = s.newBlockData(bc, true)
+	}
+	if err := s.rebuildComm(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// newBlockData allocates a block's storage, optionally filling the initial
+// condition.
+func (s *state) newBlockData(bc mesh.Coord, fill bool) *grid.Data {
+	d := grid.MustNewData(s.cfg.BlockSize, s.cfg.Vars)
+	if fill {
+		lo, _ := s.msh.Config().Bounds(bc)
+		d.Fill(lo, s.msh.Config().CellWidth(bc, s.cfg.BlockSize), initValue)
+	}
+	return d
+}
+
+// rebuildComm recomputes exchange schedules and communication buffers,
+// required after every mesh mutation.
+func (s *state) rebuildComm() error {
+	for dir := grid.DirX; dir <= grid.DirZ; dir++ {
+		sched, err := comm.BuildSchedule(s.msh, s.rank, dir, s.cfg.BlockSize)
+		if err != nil {
+			return err
+		}
+		s.scheds[dir] = sched
+		s.sendBufs[dir] = map[int][][]float64{}
+		s.recvBufs[dir] = map[int][][]float64{}
+		for _, pe := range sched.Peers {
+			for _, msg := range comm.Chunk(pe.Send, s.chunkCap) {
+				s.sendBufs[dir][pe.Peer] = append(s.sendBufs[dir][pe.Peer],
+					make([]float64, comm.MessageLen(msg, s.cfg.CommVars)))
+			}
+			for _, msg := range comm.Chunk(pe.Recv, s.chunkCap) {
+				s.recvBufs[dir][pe.Peer] = append(s.recvBufs[dir][pe.Peer],
+					make([]float64, comm.MessageLen(msg, s.cfg.CommVars)))
+			}
+		}
+	}
+	return nil
+}
+
+// owned returns the rank's blocks in deterministic order.
+func (s *state) owned() []mesh.Coord { return s.msh.Owned(s.rank) }
+
+// runStencil applies the configured stencil kernel to a block's variable
+// group. The 27-point stencil first synthesises edge/corner ghosts from
+// the face ghosts filled by the communication phase.
+func (s *state) runStencil(d *grid.Data, g0, g1 int) {
+	if s.cfg.Stencil == 27 {
+		d.FillGhostEdges(g0, g1)
+		d.Stencil27(g0, g1)
+		return
+	}
+	d.Stencil7(g0, g1)
+}
+
+// stencilFlops returns the operation count of one stencil application.
+func (s *state) stencilFlops(d *grid.Data, g0, g1 int) int64 {
+	if s.cfg.Stencil == 27 {
+		return d.Stencil27Flops(g0, g1)
+	}
+	return d.Stencil7Flops(g0, g1)
+}
+
+// computeMarks derives this rank's refinement marks from the objects:
+// refine where an object marks the block, coarsen candidates elsewhere.
+func (s *state) computeMarks() map[mesh.Coord]int8 {
+	marks := make(map[mesh.Coord]int8)
+	if s.cfg.UniformRefine {
+		for _, bc := range s.owned() {
+			marks[bc] = 1
+		}
+		return marks
+	}
+	for _, bc := range s.owned() {
+		lo, hi := s.msh.Config().Bounds(bc)
+		marked := false
+		for i := range s.objs {
+			if s.objs[i].MarksBlock(lo, hi) {
+				marked = true
+				break
+			}
+		}
+		switch {
+		case marked:
+			marks[bc] = 1
+		case bc.Level > 0:
+			marks[bc] = -1
+		default:
+			marks[bc] = 0
+		}
+	}
+	return marks
+}
+
+// gatherMarks exchanges local marks so that every rank holds the global
+// mark map (an allgather of 5-int records per block).
+func (s *state) gatherMarks(local map[mesh.Coord]int8) (map[mesh.Coord]int8, error) {
+	enc := make([]int, 0, 5*len(local))
+	for _, bc := range s.owned() {
+		enc = append(enc, bc.Level, bc.X, bc.Y, bc.Z, int(local[bc]))
+	}
+	all, _, err := s.comm.AllgathervInt(enc)
+	if err != nil {
+		return nil, err
+	}
+	if len(all)%5 != 0 {
+		return nil, fmt.Errorf("app: corrupt marks payload of %d ints", len(all))
+	}
+	global := make(map[mesh.Coord]int8, len(all)/5)
+	for i := 0; i < len(all); i += 5 {
+		bc := mesh.Coord{Level: all[i], X: all[i+1], Y: all[i+2], Z: all[i+3]}
+		global[bc] = int8(all[i+4])
+	}
+	return global, nil
+}
+
+// advanceObjects moves every replicated object one refinement epoch.
+func (s *state) advanceObjects() {
+	for i := range s.objs {
+		s.objs[i].Advance()
+	}
+}
+
+// combineBlockSums folds per-block per-variable sums into global-order
+// local sums: blocks are combined in coordinate order so the result is
+// bit-deterministic regardless of which worker produced each block's sums.
+func (s *state) combineBlockSums(blocks []mesh.Coord, perBlock map[mesh.Coord][]float64) []float64 {
+	out := make([]float64, s.cfg.Vars)
+	for _, bc := range blocks {
+		sums := perBlock[bc]
+		for v := range sums {
+			out[v] += sums[v]
+		}
+	}
+	return out
+}
+
+// reduceAndValidate completes a checksum: global reduction across ranks,
+// then drift validation against the previous validated sums. Refinement
+// resets the baseline because coarsening legitimately changes sums.
+func (s *state) reduceAndValidate(local []float64) error {
+	global, err := s.comm.AllreduceFloat64(local, mpi.Sum)
+	if err != nil {
+		return err
+	}
+	s.checksums = append(s.checksums, global)
+	if s.prevSums != nil {
+		for v := range global {
+			ref := math.Abs(s.prevSums[v])
+			if ref < 1e-12 {
+				ref = 1e-12
+			}
+			if math.Abs(global[v]-s.prevSums[v]) > s.cfg.ChecksumTolerance*ref {
+				return fmt.Errorf("app: checksum validation failed: variable %d drifted from %v to %v (tolerance %v)",
+					v, s.prevSums[v], global[v], s.cfg.ChecksumTolerance)
+			}
+		}
+	}
+	s.prevSums = global
+	return nil
+}
+
+// Result summarises one rank's run.
+type Result struct {
+	// TotalTime is the rank's wall-clock time for the whole run.
+	TotalTime time.Duration
+	// RefineTime is the wall-clock time spent in refinement phases
+	// (including initial refinement, exchanges and load balancing).
+	RefineTime time.Duration
+	// Flops counts the stencil floating-point operations this rank
+	// executed.
+	Flops int64
+	// Checksums holds every validated global checksum (identical on all
+	// ranks); the cross-variant correctness oracle.
+	Checksums [][]float64
+	// FinalBlocks is the number of blocks the rank owns at the end.
+	FinalBlocks int
+	// RefineEpochs counts refinement phases that changed the mesh.
+	RefineEpochs int
+	// TaskCount is the number of tasks the data-flow variant spawned
+	// (zero for the other variants).
+	TaskCount int
+	// Comm counts the rank's point-to-point sends (collectives included).
+	Comm mpi.CommStats
+	// MeshHistory snapshots the mesh after every refinement epoch
+	// (identical on all ranks).
+	MeshHistory []MeshStat
+	// FinalMeshView is an ASCII slice of the final mesh, filled when
+	// Config.RenderMesh is set.
+	FinalMeshView string
+}
+
+// NoRefineTime is the time outside refinement phases, the paper's
+// "No Refine" column.
+func (r Result) NoRefineTime() time.Duration { return r.TotalTime - r.RefineTime }

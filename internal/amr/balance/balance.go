@@ -1,0 +1,112 @@
+// Package balance implements the load-balancing policy of the AMR
+// application: a recursive coordinate bisection (RCB) partition over block
+// centers, the scheme the reference miniAMR uses to equalise the number of
+// blocks per rank after refinement changes the mesh.
+//
+// The partitioner is a pure function of the replicated mesh metadata, so
+// every rank computes the identical partition without communication. The
+// data movement itself (the ACK/id/data exchange protocol from the paper's
+// Section IV-B) is executed by the application drivers.
+package balance
+
+import (
+	"sort"
+
+	"miniamr/internal/amr/mesh"
+)
+
+// RCB partitions the given leaves over ranks by recursive coordinate
+// bisection of their physical centers. Each recursion splits the longest
+// spread dimension at the position that divides the blocks proportionally
+// to the rank counts of the two halves. Ties are broken by coordinate
+// order, so the result is deterministic.
+func RCB(cfg mesh.Config, leaves []mesh.Coord, ranks int) map[mesh.Coord]int {
+	if ranks <= 0 {
+		panic("balance: ranks must be positive")
+	}
+	owner := make(map[mesh.Coord]int, len(leaves))
+	work := make([]mesh.Coord, len(leaves))
+	copy(work, leaves)
+	rcb(cfg, work, 0, ranks, owner)
+	return owner
+}
+
+func rcb(cfg mesh.Config, leaves []mesh.Coord, r0, r1 int, owner map[mesh.Coord]int) {
+	if r1-r0 == 1 || len(leaves) == 0 {
+		for _, c := range leaves {
+			owner[c] = r0
+		}
+		return
+	}
+	dim := widestDim(cfg, leaves)
+	sort.Slice(leaves, func(i, j int) bool {
+		ci := cfg.Center(leaves[i])[dim]
+		cj := cfg.Center(leaves[j])[dim]
+		if ci != cj {
+			return ci < cj
+		}
+		return leaves[i].Less(leaves[j])
+	})
+	nLeft := (r1 - r0 + 1) / 2
+	kLeft := len(leaves) * nLeft / (r1 - r0)
+	rcb(cfg, leaves[:kLeft], r0, r0+nLeft, owner)
+	rcb(cfg, leaves[kLeft:], r0+nLeft, r1, owner)
+}
+
+// widestDim returns the dimension with the largest spread of block centers.
+func widestDim(cfg mesh.Config, leaves []mesh.Coord) int {
+	var lo, hi [3]float64
+	for d := 0; d < 3; d++ {
+		lo[d], hi[d] = 1, 0
+	}
+	for _, c := range leaves {
+		ctr := cfg.Center(c)
+		for d := 0; d < 3; d++ {
+			if ctr[d] < lo[d] {
+				lo[d] = ctr[d]
+			}
+			if ctr[d] > hi[d] {
+				hi[d] = ctr[d]
+			}
+		}
+	}
+	best, width := 0, hi[0]-lo[0]
+	for d := 1; d < 3; d++ {
+		if w := hi[d] - lo[d]; w > width {
+			best, width = d, w
+		}
+	}
+	return best
+}
+
+// Moves lists the blocks whose owner changes under a new partition, in
+// deterministic order. The mesh itself is not modified.
+func Moves(m *mesh.Mesh, newOwner map[mesh.Coord]int) []mesh.Move {
+	var out []mesh.Move
+	for _, c := range m.Leaves() { // Leaves() is sorted
+		from := m.Owner(c)
+		if to, ok := newOwner[c]; ok && to != from {
+			out = append(out, mesh.Move{Block: c, From: from, To: to})
+		}
+	}
+	return out
+}
+
+// Imbalance returns (max-min) block counts across ranks for a partition,
+// a simple quality metric used by tests and the harness.
+func Imbalance(owner map[mesh.Coord]int, ranks int) int {
+	counts := make([]int, ranks)
+	for _, r := range owner {
+		counts[r]++
+	}
+	mn, mx := counts[0], counts[0]
+	for _, n := range counts[1:] {
+		if n < mn {
+			mn = n
+		}
+		if n > mx {
+			mx = n
+		}
+	}
+	return mx - mn
+}

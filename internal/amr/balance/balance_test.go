@@ -1,0 +1,169 @@
+package balance
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"miniamr/internal/amr/mesh"
+)
+
+func testMesh(t *testing.T, root [3]int, maxLevel int) *mesh.Mesh {
+	t.Helper()
+	m, err := mesh.NewUniform(mesh.Config{Root: root, MaxLevel: maxLevel}, func(mesh.Coord) int { return 0 })
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestRCBCoversAllBlocks(t *testing.T) {
+	m := testMesh(t, [3]int{4, 4, 4}, 2)
+	owner := RCB(m.Config(), m.Leaves(), 8)
+	if len(owner) != 64 {
+		t.Fatalf("assigned %d blocks, want 64", len(owner))
+	}
+	for c, r := range owner {
+		if r < 0 || r >= 8 {
+			t.Errorf("block %v assigned out-of-range rank %d", c, r)
+		}
+	}
+}
+
+func TestRCBBalanced(t *testing.T) {
+	m := testMesh(t, [3]int{4, 4, 4}, 2)
+	for _, ranks := range []int{1, 2, 3, 5, 8, 16, 64} {
+		owner := RCB(m.Config(), m.Leaves(), ranks)
+		if imb := Imbalance(owner, ranks); imb > 1 {
+			t.Errorf("ranks=%d: imbalance %d, want <= 1 for a uniform mesh", ranks, imb)
+		}
+	}
+}
+
+func TestRCBDeterministic(t *testing.T) {
+	m := testMesh(t, [3]int{4, 2, 2}, 2)
+	a := RCB(m.Config(), m.Leaves(), 5)
+	b := RCB(m.Config(), m.Leaves(), 5)
+	for c := range a {
+		if a[c] != b[c] {
+			t.Fatalf("nondeterministic assignment for %v", c)
+		}
+	}
+}
+
+func TestRCBSpatialLocality(t *testing.T) {
+	// With 2 ranks on a 4x1x1 mesh, the split must separate low-x from
+	// high-x blocks.
+	m := testMesh(t, [3]int{4, 1, 1}, 0)
+	owner := RCB(m.Config(), m.Leaves(), 2)
+	for c, r := range owner {
+		wantRank := 0
+		if c.X >= 2 {
+			wantRank = 1
+		}
+		if r != wantRank {
+			t.Errorf("block %v on rank %d, want %d", c, r, wantRank)
+		}
+	}
+}
+
+func TestRCBSingleRank(t *testing.T) {
+	m := testMesh(t, [3]int{2, 2, 2}, 0)
+	owner := RCB(m.Config(), m.Leaves(), 1)
+	for c, r := range owner {
+		if r != 0 {
+			t.Errorf("block %v on rank %d", c, r)
+		}
+	}
+}
+
+func TestRCBMoreRanksThanBlocks(t *testing.T) {
+	m := testMesh(t, [3]int{2, 1, 1}, 0)
+	owner := RCB(m.Config(), m.Leaves(), 7)
+	if len(owner) != 2 {
+		t.Fatalf("assigned %d", len(owner))
+	}
+	seen := map[int]bool{}
+	for _, r := range owner {
+		if seen[r] {
+			t.Error("two blocks on one rank while other ranks idle")
+		}
+		seen[r] = true
+	}
+}
+
+func TestRCBInputNotMutated(t *testing.T) {
+	m := testMesh(t, [3]int{2, 2, 1}, 0)
+	leaves := m.Leaves()
+	snapshot := make([]mesh.Coord, len(leaves))
+	copy(snapshot, leaves)
+	RCB(m.Config(), leaves, 3)
+	for i := range leaves {
+		if leaves[i] != snapshot[i] {
+			t.Fatal("RCB mutated the caller's slice")
+		}
+	}
+}
+
+func TestMoves(t *testing.T) {
+	m := testMesh(t, [3]int{2, 1, 1}, 0)
+	// Both blocks start on rank 0; new partition puts block x=1 on rank 1.
+	newOwner := map[mesh.Coord]int{
+		{Level: 0, X: 0, Y: 0, Z: 0}: 0,
+		{Level: 0, X: 1, Y: 0, Z: 0}: 1,
+	}
+	moves := Moves(m, newOwner)
+	if len(moves) != 1 {
+		t.Fatalf("moves = %v", moves)
+	}
+	if moves[0].Block != (mesh.Coord{Level: 0, X: 1}) || moves[0].From != 0 || moves[0].To != 1 {
+		t.Errorf("move = %+v", moves[0])
+	}
+}
+
+func TestImbalance(t *testing.T) {
+	owner := map[mesh.Coord]int{
+		{Level: 0, X: 0}: 0, {Level: 0, X: 1}: 0, {Level: 0, Y: 1}: 1,
+	}
+	if got := Imbalance(owner, 2); got != 1 {
+		t.Errorf("imbalance = %d, want 1", got)
+	}
+	if got := Imbalance(owner, 3); got != 2 {
+		t.Errorf("imbalance with idle rank = %d, want 2", got)
+	}
+}
+
+// Property: on refined meshes with random refinement history, RCB covers
+// every leaf exactly once and keeps imbalance within 2 blocks.
+func TestPropertyRCBRefinedMeshes(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		cfg := mesh.Config{Root: [3]int{2, 2, 2}, MaxLevel: 2}
+		m, err := mesh.NewUniform(cfg, func(mesh.Coord) int { return 0 })
+		if err != nil {
+			return false
+		}
+		for epoch := 0; epoch < 2; epoch++ {
+			marks := map[mesh.Coord]int8{}
+			for _, c := range m.Leaves() {
+				if rng.Intn(3) == 0 {
+					marks[c] = 1
+				}
+			}
+			plan, err := m.PlanRefinement(marks)
+			if err != nil {
+				return false
+			}
+			m.Apply(plan)
+		}
+		ranks := rng.Intn(7) + 1
+		owner := RCB(cfg, m.Leaves(), ranks)
+		if len(owner) != m.Len() {
+			return false
+		}
+		return Imbalance(owner, ranks) <= 2
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}

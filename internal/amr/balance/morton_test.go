@@ -1,0 +1,121 @@
+package balance
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"miniamr/internal/amr/mesh"
+)
+
+func TestMortonCoversAndBalances(t *testing.T) {
+	m := testMesh(t, [3]int{4, 4, 4}, 2)
+	for _, ranks := range []int{1, 2, 3, 7, 16} {
+		owner := Morton(m.Config(), m.Leaves(), ranks)
+		if len(owner) != 64 {
+			t.Fatalf("ranks=%d: assigned %d, want 64", ranks, len(owner))
+		}
+		if imb := Imbalance(owner, ranks); imb > 1 {
+			t.Errorf("ranks=%d: imbalance %d", ranks, imb)
+		}
+	}
+}
+
+func TestMortonDeterministic(t *testing.T) {
+	m := testMesh(t, [3]int{2, 4, 2}, 1)
+	a := Morton(m.Config(), m.Leaves(), 3)
+	b := Morton(m.Config(), m.Leaves(), 3)
+	for c := range a {
+		if a[c] != b[c] {
+			t.Fatalf("nondeterministic assignment for %v", c)
+		}
+	}
+}
+
+func TestMortonContiguity(t *testing.T) {
+	// On a 2x2x2 mesh with 2 ranks, the Z-order curve puts the first four
+	// octants (an x-y-z contiguous half) on rank 0.
+	m := testMesh(t, [3]int{2, 2, 2}, 0)
+	owner := Morton(m.Config(), m.Leaves(), 2)
+	if owner[mesh.Coord{Level: 0, X: 0, Y: 0, Z: 0}] != 0 {
+		t.Error("origin block should be on rank 0")
+	}
+	if owner[mesh.Coord{Level: 0, X: 1, Y: 1, Z: 1}] != 1 {
+		t.Error("far corner block should be on rank 1")
+	}
+}
+
+func TestMortonKeyOrdering(t *testing.T) {
+	// A parent's key equals its octant-0 child's key and precedes the
+	// other children.
+	p := mesh.Coord{Level: 0, X: 1, Y: 0, Z: 1}
+	if mortonKey(p, 3) != mortonKey(p.Child(0), 3) {
+		t.Error("parent and octant-0 child keys differ")
+	}
+	for o := 1; o < 8; o++ {
+		if mortonKey(p.Child(o), 3) <= mortonKey(p, 3) {
+			t.Errorf("child %d key not after parent", o)
+		}
+	}
+}
+
+// Property: Morton on refined meshes covers all leaves with imbalance <= 1
+// and keeps curve locality (each rank's blocks form one contiguous curve
+// segment).
+func TestPropertyMortonRefinedMeshes(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		cfg := mesh.Config{Root: [3]int{2, 2, 2}, MaxLevel: 2}
+		m, err := mesh.NewUniform(cfg, func(mesh.Coord) int { return 0 })
+		if err != nil {
+			return false
+		}
+		marks := map[mesh.Coord]int8{}
+		for _, c := range m.Leaves() {
+			if rng.Intn(3) == 0 {
+				marks[c] = 1
+			}
+		}
+		plan, err := m.PlanRefinement(marks)
+		if err != nil {
+			return false
+		}
+		m.Apply(plan)
+		ranks := rng.Intn(6) + 1
+		owner := Morton(cfg, m.Leaves(), ranks)
+		if len(owner) != m.Len() {
+			return false
+		}
+		if Imbalance(owner, ranks) > 1 {
+			return false
+		}
+		// Contiguity along the curve: sorting leaves by key must give a
+		// non-decreasing owner sequence.
+		leaves := m.Leaves()
+		prev := -1
+		type kc struct {
+			k uint64
+			c mesh.Coord
+		}
+		keyed := make([]kc, len(leaves))
+		for i, c := range leaves {
+			keyed[i] = kc{mortonKey(c, cfg.MaxLevel), c}
+		}
+		for i := 1; i < len(keyed); i++ {
+			for j := i; j > 0 && keyed[j].k < keyed[j-1].k; j-- {
+				keyed[j], keyed[j-1] = keyed[j-1], keyed[j]
+			}
+		}
+		for _, e := range keyed {
+			r := owner[e.c]
+			if r < prev {
+				return false
+			}
+			prev = r
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,118 @@
+package grid
+
+import (
+	"fmt"
+	"testing"
+)
+
+func benchBlock(b *testing.B, edge, vars int) *Data {
+	b.Helper()
+	d := MustNewData(Size{X: edge, Y: edge, Z: edge}, vars)
+	d.Fill([3]float64{0, 0, 0}, [3]float64{1 / float64(edge), 1 / float64(edge), 1 / float64(edge)},
+		func(v int, x, y, z float64) float64 { return x + 2*y - z + float64(v)*0.1 })
+	fillAllGhosts(d, 0, vars)
+	return d
+}
+
+func BenchmarkStencil7(b *testing.B) {
+	for _, edge := range []int{8, 12, 18} {
+		b.Run(fmt.Sprintf("block=%d", edge), func(b *testing.B) {
+			d := benchBlock(b, edge, 8)
+			b.SetBytes(int64(8 * d.Size().Cells() * d.Vars()))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				d.Stencil7(0, 8)
+			}
+			b.ReportMetric(float64(d.Stencil7Flops(0, 8))*float64(b.N)/b.Elapsed().Seconds()/1e9, "GFLOPS")
+		})
+	}
+}
+
+func BenchmarkStencil27(b *testing.B) {
+	d := benchBlock(b, 12, 8)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d.Stencil27(0, 8)
+	}
+	b.ReportMetric(float64(d.Stencil27Flops(0, 8))*float64(b.N)/b.Elapsed().Seconds()/1e9, "GFLOPS")
+}
+
+func BenchmarkPackFace(b *testing.B) {
+	d := benchBlock(b, 12, 8)
+	buf := make([]float64, d.FaceLen(DirX, 0, 8))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d.PackFace(DirX, High, 0, 8, buf)
+	}
+}
+
+func BenchmarkUnpackFace(b *testing.B) {
+	d := benchBlock(b, 12, 8)
+	buf := make([]float64, d.FaceLen(DirX, 0, 8))
+	d.PackFace(DirX, High, 0, 8, buf)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d.UnpackFace(DirX, Low, 0, 8, buf)
+	}
+}
+
+func BenchmarkCopyFaceTo(b *testing.B) {
+	src := benchBlock(b, 12, 8)
+	dst := MustNewData(Size{12, 12, 12}, 8)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		src.CopyFaceTo(dst, DirY, High, 0, 8)
+	}
+}
+
+func BenchmarkPackFaceRestrict(b *testing.B) {
+	d := benchBlock(b, 12, 8)
+	buf := make([]float64, d.QuarterFaceLen(DirZ, 0, 8))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d.PackFaceRestrict(DirZ, Low, 0, 8, buf)
+	}
+}
+
+func BenchmarkSplitInto(b *testing.B) {
+	parent := benchBlock(b, 12, 8)
+	var children [8]*Data
+	for o := range children {
+		children[o] = MustNewData(Size{12, 12, 12}, 8)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		parent.SplitInto(&children)
+	}
+}
+
+func BenchmarkConsolidateFrom(b *testing.B) {
+	parent := MustNewData(Size{12, 12, 12}, 8)
+	var children [8]*Data
+	for o := range children {
+		children[o] = benchBlock(b, 12, 8)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		parent.ConsolidateFrom(&children)
+	}
+}
+
+func BenchmarkChecksum(b *testing.B) {
+	d := benchBlock(b, 12, 8)
+	out := make([]float64, 8)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d.Checksum(0, 8, out)
+	}
+}
+
+func BenchmarkPackInterior(b *testing.B) {
+	d := benchBlock(b, 12, 8)
+	buf := make([]float64, d.InteriorLen())
+	b.SetBytes(int64(8 * d.InteriorLen()))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d.PackInterior(buf)
+	}
+}

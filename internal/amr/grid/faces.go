@@ -1,0 +1,176 @@
+package grid
+
+import "fmt"
+
+// PackFace copies the boundary face of the variable group [v0, v1) into
+// buf for a same-level exchange and returns the number of values written.
+// buf must have at least FaceLen(dir, v0, v1) capacity.
+func (d *Data) PackFace(dir Dir, side Side, v0, v1 int, buf []float64) int {
+	d.checkGroup(v0, v1)
+	u, w := d.faceDims(dir)
+	c := d.boundaryPlane(dir, side)
+	n := 0
+	for v := v0; v < v1; v++ {
+		for iu := 1; iu <= u; iu++ {
+			for iw := 1; iw <= w; iw++ {
+				buf[n] = d.cells[d.planeIdx(dir, v, c, iu, iw)]
+				n++
+			}
+		}
+	}
+	return n
+}
+
+// UnpackFace copies a same-level face from buf into the ghost plane of the
+// given side and returns the number of values consumed.
+func (d *Data) UnpackFace(dir Dir, side Side, v0, v1 int, buf []float64) int {
+	d.checkGroup(v0, v1)
+	u, w := d.faceDims(dir)
+	c := d.ghostPlane(dir, side)
+	n := 0
+	for v := v0; v < v1; v++ {
+		for iu := 1; iu <= u; iu++ {
+			for iw := 1; iw <= w; iw++ {
+				d.cells[d.planeIdx(dir, v, c, iu, iw)] = buf[n]
+				n++
+			}
+		}
+	}
+	return n
+}
+
+// CopyFaceTo performs the intra-process same-level exchange: it copies this
+// block's boundary face on srcSide directly into dst's opposite ghost
+// plane, without an intermediate buffer. Both blocks must have identical
+// shape.
+func (d *Data) CopyFaceTo(dst *Data, dir Dir, srcSide Side, v0, v1 int) {
+	if d.size != dst.size || d.vars != dst.vars {
+		panic("grid: CopyFaceTo between mismatched blocks")
+	}
+	d.checkGroup(v0, v1)
+	u, w := d.faceDims(dir)
+	cSrc := d.boundaryPlane(dir, srcSide)
+	cDst := dst.ghostPlane(dir, srcSide.Opposite())
+	for v := v0; v < v1; v++ {
+		for iu := 1; iu <= u; iu++ {
+			for iw := 1; iw <= w; iw++ {
+				dst.cells[dst.planeIdx(dir, v, cDst, iu, iw)] = d.cells[d.planeIdx(dir, v, cSrc, iu, iw)]
+			}
+		}
+	}
+}
+
+// PackFaceRestrict packs this (fine) block's boundary face restricted for a
+// coarser neighbour: each 2x2 group of fine face cells is averaged into one
+// value. The result has QuarterFaceLen values.
+func (d *Data) PackFaceRestrict(dir Dir, side Side, v0, v1 int, buf []float64) int {
+	d.checkGroup(v0, v1)
+	u, w := d.faceDims(dir)
+	c := d.boundaryPlane(dir, side)
+	n := 0
+	for v := v0; v < v1; v++ {
+		for iu := 1; iu <= u; iu += 2 {
+			for iw := 1; iw <= w; iw += 2 {
+				s := d.cells[d.planeIdx(dir, v, c, iu, iw)] +
+					d.cells[d.planeIdx(dir, v, c, iu+1, iw)] +
+					d.cells[d.planeIdx(dir, v, c, iu, iw+1)] +
+					d.cells[d.planeIdx(dir, v, c, iu+1, iw+1)]
+				buf[n] = s * 0.25
+				n++
+			}
+		}
+	}
+	return n
+}
+
+// UnpackFaceQuarter stores a restricted face received from a finer
+// neighbour into the (qu, qw) quarter of this (coarse) block's ghost plane.
+// qu and qw select the half along each in-plane dimension (0 or 1).
+func (d *Data) UnpackFaceQuarter(dir Dir, side Side, qu, qw, v0, v1 int, buf []float64) int {
+	d.checkGroup(v0, v1)
+	checkQuadrant(qu, qw)
+	u, w := d.faceDims(dir)
+	c := d.ghostPlane(dir, side)
+	n := 0
+	for v := v0; v < v1; v++ {
+		for iu := 1; iu <= u/2; iu++ {
+			for iw := 1; iw <= w/2; iw++ {
+				d.cells[d.planeIdx(dir, v, c, qu*u/2+iu, qw*w/2+iw)] = buf[n]
+				n++
+			}
+		}
+	}
+	return n
+}
+
+// PackFaceQuarter packs the (qu, qw) quarter of this (coarse) block's
+// boundary face for a finer neighbour covering that quarter.
+func (d *Data) PackFaceQuarter(dir Dir, side Side, qu, qw, v0, v1 int, buf []float64) int {
+	d.checkGroup(v0, v1)
+	checkQuadrant(qu, qw)
+	u, w := d.faceDims(dir)
+	c := d.boundaryPlane(dir, side)
+	n := 0
+	for v := v0; v < v1; v++ {
+		for iu := 1; iu <= u/2; iu++ {
+			for iw := 1; iw <= w/2; iw++ {
+				buf[n] = d.cells[d.planeIdx(dir, v, c, qu*u/2+iu, qw*w/2+iw)]
+				n++
+			}
+		}
+	}
+	return n
+}
+
+// UnpackFaceProlong stores a coarse quarter-face received from a coarser
+// neighbour into this (fine) block's ghost plane, replicating each coarse
+// value onto the 2x2 fine ghost cells it covers (piecewise-constant
+// prolongation).
+func (d *Data) UnpackFaceProlong(dir Dir, side Side, v0, v1 int, buf []float64) int {
+	d.checkGroup(v0, v1)
+	u, w := d.faceDims(dir)
+	c := d.ghostPlane(dir, side)
+	n := 0
+	for v := v0; v < v1; v++ {
+		for iu := 1; iu <= u; iu += 2 {
+			for iw := 1; iw <= w; iw += 2 {
+				x := buf[n]
+				n++
+				d.cells[d.planeIdx(dir, v, c, iu, iw)] = x
+				d.cells[d.planeIdx(dir, v, c, iu+1, iw)] = x
+				d.cells[d.planeIdx(dir, v, c, iu, iw+1)] = x
+				d.cells[d.planeIdx(dir, v, c, iu+1, iw+1)] = x
+			}
+		}
+	}
+	return n
+}
+
+// ApplyDomainBoundary fills the ghost plane of a face that has no
+// neighbour (a domain boundary) with a zero-gradient condition: each ghost
+// cell copies the adjacent interior cell.
+func (d *Data) ApplyDomainBoundary(dir Dir, side Side, v0, v1 int) {
+	d.checkGroup(v0, v1)
+	u, w := d.faceDims(dir)
+	cSrc := d.boundaryPlane(dir, side)
+	cDst := d.ghostPlane(dir, side)
+	for v := v0; v < v1; v++ {
+		for iu := 1; iu <= u; iu++ {
+			for iw := 1; iw <= w; iw++ {
+				d.cells[d.planeIdx(dir, v, cDst, iu, iw)] = d.cells[d.planeIdx(dir, v, cSrc, iu, iw)]
+			}
+		}
+	}
+}
+
+func (d *Data) checkGroup(v0, v1 int) {
+	if v0 < 0 || v1 > d.vars || v0 >= v1 {
+		panic(fmt.Sprintf("grid: invalid variable group [%d,%d) for %d vars", v0, v1, d.vars))
+	}
+}
+
+func checkQuadrant(qu, qw int) {
+	if qu < 0 || qu > 1 || qw < 0 || qw > 1 {
+		panic(fmt.Sprintf("grid: invalid face quadrant (%d,%d)", qu, qw))
+	}
+}

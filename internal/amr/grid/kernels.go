@@ -1,0 +1,161 @@
+package grid
+
+// Stencil7 applies the 7-point stencil to the variable group [v0, v1):
+// each interior cell becomes the average of itself and its six face
+// neighbours (which may be ghost cells at block boundaries). The update is
+// Jacobi-style: all reads see the pre-update state.
+func (d *Data) Stencil7(v0, v1 int) {
+	d.checkGroup(v0, v1)
+	const inv7 = 1.0 / 7.0
+	sx, sy, sz := d.size.X, d.size.Y, d.size.Z
+	strideJ := d.sz
+	strideI := d.sy * d.sz
+	for v := v0; v < v1; v++ {
+		for i := 1; i <= sx; i++ {
+			for j := 1; j <= sy; j++ {
+				base := d.idx(v, i, j, 0)
+				for k := 1; k <= sz; k++ {
+					c := base + k
+					d.scratch[c] = (d.cells[c] +
+						d.cells[c-strideI] + d.cells[c+strideI] +
+						d.cells[c-strideJ] + d.cells[c+strideJ] +
+						d.cells[c-1] + d.cells[c+1]) * inv7
+				}
+			}
+		}
+	}
+	// Copy the group's interior back; ghosts are stale until the next
+	// communication phase, as in the reference implementation.
+	for v := v0; v < v1; v++ {
+		for i := 1; i <= sx; i++ {
+			for j := 1; j <= sy; j++ {
+				base := d.idx(v, i, j, 1)
+				copy(d.cells[base:base+sz], d.scratch[base:base+sz])
+			}
+		}
+	}
+}
+
+// Stencil7Flops returns the floating-point operation count of one Stencil7
+// call over the group [v0, v1): six additions and one multiplication per
+// cell, matching how the reference mini-app accounts throughput.
+func (d *Data) Stencil7Flops(v0, v1 int) int64 {
+	return int64(v1-v0) * int64(d.size.Cells()) * 7
+}
+
+// Checksum accumulates the sum of all interior cells per variable of the
+// group [v0, v1) into out[0:v1-v0]. Summation order is fixed (x, y, z
+// ascending), so results are bit-reproducible for identical block content.
+func (d *Data) Checksum(v0, v1 int, out []float64) {
+	d.checkGroup(v0, v1)
+	for v := v0; v < v1; v++ {
+		var s float64
+		for i := 1; i <= d.size.X; i++ {
+			for j := 1; j <= d.size.Y; j++ {
+				base := d.idx(v, i, j, 1)
+				for k := 0; k < d.size.Z; k++ {
+					s += d.cells[base+k]
+				}
+			}
+		}
+		out[v-v0] = s
+	}
+}
+
+// SplitInto refines this block into eight children, one per octant.
+// children[o] receives the octant with bits (x=o&1, y=o>>1&1, z=o>>2&1):
+// each parent cell is replicated into the 2x2x2 fine cells it covers.
+// All children must have the block's shape.
+func (d *Data) SplitInto(children *[8]*Data) {
+	for o := 0; o < 8; o++ {
+		c := children[o]
+		if c == nil || c.size != d.size || c.vars != d.vars {
+			panic("grid: SplitInto child shape mismatch")
+		}
+		ox, oy, oz := o&1, (o>>1)&1, (o>>2)&1
+		baseI := ox * d.size.X / 2
+		baseJ := oy * d.size.Y / 2
+		baseK := oz * d.size.Z / 2
+		for v := 0; v < d.vars; v++ {
+			for i := 1; i <= d.size.X; i++ {
+				pi := baseI + (i+1)/2
+				for j := 1; j <= d.size.Y; j++ {
+					pj := baseJ + (j+1)/2
+					for k := 1; k <= d.size.Z; k++ {
+						pk := baseK + (k+1)/2
+						c.cells[c.idx(v, i, j, k)] = d.cells[d.idx(v, pi, pj, pk)]
+					}
+				}
+			}
+		}
+	}
+}
+
+// ConsolidateFrom coarsens eight children back into this block: each
+// parent cell becomes the average of the 2x2x2 fine cells covering it.
+// Octant numbering matches SplitInto.
+func (d *Data) ConsolidateFrom(children *[8]*Data) {
+	for o := 0; o < 8; o++ {
+		c := children[o]
+		if c == nil || c.size != d.size || c.vars != d.vars {
+			panic("grid: ConsolidateFrom child shape mismatch")
+		}
+		ox, oy, oz := o&1, (o>>1)&1, (o>>2)&1
+		baseI := ox * d.size.X / 2
+		baseJ := oy * d.size.Y / 2
+		baseK := oz * d.size.Z / 2
+		for v := 0; v < d.vars; v++ {
+			for ci := 1; ci <= d.size.X; ci += 2 {
+				pi := baseI + (ci+1)/2
+				for cj := 1; cj <= d.size.Y; cj += 2 {
+					pj := baseJ + (cj+1)/2
+					for ck := 1; ck <= d.size.Z; ck += 2 {
+						pk := baseK + (ck+1)/2
+						// Balanced pairwise summation keeps the average of
+						// eight equal values exact, so a split followed by a
+						// consolidation reproduces the parent bit-for-bit.
+						s := ((c.cells[c.idx(v, ci, cj, ck)] + c.cells[c.idx(v, ci+1, cj, ck)]) +
+							(c.cells[c.idx(v, ci, cj+1, ck)] + c.cells[c.idx(v, ci+1, cj+1, ck)])) +
+							((c.cells[c.idx(v, ci, cj, ck+1)] + c.cells[c.idx(v, ci+1, cj, ck+1)]) +
+								(c.cells[c.idx(v, ci, cj+1, ck+1)] + c.cells[c.idx(v, ci+1, cj+1, ck+1)]))
+						d.cells[d.idx(v, pi, pj, pk)] = s * 0.125
+					}
+				}
+			}
+		}
+	}
+}
+
+// InteriorLen returns the length of a full-block interior serialisation.
+func (d *Data) InteriorLen() int { return d.vars * d.size.Cells() }
+
+// PackInterior serialises all interior cells of all variables into buf
+// (for load-balancing block moves) and returns the count written.
+func (d *Data) PackInterior(buf []float64) int {
+	n := 0
+	for v := 0; v < d.vars; v++ {
+		for i := 1; i <= d.size.X; i++ {
+			for j := 1; j <= d.size.Y; j++ {
+				base := d.idx(v, i, j, 1)
+				copy(buf[n:n+d.size.Z], d.cells[base:base+d.size.Z])
+				n += d.size.Z
+			}
+		}
+	}
+	return n
+}
+
+// UnpackInterior deserialises a PackInterior payload.
+func (d *Data) UnpackInterior(buf []float64) int {
+	n := 0
+	for v := 0; v < d.vars; v++ {
+		for i := 1; i <= d.size.X; i++ {
+			for j := 1; j <= d.size.Y; j++ {
+				base := d.idx(v, i, j, 1)
+				copy(d.cells[base:base+d.size.Z], buf[n:n+d.size.Z])
+				n += d.size.Z
+			}
+		}
+	}
+	return n
+}

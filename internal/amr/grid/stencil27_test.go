@@ -1,0 +1,166 @@
+package grid
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// fillAllGhosts applies zero-gradient faces then synthesises edges/corners,
+// giving a block whose full ghost shell is populated.
+func fillAllGhosts(d *Data, v0, v1 int) {
+	for _, dir := range []Dir{DirX, DirY, DirZ} {
+		d.ApplyDomainBoundary(dir, Low, v0, v1)
+		d.ApplyDomainBoundary(dir, High, v0, v1)
+	}
+	d.FillGhostEdges(v0, v1)
+}
+
+func TestFillGhostEdgesAverages(t *testing.T) {
+	d := MustNewData(Size{2, 2, 2}, 1)
+	// Give the two face ghosts adjacent to edge (0,0,k) known values.
+	d.Set(0, 1, 0, 1, 4) // y-face ghost at x=1
+	d.Set(0, 0, 1, 1, 8) // x-face ghost at y=1
+	d.FillGhostEdges(0, 1)
+	if got := d.At(0, 0, 0, 1); got != 6 {
+		t.Errorf("edge ghost = %v, want 6 (average of 4 and 8)", got)
+	}
+}
+
+func TestFillGhostEdgesCornerAverage(t *testing.T) {
+	d := MustNewData(Size{2, 2, 2}, 1)
+	// The corner (0,0,0) averages face ghosts (1,0,0), (0,1,0), (0,0,1) —
+	// but those are themselves edge ghosts. Set the *face* ghosts feeding
+	// the corner computation directly.
+	d.Set(0, 1, 0, 0, 3)
+	d.Set(0, 0, 1, 0, 6)
+	d.Set(0, 0, 0, 1, 9)
+	d.FillGhostEdges(0, 1)
+	// FillGhostEdges overwrote (1,0,0) etc. first (they are edge ghosts);
+	// recompute expectation from the state after edge filling.
+	want := (d.At(0, 1, 0, 0) + d.At(0, 0, 1, 0) + d.At(0, 0, 0, 1)) / 3
+	if got := d.At(0, 0, 0, 0); math.Abs(got-want) > 1e-15 {
+		t.Errorf("corner ghost = %v, want %v", got, want)
+	}
+}
+
+func TestFillGhostEdgesLeavesInteriorAndFaces(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	d := MustNewData(Size{4, 4, 4}, 2)
+	for v := 0; v < 2; v++ {
+		for i := 0; i <= 5; i++ {
+			for j := 0; j <= 5; j++ {
+				for k := 0; k <= 5; k++ {
+					d.Set(v, i, j, k, rng.Float64())
+				}
+			}
+		}
+	}
+	ref := d.Clone()
+	// Clone drops ghost state; copy it wholesale by re-running on d only.
+	d.FillGhostEdges(0, 2)
+	// Interior untouched.
+	if !d.EqualInterior(ref) {
+		t.Error("FillGhostEdges modified interior cells")
+	}
+	// A face ghost (exactly one coordinate on a ghost plane) untouched.
+	if d.At(0, 0, 2, 3) == 0 {
+		t.Skip("unlucky zero")
+	}
+	dBefore := ref.At(0, 2, 3, 1)
+	if d.At(0, 2, 3, 1) != dBefore {
+		t.Error("face-adjacent interior value changed")
+	}
+}
+
+func TestStencil27ConstantFieldInvariant(t *testing.T) {
+	d := MustNewData(Size{4, 4, 4}, 2)
+	d.Fill([3]float64{0, 0, 0}, [3]float64{0.25, 0.25, 0.25},
+		func(int, float64, float64, float64) float64 { return 1.25 })
+	fillAllGhosts(d, 0, 2)
+	d.Stencil27(0, 2)
+	for v := 0; v < 2; v++ {
+		for i := 1; i <= 4; i++ {
+			for j := 1; j <= 4; j++ {
+				for k := 1; k <= 4; k++ {
+					if got := d.At(v, i, j, k); math.Abs(got-1.25) > 1e-13 {
+						t.Fatalf("constant field changed: %v", got)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestStencil27MatchesNaiveReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	size := Size{4, 2, 6}
+	d := MustNewData(size, 2)
+	// Populate everything, ghosts included.
+	for v := 0; v < 2; v++ {
+		for i := 0; i <= size.X+1; i++ {
+			for j := 0; j <= size.Y+1; j++ {
+				for k := 0; k <= size.Z+1; k++ {
+					d.Set(v, i, j, k, rng.Float64())
+				}
+			}
+		}
+	}
+	ref := MustNewData(size, 2)
+	for v := 0; v < 2; v++ {
+		for i := 0; i <= size.X+1; i++ {
+			for j := 0; j <= size.Y+1; j++ {
+				for k := 0; k <= size.Z+1; k++ {
+					ref.Set(v, i, j, k, d.At(v, i, j, k))
+				}
+			}
+		}
+	}
+	d.Stencil27(0, 2)
+	for v := 0; v < 2; v++ {
+		for i := 1; i <= size.X; i++ {
+			for j := 1; j <= size.Y; j++ {
+				for k := 1; k <= size.Z; k++ {
+					var want float64
+					for di := -1; di <= 1; di++ {
+						for dj := -1; dj <= 1; dj++ {
+							for dk := -1; dk <= 1; dk++ {
+								want += ref.At(v, i+di, j+dj, k+dk)
+							}
+						}
+					}
+					want /= 27
+					if got := d.At(v, i, j, k); math.Abs(got-want) > 1e-14 {
+						t.Fatalf("cell(%d,%d,%d,%d) = %v, want %v", v, i, j, k, got, want)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestStencil27GroupIsolation(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	d := randBlock(rng, Size{2, 2, 2}, 3)
+	ref := d.Clone()
+	fillAllGhosts(d, 0, 3)
+	d.Stencil27(1, 2)
+	for _, v := range []int{0, 2} {
+		for i := 1; i <= 2; i++ {
+			for j := 1; j <= 2; j++ {
+				for k := 1; k <= 2; k++ {
+					if d.At(v, i, j, k) != ref.At(v, i, j, k) {
+						t.Fatalf("variable %d changed by out-of-group 27-pt stencil", v)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestStencil27Flops(t *testing.T) {
+	d := MustNewData(Size{4, 4, 4}, 2)
+	if got := d.Stencil27Flops(0, 2); got != 2*64*27 {
+		t.Errorf("flops = %d, want %d", got, 2*64*27)
+	}
+}

@@ -1,0 +1,101 @@
+package mesh
+
+import (
+	"fmt"
+	"strings"
+)
+
+// LevelHistogram returns the number of leaves per refinement level,
+// indexed by level up to the deepest present one.
+func (m *Mesh) LevelHistogram() []int {
+	maxL := 0
+	for c := range m.blocks {
+		if c.Level > maxL {
+			maxL = c.Level
+		}
+	}
+	hist := make([]int, maxL+1)
+	for c := range m.blocks {
+		hist[c.Level]++
+	}
+	return hist
+}
+
+// RankHistogram returns the number of leaves owned by each of the given
+// ranks.
+func (m *Mesh) RankHistogram(ranks int) []int {
+	hist := make([]int, ranks)
+	for _, r := range m.blocks {
+		if r >= 0 && r < ranks {
+			hist[r]++
+		}
+	}
+	return hist
+}
+
+// RenderSlice draws the refinement structure on the plane z = zFrac (a
+// fraction of the domain) as an ASCII grid: one character per
+// finest-present-level cell column, showing the refinement level of the
+// leaf covering it ('0'-'9'). The x axis runs left to right, y bottom to
+// top. byOwner switches the characters to owning ranks (base-36).
+//
+// Intended for quick inspection of refinement patterns from the CLI —
+// the closest thing to the paper's mesh figures a terminal can offer.
+func (m *Mesh) RenderSlice(zFrac float64, byOwner bool) string {
+	if zFrac < 0 {
+		zFrac = 0
+	}
+	if zFrac >= 1 {
+		zFrac = 0.999999
+	}
+	maxL := 0
+	for c := range m.blocks {
+		if c.Level > maxL {
+			maxL = c.Level
+		}
+	}
+	nx := m.cfg.Extent(0, maxL)
+	ny := m.cfg.Extent(1, maxL)
+	rows := make([][]byte, ny)
+	for j := range rows {
+		rows[j] = []byte(strings.Repeat("?", nx))
+	}
+	zIdxF := zFrac * float64(m.cfg.Extent(2, maxL))
+	for c, owner := range m.blocks {
+		shift := uint(maxL - c.Level)
+		zLo := c.Z << shift
+		zHi := (c.Z + 1) << shift
+		if int(zIdxF) < zLo || int(zIdxF) >= zHi {
+			continue
+		}
+		ch := levelChar(c.Level)
+		if byOwner {
+			ch = ownerChar(owner)
+		}
+		for x := c.X << shift; x < (c.X+1)<<shift; x++ {
+			for y := c.Y << shift; y < (c.Y+1)<<shift; y++ {
+				rows[y][x] = ch
+			}
+		}
+	}
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "mesh slice z=%.3f (%d x %d cells at level %d; digits = %s)\n",
+		zFrac, nx, ny, maxL, map[bool]string{false: "refinement level", true: "owning rank"}[byOwner])
+	for j := ny - 1; j >= 0; j-- { // y grows upward
+		sb.Write(rows[j])
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}
+
+func levelChar(l int) byte {
+	if l > 9 {
+		return '+'
+	}
+	return byte('0' + l)
+}
+
+func ownerChar(r int) byte {
+	const digits = "0123456789abcdefghijklmnopqrstuvwxyz"
+	return digits[r%len(digits)]
+}

@@ -1,0 +1,332 @@
+// Package object implements miniAMR's simulated input objects: the moving,
+// growing geometric bodies whose boundaries drive mesh refinement.
+//
+// The reference miniAMR defines 16 object types — the surface and solid
+// variants of rectangles, spheroids, and hemispheroids facing each of the
+// six axis directions. This package implements all 16, plus six
+// axis-aligned cylinder types as an extension (the paper's introduction
+// mentions cylinders among the object kinds used by AMR codes).
+//
+// Every object carries a center, per-axis size (half-extents or semi-axes),
+// a movement rate, a growth rate and a bounce flag. Objects advance once
+// per refinement epoch. A block is marked for refinement when the object's
+// boundary crosses it (surface types) or when any part of the object
+// overlaps it (solid types).
+package object
+
+import "fmt"
+
+// Type enumerates the object geometries.
+type Type int
+
+// The 16 reference miniAMR object types, in the reference ordering,
+// followed by the cylinder extensions.
+const (
+	RectangleSurface  Type = iota // 0: surface of a rectangular box
+	RectangleSolid                // 1: solid rectangular box
+	SpheroidSurface               // 2: surface of a spheroid
+	SpheroidSolid                 // 3: solid spheroid
+	HemiPlusXSurface              // 4: hemispheroid surface, flat side facing -x
+	HemiPlusXSolid                // 5
+	HemiMinusXSurface             // 6
+	HemiMinusXSolid               // 7
+	HemiPlusYSurface              // 8
+	HemiPlusYSolid                // 9
+	HemiMinusYSurface             // 10
+	HemiMinusYSolid               // 11
+	HemiPlusZSurface              // 12
+	HemiPlusZSolid                // 13
+	HemiMinusZSurface             // 14
+	HemiMinusZSolid               // 15
+	CylinderXSurface              // 16 (extension): cylinder along x
+	CylinderXSolid                // 17 (extension)
+	CylinderYSurface              // 18 (extension)
+	CylinderYSolid                // 19 (extension)
+	CylinderZSurface              // 20 (extension)
+	CylinderZSolid                // 21 (extension)
+	numTypes
+)
+
+// NumTypes is the number of supported object types.
+const NumTypes = int(numTypes)
+
+var typeNames = [...]string{
+	"rectangle-surface", "rectangle-solid",
+	"spheroid-surface", "spheroid-solid",
+	"hemi+x-surface", "hemi+x-solid", "hemi-x-surface", "hemi-x-solid",
+	"hemi+y-surface", "hemi+y-solid", "hemi-y-surface", "hemi-y-solid",
+	"hemi+z-surface", "hemi+z-solid", "hemi-z-surface", "hemi-z-solid",
+	"cylinder-x-surface", "cylinder-x-solid",
+	"cylinder-y-surface", "cylinder-y-solid",
+	"cylinder-z-surface", "cylinder-z-solid",
+}
+
+func (t Type) String() string {
+	if t < 0 || int(t) >= len(typeNames) {
+		return fmt.Sprintf("Type(%d)", int(t))
+	}
+	return typeNames[t]
+}
+
+// Solid reports whether the type marks its whole volume (solid) rather than
+// only blocks crossed by its boundary (surface).
+func (t Type) Solid() bool { return t%2 == 1 }
+
+// Object is one simulated input body. The domain is the unit cube [0,1]³.
+type Object struct {
+	Type   Type
+	Bounce bool       // reverse direction on hitting a domain wall
+	Center [3]float64 // current center
+	Move   [3]float64 // movement per refinement epoch
+	Size   [3]float64 // half-extents / semi-axes per dimension
+	Inc    [3]float64 // size growth per refinement epoch
+}
+
+// Validate reports configuration errors.
+func (o *Object) Validate() error {
+	if o.Type < 0 || int(o.Type) >= NumTypes {
+		return fmt.Errorf("object: unknown type %d", int(o.Type))
+	}
+	for d := 0; d < 3; d++ {
+		if o.Size[d] < 0 {
+			return fmt.Errorf("object: negative size %v in dimension %d", o.Size[d], d)
+		}
+	}
+	return nil
+}
+
+// Advance moves and grows the object by one refinement epoch. With Bounce
+// set, a movement component reverses when the object's extent would touch
+// the corresponding domain wall, mirroring miniAMR's bounce option.
+func (o *Object) Advance() {
+	for d := 0; d < 3; d++ {
+		o.Center[d] += o.Move[d]
+		o.Size[d] += o.Inc[d]
+		if o.Size[d] < 0 {
+			o.Size[d] = 0
+		}
+		if o.Bounce {
+			if o.Center[d]-o.Size[d] < 0 && o.Move[d] < 0 {
+				o.Move[d] = -o.Move[d]
+			}
+			if o.Center[d]+o.Size[d] > 1 && o.Move[d] > 0 {
+				o.Move[d] = -o.Move[d]
+			}
+		}
+	}
+}
+
+// Region classifies a block's position relative to an object's volume.
+type Region int
+
+const (
+	// Outside means the block and the object volume are disjoint.
+	Outside Region = iota
+	// Crosses means the object boundary passes through the block.
+	Crosses
+	// Inside means the block lies strictly within the object volume.
+	Inside
+)
+
+func (r Region) String() string {
+	switch r {
+	case Outside:
+		return "outside"
+	case Crosses:
+		return "crosses"
+	case Inside:
+		return "inside"
+	}
+	return "unknown"
+}
+
+// MarksBlock reports whether a block spanning [lo, hi] should be marked
+// for refinement by this object: surface types mark blocks their boundary
+// crosses; solid types mark any overlapped block.
+func (o *Object) MarksBlock(lo, hi [3]float64) bool {
+	switch o.Classify(lo, hi) {
+	case Crosses:
+		return true
+	case Inside:
+		return o.Type.Solid()
+	default:
+		return false
+	}
+}
+
+// Classify returns the block's region relative to the object volume.
+func (o *Object) Classify(lo, hi [3]float64) Region {
+	switch o.Type {
+	case RectangleSurface, RectangleSolid:
+		return classifyBox(o, lo, hi)
+	case SpheroidSurface, SpheroidSolid:
+		return classifyEllipsoid(o, lo, hi, -1, 0)
+	case HemiPlusXSurface, HemiPlusXSolid:
+		return classifyEllipsoid(o, lo, hi, 0, +1)
+	case HemiMinusXSurface, HemiMinusXSolid:
+		return classifyEllipsoid(o, lo, hi, 0, -1)
+	case HemiPlusYSurface, HemiPlusYSolid:
+		return classifyEllipsoid(o, lo, hi, 1, +1)
+	case HemiMinusYSurface, HemiMinusYSolid:
+		return classifyEllipsoid(o, lo, hi, 1, -1)
+	case HemiPlusZSurface, HemiPlusZSolid:
+		return classifyEllipsoid(o, lo, hi, 2, +1)
+	case HemiMinusZSurface, HemiMinusZSolid:
+		return classifyEllipsoid(o, lo, hi, 2, -1)
+	case CylinderXSurface, CylinderXSolid:
+		return classifyCylinder(o, lo, hi, 0)
+	case CylinderYSurface, CylinderYSolid:
+		return classifyCylinder(o, lo, hi, 1)
+	case CylinderZSurface, CylinderZSolid:
+		return classifyCylinder(o, lo, hi, 2)
+	}
+	return Outside
+}
+
+// classifyBox classifies against the axis-aligned box center±size.
+func classifyBox(o *Object, lo, hi [3]float64) Region {
+	inside := true
+	for d := 0; d < 3; d++ {
+		bmin, bmax := o.Center[d]-o.Size[d], o.Center[d]+o.Size[d]
+		if hi[d] < bmin || lo[d] > bmax {
+			return Outside
+		}
+		if lo[d] < bmin || hi[d] > bmax {
+			inside = false
+		}
+	}
+	if inside {
+		return Inside
+	}
+	return Crosses
+}
+
+// classifyEllipsoid classifies against the ellipsoid center/size, optionally
+// restricted to the half-space sign*(x[axis]-center[axis]) >= 0 when
+// axis >= 0 (hemispheroids). The test works in coordinates scaled by the
+// semi-axes, where the ellipsoid becomes the unit sphere and blocks remain
+// axis-aligned boxes, so the box/sphere distance tests are exact.
+func classifyEllipsoid(o *Object, lo, hi [3]float64, axis, sign int) Region {
+	// Clip the block to the half-space for the overlap test.
+	clo, chi := lo, hi
+	if axis >= 0 {
+		c := o.Center[axis]
+		if sign > 0 {
+			if chi[axis] < c {
+				return Outside
+			}
+			if clo[axis] < c {
+				clo[axis] = c
+			}
+		} else {
+			if clo[axis] > c {
+				return Outside
+			}
+			if chi[axis] > c {
+				chi[axis] = c
+			}
+		}
+	}
+	// Nearest point of the clipped box to the center, in scaled space.
+	var near, far float64
+	degenerate := false
+	for d := 0; d < 3; d++ {
+		if o.Size[d] == 0 {
+			// Degenerate axis: object has zero extent; overlap requires the
+			// block to touch the plane x[d]==center[d].
+			if clo[d] > o.Center[d] || chi[d] < o.Center[d] {
+				return Outside
+			}
+			degenerate = true
+			continue
+		}
+		nd := nearestOffset(o.Center[d], clo[d], chi[d]) / o.Size[d]
+		fd := farthestOffset(o.Center[d], lo[d], hi[d]) / o.Size[d]
+		near += nd * nd
+		far += fd * fd
+	}
+	if near > 1 {
+		return Outside
+	}
+	if degenerate {
+		return Crosses
+	}
+	// Inside requires the whole (unclipped) block within the volume, which
+	// for hemispheroids also means entirely on the round side.
+	if axis >= 0 {
+		c := o.Center[axis]
+		if (sign > 0 && lo[axis] < c) || (sign < 0 && hi[axis] > c) {
+			return Crosses
+		}
+	}
+	if far <= 1 {
+		return Inside
+	}
+	return Crosses
+}
+
+// classifyCylinder classifies against a finite cylinder along the given
+// axis: an ellipse in the two cross dimensions and a span in the axis one.
+func classifyCylinder(o *Object, lo, hi [3]float64, axis int) Region {
+	amin, amax := o.Center[axis]-o.Size[axis], o.Center[axis]+o.Size[axis]
+	if hi[axis] < amin || lo[axis] > amax {
+		return Outside
+	}
+	var near, far float64
+	degenerate := false
+	for d := 0; d < 3; d++ {
+		if d == axis {
+			continue
+		}
+		if o.Size[d] == 0 {
+			if lo[d] > o.Center[d] || hi[d] < o.Center[d] {
+				return Outside
+			}
+			degenerate = true
+			continue
+		}
+		nd := nearestOffset(o.Center[d], lo[d], hi[d]) / o.Size[d]
+		fd := farthestOffset(o.Center[d], lo[d], hi[d]) / o.Size[d]
+		near += nd * nd
+		far += fd * fd
+	}
+	if near > 1 {
+		return Outside
+	}
+	if degenerate {
+		return Crosses
+	}
+	if far <= 1 && lo[axis] >= amin && hi[axis] <= amax {
+		return Inside
+	}
+	return Crosses
+}
+
+// nearestOffset returns the distance from c to the interval [lo,hi]
+// (zero when c lies inside).
+func nearestOffset(c, lo, hi float64) float64 {
+	switch {
+	case c < lo:
+		return lo - c
+	case c > hi:
+		return c - hi
+	default:
+		return 0
+	}
+}
+
+// farthestOffset returns the distance from c to the farthest point of the
+// interval [lo,hi].
+func farthestOffset(c, lo, hi float64) float64 {
+	a, b := c-lo, hi-c
+	if a < 0 {
+		a = -a
+	}
+	if b < 0 {
+		b = -b
+	}
+	if a > b {
+		return a
+	}
+	return b
+}

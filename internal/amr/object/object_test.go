@@ -1,0 +1,355 @@
+package object
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func sphere(r float64, center [3]float64) *Object {
+	return &Object{Type: SpheroidSurface, Center: center, Size: [3]float64{r, r, r}}
+}
+
+func TestValidate(t *testing.T) {
+	o := sphere(0.1, [3]float64{0.5, 0.5, 0.5})
+	if err := o.Validate(); err != nil {
+		t.Errorf("valid sphere rejected: %v", err)
+	}
+	bad := &Object{Type: Type(99)}
+	if err := bad.Validate(); err == nil {
+		t.Error("unknown type accepted")
+	}
+	neg := &Object{Type: SpheroidSolid, Size: [3]float64{-1, 0, 0}}
+	if err := neg.Validate(); err == nil {
+		t.Error("negative size accepted")
+	}
+}
+
+func TestTypeProperties(t *testing.T) {
+	if RectangleSurface.Solid() || !RectangleSolid.Solid() {
+		t.Error("rectangle solidity misclassified")
+	}
+	if SpheroidSurface.Solid() || !SpheroidSolid.Solid() {
+		t.Error("spheroid solidity misclassified")
+	}
+	for ty := Type(0); int(ty) < NumTypes; ty++ {
+		if ty.String() == "" || ty.String()[0] == 'T' {
+			t.Errorf("type %d has no name", int(ty))
+		}
+	}
+	if Type(-1).String() != "Type(-1)" {
+		t.Error("out-of-range String mismatch")
+	}
+}
+
+func TestSphereClassify(t *testing.T) {
+	o := sphere(0.25, [3]float64{0.5, 0.5, 0.5})
+	cases := []struct {
+		lo, hi [3]float64
+		want   Region
+	}{
+		// Far corner block: outside.
+		{[3]float64{0, 0, 0}, [3]float64{0.1, 0.1, 0.1}, Outside},
+		// Tiny block at the center: inside.
+		{[3]float64{0.45, 0.45, 0.45}, [3]float64{0.55, 0.55, 0.55}, Inside},
+		// Block straddling the boundary on +x.
+		{[3]float64{0.7, 0.45, 0.45}, [3]float64{0.8, 0.55, 0.55}, Crosses},
+		// Block containing the whole sphere: crosses.
+		{[3]float64{0, 0, 0}, [3]float64{1, 1, 1}, Crosses},
+		// Block just touching along the axis.
+		{[3]float64{0.75, 0.5, 0.5}, [3]float64{0.9, 0.6, 0.6}, Crosses},
+	}
+	for i, c := range cases {
+		if got := o.Classify(c.lo, c.hi); got != c.want {
+			t.Errorf("case %d: Classify = %v, want %v", i, got, c.want)
+		}
+	}
+}
+
+func TestSurfaceVsSolidMarking(t *testing.T) {
+	surf := &Object{Type: SpheroidSurface, Center: [3]float64{0.5, 0.5, 0.5}, Size: [3]float64{0.3, 0.3, 0.3}}
+	solid := &Object{Type: SpheroidSolid, Center: surf.Center, Size: surf.Size}
+	interiorLo := [3]float64{0.48, 0.48, 0.48}
+	interiorHi := [3]float64{0.52, 0.52, 0.52}
+	if surf.MarksBlock(interiorLo, interiorHi) {
+		t.Error("surface spheroid marked a strictly interior block")
+	}
+	if !solid.MarksBlock(interiorLo, interiorHi) {
+		t.Error("solid spheroid did not mark an interior block")
+	}
+	boundaryLo := [3]float64{0.75, 0.45, 0.45}
+	boundaryHi := [3]float64{0.85, 0.55, 0.55}
+	if !surf.MarksBlock(boundaryLo, boundaryHi) || !solid.MarksBlock(boundaryLo, boundaryHi) {
+		t.Error("boundary block not marked")
+	}
+}
+
+func TestRectangleClassify(t *testing.T) {
+	o := &Object{Type: RectangleSurface, Center: [3]float64{0.5, 0.5, 0.5}, Size: [3]float64{0.2, 0.1, 0.3}}
+	if got := o.Classify([3]float64{0.45, 0.45, 0.45}, [3]float64{0.55, 0.55, 0.55}); got != Inside {
+		t.Errorf("center block: %v, want Inside", got)
+	}
+	if got := o.Classify([3]float64{0.65, 0.45, 0.45}, [3]float64{0.75, 0.55, 0.55}); got != Crosses {
+		t.Errorf("x-boundary block: %v, want Crosses", got)
+	}
+	if got := o.Classify([3]float64{0.9, 0.9, 0.9}, [3]float64{1, 1, 1}); got != Outside {
+		t.Errorf("corner block: %v, want Outside", got)
+	}
+}
+
+func TestEllipsoidAnisotropic(t *testing.T) {
+	// Semi-axes 0.4 (x) and 0.1 (y,z): a block at x offset 0.2 is inside,
+	// but a block at the same offset in y is outside.
+	o := &Object{Type: SpheroidSurface, Center: [3]float64{0.5, 0.5, 0.5}, Size: [3]float64{0.4, 0.1, 0.1}}
+	if got := o.Classify([3]float64{0.68, 0.49, 0.49}, [3]float64{0.72, 0.51, 0.51}); got != Inside {
+		t.Errorf("x-offset block: %v, want Inside", got)
+	}
+	if got := o.Classify([3]float64{0.49, 0.68, 0.49}, [3]float64{0.51, 0.72, 0.51}); got != Outside {
+		t.Errorf("y-offset block: %v, want Outside", got)
+	}
+}
+
+func TestHemisphereHalfspace(t *testing.T) {
+	// Hemisphere facing +x: blocks on the -x side of the center plane are
+	// outside even when within the full spheroid's radius.
+	o := &Object{Type: HemiPlusXSurface, Center: [3]float64{0.5, 0.5, 0.5}, Size: [3]float64{0.3, 0.3, 0.3}}
+	if got := o.Classify([3]float64{0.3, 0.45, 0.45}, [3]float64{0.4, 0.55, 0.55}); got != Outside {
+		t.Errorf("-x side block: %v, want Outside", got)
+	}
+	if got := o.Classify([3]float64{0.6, 0.45, 0.45}, [3]float64{0.7, 0.55, 0.55}); got != Inside {
+		t.Errorf("+x interior block: %v, want Inside", got)
+	}
+	// A block spanning the flat face crosses.
+	if got := o.Classify([3]float64{0.45, 0.45, 0.45}, [3]float64{0.55, 0.55, 0.55}); got != Crosses {
+		t.Errorf("flat-face block: %v, want Crosses", got)
+	}
+	// The -x variant mirrors it.
+	m := &Object{Type: HemiMinusXSurface, Center: o.Center, Size: o.Size}
+	if got := m.Classify([3]float64{0.6, 0.45, 0.45}, [3]float64{0.7, 0.55, 0.55}); got != Outside {
+		t.Errorf("mirrored hemisphere +x block: %v, want Outside", got)
+	}
+}
+
+func TestCylinderClassify(t *testing.T) {
+	// Cylinder along z through the domain center.
+	o := &Object{Type: CylinderZSurface, Center: [3]float64{0.5, 0.5, 0.5}, Size: [3]float64{0.1, 0.1, 0.4}}
+	if got := o.Classify([3]float64{0.45, 0.45, 0.3}, [3]float64{0.55, 0.55, 0.5}); got != Inside {
+		t.Errorf("axis block: %v, want Inside", got)
+	}
+	if got := o.Classify([3]float64{0.55, 0.45, 0.4}, [3]float64{0.65, 0.55, 0.6}); got != Crosses {
+		t.Errorf("wall block: %v, want Crosses", got)
+	}
+	if got := o.Classify([3]float64{0.8, 0.8, 0.4}, [3]float64{0.9, 0.9, 0.6}); got != Outside {
+		t.Errorf("far block: %v, want Outside", got)
+	}
+	// Beyond the axial extent.
+	if got := o.Classify([3]float64{0.45, 0.45, 0.95}, [3]float64{0.55, 0.55, 1}); got != Outside {
+		t.Errorf("beyond-cap block: %v, want Outside", got)
+	}
+}
+
+func TestAdvanceMovesAndGrows(t *testing.T) {
+	o := &Object{
+		Type: SpheroidSurface, Center: [3]float64{0.2, 0.5, 0.5},
+		Move: [3]float64{0.1, 0, 0}, Size: [3]float64{0.05, 0.05, 0.05},
+		Inc: [3]float64{0.01, 0, 0},
+	}
+	o.Advance()
+	if math.Abs(o.Center[0]-0.3) > 1e-12 {
+		t.Errorf("center.x = %v, want 0.3", o.Center[0])
+	}
+	if math.Abs(o.Size[0]-0.06) > 1e-12 {
+		t.Errorf("size.x = %v, want 0.06", o.Size[0])
+	}
+}
+
+func TestAdvanceBounce(t *testing.T) {
+	o := &Object{
+		Type: SpheroidSurface, Bounce: true,
+		Center: [3]float64{0.9, 0.5, 0.5}, Move: [3]float64{0.2, 0, 0},
+		Size: [3]float64{0.05, 0.05, 0.05},
+	}
+	o.Advance() // hits the +x wall
+	if o.Move[0] >= 0 {
+		t.Errorf("move.x = %v, want negative after bounce", o.Move[0])
+	}
+	o.Advance()
+	if o.Center[0] >= 1.1 {
+		t.Error("object escaped the domain after bounce")
+	}
+}
+
+func TestAdvanceNoBouncePassesThrough(t *testing.T) {
+	o := &Object{Type: SpheroidSurface, Center: [3]float64{0.95, 0.5, 0.5}, Move: [3]float64{0.2, 0, 0}}
+	o.Advance()
+	if o.Move[0] != 0.2 {
+		t.Error("move changed without bounce enabled")
+	}
+}
+
+func TestAdvanceShrinkClampsAtZero(t *testing.T) {
+	o := &Object{Type: SpheroidSurface, Size: [3]float64{0.01, 0.01, 0.01}, Inc: [3]float64{-0.05, -0.05, -0.05}}
+	o.Advance()
+	for d := 0; d < 3; d++ {
+		if o.Size[d] < 0 {
+			t.Errorf("size[%d] = %v, want >= 0", d, o.Size[d])
+		}
+	}
+}
+
+func TestDegenerateZeroSizeObject(t *testing.T) {
+	// A zero-extent spheroid is a point; blocks containing the point cross.
+	o := &Object{Type: SpheroidSurface, Center: [3]float64{0.5, 0.5, 0.5}}
+	if got := o.Classify([3]float64{0.4, 0.4, 0.4}, [3]float64{0.6, 0.6, 0.6}); got != Crosses {
+		t.Errorf("point-containing block: %v, want Crosses", got)
+	}
+	if got := o.Classify([3]float64{0.6, 0.6, 0.6}, [3]float64{0.7, 0.7, 0.7}); got != Outside {
+		t.Errorf("point-free block: %v, want Outside", got)
+	}
+}
+
+// Property: classification agrees with dense point sampling of the block
+// for spheroids — if sampling finds both inside and outside points the
+// classification must be Crosses; all-inside must not be Outside, etc.
+func TestPropertyClassifyMatchesSampling(t *testing.T) {
+	insideVolume := func(o *Object, p [3]float64) bool {
+		s := 0.0
+		for d := 0; d < 3; d++ {
+			v := (p[d] - o.Center[d]) / o.Size[d]
+			s += v * v
+		}
+		return s <= 1
+	}
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		o := &Object{
+			Type:   SpheroidSurface,
+			Center: [3]float64{rng.Float64(), rng.Float64(), rng.Float64()},
+			Size:   [3]float64{rng.Float64()*0.3 + 0.05, rng.Float64()*0.3 + 0.05, rng.Float64()*0.3 + 0.05},
+		}
+		lo := [3]float64{rng.Float64() * 0.8, rng.Float64() * 0.8, rng.Float64() * 0.8}
+		hi := [3]float64{lo[0] + rng.Float64()*0.2, lo[1] + rng.Float64()*0.2, lo[2] + rng.Float64()*0.2}
+
+		const n = 6
+		ins, outs := 0, 0
+		for i := 0; i <= n; i++ {
+			for j := 0; j <= n; j++ {
+				for k := 0; k <= n; k++ {
+					p := [3]float64{
+						lo[0] + (hi[0]-lo[0])*float64(i)/n,
+						lo[1] + (hi[1]-lo[1])*float64(j)/n,
+						lo[2] + (hi[2]-lo[2])*float64(k)/n,
+					}
+					if insideVolume(o, p) {
+						ins++
+					} else {
+						outs++
+					}
+				}
+			}
+		}
+		got := o.Classify(lo, hi)
+		switch {
+		case ins > 0 && outs > 0:
+			return got == Crosses
+		case ins > 0: // all sampled points inside
+			return got != Outside
+		default: // all sampled points outside: sampling may miss thin overlap
+			return got != Inside
+		}
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestAllTypesClassifySanely sweeps every object type against inside,
+// boundary and far blocks, checking basic consistency of the three-way
+// classification and MarksBlock.
+func TestAllTypesClassifySanely(t *testing.T) {
+	for ty := Type(0); int(ty) < NumTypes; ty++ {
+		o := &Object{Type: ty, Center: [3]float64{0.5, 0.5, 0.5}, Size: [3]float64{0.3, 0.3, 0.3}}
+		// A far-away block never marks.
+		if got := o.Classify([3]float64{0.95, 0.95, 0.95}, [3]float64{1, 1, 1}); got != Outside {
+			t.Errorf("%v: far block classified %v", ty, got)
+		}
+		if o.MarksBlock([3]float64{0.95, 0.95, 0.95}, [3]float64{1, 1, 1}) {
+			t.Errorf("%v: far block marked", ty)
+		}
+		// A domain-sized block always intersects (crosses the boundary).
+		if got := o.Classify([3]float64{0, 0, 0}, [3]float64{1, 1, 1}); got != Crosses {
+			t.Errorf("%v: whole-domain block classified %v", ty, got)
+		}
+		if !o.MarksBlock([3]float64{0, 0, 0}, [3]float64{1, 1, 1}) {
+			t.Errorf("%v: whole-domain block not marked", ty)
+		}
+		// A tiny block on the surface-adjacent side marks for surface and
+		// solid variants alike; deep-interior marks only solids.
+		interiorLo := [3]float64{0.49, 0.49, 0.49}
+		interiorHi := [3]float64{0.51, 0.51, 0.51}
+		region := o.Classify(interiorLo, interiorHi)
+		switch region {
+		case Inside:
+			if o.MarksBlock(interiorLo, interiorHi) != ty.Solid() {
+				t.Errorf("%v: interior marking disagrees with solidity", ty)
+			}
+		case Crosses:
+			if !o.MarksBlock(interiorLo, interiorHi) {
+				t.Errorf("%v: crossing block not marked", ty)
+			}
+		}
+	}
+}
+
+// TestHemisphereYZVariants pins the orientation of the y and z facing
+// hemispheroids.
+func TestHemisphereYZVariants(t *testing.T) {
+	center := [3]float64{0.5, 0.5, 0.5}
+	size := [3]float64{0.3, 0.3, 0.3}
+	cases := []struct {
+		ty      Type
+		inside  [3]float64 // center of a block inside the round side
+		outside [3]float64 // mirrored point on the flat side
+	}{
+		{HemiPlusYSurface, [3]float64{0.5, 0.65, 0.5}, [3]float64{0.5, 0.35, 0.5}},
+		{HemiMinusYSurface, [3]float64{0.5, 0.35, 0.5}, [3]float64{0.5, 0.65, 0.5}},
+		{HemiPlusZSurface, [3]float64{0.5, 0.5, 0.65}, [3]float64{0.5, 0.5, 0.35}},
+		{HemiMinusZSurface, [3]float64{0.5, 0.5, 0.35}, [3]float64{0.5, 0.5, 0.65}},
+		{HemiPlusXSolid, [3]float64{0.65, 0.5, 0.5}, [3]float64{0.35, 0.5, 0.5}},
+		{HemiMinusYSolid, [3]float64{0.5, 0.35, 0.5}, [3]float64{0.5, 0.65, 0.5}},
+	}
+	blockAround := func(p [3]float64) ([3]float64, [3]float64) {
+		return [3]float64{p[0] - 0.02, p[1] - 0.02, p[2] - 0.02},
+			[3]float64{p[0] + 0.02, p[1] + 0.02, p[2] + 0.02}
+	}
+	for _, c := range cases {
+		o := &Object{Type: c.ty, Center: center, Size: size}
+		lo, hi := blockAround(c.inside)
+		if got := o.Classify(lo, hi); got != Inside {
+			t.Errorf("%v: round-side block = %v, want Inside", c.ty, got)
+		}
+		lo, hi = blockAround(c.outside)
+		if got := o.Classify(lo, hi); got != Outside {
+			t.Errorf("%v: flat-side block = %v, want Outside", c.ty, got)
+		}
+	}
+}
+
+// TestCylinderXAndY pins the axis orientation of the cylinder extensions.
+func TestCylinderXAndY(t *testing.T) {
+	x := &Object{Type: CylinderXSolid, Center: [3]float64{0.5, 0.5, 0.5}, Size: [3]float64{0.4, 0.1, 0.1}}
+	if got := x.Classify([3]float64{0.15, 0.48, 0.48}, [3]float64{0.2, 0.52, 0.52}); got != Inside {
+		t.Errorf("cylinder-x along-axis block = %v, want Inside", got)
+	}
+	if got := x.Classify([3]float64{0.48, 0.15, 0.48}, [3]float64{0.52, 0.2, 0.52}); got != Outside {
+		t.Errorf("cylinder-x cross-axis block = %v, want Outside", got)
+	}
+	y := &Object{Type: CylinderYSurface, Center: [3]float64{0.5, 0.5, 0.5}, Size: [3]float64{0.1, 0.4, 0.1}}
+	if got := y.Classify([3]float64{0.48, 0.15, 0.48}, [3]float64{0.52, 0.2, 0.52}); got != Inside {
+		t.Errorf("cylinder-y along-axis block = %v, want Inside", got)
+	}
+	if got := y.Classify([3]float64{0.15, 0.48, 0.48}, [3]float64{0.2, 0.52, 0.52}); got != Outside {
+		t.Errorf("cylinder-y cross-axis block = %v, want Outside", got)
+	}
+}

@@ -1,0 +1,159 @@
+package snapshot
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"miniamr/internal/amr/grid"
+	"miniamr/internal/amr/mesh"
+	"miniamr/internal/amr/object"
+)
+
+func randState(rng *rand.Rand) *State {
+	st := &State{
+		Rank:  rng.Intn(8),
+		Step:  rng.Intn(100),
+		Stage: rng.Intn(1000),
+	}
+	for i := 0; i < rng.Intn(4); i++ {
+		st.Objects = append(st.Objects, object.Object{
+			Type:   object.Type(rng.Intn(object.NumTypes)),
+			Bounce: rng.Intn(2) == 0,
+			Center: [3]float64{rng.Float64(), rng.Float64(), rng.Float64()},
+			Move:   [3]float64{rng.NormFloat64(), 0, rng.NormFloat64()},
+			Size:   [3]float64{rng.Float64(), rng.Float64(), rng.Float64()},
+			Inc:    [3]float64{0, rng.NormFloat64() * 0.01, 0},
+		})
+	}
+	st.Blocks = map[mesh.Coord]*grid.Data{}
+	for i := 0; i < rng.Intn(5)+1; i++ {
+		c := mesh.Coord{Level: rng.Intn(3), X: rng.Intn(4), Y: rng.Intn(4), Z: i}
+		st.Leaves = append(st.Leaves, Leaf{Coord: c, Owner: rng.Intn(4)})
+		blk := grid.MustNewData(grid.Size{X: 2, Y: 4, Z: 2}, 2)
+		buf := make([]float64, blk.InteriorLen())
+		for j := range buf {
+			buf[j] = rng.NormFloat64()
+		}
+		blk.UnpackInterior(buf)
+		st.Blocks[c] = blk
+	}
+	return st
+}
+
+func TestRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	st := randState(rng)
+	var buf bytes.Buffer
+	if err := Write(&buf, st); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Rank != st.Rank || got.Step != st.Step || got.Stage != st.Stage {
+		t.Errorf("counters: %+v vs %+v", got, st)
+	}
+	if len(got.Objects) != len(st.Objects) {
+		t.Fatalf("objects: %d vs %d", len(got.Objects), len(st.Objects))
+	}
+	for i := range st.Objects {
+		if got.Objects[i] != st.Objects[i] {
+			t.Errorf("object %d mismatch", i)
+		}
+	}
+	if len(got.Leaves) != len(st.Leaves) {
+		t.Fatalf("leaves: %d vs %d", len(got.Leaves), len(st.Leaves))
+	}
+	for i := range st.Leaves {
+		if got.Leaves[i] != st.Leaves[i] {
+			t.Errorf("leaf %d mismatch", i)
+		}
+	}
+	if len(got.Blocks) != len(st.Blocks) {
+		t.Fatalf("blocks: %d vs %d", len(got.Blocks), len(st.Blocks))
+	}
+	for c, blk := range st.Blocks {
+		if !got.Blocks[c].EqualInterior(blk) {
+			t.Errorf("block %v data mismatch", c)
+		}
+	}
+}
+
+func TestDeterministicEncoding(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	st := randState(rng)
+	var a, b bytes.Buffer
+	if err := Write(&a, st); err != nil {
+		t.Fatal(err)
+	}
+	if err := Write(&b, st); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Error("encoding not deterministic")
+	}
+}
+
+func TestReadRejectsGarbage(t *testing.T) {
+	if _, err := Read(bytes.NewReader([]byte("not a snapshot at all....."))); err == nil {
+		t.Error("garbage accepted")
+	}
+	if _, err := Read(bytes.NewReader(nil)); err == nil {
+		t.Error("empty input accepted")
+	}
+	// Right magic, wrong version.
+	var buf bytes.Buffer
+	w := &writer{w: newBufWriter(&buf)}
+	w.u64(magic)
+	w.u64(99)
+	_ = w.w.Flush()
+	if _, err := Read(&buf); err == nil {
+		t.Error("future version accepted")
+	}
+}
+
+func TestReadRejectsTruncation(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	st := randState(rng)
+	var buf bytes.Buffer
+	if err := Write(&buf, st); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	for _, cut := range []int{8, len(data) / 2, len(data) - 3} {
+		if _, err := Read(bytes.NewReader(data[:cut])); err == nil {
+			t.Errorf("truncation at %d accepted", cut)
+		}
+	}
+}
+
+func TestPropertyRoundTrip(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		st := randState(rng)
+		var buf bytes.Buffer
+		if err := Write(&buf, st); err != nil {
+			return false
+		}
+		got, err := Read(&buf)
+		if err != nil {
+			return false
+		}
+		if len(got.Blocks) != len(st.Blocks) {
+			return false
+		}
+		for c, blk := range st.Blocks {
+			g, ok := got.Blocks[c]
+			if !ok || !g.EqualInterior(blk) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,75 @@
+// Package cluster describes the virtual machine topology that a simulation
+// runs on: a number of nodes, each holding a number of MPI ranks, each rank
+// owning a number of cores.
+//
+// The paper's testbed (MareNostrum4) has 48-core nodes; the MPI-only variant
+// runs one rank per core while hybrid variants run a few multi-core ranks
+// per node. This package captures exactly that shape so the experiment
+// harness can sweep "ranks per node" the way Table I of the paper does,
+// and so the simulated interconnect can distinguish intra-node from
+// inter-node messages.
+package cluster
+
+import "fmt"
+
+// Topology is a virtual cluster layout. It is immutable after creation.
+type Topology struct {
+	nodes        int
+	ranksPerNode int
+	coresPerRank int
+}
+
+// New builds a topology of nodes*ranksPerNode ranks where each rank owns
+// coresPerRank cores. All arguments must be positive.
+func New(nodes, ranksPerNode, coresPerRank int) (*Topology, error) {
+	if nodes <= 0 || ranksPerNode <= 0 || coresPerRank <= 0 {
+		return nil, fmt.Errorf("cluster: invalid topology %dx%dx%d (all dimensions must be positive)",
+			nodes, ranksPerNode, coresPerRank)
+	}
+	return &Topology{nodes: nodes, ranksPerNode: ranksPerNode, coresPerRank: coresPerRank}, nil
+}
+
+// MustNew is New but panics on invalid arguments. Intended for tests and
+// example programs where the topology is a literal.
+func MustNew(nodes, ranksPerNode, coresPerRank int) *Topology {
+	t, err := New(nodes, ranksPerNode, coresPerRank)
+	if err != nil {
+		panic(err)
+	}
+	return t
+}
+
+// Nodes returns the number of nodes.
+func (t *Topology) Nodes() int { return t.nodes }
+
+// RanksPerNode returns the number of MPI ranks placed on each node.
+func (t *Topology) RanksPerNode() int { return t.ranksPerNode }
+
+// CoresPerRank returns the number of cores each rank owns (the worker count
+// for tasking or fork-join runtimes inside that rank).
+func (t *Topology) CoresPerRank() int { return t.coresPerRank }
+
+// Ranks returns the total number of MPI ranks.
+func (t *Topology) Ranks() int { return t.nodes * t.ranksPerNode }
+
+// Cores returns the total number of cores across the cluster.
+func (t *Topology) Cores() int { return t.Ranks() * t.coresPerRank }
+
+// NodeOf returns the node index hosting the given rank. Ranks are placed
+// consecutively: ranks [0, ranksPerNode) on node 0, and so on, matching the
+// paper's "consecutive ranks in adjacent cores" placement.
+func (t *Topology) NodeOf(rank int) int {
+	if rank < 0 || rank >= t.Ranks() {
+		panic(fmt.Sprintf("cluster: rank %d out of range [0,%d)", rank, t.Ranks()))
+	}
+	return rank / t.ranksPerNode
+}
+
+// SameNode reports whether two ranks are hosted on the same node.
+func (t *Topology) SameNode(a, b int) bool { return t.NodeOf(a) == t.NodeOf(b) }
+
+// String implements fmt.Stringer.
+func (t *Topology) String() string {
+	return fmt.Sprintf("%d nodes x %d ranks/node x %d cores/rank (%d ranks, %d cores)",
+		t.nodes, t.ranksPerNode, t.coresPerRank, t.Ranks(), t.Cores())
+}

@@ -1,0 +1,96 @@
+package cluster
+
+import "testing"
+
+func TestNewValidation(t *testing.T) {
+	cases := []struct {
+		nodes, rpn, cpr int
+		ok              bool
+	}{
+		{1, 1, 1, true},
+		{4, 12, 4, true},
+		{0, 1, 1, false},
+		{1, 0, 1, false},
+		{1, 1, 0, false},
+		{-1, 2, 2, false},
+	}
+	for _, c := range cases {
+		_, err := New(c.nodes, c.rpn, c.cpr)
+		if (err == nil) != c.ok {
+			t.Errorf("New(%d,%d,%d): err=%v, want ok=%v", c.nodes, c.rpn, c.cpr, err, c.ok)
+		}
+	}
+}
+
+func TestCounts(t *testing.T) {
+	topo := MustNew(4, 12, 4)
+	if got := topo.Ranks(); got != 48 {
+		t.Errorf("Ranks() = %d, want 48", got)
+	}
+	if got := topo.Cores(); got != 192 {
+		t.Errorf("Cores() = %d, want 192", got)
+	}
+	if got := topo.Nodes(); got != 4 {
+		t.Errorf("Nodes() = %d, want 4", got)
+	}
+	if got := topo.RanksPerNode(); got != 12 {
+		t.Errorf("RanksPerNode() = %d, want 12", got)
+	}
+	if got := topo.CoresPerRank(); got != 4 {
+		t.Errorf("CoresPerRank() = %d, want 4", got)
+	}
+}
+
+func TestNodeOfPlacement(t *testing.T) {
+	topo := MustNew(3, 4, 1)
+	want := []int{0, 0, 0, 0, 1, 1, 1, 1, 2, 2, 2, 2}
+	for rank, node := range want {
+		if got := topo.NodeOf(rank); got != node {
+			t.Errorf("NodeOf(%d) = %d, want %d", rank, got, node)
+		}
+	}
+}
+
+func TestSameNode(t *testing.T) {
+	topo := MustNew(2, 2, 1)
+	if !topo.SameNode(0, 1) {
+		t.Error("ranks 0,1 should share node 0")
+	}
+	if topo.SameNode(1, 2) {
+		t.Error("ranks 1,2 should be on different nodes")
+	}
+	if !topo.SameNode(2, 3) {
+		t.Error("ranks 2,3 should share node 1")
+	}
+}
+
+func TestNodeOfPanicsOutOfRange(t *testing.T) {
+	topo := MustNew(2, 2, 1)
+	for _, rank := range []int{-1, 4, 100} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("NodeOf(%d) did not panic", rank)
+				}
+			}()
+			topo.NodeOf(rank)
+		}()
+	}
+}
+
+func TestMustNewPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustNew(0,0,0) did not panic")
+		}
+	}()
+	MustNew(0, 0, 0)
+}
+
+func TestString(t *testing.T) {
+	topo := MustNew(2, 4, 6)
+	s := topo.String()
+	if s == "" {
+		t.Error("String() returned empty")
+	}
+}

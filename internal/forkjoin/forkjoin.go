@@ -1,0 +1,161 @@
+// Package forkjoin implements the OpenMP-style fork-join worker model used
+// by the paper's MPI+OMP comparison variant: parallel loops with static
+// scheduling over a fixed pool of threads, and a serial master in between.
+//
+// Matching the paper's description of the hybrid fork-join miniAMR, all
+// parallel regions use static chunking (iteration space divided into one
+// contiguous chunk per thread) and all MPI communication happens outside
+// parallel regions, on the master.
+package forkjoin
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+)
+
+// Pool is a fixed set of worker threads executing parallel-for regions.
+// The zero value is not usable; create pools with New.
+type Pool struct {
+	workers int
+	work    chan func(worker int)
+	wg      sync.WaitGroup // tracks pool lifetime
+}
+
+// New creates a pool with the given number of workers.
+func New(workers int) (*Pool, error) {
+	if workers <= 0 {
+		return nil, fmt.Errorf("forkjoin: workers must be positive, got %d", workers)
+	}
+	p := &Pool{workers: workers, work: make(chan func(int))}
+	for w := 0; w < workers; w++ {
+		p.wg.Add(1)
+		go func(worker int) {
+			defer p.wg.Done()
+			for fn := range p.work {
+				fn(worker)
+			}
+		}(w)
+	}
+	return p, nil
+}
+
+// MustNew is New but panics on invalid arguments.
+func MustNew(workers int) *Pool {
+	p, err := New(workers)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// Workers returns the pool size.
+func (p *Pool) Workers() int { return p.workers }
+
+// For runs body(i) for every i in [0, n) across the pool with static
+// scheduling: worker w executes the contiguous chunk
+// [w*n/W, (w+1)*n/W). It returns when every iteration has completed (the
+// implicit barrier at the end of an OpenMP for). Panics in the body are
+// re-panicked on the caller after the region drains.
+func (p *Pool) For(n int, body func(i int)) {
+	p.ForWorker(n, func(i, _ int) { body(i) })
+}
+
+// ForDynamic runs body(i) for every i in [0, n) with dynamic scheduling:
+// workers repeatedly claim chunks of the given size from a shared counter,
+// the behaviour of OpenMP's schedule(dynamic, chunk). Useful when
+// iteration costs vary (blocks at different refinement depths); costs a
+// shared atomic instead of static's zero coordination. chunk < 1 selects 1.
+func (p *Pool) ForDynamic(n, chunk int, body func(i, worker int)) {
+	if n <= 0 {
+		return
+	}
+	if chunk < 1 {
+		chunk = 1
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	var firstPanic any
+	workers := p.workers
+	if workers > (n+chunk-1)/chunk {
+		workers = (n + chunk - 1) / chunk
+	}
+	for c := 0; c < workers; c++ {
+		wg.Add(1)
+		p.work <- func(worker int) {
+			defer wg.Done()
+			defer func() {
+				if r := recover(); r != nil {
+					mu.Lock()
+					if firstPanic == nil {
+						firstPanic = r
+					}
+					mu.Unlock()
+				}
+			}()
+			for {
+				lo := int(next.Add(int64(chunk))) - chunk
+				if lo >= n {
+					return
+				}
+				hi := lo + chunk
+				if hi > n {
+					hi = n
+				}
+				for i := lo; i < hi; i++ {
+					body(i, worker)
+				}
+			}
+		}
+	}
+	wg.Wait()
+	if firstPanic != nil {
+		panic(firstPanic)
+	}
+}
+
+// ForWorker is For with the executing worker id passed to the body, for
+// per-thread scratch storage.
+func (p *Pool) ForWorker(n int, body func(i, worker int)) {
+	if n <= 0 {
+		return
+	}
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	var firstPanic any
+	chunks := p.workers
+	if chunks > n {
+		chunks = n
+	}
+	for c := 0; c < chunks; c++ {
+		lo := c * n / chunks
+		hi := (c + 1) * n / chunks
+		wg.Add(1)
+		p.work <- func(worker int) {
+			defer wg.Done()
+			defer func() {
+				if r := recover(); r != nil {
+					mu.Lock()
+					if firstPanic == nil {
+						firstPanic = r
+					}
+					mu.Unlock()
+				}
+			}()
+			for i := lo; i < hi; i++ {
+				body(i, worker)
+			}
+		}
+	}
+	wg.Wait()
+	if firstPanic != nil {
+		panic(firstPanic)
+	}
+}
+
+// Close shuts the pool down. The pool must be idle (no region in flight).
+func (p *Pool) Close() {
+	close(p.work)
+	p.wg.Wait()
+}

@@ -1,0 +1,506 @@
+package harness
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"miniamr/internal/simnet"
+	"miniamr/internal/trace"
+)
+
+// Options scales an experiment to the host. The defaults target a
+// single-core laptop; the paper's sizes (48-core nodes, 256 nodes) are
+// reachable by raising these on a bigger machine.
+type Options struct {
+	// Nodes is the virtual node count of the experiment (base count for
+	// fixed-size experiments, maximum for scaling sweeps).
+	Nodes int
+	// CoresPerNode is the width of a virtual node (paper: 48).
+	CoresPerNode int
+	// HybridRanksPerNode is the ranks-per-node used by the hybrid
+	// variants (paper: 4 after Table I). Zero derives max(1, cores/4).
+	HybridRanksPerNode int
+	// Net is the interconnect model (default: simnet.Default()).
+	Net *simnet.Model
+	// Scale shrinks the problem inputs.
+	Scale Scale
+	// Repeats runs every measured point this many times and keeps the
+	// fastest (standard noise suppression on shared hosts). Zero means 1.
+	Repeats int
+}
+
+func (o *Options) defaults() {
+	if o.Nodes == 0 {
+		o.Nodes = 4
+	}
+	if o.CoresPerNode == 0 {
+		o.CoresPerNode = 4
+	}
+	if o.HybridRanksPerNode == 0 {
+		o.HybridRanksPerNode = o.CoresPerNode / 4
+		if o.HybridRanksPerNode < 1 {
+			o.HybridRanksPerNode = 1
+		}
+	}
+	if o.Net == nil {
+		m := simnet.Default()
+		o.Net = &m
+	}
+	if o.Repeats < 1 {
+		o.Repeats = 1
+	}
+}
+
+// runBest executes a spec opt.Repeats times and returns the fastest run.
+func runBest(opt Options, spec RunSpec) (Metrics, error) {
+	var best Metrics
+	for r := 0; r < opt.Repeats; r++ {
+		m, err := Run(spec)
+		if err != nil {
+			return Metrics{}, err
+		}
+		if r == 0 || m.Total < best.Total {
+			best = m
+		}
+	}
+	return best, nil
+}
+
+func seconds(d time.Duration) string { return fmt.Sprintf("%8.3f", d.Seconds()) }
+
+// ---------------------------------------------------------------------------
+// Table I: execution time versus ranks per node for the hybrid variants.
+
+// Table1Row is one ranks-per-node configuration of Table I.
+type Table1Row struct {
+	RanksPerNode int
+	FJ, DF       Metrics
+}
+
+// Table1 reproduces Table I: total / refinement / non-refinement time of
+// MPI+OMP and TAMPI+OSS while varying ranks per node on a fixed node
+// count, using the single-sphere input.
+func Table1(opt Options) ([]Table1Row, error) {
+	opt.defaults()
+	root := factor3(opt.Nodes * opt.CoresPerNode) // one block per core
+	var rows []Table1Row
+	for rpn := 1; rpn <= opt.CoresPerNode; rpn *= 2 {
+		cores := opt.CoresPerNode / rpn
+		if cores < 1 {
+			break
+		}
+		row := Table1Row{RanksPerNode: rpn}
+
+		cfgFJ := SingleSphere(root, opt.Scale)
+		fj, err := runBest(opt, RunSpec{
+			Nodes: opt.Nodes, RanksPerNode: rpn, CoresPerRank: cores,
+			Net: *opt.Net, Cfg: cfgFJ, Variant: ForkJoin,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("table1 forkjoin rpn=%d: %w", rpn, err)
+		}
+		row.FJ = fj
+
+		cfgDF := SingleSphere(root, opt.Scale)
+		// Table I's TAMPI+OSS runs enable --send_faces and
+		// --separate_buffers to expose all communication parallelism.
+		cfgDF.SendFaces = true
+		cfgDF.SeparateBuffers = true
+		df, err := runBest(opt, RunSpec{
+			Nodes: opt.Nodes, RanksPerNode: rpn, CoresPerRank: cores,
+			Net: *opt.Net, Cfg: cfgDF, Variant: DataFlow,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("table1 dataflow rpn=%d: %w", rpn, err)
+		}
+		row.DF = df
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// PrintTable1 renders Table I rows in the paper's layout.
+func PrintTable1(w io.Writer, rows []Table1Row) {
+	fmt.Fprintln(w, "Table I: time (s) varying the number of ranks per node")
+	fmt.Fprintln(w, "Ranks   |          MPI+OMP              |          TAMPI+OSS")
+	fmt.Fprintln(w, "x Node  |    Total   Refine  NoRefine   |    Total   Refine  NoRefine")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-7d | %s %s %s  | %s %s %s\n", r.RanksPerNode,
+			seconds(r.FJ.Total), seconds(r.FJ.Refine), seconds(r.FJ.NoRefine),
+			seconds(r.DF.Total), seconds(r.DF.Refine), seconds(r.DF.NoRefine))
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Table II: non-refinement time versus communication tasks per neighbour
+// and direction.
+
+// Table2Row is one --max_comm_tasks configuration.
+type Table2Row struct {
+	Tasks int // 0 means "all" (one task per face)
+	M     Metrics
+}
+
+// Table2 reproduces Table II: the TAMPI+OSS non-refinement time as the
+// number of communication tasks per neighbour and direction varies, on the
+// four-spheres input with --send_faces and --separate_buffers.
+func Table2(opt Options) ([]Table2Row, error) {
+	opt.defaults()
+	root := factor3(opt.Nodes * opt.CoresPerNode)
+	var rows []Table2Row
+	for _, tasks := range []int{1, 2, 4, 8, 16, 0} {
+		cfg := FourSpheres(root, opt.Scale)
+		cfg.SendFaces = true
+		cfg.SeparateBuffers = true
+		cfg.MaxCommTasks = tasks
+		cfg.DelayedChecksum = true
+		m, err := runBest(opt, RunSpec{
+			Nodes: opt.Nodes, RanksPerNode: opt.HybridRanksPerNode,
+			CoresPerRank: opt.CoresPerNode / opt.HybridRanksPerNode,
+			Net:          *opt.Net, Cfg: cfg, Variant: DataFlow,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("table2 tasks=%d: %w", tasks, err)
+		}
+		rows = append(rows, Table2Row{Tasks: tasks, M: m})
+	}
+	return rows, nil
+}
+
+// PrintTable2 renders Table II rows.
+func PrintTable2(w io.Writer, rows []Table2Row) {
+	fmt.Fprintln(w, "Table II: non-refinement time (s) varying communication tasks per neighbour and direction")
+	fmt.Fprint(w, "Tasks   |")
+	for _, r := range rows {
+		if r.Tasks == 0 {
+			fmt.Fprintf(w, "%9s", "all")
+		} else {
+			fmt.Fprintf(w, "%9d", r.Tasks)
+		}
+	}
+	fmt.Fprint(w, "\nTime(s) |")
+	for _, r := range rows {
+		fmt.Fprintf(w, " %s", seconds(r.M.NoRefine))
+	}
+	fmt.Fprintln(w)
+}
+
+// ---------------------------------------------------------------------------
+// Figure 4: weak scaling — throughput and efficiency.
+
+// ScalingPoint is one (variant, node count) measurement.
+type ScalingPoint struct {
+	Nodes int
+	M     Metrics
+}
+
+// ScalingSeries is a variant's sweep over node counts.
+type ScalingSeries struct {
+	Variant Variant
+	Points  []ScalingPoint
+}
+
+// Efficiency returns the parallel efficiency of point i relative to the
+// series' first point, optionally on non-refinement throughput.
+func (s ScalingSeries) Efficiency(i int, noRefine bool) float64 {
+	base, cur := s.Points[0], s.Points[i]
+	b, c := base.M.GFLOPS, cur.M.GFLOPS
+	if noRefine {
+		b, c = base.M.NRGFLOPS, cur.M.NRGFLOPS
+	}
+	scale := float64(cur.Nodes) / float64(base.Nodes)
+	if b == 0 || scale == 0 {
+		return 0
+	}
+	return c / (b * scale)
+}
+
+// WeakScaling reproduces Figure 4: the four-spheres problem grows with the
+// node count (one initial block per MPI-only core, doubling one direction
+// per node doubling), measured for all three variants.
+func WeakScaling(opt Options) ([]ScalingSeries, error) {
+	opt.defaults()
+	out := make([]ScalingSeries, len(Variants))
+	for i, v := range Variants {
+		out[i].Variant = v
+	}
+	for nodes := 1; nodes <= opt.Nodes; nodes *= 2 {
+		root, err := WeakMesh(nodes, opt.CoresPerNode)
+		if err != nil {
+			return nil, err
+		}
+		for i, v := range Variants {
+			cfg := FourSpheres(root, opt.Scale)
+			spec := RunSpec{Nodes: nodes, Net: *opt.Net, Cfg: cfg, Variant: v}
+			if v == MPIOnly {
+				spec.RanksPerNode, spec.CoresPerRank = opt.CoresPerNode, 1
+			} else {
+				spec.RanksPerNode = opt.HybridRanksPerNode
+				spec.CoresPerRank = opt.CoresPerNode / opt.HybridRanksPerNode
+			}
+			if v == DataFlow {
+				DataFlowOptions(&spec.Cfg)
+			}
+			m, err := runBest(opt, spec)
+			if err != nil {
+				return nil, fmt.Errorf("weak %s nodes=%d: %w", v, nodes, err)
+			}
+			out[i].Points = append(out[i].Points, ScalingPoint{Nodes: nodes, M: m})
+		}
+	}
+	return out, nil
+}
+
+// PrintScaling renders a scaling experiment: throughput per node count and
+// efficiencies (total and non-refinement), Figure 4/5 style.
+func PrintScaling(w io.Writer, title string, series []ScalingSeries) {
+	fmt.Fprintln(w, title)
+	fmt.Fprint(w, "nodes     |")
+	for _, s := range series {
+		fmt.Fprintf(w, " %22s |", s.Variant)
+	}
+	fmt.Fprint(w, "\n          |")
+	for range series {
+		fmt.Fprintf(w, "  GFLOPS    eff  eff(NR)  hEff |")
+	}
+	fmt.Fprintln(w)
+	if len(series) == 0 || len(series[0].Points) == 0 {
+		return
+	}
+	for i := range series[0].Points {
+		fmt.Fprintf(w, "%-9d |", series[0].Points[i].Nodes)
+		for _, s := range series {
+			fmt.Fprintf(w, " %7.3f %6.2f %8.2f %5.2f |",
+				s.Points[i].M.GFLOPS, s.Efficiency(i, false), s.Efficiency(i, true),
+				s.Points[i].M.HostEff)
+		}
+		fmt.Fprintln(w)
+	}
+	fmt.Fprintln(w, "eff: classic parallel efficiency vs the variant's 1-node run (grows only with real cores);")
+	fmt.Fprintln(w, "hEff: throughput against the host's calibrated compute capacity (isolates comm/runtime overhead).")
+}
+
+// ---------------------------------------------------------------------------
+// Figure 5: strong scaling — speedup and efficiency on a fixed problem.
+
+// StrongScaling reproduces Figure 5: a fixed four-spheres problem (sized
+// for the largest node count) across all variants and node counts.
+// Speedups are throughput ratios against MPI-only on one node.
+func StrongScaling(opt Options) ([]ScalingSeries, error) {
+	opt.defaults()
+	root, err := WeakMesh(opt.Nodes, opt.CoresPerNode)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]ScalingSeries, len(Variants))
+	for i, v := range Variants {
+		out[i].Variant = v
+	}
+	for nodes := 1; nodes <= opt.Nodes; nodes *= 2 {
+		for i, v := range Variants {
+			cfg := FourSpheres(root, opt.Scale)
+			spec := RunSpec{Nodes: nodes, Net: *opt.Net, Cfg: cfg, Variant: v}
+			if v == MPIOnly {
+				spec.RanksPerNode, spec.CoresPerRank = opt.CoresPerNode, 1
+			} else {
+				spec.RanksPerNode = opt.HybridRanksPerNode
+				spec.CoresPerRank = opt.CoresPerNode / opt.HybridRanksPerNode
+			}
+			if v == DataFlow {
+				DataFlowOptions(&spec.Cfg)
+			}
+			m, err := runBest(opt, spec)
+			if err != nil {
+				return nil, fmt.Errorf("strong %s nodes=%d: %w", v, nodes, err)
+			}
+			out[i].Points = append(out[i].Points, ScalingPoint{Nodes: nodes, M: m})
+		}
+	}
+	return out, nil
+}
+
+// Speedup returns the throughput of series point i over the reference
+// series' first point (Figure 5's "speedup w.r.t. MPI-only on one node").
+func Speedup(s ScalingSeries, ref ScalingSeries, i int) float64 {
+	if ref.Points[0].M.GFLOPS == 0 {
+		return 0
+	}
+	return s.Points[i].M.GFLOPS / ref.Points[0].M.GFLOPS
+}
+
+// PrintStrong renders Figure 5's speedup and efficiency table.
+func PrintStrong(w io.Writer, series []ScalingSeries) {
+	fmt.Fprintln(w, "Figure 5: strong scaling speedup (vs MPI-only on 1 node) and efficiency")
+	ref := series[0]
+	fmt.Fprint(w, "nodes     |")
+	for _, s := range series {
+		fmt.Fprintf(w, " %22s |", s.Variant)
+	}
+	fmt.Fprint(w, "\n          |")
+	for range series {
+		fmt.Fprintf(w, " speedup    eff  eff(NR)  hEff |")
+	}
+	fmt.Fprintln(w)
+	for i := range series[0].Points {
+		fmt.Fprintf(w, "%-9d |", series[0].Points[i].Nodes)
+		for _, s := range series {
+			fmt.Fprintf(w, " %7.3f %6.2f %8.2f %5.2f |",
+				Speedup(s, ref, i), s.Efficiency(i, false), s.Efficiency(i, true),
+				s.Points[i].M.HostEff)
+		}
+		fmt.Fprintln(w)
+	}
+	fmt.Fprintln(w, "hEff: throughput against the host's calibrated compute capacity (isolates comm/runtime overhead).")
+}
+
+// ---------------------------------------------------------------------------
+// Figures 1-3: execution traces.
+
+// TraceResult bundles the trace comparison of Figures 1-3.
+type TraceResult struct {
+	MPIOnly, DataFlow       Metrics
+	MPITrace, DataFlowTrace *trace.Recorder
+}
+
+// Traces reproduces the trace experiment of Section V-B: the four-spheres
+// problem on two nodes, traced for MPI-only and TAMPI+OSS.
+func Traces(opt Options) (*TraceResult, error) {
+	opt.defaults()
+	nodes := 2
+	root, err := WeakMesh(nodes, opt.CoresPerNode)
+	if err != nil {
+		return nil, err
+	}
+	res := &TraceResult{
+		MPITrace:      trace.NewRecorder(),
+		DataFlowTrace: trace.NewRecorder(),
+	}
+	cfg := FourSpheres(root, opt.Scale)
+	res.MPIOnly, err = Run(RunSpec{
+		Nodes: nodes, RanksPerNode: opt.CoresPerNode, CoresPerRank: 1,
+		Net: *opt.Net, Cfg: cfg, Variant: MPIOnly, Recorder: res.MPITrace,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("trace mpionly: %w", err)
+	}
+	cfgDF := FourSpheres(root, opt.Scale)
+	DataFlowOptions(&cfgDF)
+	res.DataFlow, err = Run(RunSpec{
+		Nodes: nodes, RanksPerNode: opt.HybridRanksPerNode,
+		CoresPerRank: opt.CoresPerNode / opt.HybridRanksPerNode,
+		Net:          *opt.Net, Cfg: cfgDF, Variant: DataFlow, Recorder: res.DataFlowTrace,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("trace dataflow: %w", err)
+	}
+	return res, nil
+}
+
+// PrintTraces renders the two timelines and the quantitative claims the
+// paper reads off Figures 1-3 (non-refinement speedup, overlap, idle gaps).
+func PrintTraces(w io.Writer, res *TraceResult, width int) {
+	fmt.Fprintln(w, "Figure 1: execution timelines (upper: MPI-only ranks; lower: TAMPI+OSS workers)")
+	fmt.Fprintln(w, "-- MPI-only --")
+	fmt.Fprint(w, trace.Render(res.MPITrace.Events(), width))
+	fmt.Fprintln(w, "-- TAMPI+OSS --")
+	fmt.Fprint(w, trace.Render(res.DataFlowTrace.Events(), width))
+
+	mst := trace.ComputeStats(res.MPITrace.Events())
+	dst := trace.ComputeStats(res.DataFlowTrace.Events())
+	fmt.Fprintln(w, "\nFigure 2/3 statistics:")
+	fmt.Fprintf(w, "  %-34s %12s %12s\n", "", "MPI-only", "TAMPI+OSS")
+	fmt.Fprintf(w, "  %-34s %12.3f %12.3f\n", "total time (s)", res.MPIOnly.Total.Seconds(), res.DataFlow.Total.Seconds())
+	fmt.Fprintf(w, "  %-34s %12.3f %12.3f\n", "non-refinement time (s)", res.MPIOnly.NoRefine.Seconds(), res.DataFlow.NoRefine.Seconds())
+	fmt.Fprintf(w, "  %-34s %12.3f %12.3f\n", "comp/comm overlap (s)", mst.OverlapTime.Seconds(), dst.OverlapTime.Seconds())
+	fmt.Fprintf(w, "  %-34s %12.3f %12.3f\n", "max idle gap (ms)", float64(mst.MaxIdleGap.Microseconds())/1000, float64(dst.MaxIdleGap.Microseconds())/1000)
+	if res.DataFlow.NoRefine > 0 {
+		fmt.Fprintf(w, "  non-refinement speedup (TAMPI+OSS vs MPI-only): %.2fx\n",
+			res.MPIOnly.NoRefine.Seconds()/res.DataFlow.NoRefine.Seconds())
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Section IV-B ablation: taskified versus sequential refinement.
+
+// RefineAblationResult compares refinement time with the paper's
+// taskification against a serialised refinement phase.
+type RefineAblationResult struct {
+	Taskified, Sequential Metrics
+}
+
+// RefineAblation quantifies the paper's claim that taskifying the
+// refinement phase removes a large share of its time.
+func RefineAblation(opt Options) (*RefineAblationResult, error) {
+	opt.defaults()
+	root := factor3(opt.Nodes * opt.CoresPerNode)
+	base := FourSpheres(root, opt.Scale)
+	DataFlowOptions(&base)
+	spec := RunSpec{
+		Nodes: opt.Nodes, RanksPerNode: opt.HybridRanksPerNode,
+		CoresPerRank: opt.CoresPerNode / opt.HybridRanksPerNode,
+		Net:          *opt.Net, Cfg: base, Variant: DataFlow,
+	}
+	taskified, err := runBest(opt, spec)
+	if err != nil {
+		return nil, err
+	}
+	spec.Cfg.SequentialRefinement = true
+	sequential, err := runBest(opt, spec)
+	if err != nil {
+		return nil, err
+	}
+	return &RefineAblationResult{Taskified: taskified, Sequential: sequential}, nil
+}
+
+// PrintRefineAblation renders the refinement ablation.
+func PrintRefineAblation(w io.Writer, r *RefineAblationResult) {
+	fmt.Fprintln(w, "Refinement taskification ablation (TAMPI+OSS, four spheres)")
+	fmt.Fprintf(w, "  %-28s %10s %10s\n", "", "refine(s)", "total(s)")
+	fmt.Fprintf(w, "  %-28s %10.3f %10.3f\n", "taskified (paper)", r.Taskified.Refine.Seconds(), r.Taskified.Total.Seconds())
+	fmt.Fprintf(w, "  %-28s %10.3f %10.3f\n", "sequential refinement", r.Sequential.Refine.Seconds(), r.Sequential.Total.Seconds())
+	if r.Sequential.Refine > 0 {
+		fmt.Fprintf(w, "  refinement time removed by taskification: %.0f%%\n",
+			100*(1-r.Taskified.Refine.Seconds()/r.Sequential.Refine.Seconds()))
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Scheduler ablation: immediate-successor locality policy.
+
+// SchedulerAblationResult compares the data-flow scheduler with and
+// without the immediate-successor policy the paper credits for IPC gains.
+type SchedulerAblationResult struct {
+	WithPolicy, WithoutPolicy Metrics
+}
+
+// SchedulerAblation measures the immediate-successor policy's effect.
+func SchedulerAblation(opt Options) (*SchedulerAblationResult, error) {
+	opt.defaults()
+	root := factor3(opt.Nodes * opt.CoresPerNode)
+	cfg := FourSpheres(root, opt.Scale)
+	DataFlowOptions(&cfg)
+	spec := RunSpec{
+		Nodes: opt.Nodes, RanksPerNode: opt.HybridRanksPerNode,
+		CoresPerRank: opt.CoresPerNode / opt.HybridRanksPerNode,
+		Net:          *opt.Net, Cfg: cfg, Variant: DataFlow,
+	}
+	with, err := runBest(opt, spec)
+	if err != nil {
+		return nil, err
+	}
+	spec.Cfg.DisableImmediateSuccessor = true
+	without, err := runBest(opt, spec)
+	if err != nil {
+		return nil, err
+	}
+	return &SchedulerAblationResult{WithPolicy: with, WithoutPolicy: without}, nil
+}
+
+// PrintSchedulerAblation renders the scheduler ablation.
+func PrintSchedulerAblation(w io.Writer, r *SchedulerAblationResult) {
+	fmt.Fprintln(w, "Scheduler ablation (immediate-successor locality policy)")
+	fmt.Fprintf(w, "  %-28s %10s %10s\n", "", "total(s)", "GFLOPS")
+	fmt.Fprintf(w, "  %-28s %10.3f %10.3f\n", "immediate successor on", r.WithPolicy.Total.Seconds(), r.WithPolicy.GFLOPS)
+	fmt.Fprintf(w, "  %-28s %10.3f %10.3f\n", "immediate successor off", r.WithoutPolicy.Total.Seconds(), r.WithoutPolicy.GFLOPS)
+}

@@ -1,0 +1,168 @@
+// Package harness runs the paper's experiments: it builds virtual
+// clusters, executes the application variants on them, aggregates per-rank
+// results into the metrics the paper reports (total / refinement /
+// non-refinement time, GFLOPS throughput, parallel efficiency), and prints
+// the tables and figure series of the evaluation section.
+//
+// The scales are configurable: the defaults target a laptop-class host
+// (small virtual nodes, seconds per configuration), while flags on
+// cmd/experiments let larger machines run closer to the paper's sizes.
+package harness
+
+import (
+	"fmt"
+	"time"
+
+	"miniamr/internal/amr/app"
+	"miniamr/internal/cluster"
+	"miniamr/internal/mpi"
+	"miniamr/internal/simnet"
+	"miniamr/internal/trace"
+)
+
+// Variant selects a parallelisation strategy.
+type Variant string
+
+// The three variants the paper evaluates.
+const (
+	MPIOnly  Variant = "mpionly"  // reference MPI-only, one rank per core
+	ForkJoin Variant = "forkjoin" // hybrid MPI+OpenMP fork-join
+	DataFlow Variant = "dataflow" // hybrid TAMPI+OmpSs-2 data-flow (the paper's)
+)
+
+// Variants lists all variants in presentation order.
+var Variants = []Variant{MPIOnly, ForkJoin, DataFlow}
+
+// Runner returns the variant's entry point.
+func (v Variant) Runner() (func(app.Config, *mpi.Comm, *trace.Recorder) (app.Result, error), error) {
+	switch v {
+	case MPIOnly:
+		return app.RunMPIOnly, nil
+	case ForkJoin:
+		return app.RunForkJoin, nil
+	case DataFlow:
+		return app.RunDataFlow, nil
+	}
+	return nil, fmt.Errorf("harness: unknown variant %q", v)
+}
+
+// String implements flag.Value-style display.
+func (v Variant) String() string { return string(v) }
+
+// RunSpec describes one measured execution.
+type RunSpec struct {
+	// Topology of the virtual cluster.
+	Nodes        int
+	RanksPerNode int
+	CoresPerRank int
+	// Net is the interconnect model; the zero model charges nothing.
+	Net simnet.Model
+	// Cfg is the application problem. Cfg.Workers is overridden with
+	// CoresPerRank.
+	Cfg app.Config
+	// Variant selects the strategy.
+	Variant Variant
+	// Recorder, when non-nil, captures an execution trace.
+	Recorder *trace.Recorder
+}
+
+// Metrics aggregates a run across ranks the way the paper reports results.
+type Metrics struct {
+	Ranks int
+	Cores int
+	// Total and Refine are the maxima across ranks (job completion times);
+	// NoRefine is their difference.
+	Total, Refine, NoRefine time.Duration
+	// Flops is the total stencil work.
+	Flops int64
+	// GFLOPS is Flops / Total / 1e9; NRGFLOPS uses the non-refinement time.
+	GFLOPS, NRGFLOPS float64
+	// HostEff and NRHostEff normalise the run by the host's measured
+	// compute capacity: ideal stencil time divided by the measured total
+	// (or non-refinement) time. They isolate communication and runtime
+	// overhead on hosts with fewer physical cores than virtual ones; see
+	// the calibration notes in calibrate.go.
+	HostEff, NRHostEff float64
+	// Tasks is the total task count (data-flow only).
+	Tasks int
+	// Checksums is rank 0's validated checksum history.
+	Checksums [][]float64
+	// FinalBlocks is the total block count at the end.
+	FinalBlocks int
+	// Messages and CommBytes total the point-to-point traffic of all ranks.
+	Messages, CommBytes int64
+	// MeshHistory and MeshView come from rank 0 (replicated state).
+	MeshHistory []app.MeshStat
+	MeshView    string
+}
+
+// Run executes a spec and aggregates the metrics.
+func Run(spec RunSpec) (Metrics, error) {
+	runner, err := spec.Variant.Runner()
+	if err != nil {
+		return Metrics{}, err
+	}
+	topo, err := cluster.New(spec.Nodes, spec.RanksPerNode, spec.CoresPerRank)
+	if err != nil {
+		return Metrics{}, err
+	}
+	cfg := spec.Cfg
+	cfg.Workers = spec.CoresPerRank
+	if err := cfg.Validate(); err != nil {
+		return Metrics{}, err
+	}
+	world := mpi.NewWorld(topo, spec.Net)
+	results := make([]app.Result, topo.Ranks())
+	errs := make([]error, topo.Ranks())
+	runErr := world.Run(func(c *mpi.Comm) {
+		res, err := runner(cfg, c, spec.Recorder)
+		if err != nil {
+			errs[c.Rank()] = err
+			panic(err) // surface through World.Run and fail peers fast
+		}
+		results[c.Rank()] = res
+	})
+	for _, err := range errs {
+		if err != nil {
+			return Metrics{}, err
+		}
+	}
+	if runErr != nil {
+		return Metrics{}, runErr
+	}
+
+	m := Metrics{
+		Ranks: topo.Ranks(), Cores: topo.Cores(),
+		Checksums:   results[0].Checksums,
+		MeshHistory: results[0].MeshHistory,
+		MeshView:    results[0].FinalMeshView,
+	}
+	for _, r := range results {
+		if r.TotalTime > m.Total {
+			m.Total = r.TotalTime
+		}
+		if r.RefineTime > m.Refine {
+			m.Refine = r.RefineTime
+		}
+		m.Flops += r.Flops
+		m.Tasks += r.TaskCount
+		m.FinalBlocks += r.FinalBlocks
+		m.Messages += r.Comm.Messages
+		m.CommBytes += r.Comm.Bytes
+	}
+	m.NoRefine = m.Total - m.Refine
+	if m.Total > 0 {
+		m.GFLOPS = float64(m.Flops) / m.Total.Seconds() / 1e9
+	}
+	if m.NoRefine > 0 {
+		m.NRGFLOPS = float64(m.Flops) / m.NoRefine.Seconds() / 1e9
+	}
+	ideal := float64(m.Flops) / hostCapacity(m.Cores)
+	if m.Total > 0 {
+		m.HostEff = ideal / m.Total.Seconds()
+	}
+	if m.NoRefine > 0 {
+		m.NRHostEff = ideal / m.NoRefine.Seconds()
+	}
+	return m, nil
+}

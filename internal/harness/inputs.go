@@ -1,0 +1,181 @@
+package harness
+
+import (
+	"fmt"
+
+	"miniamr/internal/amr/app"
+	"miniamr/internal/amr/grid"
+	"miniamr/internal/amr/object"
+)
+
+// Scale shrinks the paper's inputs to laptop-class sizes while keeping
+// their structure. The zero value selects the defaults used throughout the
+// reproduction's experiments.
+type Scale struct {
+	// BlockCells is the block edge length (paper: 18 for Table I, 12 for
+	// scaling, 10 for strong scaling). Default 8.
+	BlockCells int
+	// Vars is the number of variables per cell (paper: 60 / 40 / 20).
+	// Default 8.
+	Vars int
+	// Timesteps and StagesPerTimestep shape the loop (paper: up to
+	// 99 x 40). Defaults 6 x 6.
+	Timesteps         int
+	StagesPerTimestep int
+	// MaxLevel caps refinement depth. Default 2.
+	MaxLevel int
+}
+
+// cadence derives the checksum and refinement cadences: the paper's
+// values (checksum every 10 stages, refinement every 5 timesteps), clamped
+// so that scaled-down runs still exercise both phases.
+func (s Scale) cadence() (checksumEvery, refineEvery int) {
+	checksumEvery = 10
+	if total := s.Timesteps * s.StagesPerTimestep; total < checksumEvery {
+		checksumEvery = s.StagesPerTimestep
+	}
+	refineEvery = 5
+	if s.Timesteps < refineEvery {
+		refineEvery = (s.Timesteps + 1) / 2
+	}
+	return checksumEvery, refineEvery
+}
+
+func (s *Scale) defaults() {
+	if s.BlockCells == 0 {
+		s.BlockCells = 8
+	}
+	if s.Vars == 0 {
+		s.Vars = 8
+	}
+	if s.Timesteps == 0 {
+		s.Timesteps = 6
+	}
+	if s.StagesPerTimestep == 0 {
+		s.StagesPerTimestep = 6
+	}
+	if s.MaxLevel == 0 {
+		s.MaxLevel = 2
+	}
+}
+
+// SingleSphere builds the Table I input: one big sphere entering the mesh
+// from a lower corner, refining the regions it crosses (the input of Rico
+// et al. that the paper reuses). Refinement every 5 timesteps, checksum
+// every 10 stages, as in the paper's Section V-A.
+func SingleSphere(root [3]int, sc Scale) app.Config {
+	sc.defaults()
+	checksumEvery, refineEvery := sc.cadence()
+	epochs := sc.Timesteps/refineEvery + 1
+	// The sphere starts outside the lower corner and reaches the domain
+	// centre over the run.
+	rate := 0.9 / float64(epochs)
+	return app.Config{
+		RootBlocks:        root,
+		MaxLevel:          sc.MaxLevel,
+		BlockSize:         grid.Size{X: sc.BlockCells, Y: sc.BlockCells, Z: sc.BlockCells},
+		Vars:              sc.Vars,
+		Timesteps:         sc.Timesteps,
+		StagesPerTimestep: sc.StagesPerTimestep,
+		ChecksumEvery:     checksumEvery,
+		RefineEvery:       refineEvery,
+		Objects: []object.Object{{
+			Type:   object.SpheroidSurface,
+			Center: [3]float64{-0.4, -0.4, -0.4},
+			Size:   [3]float64{0.45, 0.45, 0.45},
+			Move:   [3]float64{rate, rate, rate},
+		}},
+	}
+}
+
+// FourSpheres builds the scaling input of Vaughan et al.: two spheres on
+// one side of the mesh moving along +x and two on the opposite side moving
+// along -x, sized to pass near the centre without colliding; their rate is
+// derived from the epoch count so they cross without reaching the borders.
+func FourSpheres(root [3]int, sc Scale) app.Config {
+	sc.defaults()
+	checksumEvery, refineEvery := sc.cadence()
+	epochs := sc.Timesteps/refineEvery + 1
+	travel := 0.6
+	rate := travel / float64(epochs)
+	r := 0.12
+	mk := func(x, y, z, vx float64) object.Object {
+		return object.Object{
+			Type:   object.SpheroidSurface,
+			Center: [3]float64{x, y, z},
+			Size:   [3]float64{r, r, r},
+			Move:   [3]float64{vx, 0, 0},
+		}
+	}
+	return app.Config{
+		RootBlocks:        root,
+		MaxLevel:          sc.MaxLevel,
+		BlockSize:         grid.Size{X: sc.BlockCells, Y: sc.BlockCells, Z: sc.BlockCells},
+		Vars:              sc.Vars,
+		Timesteps:         sc.Timesteps,
+		StagesPerTimestep: sc.StagesPerTimestep,
+		ChecksumEvery:     checksumEvery,
+		RefineEvery:       refineEvery,
+		Objects: []object.Object{
+			mk(0.2, 0.3, 0.3, rate),
+			mk(0.2, 0.7, 0.7, rate),
+			mk(0.8, 0.3, 0.7, -rate),
+			mk(0.8, 0.7, 0.3, -rate),
+		},
+	}
+}
+
+// WeakMesh computes the root-block arrangement for a weak-scaling point:
+// blocksPerNode blocks per node, doubling the total along one direction in
+// round-robin fashion as nodes double, exactly the paper's construction.
+// nodes must be a power of two.
+func WeakMesh(nodes, blocksPerNode int) ([3]int, error) {
+	if nodes <= 0 || nodes&(nodes-1) != 0 {
+		return [3]int{}, fmt.Errorf("harness: weak scaling needs a power-of-two node count, got %d", nodes)
+	}
+	root := factor3(blocksPerNode)
+	for d := 0; nodes > 1; nodes >>= 1 {
+		root[d%3] *= 2
+		d++
+	}
+	return root, nil
+}
+
+// Factor3 splits a positive block count into three roughly equal factors,
+// preferring near-cubic arrangements — the default way the tools arrange
+// root blocks over the domain.
+func Factor3(n int) [3]int { return factor3(n) }
+
+// factor3 splits n into three roughly equal factors (largest first removed),
+// preferring near-cubic arrangements.
+func factor3(n int) [3]int {
+	best := [3]int{n, 1, 1}
+	bestScore := n * n
+	for a := 1; a*a*a <= n; a++ {
+		if n%a != 0 {
+			continue
+		}
+		m := n / a
+		for b := a; b*b <= m; b++ {
+			if m%b != 0 {
+				continue
+			}
+			c := m / b
+			if score := c - a; score < bestScore {
+				best = [3]int{c, b, a}
+				bestScore = score
+			}
+		}
+	}
+	return best
+}
+
+// DataFlowOptions applies the paper's preferred TAMPI+OSS settings (the
+// weak-scaling configuration: --send_faces, --separate_buffers, eight
+// communication tasks per neighbour and direction, delayed checksum).
+func DataFlowOptions(cfg *app.Config) {
+	cfg.SendFaces = true
+	cfg.SeparateBuffers = true
+	cfg.MaxCommTasks = 8
+	cfg.DelayedChecksum = true
+}

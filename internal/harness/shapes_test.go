@@ -1,0 +1,75 @@
+package harness
+
+import (
+	"os"
+	"testing"
+)
+
+// TestPaperShapes runs the experiments at a moderate scale and asserts the
+// orderings EXPERIMENTS.md reports. Wall-clock assertions on a shared or
+// single-core host are inherently noisy, so this suite only runs when
+// MINIAMR_SHAPE_TESTS=1 is set (e.g. on a quiet multi-core machine):
+//
+//	MINIAMR_SHAPE_TESTS=1 go test ./internal/harness -run TestPaperShapes -v
+func TestPaperShapes(t *testing.T) {
+	if os.Getenv("MINIAMR_SHAPE_TESTS") != "1" {
+		t.Skip("set MINIAMR_SHAPE_TESTS=1 to run wall-clock shape assertions")
+	}
+	opt := Options{
+		Nodes:        4,
+		CoresPerNode: 4,
+		Repeats:      3,
+		Scale: Scale{
+			BlockCells: 12, Vars: 8, Timesteps: 5, StagesPerTimestep: 8, MaxLevel: 2,
+		},
+	}
+	opt.defaults()
+
+	t.Run("table2-single-message-worst", func(t *testing.T) {
+		rows, err := Table2(opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		single := rows[0].M.NoRefine
+		best := single
+		for _, r := range rows[1:] {
+			if r.M.NoRefine < best {
+				best = r.M.NoRefine
+			}
+		}
+		if single <= best {
+			t.Errorf("one aggregated message (%v) should be slower than the best cap (%v)", single, best)
+		}
+	})
+
+	t.Run("weak-dataflow-leads-at-scale", func(t *testing.T) {
+		series, err := WeakScaling(opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		last := len(series[0].Points) - 1
+		var df, mpi float64
+		for _, s := range series {
+			switch s.Variant {
+			case DataFlow:
+				df = s.Points[last].M.GFLOPS
+			case MPIOnly:
+				mpi = s.Points[last].M.GFLOPS
+			}
+		}
+		if df <= mpi*0.95 {
+			t.Errorf("data-flow at max nodes = %.3f GFLOPS, MPI-only %.3f; expected data-flow ahead", df, mpi)
+		}
+	})
+
+	t.Run("scheduler-policy-helps", func(t *testing.T) {
+		res, err := SchedulerAblation(opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.WithPolicy.Total > res.WithoutPolicy.Total {
+			t.Errorf("immediate successor on (%v) slower than off (%v)",
+				res.WithPolicy.Total, res.WithoutPolicy.Total)
+		}
+	})
+}

@@ -1,0 +1,118 @@
+package mpi
+
+import (
+	"fmt"
+	"testing"
+
+	"miniamr/internal/cluster"
+	"miniamr/internal/simnet"
+)
+
+// BenchmarkPingPong measures round-trip cost through the matching engine
+// (no simulated network cost).
+func BenchmarkPingPong(b *testing.B) {
+	for _, size := range []int{1, 128, 16384} {
+		b.Run(fmt.Sprintf("floats=%d", size), func(b *testing.B) {
+			w := NewWorld(cluster.MustNew(1, 2, 1), simnet.None())
+			done := make(chan error, 1)
+			go func() {
+				done <- w.Run(func(c *Comm) {
+					buf := make([]float64, size)
+					switch c.Rank() {
+					case 0:
+						for i := 0; i < b.N; i++ {
+							if err := c.Send(buf, 1, 0); err != nil {
+								panic(err)
+							}
+							if _, err := c.Recv(buf, 1, 1); err != nil {
+								panic(err)
+							}
+						}
+					case 1:
+						for i := 0; i < b.N; i++ {
+							if _, err := c.Recv(buf, 0, 0); err != nil {
+								panic(err)
+							}
+							if err := c.Send(buf, 0, 1); err != nil {
+								panic(err)
+							}
+						}
+					}
+				})
+			}()
+			b.SetBytes(int64(16 * size))
+			if err := <-done; err != nil {
+				b.Fatal(err)
+			}
+		})
+	}
+}
+
+// BenchmarkUnexpectedQueue measures matching against a deep unexpected
+// message queue, the pattern of a late receiver.
+func BenchmarkUnexpectedQueue(b *testing.B) {
+	w := NewWorld(cluster.MustNew(1, 2, 1), simnet.None())
+	err := w.Run(func(c *Comm) {
+		const depth = 64
+		switch c.Rank() {
+		case 0:
+			buf := []int{7}
+			for i := 0; i < b.N; i++ {
+				for t := 0; t < depth; t++ {
+					if err := c.Send(buf, 1, t); err != nil {
+						panic(err)
+					}
+				}
+			}
+		case 1:
+			buf := make([]int, 1)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				// Receive in reverse tag order: every match scans the queue.
+				for t := depth - 1; t >= 0; t-- {
+					if _, err := c.Recv(buf, 0, t); err != nil {
+						panic(err)
+					}
+				}
+			}
+		}
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+}
+
+// BenchmarkAllreduce measures the binomial-tree reduction.
+func BenchmarkAllreduce(b *testing.B) {
+	for _, ranks := range []int{4, 16} {
+		b.Run(fmt.Sprintf("ranks=%d", ranks), func(b *testing.B) {
+			w := NewWorld(cluster.MustNew(1, ranks, 1), simnet.None())
+			err := w.Run(func(c *Comm) {
+				in := []float64{float64(c.Rank())}
+				for i := 0; i < b.N; i++ {
+					if _, err := c.AllreduceFloat64(in, Sum); err != nil {
+						panic(err)
+					}
+				}
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+		})
+	}
+}
+
+// BenchmarkBarrier measures the synchronisation primitive.
+func BenchmarkBarrier(b *testing.B) {
+	w := NewWorld(cluster.MustNew(1, 8, 1), simnet.None())
+	err := w.Run(func(c *Comm) {
+		for i := 0; i < b.N; i++ {
+			if err := c.Barrier(); err != nil {
+				panic(err)
+			}
+		}
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+}

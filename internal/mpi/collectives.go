@@ -1,0 +1,262 @@
+package mpi
+
+import "fmt"
+
+// Op is a reduction operator for Reduce/Allreduce.
+type Op uint8
+
+const (
+	// Sum adds contributions elementwise.
+	Sum Op = iota
+	// Max keeps the elementwise maximum.
+	Max
+	// Min keeps the elementwise minimum.
+	Min
+)
+
+func (op Op) String() string {
+	switch op {
+	case Sum:
+		return "Sum"
+	case Max:
+		return "Max"
+	case Min:
+		return "Min"
+	}
+	return "unknown"
+}
+
+func reduceFloat64(op Op, acc, in []float64) {
+	switch op {
+	case Sum:
+		for i, v := range in {
+			acc[i] += v
+		}
+	case Max:
+		for i, v := range in {
+			if v > acc[i] {
+				acc[i] = v
+			}
+		}
+	case Min:
+		for i, v := range in {
+			if v < acc[i] {
+				acc[i] = v
+			}
+		}
+	}
+}
+
+func reduceInt(op Op, acc, in []int) {
+	switch op {
+	case Sum:
+		for i, v := range in {
+			acc[i] += v
+		}
+	case Max:
+		for i, v := range in {
+			if v > acc[i] {
+				acc[i] = v
+			}
+		}
+	case Min:
+		for i, v := range in {
+			if v < acc[i] {
+				acc[i] = v
+			}
+		}
+	}
+}
+
+// collective phase identifiers inside one sequence number's tag block.
+const (
+	phaseReduce = iota
+	phaseBcast
+	phaseGatherCount
+	phaseGatherData
+	phaseCount // number of phases per collective; tag block stride
+)
+
+// beginCollective reserves this rank's next collective sequence number.
+// Collectives must be invoked in the same order on every rank, so equal
+// sequence numbers across ranks denote the same logical collective; the
+// per-sequence tag block keeps concurrent point-to-point traffic and
+// earlier/later collectives from interfering.
+func (c *Comm) beginCollective() (seq int, release func()) {
+	c.collMu.Lock()
+	seq = c.collSeq
+	c.collSeq++
+	return seq, c.collMu.Unlock
+}
+
+func collTag(seq, phase int) int { return MaxUserTag + seq*phaseCount + phase }
+
+// Barrier blocks until every rank has entered it.
+func (c *Comm) Barrier() error {
+	_, err := c.AllreduceInt([]int{0}, Sum)
+	return err
+}
+
+// Bcast distributes root's buffer to every rank using a binomial tree. On
+// non-root ranks buf is overwritten; it must have the same length on all
+// ranks.
+func (c *Comm) Bcast(buf any, root int) error {
+	seq, release := c.beginCollective()
+	defer release()
+	return c.bcast(buf, root, collTag(seq, phaseBcast))
+}
+
+func (c *Comm) bcast(buf any, root, tag int) error {
+	p := c.Size()
+	if root < 0 || root >= p {
+		return fmt.Errorf("mpi: bcast root %d out of range [0,%d)", root, p)
+	}
+	vr := (c.rank - root + p) % p
+	// Receive phase: find the bit position at which this rank joins the tree.
+	mask := 1
+	for mask < p {
+		if vr&mask != 0 {
+			src := (vr - mask + root) % p
+			if _, err := c.recv(buf, src, tag); err != nil {
+				return err
+			}
+			break
+		}
+		mask <<= 1
+	}
+	// Send phase: forward to children at decreasing bit positions.
+	mask >>= 1
+	for mask > 0 {
+		if vr+mask < p {
+			dst := (vr + mask + root) % p
+			if err := c.send(buf, dst, tag); err != nil {
+				return err
+			}
+		}
+		mask >>= 1
+	}
+	return nil
+}
+
+// AllreduceFloat64 combines equal-length contributions from every rank with
+// op and returns the result (identical on all ranks). The combine order is
+// fixed by the binomial tree, so results are deterministic for a given rank
+// count.
+func (c *Comm) AllreduceFloat64(in []float64, op Op) ([]float64, error) {
+	seq, release := c.beginCollective()
+	defer release()
+	acc := make([]float64, len(in))
+	copy(acc, in)
+	p := c.Size()
+	rtag := collTag(seq, phaseReduce)
+	for mask := 1; mask < p; mask <<= 1 {
+		if c.rank&mask != 0 {
+			if err := c.send(acc, c.rank-mask, rtag); err != nil {
+				return nil, err
+			}
+			break
+		}
+		if src := c.rank + mask; src < p {
+			tmp := make([]float64, len(in))
+			if _, err := c.recv(tmp, src, rtag); err != nil {
+				return nil, err
+			}
+			reduceFloat64(op, acc, tmp)
+		}
+	}
+	if err := c.bcast(acc, 0, collTag(seq, phaseBcast)); err != nil {
+		return nil, err
+	}
+	return acc, nil
+}
+
+// AllreduceInt is AllreduceFloat64 for integer contributions.
+func (c *Comm) AllreduceInt(in []int, op Op) ([]int, error) {
+	seq, release := c.beginCollective()
+	defer release()
+	acc := make([]int, len(in))
+	copy(acc, in)
+	p := c.Size()
+	rtag := collTag(seq, phaseReduce)
+	for mask := 1; mask < p; mask <<= 1 {
+		if c.rank&mask != 0 {
+			if err := c.send(acc, c.rank-mask, rtag); err != nil {
+				return nil, err
+			}
+			break
+		}
+		if src := c.rank + mask; src < p {
+			tmp := make([]int, len(in))
+			if _, err := c.recv(tmp, src, rtag); err != nil {
+				return nil, err
+			}
+			reduceInt(op, acc, tmp)
+		}
+	}
+	if err := c.bcast(acc, 0, collTag(seq, phaseBcast)); err != nil {
+		return nil, err
+	}
+	return acc, nil
+}
+
+// AllgathervInt concatenates every rank's variable-length contribution in
+// rank order and returns the concatenation together with the per-rank
+// counts. All ranks receive identical results.
+func (c *Comm) AllgathervInt(in []int) (data []int, counts []int, err error) {
+	seq, release := c.beginCollective()
+	defer release()
+	p := c.Size()
+	counts = make([]int, p)
+	ctag := collTag(seq, phaseGatherCount)
+	dtag := collTag(seq, phaseGatherData)
+
+	// Gather counts at rank 0, then tree-broadcast them.
+	if c.rank == 0 {
+		counts[0] = len(in)
+		one := make([]int, 1)
+		for r := 1; r < p; r++ {
+			if _, err := c.recv(one, r, ctag); err != nil {
+				return nil, nil, err
+			}
+			counts[r] = one[0]
+		}
+	} else {
+		if err := c.send([]int{len(in)}, 0, ctag); err != nil {
+			return nil, nil, err
+		}
+	}
+	if err := c.bcast(counts, 0, ctag); err != nil {
+		return nil, nil, err
+	}
+
+	total := 0
+	offsets := make([]int, p)
+	for r, n := range counts {
+		offsets[r] = total
+		total += n
+	}
+	data = make([]int, total)
+
+	// Gather data at rank 0, then tree-broadcast the concatenation.
+	if c.rank == 0 {
+		copy(data[offsets[0]:], in)
+		for r := 1; r < p; r++ {
+			if counts[r] == 0 {
+				continue
+			}
+			if _, err := c.recv(data[offsets[r]:offsets[r]+counts[r]], r, dtag); err != nil {
+				return nil, nil, err
+			}
+		}
+	} else if len(in) > 0 {
+		if err := c.send(in, 0, dtag); err != nil {
+			return nil, nil, err
+		}
+	}
+	if total > 0 {
+		if err := c.bcast(data, 0, dtag); err != nil {
+			return nil, nil, err
+		}
+	}
+	return data, counts, nil
+}

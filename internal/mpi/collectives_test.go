@@ -1,0 +1,300 @@
+package mpi
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"miniamr/internal/cluster"
+	"miniamr/internal/simnet"
+)
+
+// rankCounts exercises non-power-of-two sizes, which stress the binomial
+// tree edge cases.
+var rankCounts = []int{1, 2, 3, 4, 5, 7, 8, 13}
+
+func TestBarrier(t *testing.T) {
+	for _, p := range rankCounts {
+		w := testWorld(t, p)
+		err := w.Run(func(c *Comm) {
+			for i := 0; i < 3; i++ {
+				if err := c.Barrier(); err != nil {
+					t.Errorf("p=%d barrier %d: %v", p, i, err)
+				}
+			}
+		})
+		if err != nil {
+			t.Fatalf("p=%d: %v", p, err)
+		}
+	}
+}
+
+func TestBcast(t *testing.T) {
+	for _, p := range rankCounts {
+		for root := 0; root < p; root += max(1, p/3) {
+			w := testWorld(t, p)
+			err := w.Run(func(c *Comm) {
+				buf := make([]float64, 4)
+				if c.Rank() == root {
+					for i := range buf {
+						buf[i] = float64(root*10 + i)
+					}
+				}
+				if err := c.Bcast(buf, root); err != nil {
+					t.Errorf("p=%d root=%d rank=%d: %v", p, root, c.Rank(), err)
+					return
+				}
+				for i, v := range buf {
+					if v != float64(root*10+i) {
+						t.Errorf("p=%d root=%d rank=%d: buf[%d]=%v", p, root, c.Rank(), i, v)
+						return
+					}
+				}
+			})
+			if err != nil {
+				t.Fatalf("p=%d root=%d: %v", p, root, err)
+			}
+		}
+	}
+}
+
+func TestBcastInvalidRoot(t *testing.T) {
+	w := testWorld(t, 2)
+	err := w.Run(func(c *Comm) {
+		if err := c.Bcast([]int{0}, 9); err == nil {
+			t.Error("Bcast with invalid root: want error")
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAllreduceFloat64Sum(t *testing.T) {
+	for _, p := range rankCounts {
+		w := testWorld(t, p)
+		err := w.Run(func(c *Comm) {
+			in := []float64{float64(c.Rank()), 1}
+			out, err := c.AllreduceFloat64(in, Sum)
+			if err != nil {
+				t.Errorf("p=%d rank=%d: %v", p, c.Rank(), err)
+				return
+			}
+			wantSum := float64(p*(p-1)) / 2
+			if out[0] != wantSum || out[1] != float64(p) {
+				t.Errorf("p=%d rank=%d: out=%v want [%v %v]", p, c.Rank(), out, wantSum, p)
+			}
+		})
+		if err != nil {
+			t.Fatalf("p=%d: %v", p, err)
+		}
+	}
+}
+
+func TestAllreduceMaxMin(t *testing.T) {
+	const p = 6
+	w := testWorld(t, p)
+	err := w.Run(func(c *Comm) {
+		in := []int{c.Rank(), -c.Rank()}
+		mx, err := c.AllreduceInt(in, Max)
+		if err != nil {
+			t.Errorf("max: %v", err)
+			return
+		}
+		if mx[0] != p-1 || mx[1] != 0 {
+			t.Errorf("max = %v, want [%d 0]", mx, p-1)
+		}
+		mn, err := c.AllreduceInt(in, Min)
+		if err != nil {
+			t.Errorf("min: %v", err)
+			return
+		}
+		if mn[0] != 0 || mn[1] != -(p-1) {
+			t.Errorf("min = %v, want [0 %d]", mn, -(p - 1))
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAllreduceDeterministicOrder(t *testing.T) {
+	// Floating-point reductions must produce bit-identical results on every
+	// rank and across repeated runs for a fixed rank count: this underpins
+	// the cross-variant checksum oracle.
+	const p = 7
+	vals := []float64{0.1, 0.2, 0.3, 1e-17, 1e17, -1e17, 0.7}
+	run := func() []float64 {
+		var results [p]float64
+		w := testWorld(t, p)
+		if err := w.Run(func(c *Comm) {
+			out, err := c.AllreduceFloat64([]float64{vals[c.Rank()]}, Sum)
+			if err != nil {
+				t.Errorf("allreduce: %v", err)
+				return
+			}
+			results[c.Rank()] = out[0]
+		}); err != nil {
+			t.Fatal(err)
+		}
+		for r := 1; r < p; r++ {
+			if results[r] != results[0] {
+				t.Fatalf("rank %d result %v != rank 0 result %v", r, results[r], results[0])
+			}
+		}
+		return results[:]
+	}
+	a := run()
+	b := run()
+	for i := range a {
+		if math.Float64bits(a[i]) != math.Float64bits(b[i]) {
+			t.Fatalf("run-to-run difference at rank %d: %v vs %v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestAllgathervInt(t *testing.T) {
+	for _, p := range rankCounts {
+		w := testWorld(t, p)
+		err := w.Run(func(c *Comm) {
+			// Rank r contributes r elements: r, r, ..., so sizes differ,
+			// including an empty contribution from rank 0.
+			in := make([]int, c.Rank())
+			for i := range in {
+				in[i] = c.Rank()
+			}
+			data, counts, err := c.AllgathervInt(in)
+			if err != nil {
+				t.Errorf("p=%d rank=%d: %v", p, c.Rank(), err)
+				return
+			}
+			if len(counts) != p {
+				t.Errorf("p=%d: len(counts)=%d", p, len(counts))
+				return
+			}
+			idx := 0
+			for r := 0; r < p; r++ {
+				if counts[r] != r {
+					t.Errorf("p=%d: counts[%d]=%d, want %d", p, r, counts[r], r)
+					return
+				}
+				for i := 0; i < r; i++ {
+					if data[idx] != r {
+						t.Errorf("p=%d: data[%d]=%d, want %d", p, idx, data[idx], r)
+						return
+					}
+					idx++
+				}
+			}
+		})
+		if err != nil {
+			t.Fatalf("p=%d: %v", p, err)
+		}
+	}
+}
+
+func TestCollectivesInterleavedWithP2P(t *testing.T) {
+	// Point-to-point traffic with user tags must not disturb collectives.
+	const p = 4
+	w := testWorld(t, p)
+	err := w.Run(func(c *Comm) {
+		next := (c.Rank() + 1) % p
+		prev := (c.Rank() + p - 1) % p
+		req, err := c.Irecv(make([]int, 1), prev, 0)
+		if err != nil {
+			t.Errorf("irecv: %v", err)
+			return
+		}
+		out, err := c.AllreduceInt([]int{1}, Sum)
+		if err != nil || out[0] != p {
+			t.Errorf("allreduce amid p2p: %v %v", out, err)
+		}
+		if err := c.Send([]int{c.Rank()}, next, 0); err != nil {
+			t.Errorf("send: %v", err)
+		}
+		if _, err := req.Wait(); err != nil {
+			t.Errorf("wait: %v", err)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestManySequentialCollectives(t *testing.T) {
+	const p = 5
+	w := testWorld(t, p)
+	err := w.Run(func(c *Comm) {
+		for i := 0; i < 50; i++ {
+			out, err := c.AllreduceInt([]int{i}, Sum)
+			if err != nil || out[0] != i*p {
+				t.Errorf("iter %d: %v %v", i, out, err)
+				return
+			}
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCollectivesUnderNetworkModel(t *testing.T) {
+	topo := cluster.MustNew(2, 2, 1)
+	w := NewWorld(topo, simnet.Default())
+	err := w.Run(func(c *Comm) {
+		out, err := c.AllreduceFloat64([]float64{1}, Sum)
+		if err != nil || out[0] != 4 {
+			t.Errorf("allreduce: %v %v", out, err)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Allreduce(Sum) over random int vectors equals the serial sum,
+// for random rank counts.
+func TestPropertyAllreduceMatchesSerial(t *testing.T) {
+	f := func(raw []int8, pRaw uint8) bool {
+		p := int(pRaw)%6 + 1
+		n := len(raw)%5 + 1
+		contrib := make([][]int, p)
+		want := make([]int, n)
+		for r := 0; r < p; r++ {
+			contrib[r] = make([]int, n)
+			for i := 0; i < n; i++ {
+				v := 0
+				if len(raw) > 0 {
+					v = int(raw[(r*n+i)%len(raw)])
+				}
+				contrib[r][i] = v
+				want[i] += v
+			}
+		}
+		w := NewWorld(cluster.MustNew(1, p, 1), simnet.None())
+		ok := true
+		err := w.Run(func(c *Comm) {
+			out, err := c.AllreduceInt(contrib[c.Rank()], Sum)
+			if err != nil {
+				ok = false
+				return
+			}
+			for i := range out {
+				if out[i] != want[i] {
+					ok = false
+					return
+				}
+			}
+		})
+		return err == nil && ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestOpString(t *testing.T) {
+	if Sum.String() != "Sum" || Max.String() != "Max" || Min.String() != "Min" {
+		t.Error("Op.String mismatch")
+	}
+}

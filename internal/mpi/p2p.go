@@ -1,0 +1,220 @@
+package mpi
+
+import (
+	"fmt"
+	"time"
+)
+
+// message is a payload in flight or queued at a receiver.
+type message struct {
+	src  int
+	tag  int
+	data any // library-owned copy
+}
+
+// postedRecv is a receive waiting for a matching message.
+type postedRecv struct {
+	src int // rank or AnySource
+	tag int // tag or AnyTag
+	buf any
+	req *Request
+}
+
+func (p *postedRecv) matches(src, tag int) bool {
+	return (p.src == AnySource || p.src == src) && (p.tag == AnyTag || p.tag == tag)
+}
+
+// mailbox implements the classic two-queue matching algorithm: messages
+// that arrive before a matching receive queue as "unexpected"; receives
+// posted before a matching message queue as "posted". Scanning each queue
+// in FIFO order yields MPI's non-overtaking guarantee.
+type mailbox struct {
+	mu         chanMutex
+	unexpected []*message
+	posted     []*postedRecv
+}
+
+func newMailbox() *mailbox { return &mailbox{mu: newChanMutex()} }
+
+// deliver makes a message visible at this mailbox, completing the oldest
+// matching posted receive if one exists.
+func (b *mailbox) deliver(msg *message) {
+	b.mu.Lock()
+	for i, pr := range b.posted {
+		if pr.matches(msg.src, msg.tag) {
+			b.posted = append(b.posted[:i], b.posted[i+1:]...)
+			b.mu.Unlock()
+			completeRecv(pr, msg)
+			return
+		}
+	}
+	b.unexpected = append(b.unexpected, msg)
+	b.mu.Unlock()
+}
+
+// post registers a receive, completing it immediately against the oldest
+// matching unexpected message if one exists.
+func (b *mailbox) post(pr *postedRecv) {
+	b.mu.Lock()
+	for i, msg := range b.unexpected {
+		if pr.matches(msg.src, msg.tag) {
+			b.unexpected = append(b.unexpected[:i], b.unexpected[i+1:]...)
+			b.mu.Unlock()
+			completeRecv(pr, msg)
+			return
+		}
+	}
+	b.posted = append(b.posted, pr)
+	b.mu.Unlock()
+}
+
+func completeRecv(pr *postedRecv, msg *message) {
+	count, err := copyPayload(pr.buf, msg.data)
+	pr.req.complete(Status{Source: msg.src, Tag: msg.tag, Count: count}, err)
+}
+
+// chanMutex is a mutex built on a channel so that lock acquisition parks
+// the goroutine cooperatively; with thousands of rank goroutines on few OS
+// threads this behaves better than spinning sync.Mutex under heavy
+// contention and keeps the package free of lock-ordering surprises.
+type chanMutex chan struct{}
+
+func newChanMutex() chanMutex {
+	m := make(chanMutex, 1)
+	return m
+}
+
+func (m chanMutex) Lock()   { m <- struct{}{} }
+func (m chanMutex) Unlock() { <-m }
+
+// Isend starts a non-blocking send of buf to dest with the given tag. The
+// buffer is copied eagerly: the caller may reuse it as soon as Isend
+// returns. The returned request completes when the message has been
+// delivered to the destination's matching engine (i.e. after its simulated
+// transfer time).
+func (c *Comm) Isend(buf any, dest, tag int) (*Request, error) {
+	if tag < 0 || tag >= MaxUserTag {
+		return nil, fmt.Errorf("mpi: send tag %d out of range [0,%d)", tag, MaxUserTag)
+	}
+	return c.isend(buf, dest, tag)
+}
+
+// isend is Isend without the user-tag restriction; collectives use the
+// reserved space above MaxUserTag.
+func (c *Comm) isend(buf any, dest, tag int) (*Request, error) {
+	if dest < 0 || dest >= c.Size() {
+		return nil, fmt.Errorf("mpi: send destination %d out of range [0,%d)", dest, c.Size())
+	}
+	_, n, err := bufferKind(buf)
+	if err != nil {
+		return nil, err
+	}
+	msg := &message{src: c.rank, tag: tag, data: clonePayload(buf)}
+	req := newRequest()
+	st := Status{Source: c.rank, Tag: tag, Count: n}
+	c.sentMsgs.Add(1)
+	c.sentBytes.Add(int64(payloadBytes(buf)))
+	dstBox := c.world.comms[dest].box
+	var delay time.Duration
+	if !c.world.net.IsZero() {
+		delay = c.world.net.EffectiveDelay(c.world.topo.SameNode(c.rank, dest), payloadBytes(buf))
+	}
+	if delay == 0 {
+		// Free or sub-granularity transfer: deliver synchronously rather
+		// than paying a goroutine per message.
+		dstBox.deliver(msg)
+		req.complete(st, nil)
+		return req, nil
+	}
+	go func() {
+		time.Sleep(delay)
+		dstBox.deliver(msg)
+		req.complete(st, nil)
+	}()
+	return req, nil
+}
+
+// Irecv starts a non-blocking receive into buf from the given source
+// (or AnySource) with the given tag (or AnyTag). The request completes when
+// a matching message has been copied into buf; Status.Count holds the
+// number of elements received.
+func (c *Comm) Irecv(buf any, source, tag int) (*Request, error) {
+	if tag != AnyTag && (tag < 0 || tag >= MaxUserTag) {
+		return nil, fmt.Errorf("mpi: receive tag %d out of range [0,%d)", tag, MaxUserTag)
+	}
+	return c.irecv(buf, source, tag)
+}
+
+func (c *Comm) irecv(buf any, source, tag int) (*Request, error) {
+	if source != AnySource && (source < 0 || source >= c.Size()) {
+		return nil, fmt.Errorf("mpi: receive source %d out of range [0,%d)", source, c.Size())
+	}
+	if _, _, err := bufferKind(buf); err != nil {
+		return nil, err
+	}
+	req := newRequest()
+	c.box.post(&postedRecv{src: source, tag: tag, buf: buf, req: req})
+	return req, nil
+}
+
+// Send is the blocking form of Isend.
+func (c *Comm) Send(buf any, dest, tag int) error {
+	req, err := c.Isend(buf, dest, tag)
+	if err != nil {
+		return err
+	}
+	_, err = req.Wait()
+	return err
+}
+
+// Recv is the blocking form of Irecv.
+func (c *Comm) Recv(buf any, source, tag int) (Status, error) {
+	req, err := c.Irecv(buf, source, tag)
+	if err != nil {
+		return Status{}, err
+	}
+	return req.Wait()
+}
+
+// Iprobe reports, without blocking or consuming, whether a message
+// matching (source, tag) — with the usual wildcards — has already arrived.
+// On a match the returned status carries the message's source, tag and
+// element count, so a caller can size a receive buffer first.
+func (c *Comm) Iprobe(source, tag int) (bool, Status, error) {
+	if source != AnySource && (source < 0 || source >= c.Size()) {
+		return false, Status{}, fmt.Errorf("mpi: probe source %d out of range [0,%d)", source, c.Size())
+	}
+	if tag != AnyTag && (tag < 0 || tag >= MaxUserTag) {
+		return false, Status{}, fmt.Errorf("mpi: probe tag %d out of range [0,%d)", tag, MaxUserTag)
+	}
+	probe := &postedRecv{src: source, tag: tag}
+	c.box.mu.Lock()
+	defer c.box.mu.Unlock()
+	for _, msg := range c.box.unexpected {
+		if probe.matches(msg.src, msg.tag) {
+			_, n, err := bufferKind(msg.data)
+			if err != nil {
+				return false, Status{}, err
+			}
+			return true, Status{Source: msg.src, Tag: msg.tag, Count: n}, nil
+		}
+	}
+	return false, Status{}, nil
+}
+
+func (c *Comm) send(buf any, dest, tag int) error {
+	req, err := c.isend(buf, dest, tag)
+	if err != nil {
+		return err
+	}
+	_, err = req.Wait()
+	return err
+}
+
+func (c *Comm) recv(buf any, source, tag int) (Status, error) {
+	req, err := c.irecv(buf, source, tag)
+	if err != nil {
+		return Status{}, err
+	}
+	return req.Wait()
+}

@@ -1,0 +1,125 @@
+package mpi
+
+import "fmt"
+
+// kind identifies the element type of a message payload or receive buffer.
+type kind uint8
+
+const (
+	kindFloat64 kind = iota
+	kindInt
+	kindByte
+)
+
+func (k kind) String() string {
+	switch k {
+	case kindFloat64:
+		return "[]float64"
+	case kindInt:
+		return "[]int"
+	case kindByte:
+		return "[]byte"
+	}
+	return "unknown"
+}
+
+func (k kind) elemSize() int {
+	switch k {
+	case kindFloat64, kindInt:
+		return 8
+	default:
+		return 1
+	}
+}
+
+// bufferKind classifies a user buffer. It accepts exactly the supported
+// slice types.
+func bufferKind(buf any) (kind, int, error) {
+	switch b := buf.(type) {
+	case []float64:
+		return kindFloat64, len(b), nil
+	case []int:
+		return kindInt, len(b), nil
+	case []byte:
+		return kindByte, len(b), nil
+	default:
+		return 0, 0, fmt.Errorf("mpi: unsupported buffer type %T (want []float64, []int or []byte)", buf)
+	}
+}
+
+// clonePayload copies a user buffer into library-owned storage so the caller
+// may reuse its buffer as soon as the send call returns (eager protocol).
+func clonePayload(buf any) any {
+	switch b := buf.(type) {
+	case []float64:
+		out := make([]float64, len(b))
+		copy(out, b)
+		return out
+	case []int:
+		out := make([]int, len(b))
+		copy(out, b)
+		return out
+	case []byte:
+		out := make([]byte, len(b))
+		copy(out, b)
+		return out
+	}
+	panic(fmt.Sprintf("mpi: unsupported payload type %T", buf))
+}
+
+// copyPayload copies message data into a receive buffer of the same kind.
+// It returns the element count copied, or an error on kind mismatch or
+// truncation (message longer than the buffer), matching MPI's
+// MPI_ERR_TRUNCATE behaviour.
+func copyPayload(dst, src any) (int, error) {
+	switch s := src.(type) {
+	case []float64:
+		d, ok := dst.([]float64)
+		if !ok {
+			return 0, kindMismatch(dst, src)
+		}
+		if len(s) > len(d) {
+			return 0, truncErr(len(s), len(d))
+		}
+		copy(d, s)
+		return len(s), nil
+	case []int:
+		d, ok := dst.([]int)
+		if !ok {
+			return 0, kindMismatch(dst, src)
+		}
+		if len(s) > len(d) {
+			return 0, truncErr(len(s), len(d))
+		}
+		copy(d, s)
+		return len(s), nil
+	case []byte:
+		d, ok := dst.([]byte)
+		if !ok {
+			return 0, kindMismatch(dst, src)
+		}
+		if len(s) > len(d) {
+			return 0, truncErr(len(s), len(d))
+		}
+		copy(d, s)
+		return len(s), nil
+	}
+	panic(fmt.Sprintf("mpi: unsupported payload type %T", src))
+}
+
+func kindMismatch(dst, src any) error {
+	return fmt.Errorf("mpi: receive buffer type %T does not match message type %T", dst, src)
+}
+
+func truncErr(msgLen, bufLen int) error {
+	return fmt.Errorf("mpi: message truncated: %d elements arrived for a buffer of %d", msgLen, bufLen)
+}
+
+// payloadBytes returns the wire size of a payload for the network model.
+func payloadBytes(buf any) int {
+	k, n, err := bufferKind(buf)
+	if err != nil {
+		return 0
+	}
+	return n * k.elemSize()
+}

@@ -1,0 +1,117 @@
+package mpi
+
+import "sync"
+
+// Request represents an in-flight non-blocking operation. A Request is
+// created by Isend or Irecv and completes exactly once; after completion
+// its Status and error are immutable.
+type Request struct {
+	mu        sync.Mutex
+	done      bool
+	doneCh    chan struct{}
+	status    Status
+	err       error
+	callbacks []func()
+}
+
+func newRequest() *Request {
+	return &Request{doneCh: make(chan struct{})}
+}
+
+// complete records the outcome and fires callbacks. It must be called at
+// most once.
+func (r *Request) complete(st Status, err error) {
+	r.mu.Lock()
+	if r.done {
+		r.mu.Unlock()
+		panic("mpi: request completed twice")
+	}
+	r.done = true
+	r.status = st
+	r.err = err
+	cbs := r.callbacks
+	r.callbacks = nil
+	close(r.doneCh)
+	r.mu.Unlock()
+	for _, cb := range cbs {
+		cb()
+	}
+}
+
+// Wait blocks until the operation completes and returns its status.
+func (r *Request) Wait() (Status, error) {
+	<-r.doneCh
+	return r.status, r.err
+}
+
+// Test reports whether the operation has completed, without blocking.
+// When it returns true the status and error are those of the completion.
+func (r *Request) Test() (bool, Status, error) {
+	select {
+	case <-r.doneCh:
+		return true, r.status, r.err
+	default:
+		return false, Status{}, nil
+	}
+}
+
+// Done returns a channel that is closed when the request completes.
+func (r *Request) Done() <-chan struct{} { return r.doneCh }
+
+// OnComplete registers fn to run when the request completes. If the request
+// has already completed, fn runs immediately on the calling goroutine.
+// This is the primitive the Task-Aware MPI layer binds task completion to.
+func (r *Request) OnComplete(fn func()) {
+	r.mu.Lock()
+	if r.done {
+		r.mu.Unlock()
+		fn()
+		return
+	}
+	r.callbacks = append(r.callbacks, fn)
+	r.mu.Unlock()
+}
+
+// Waitall blocks until every request completes and returns the first error
+// encountered (in slice order), if any.
+func Waitall(reqs []*Request) error {
+	var firstErr error
+	for _, r := range reqs {
+		if r == nil {
+			continue
+		}
+		if _, err := r.Wait(); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
+}
+
+// Waitany blocks until at least one of the requests completes and returns
+// its index and status. Requests that are nil (or already consumed by a
+// previous Waitany, conventionally nil-ed out by the caller) are skipped.
+// If all requests are nil, Waitany returns index -1 immediately, matching
+// MPI_Waitany's MPI_UNDEFINED result.
+func Waitany(reqs []*Request) (int, Status, error) {
+	live := 0
+	for _, r := range reqs {
+		if r != nil {
+			live++
+		}
+	}
+	if live == 0 {
+		return -1, Status{}, nil
+	}
+	type hit struct{ idx int }
+	ch := make(chan hit, live)
+	for i, r := range reqs {
+		if r == nil {
+			continue
+		}
+		i := i
+		r.OnComplete(func() { ch <- hit{i} })
+	}
+	h := <-ch
+	st, err := reqs[h.idx].Wait() // already complete; fetch outcome
+	return h.idx, st, err
+}

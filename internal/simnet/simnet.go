@@ -1,0 +1,110 @@
+// Package simnet models the cost of moving bytes across the virtual
+// cluster's interconnect.
+//
+// The reproduction runs every MPI rank inside one OS process, so message
+// transport is a memory copy. To recover the phenomena the paper measures
+// — communication/computation overlap, sensitivity to the number of
+// neighbours, serialized-master bottlenecks — inter-rank messages are
+// charged a transfer time (latency + size/bandwidth) before they become
+// visible to the receiver. Intra-node messages are cheaper than inter-node
+// ones, mirroring shared-memory versus fabric transfers.
+//
+// Delays are realised by parking the delivery goroutine, so a rank that
+// waits on a message genuinely idles while a data-flow runtime can run
+// other tasks in the meantime: exactly the effect TAMPI exploits.
+package simnet
+
+import "time"
+
+// Model describes interconnect costs. The zero value charges nothing and is
+// the right choice for unit tests where timing is irrelevant.
+type Model struct {
+	// IntraNodeLatency is the fixed cost of a message between ranks on the
+	// same node (a shared-memory copy).
+	IntraNodeLatency time.Duration
+	// InterNodeLatency is the fixed cost of a message between ranks on
+	// different nodes (a fabric round through the NIC).
+	InterNodeLatency time.Duration
+	// IntraNodeBandwidth and InterNodeBandwidth are in bytes per second.
+	// Zero means infinite (no per-byte cost).
+	IntraNodeBandwidth float64
+	InterNodeBandwidth float64
+}
+
+// None returns a model with no cost. Messages are delivered immediately.
+func None() Model { return Model{} }
+
+// Default returns the model used by the experiment harness. The constants
+// are scaled for the reproduction's small virtual clusters: inter-node
+// latency sits well above the Go timer granularity so sleeps are faithful,
+// and bandwidth terms make large face bundles measurably more expensive
+// than small control messages.
+func Default() Model {
+	return Model{
+		IntraNodeLatency:   2 * time.Microsecond,
+		InterNodeLatency:   120 * time.Microsecond,
+		IntraNodeBandwidth: 8e9, // 8 GB/s shared memory copy
+		InterNodeBandwidth: 1e9, // 1 GB/s fabric
+	}
+}
+
+// Slow returns a high-latency model (a congested or far-flung fabric).
+// With it, communication waits dominate and the variants separate the way
+// the paper's large-scale runs do: serialised waiting leaves cores idle
+// unless a data-flow runtime fills them with ready tasks. On hosts with
+// few physical cores this is the model that makes overlap visible.
+func Slow() Model {
+	return Model{
+		IntraNodeLatency:   5 * time.Microsecond,
+		InterNodeLatency:   1500 * time.Microsecond,
+		IntraNodeBandwidth: 8e9,
+		InterNodeBandwidth: 4e8, // 400 MB/s
+	}
+}
+
+// Delay returns the simulated transfer time for a message of the given size
+// between two ranks that either share a node or not.
+func (m Model) Delay(sameNode bool, bytes int) time.Duration {
+	var lat time.Duration
+	var bw float64
+	if sameNode {
+		lat, bw = m.IntraNodeLatency, m.IntraNodeBandwidth
+	} else {
+		lat, bw = m.InterNodeLatency, m.InterNodeBandwidth
+	}
+	d := lat
+	if bw > 0 && bytes > 0 {
+		d += time.Duration(float64(bytes) / bw * float64(time.Second))
+	}
+	return d
+}
+
+// minSleep is the smallest delay worth realising with a timer; the Go
+// runtime cannot park/unpark meaningfully faster than this, and sleeping
+// for such periods would only add noise.
+const minSleep = 10 * time.Microsecond
+
+// Apply blocks the calling goroutine for the simulated transfer time of a
+// message. Delays too small to realise faithfully are skipped.
+func (m Model) Apply(sameNode bool, bytes int) {
+	if d := m.Delay(sameNode, bytes); d >= minSleep {
+		time.Sleep(d)
+	}
+}
+
+// EffectiveDelay returns the transfer time that will actually be realised:
+// zero when the nominal delay is below the timer granularity, in which
+// case the caller should deliver synchronously instead of parking a
+// goroutine.
+func (m Model) EffectiveDelay(sameNode bool, bytes int) time.Duration {
+	if d := m.Delay(sameNode, bytes); d >= minSleep {
+		return d
+	}
+	return 0
+}
+
+// IsZero reports whether the model charges nothing at all.
+func (m Model) IsZero() bool {
+	return m.IntraNodeLatency == 0 && m.InterNodeLatency == 0 &&
+		m.IntraNodeBandwidth == 0 && m.InterNodeBandwidth == 0
+}

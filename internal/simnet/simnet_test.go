@@ -1,0 +1,94 @@
+package simnet
+
+import (
+	"testing"
+	"time"
+)
+
+func TestZeroModelChargesNothing(t *testing.T) {
+	m := None()
+	if !m.IsZero() {
+		t.Error("None() should be zero model")
+	}
+	if d := m.Delay(false, 1<<20); d != 0 {
+		t.Errorf("zero model delay = %v, want 0", d)
+	}
+}
+
+func TestLatencyOnly(t *testing.T) {
+	m := Model{IntraNodeLatency: time.Microsecond, InterNodeLatency: time.Millisecond}
+	if d := m.Delay(true, 0); d != time.Microsecond {
+		t.Errorf("intra delay = %v, want 1us", d)
+	}
+	if d := m.Delay(false, 0); d != time.Millisecond {
+		t.Errorf("inter delay = %v, want 1ms", d)
+	}
+}
+
+func TestBandwidthTerm(t *testing.T) {
+	m := Model{InterNodeBandwidth: 1e6} // 1 MB/s
+	// 1000 bytes at 1 MB/s = 1 ms.
+	if d := m.Delay(false, 1000); d != time.Millisecond {
+		t.Errorf("delay = %v, want 1ms", d)
+	}
+	// Intra-node bandwidth is unset (infinite), so intra messages are free.
+	if d := m.Delay(true, 1000); d != 0 {
+		t.Errorf("intra delay = %v, want 0", d)
+	}
+}
+
+func TestDelayMonotonicInSize(t *testing.T) {
+	m := Default()
+	prev := time.Duration(-1)
+	for _, bytes := range []int{0, 100, 10_000, 1_000_000} {
+		d := m.Delay(false, bytes)
+		if d < prev {
+			t.Errorf("delay decreased: %v after %v for %d bytes", d, prev, bytes)
+		}
+		prev = d
+	}
+}
+
+func TestInterCostsMoreThanIntra(t *testing.T) {
+	m := Default()
+	if m.Delay(false, 4096) <= m.Delay(true, 4096) {
+		t.Error("inter-node transfer should cost more than intra-node")
+	}
+}
+
+func TestApplySkipsTinyDelays(t *testing.T) {
+	m := Model{IntraNodeLatency: time.Nanosecond}
+	start := time.Now()
+	m.Apply(true, 0)
+	if elapsed := time.Since(start); elapsed > time.Millisecond {
+		t.Errorf("Apply of 1ns delay slept %v; should have been skipped", elapsed)
+	}
+}
+
+func TestApplyRealisesLargeDelay(t *testing.T) {
+	m := Model{InterNodeLatency: 2 * time.Millisecond}
+	start := time.Now()
+	m.Apply(false, 0)
+	if elapsed := time.Since(start); elapsed < time.Millisecond {
+		t.Errorf("Apply slept only %v, want >= ~2ms", elapsed)
+	}
+}
+
+func TestSlowModel(t *testing.T) {
+	m := Slow()
+	if m.IsZero() {
+		t.Error("Slow() should charge")
+	}
+	if m.Delay(false, 0) <= Default().Delay(false, 0) {
+		t.Error("Slow inter-node latency should exceed Default")
+	}
+	if m.Delay(false, 1<<20) <= m.Delay(true, 1<<20) {
+		t.Error("Slow inter should exceed intra")
+	}
+	if d := m.EffectiveDelay(true, 0); d != 0 {
+		t.Errorf("intra 5us should be below sleep granularity, got %v", d)
+	}
+	if d := m.EffectiveDelay(false, 0); d == 0 {
+		t.Error("inter 1.5ms should be realised")
+	}
+}

@@ -1,0 +1,143 @@
+// Package tampi reproduces the Task-Aware MPI library: it integrates MPI
+// operations with the data-flow tasking runtime so communications can be
+// issued safely and efficiently from inside tasks.
+//
+// Two families of operations are provided, mirroring the TAMPI API the
+// paper builds on:
+//
+//   - Blocking operations (Send, Recv) pause the calling task until the
+//     operation completes. The task's virtual core is released in the
+//     meantime, so the runtime keeps executing other ready tasks — the
+//     task is suspended, not the worker.
+//   - Non-blocking binding (Isend, Irecv, Iwait) starts a standard
+//     non-blocking operation and binds its completion to the calling
+//     task: the task's dependencies are released only once the task body
+//     has returned and every bound request has completed. Successor tasks
+//     therefore observe fully transferred buffers without anybody
+//     spinning on MPI_Test.
+//
+// Iwait corresponds to TAMPI_Iwait/TAMPI_Iwaitall; Isend and Irecv are the
+// convenience wrappers TAMPI_Isend/TAMPI_Irecv that perform the operation
+// and immediately bind the resulting request.
+//
+// Errors on bound requests complete asynchronously, possibly after the
+// issuing task body has returned; they are recorded in the Context and
+// surfaced by Err, which drivers check at phase boundaries.
+package tampi
+
+import (
+	"sync"
+
+	"miniamr/internal/mpi"
+	"miniamr/internal/task"
+)
+
+// Context couples one rank's communicator with asynchronous error
+// tracking. All methods are safe for concurrent use by tasks of the rank.
+type Context struct {
+	comm *mpi.Comm
+
+	mu  sync.Mutex
+	err error
+}
+
+// New builds a task-aware context over a communicator.
+func New(c *mpi.Comm) *Context { return &Context{comm: c} }
+
+// Comm returns the underlying communicator.
+func (x *Context) Comm() *mpi.Comm { return x.comm }
+
+// Err returns the first asynchronous error observed on a bound request, or
+// nil. Drivers call it at synchronisation points.
+func (x *Context) Err() error {
+	x.mu.Lock()
+	defer x.mu.Unlock()
+	return x.err
+}
+
+func (x *Context) record(err error) {
+	if err == nil {
+		return
+	}
+	x.mu.Lock()
+	if x.err == nil {
+		x.err = err
+	}
+	x.mu.Unlock()
+}
+
+// Iwait binds the completion of the given requests to t: t will not
+// release its dependencies until all of them complete. It never blocks.
+// Corresponds to TAMPI_Iwait/TAMPI_Iwaitall.
+func (x *Context) Iwait(t *task.Task, reqs ...*mpi.Request) {
+	live := 0
+	for _, r := range reqs {
+		if r != nil {
+			live++
+		}
+	}
+	if live == 0 {
+		return
+	}
+	t.AddEvents(live)
+	for _, r := range reqs {
+		if r == nil {
+			continue
+		}
+		r := r
+		r.OnComplete(func() {
+			_, err := r.Wait() // already complete; fetch outcome
+			x.record(err)
+			t.CompleteEvent()
+		})
+	}
+}
+
+// Isend starts a non-blocking send and binds it to t (TAMPI_Isend). The
+// send buffer is copied eagerly by the MPI layer, so the caller may reuse
+// it; the binding still delays dependency release until the message is on
+// the wire, preserving TAMPI's completion semantics.
+func (x *Context) Isend(t *task.Task, buf any, dest, tag int) error {
+	req, err := x.comm.Isend(buf, dest, tag)
+	if err != nil {
+		return err
+	}
+	x.Iwait(t, req)
+	return nil
+}
+
+// Irecv starts a non-blocking receive into buf and binds it to t
+// (TAMPI_Irecv). The buffer must not be consumed inside the task: it is
+// valid only for successor tasks that depend on the task's out-access.
+func (x *Context) Irecv(t *task.Task, buf any, source, tag int) error {
+	req, err := x.comm.Irecv(buf, source, tag)
+	if err != nil {
+		return err
+	}
+	x.Iwait(t, req)
+	return nil
+}
+
+// Send performs a blocking send from inside a task: the task pauses until
+// the message has been delivered, releasing its core meanwhile.
+func (x *Context) Send(t *task.Task, buf any, dest, tag int) error {
+	req, err := x.comm.Isend(buf, dest, tag)
+	if err != nil {
+		return err
+	}
+	t.Suspend(req.Done())
+	_, err = req.Wait()
+	return err
+}
+
+// Recv performs a blocking receive from inside a task: the task pauses
+// until a matching message has been copied into buf, releasing its core
+// meanwhile.
+func (x *Context) Recv(t *task.Task, buf any, source, tag int) (mpi.Status, error) {
+	req, err := x.comm.Irecv(buf, source, tag)
+	if err != nil {
+		return mpi.Status{}, err
+	}
+	t.Suspend(req.Done())
+	return req.Wait()
+}

@@ -1,0 +1,89 @@
+package task
+
+import (
+	"sync/atomic"
+	"testing"
+)
+
+// BenchmarkSpawnIndependent measures task spawn+execute+retire cost with
+// no dependencies.
+func BenchmarkSpawnIndependent(b *testing.B) {
+	rt := MustNewRuntime(Options{Workers: 4})
+	defer rt.Shutdown()
+	var sink int64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rt.Spawn("t", func(*Task) { atomic.AddInt64(&sink, 1) })
+	}
+	rt.Wait()
+}
+
+// BenchmarkSpawnChain measures a fully serialised dependency chain — the
+// worst case for the dependency tracker and the best case for the
+// immediate-successor policy.
+func BenchmarkSpawnChain(b *testing.B) {
+	rt := MustNewRuntime(Options{Workers: 4})
+	defer rt.Shutdown()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rt.Spawn("t", func(*Task) {}, InOut("chain")...)
+	}
+	rt.Wait()
+}
+
+// BenchmarkSpawnChainNoImmediateSuccessor is the ablation counterpart of
+// BenchmarkSpawnChain: every link goes through the scheduler queue.
+func BenchmarkSpawnChainNoImmediateSuccessor(b *testing.B) {
+	rt := MustNewRuntime(Options{Workers: 4, DisableImmediateSuccessor: true})
+	defer rt.Shutdown()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rt.Spawn("t", func(*Task) {}, InOut("chain")...)
+	}
+	rt.Wait()
+}
+
+// BenchmarkSpawnFanOut measures one writer releasing many readers.
+func BenchmarkSpawnFanOut(b *testing.B) {
+	rt := MustNewRuntime(Options{Workers: 4})
+	defer rt.Shutdown()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rt.Spawn("w", func(*Task) {}, Out("k")...)
+		for r := 0; r < 8; r++ {
+			rt.Spawn("r", func(*Task) {}, In("k")...)
+		}
+	}
+	rt.Wait()
+}
+
+// BenchmarkExternalEvents measures the TAMPI-style bound-event path.
+func BenchmarkExternalEvents(b *testing.B) {
+	rt := MustNewRuntime(Options{Workers: 4})
+	defer rt.Shutdown()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rt.Spawn("t", func(t *Task) {
+			t.AddEvents(1)
+			t.CompleteEvent()
+		})
+	}
+	rt.Wait()
+}
+
+// BenchmarkMultidependency measures a task with a wide access list, the
+// shape of aggregated send tasks.
+func BenchmarkMultidependency(b *testing.B) {
+	rt := MustNewRuntime(Options{Workers: 4})
+	defer rt.Shutdown()
+	keys := make([]any, 16)
+	for i := range keys {
+		keys[i] = i
+	}
+	accs := In(keys...)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rt.Spawn("t", func(*Task) {}, accs...)
+	}
+	rt.Wait()
+}

@@ -1,0 +1,176 @@
+package task
+
+import "sync/atomic"
+
+// node is the runtime's internal task record. A node with a non-nil waitCh
+// is a WaitAccess pseudo-task: it is never executed, only signalled when
+// its dependencies release.
+type node struct {
+	rt    *Runtime
+	label string
+	body  func(t *Task)
+
+	pending    int     // unsatisfied predecessor count; guarded by rt.mu
+	successors []*node // guarded by rt.mu
+	finished   bool    // guarded by rt.mu
+
+	// events counts outstanding completion obligations: 1 for the body
+	// plus one per bound external event. The task finishes (releases its
+	// dependencies) when events reaches zero. Accessed atomically.
+	events int32
+
+	waitCh chan struct{} // non-nil only for WaitAccess pseudo-nodes
+}
+
+// run executes n and then, under the immediate-successor policy, keeps
+// executing newly released successors on the same virtual core. core < 0
+// means the goroutine must first acquire a core.
+func (n *node) run(core int) {
+	rt := n.rt
+	for {
+		if core < 0 {
+			core = <-rt.cores
+		}
+		t := &Task{node: n, core: core}
+		runBody(n, t)
+		core = t.core // Suspend may have exchanged the core id
+		if rt.onTaskEnd != nil {
+			rt.onTaskEnd(n.label, core)
+		}
+		ready, finishedNow := n.completeEvent()
+		if !finishedNow {
+			// Bound events still in flight: the core is free, the task
+			// will finish from the last event's completion callback.
+			rt.cores <- core
+			return
+		}
+		var next *node
+		if rt.imsucc && len(ready) > 0 {
+			next, ready = ready[0], ready[1:]
+		}
+		for _, m := range ready {
+			go m.run(-1)
+		}
+		if next == nil {
+			rt.cores <- core
+			return
+		}
+		n = next
+	}
+}
+
+// runBody invokes the task body, converting panics into a recorded runtime
+// failure so the graph still drains and Wait can rethrow deterministically.
+func runBody(n *node, t *Task) {
+	defer func() {
+		if p := recover(); p != nil {
+			n.rt.recordPanic(p)
+		}
+	}()
+	n.body(t)
+}
+
+func (rt *Runtime) recordPanic(p any) {
+	rt.mu.Lock()
+	if rt.firstPanic == nil {
+		rt.firstPanic = p
+	}
+	rt.mu.Unlock()
+}
+
+// completeEvent consumes one outstanding event. When the last event is
+// consumed the task finishes: it releases its dependencies and returns the
+// successors that became ready.
+func (n *node) completeEvent() (ready []*node, finished bool) {
+	if atomic.AddInt32(&n.events, -1) != 0 {
+		return nil, false
+	}
+	return n.finish(), true
+}
+
+// finish marks n done and releases its dependency edges. It returns the
+// successors whose last predecessor was n. WaitAccess pseudo-nodes are
+// signalled instead of scheduled.
+func (n *node) finish() []*node {
+	rt := n.rt
+	rt.mu.Lock()
+	n.finished = true
+	var ready []*node
+	for _, s := range n.successors {
+		s.pending--
+		if s.pending == 0 {
+			if s.waitCh != nil {
+				close(s.waitCh)
+			} else {
+				ready = append(ready, s)
+			}
+		}
+	}
+	n.successors = nil
+	rt.live--
+	if rt.live == 0 {
+		// The whole graph drained: all dependency state refers to finished
+		// tasks and can be dropped, bounding memory across refinement
+		// epochs that retire old block keys.
+		rt.deps = make(map[any]*depState)
+		rt.cond.Broadcast()
+	}
+	rt.mu.Unlock()
+	return ready
+}
+
+// Task is the handle passed to a task body.
+type Task struct {
+	node *node
+	core int
+}
+
+// Label returns the label the task was spawned with.
+func (t *Task) Label() string { return t.node.label }
+
+// Worker returns the virtual core currently executing the task.
+func (t *Task) Worker() int { return t.core }
+
+// Runtime returns the runtime executing the task.
+func (t *Task) Runtime() *Runtime { return t.node.rt }
+
+// AddEvents binds k additional external events to the task. The task will
+// not release its dependencies until CompleteEvent has been called once per
+// bound event (and the body has returned). AddEvents must be called from
+// the task body, before it returns. This is the OmpSs-2 external-events API
+// that TAMPI builds Iwait on.
+func (t *Task) AddEvents(k int) {
+	if k <= 0 {
+		panic("task: AddEvents requires a positive count")
+	}
+	atomic.AddInt32(&t.node.events, int32(k))
+}
+
+// CompleteEvent consumes one bound event. It may be called from any
+// goroutine (typically an MPI completion callback). When the final
+// obligation completes, the task releases its dependencies and its ready
+// successors are scheduled.
+func (t *Task) CompleteEvent() {
+	ready, finished := t.node.completeEvent()
+	if !finished {
+		return
+	}
+	for _, m := range ready {
+		go m.run(-1)
+	}
+}
+
+// Suspend parks the task until ch is closed (or receives), releasing its
+// virtual core so other tasks can run — the mechanism behind blocking
+// TAMPI operations. If ch is already ready, the task keeps its core.
+func (t *Task) Suspend(ch <-chan struct{}) {
+	select {
+	case <-ch:
+		return
+	default:
+	}
+	rt := t.node.rt
+	rt.cores <- t.core
+	<-ch
+	t.core = <-rt.cores
+}

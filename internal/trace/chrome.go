@@ -1,0 +1,39 @@
+package trace
+
+import (
+	"encoding/json"
+	"io"
+)
+
+// chromeEvent is one complete event ("ph":"X") of the Chrome Trace Event
+// format, the JSON understood by chrome://tracing and Perfetto.
+type chromeEvent struct {
+	Name  string `json:"name"`
+	Phase string `json:"ph"`
+	// Timestamps and durations are in microseconds.
+	TS  float64 `json:"ts"`
+	Dur float64 `json:"dur"`
+	PID int     `json:"pid"` // rank
+	TID int     `json:"tid"` // worker
+	Cat string  `json:"cat"` // phase classification (comp/comm/other)
+}
+
+// WriteChromeTrace serialises events in the Chrome Trace Event format so
+// recordings can be explored interactively in chrome://tracing or
+// https://ui.perfetto.dev — the reproduction's graphical Paraver.
+func WriteChromeTrace(w io.Writer, events []Event) error {
+	out := make([]chromeEvent, len(events))
+	for i, e := range events {
+		out[i] = chromeEvent{
+			Name:  e.Label,
+			Phase: "X",
+			TS:    float64(e.Start.Microseconds()),
+			Dur:   float64((e.End - e.Start).Microseconds()),
+			PID:   e.Rank,
+			TID:   e.Worker,
+			Cat:   Phase(e.Label),
+		}
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(out)
+}

@@ -1,0 +1,69 @@
+package trace
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// WriteCSV serialises events as "rank,worker,label,start_ns,end_ns" lines
+// with a header, the format cmd/traceview reads back.
+func WriteCSV(w io.Writer, events []Event) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintln(bw, "rank,worker,label,start_ns,end_ns"); err != nil {
+		return err
+	}
+	for _, e := range events {
+		if _, err := fmt.Fprintf(bw, "%d,%d,%s,%d,%d\n",
+			e.Rank, e.Worker, e.Label, e.Start.Nanoseconds(), e.End.Nanoseconds()); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadCSV parses the WriteCSV format.
+func ReadCSV(r io.Reader) ([]Event, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<24)
+	var events []Event
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if line == 1 || text == "" { // header
+			continue
+		}
+		parts := strings.SplitN(text, ",", 5)
+		if len(parts) != 5 {
+			return nil, fmt.Errorf("trace: line %d: want 5 fields, got %d", line, len(parts))
+		}
+		rank, err := strconv.Atoi(parts[0])
+		if err != nil {
+			return nil, fmt.Errorf("trace: line %d: rank: %w", line, err)
+		}
+		worker, err := strconv.Atoi(parts[1])
+		if err != nil {
+			return nil, fmt.Errorf("trace: line %d: worker: %w", line, err)
+		}
+		start, err := strconv.ParseInt(parts[3], 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("trace: line %d: start: %w", line, err)
+		}
+		end, err := strconv.ParseInt(parts[4], 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("trace: line %d: end: %w", line, err)
+		}
+		events = append(events, Event{
+			Rank: rank, Worker: worker, Label: parts[2],
+			Start: time.Duration(start), End: time.Duration(end),
+		})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return events, nil
+}

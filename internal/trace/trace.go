@@ -1,0 +1,318 @@
+// Package trace records execution timelines the way the paper uses
+// Extrae/Paraver: per-worker spans labelled with the task type or MPI call
+// being executed. The recorder feeds the Figure 1-3 reproductions: an
+// ASCII timeline renderer and quantitative statistics (per-phase time,
+// worker utilisation, idle gaps, computation/communication overlap).
+package trace
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Event is one recorded span on a worker lane.
+type Event struct {
+	Rank   int
+	Worker int
+	Label  string // task type or MPI call, e.g. "stencil", "MPI_Waitany"
+	Start  time.Duration
+	End    time.Duration
+}
+
+// Recorder accumulates events. A nil *Recorder is valid and records
+// nothing, so instrumented code needs no conditionals.
+type Recorder struct {
+	mu     sync.Mutex
+	origin time.Time
+	events []Event
+}
+
+// NewRecorder creates a recorder whose time origin is now.
+func NewRecorder() *Recorder {
+	return &Recorder{origin: time.Now()}
+}
+
+// Record adds a span. Safe for concurrent use; no-op on a nil recorder.
+func (r *Recorder) Record(rank, worker int, label string, start, end time.Time) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	r.events = append(r.events, Event{
+		Rank:   rank,
+		Worker: worker,
+		Label:  label,
+		Start:  start.Sub(r.origin),
+		End:    end.Sub(r.origin),
+	})
+	r.mu.Unlock()
+}
+
+// Span runs fn and records its duration under the given lane and label.
+func (r *Recorder) Span(rank, worker int, label string, fn func()) {
+	if r == nil {
+		fn()
+		return
+	}
+	start := time.Now()
+	fn()
+	r.Record(rank, worker, label, start, time.Now())
+}
+
+// Events returns a copy of all recorded events sorted by start time.
+func (r *Recorder) Events() []Event {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	out := make([]Event, len(r.events))
+	copy(out, r.events)
+	r.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].Start < out[j].Start })
+	return out
+}
+
+// Len returns the number of recorded events.
+func (r *Recorder) Len() int {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.events)
+}
+
+// Phase classifies a label into computation, communication, or other,
+// driving the overlap statistics.
+func Phase(label string) string {
+	switch {
+	case strings.HasPrefix(label, "stencil"), strings.HasPrefix(label, "cksum"),
+		strings.HasPrefix(label, "split"), strings.HasPrefix(label, "consolidate"):
+		return "comp"
+	case strings.HasPrefix(label, "MPI"), strings.HasPrefix(label, "send"),
+		strings.HasPrefix(label, "recv"), strings.HasPrefix(label, "pack"),
+		strings.HasPrefix(label, "unpack"), strings.HasPrefix(label, "local-copy"),
+		strings.HasPrefix(label, "exchange"):
+		return "comm"
+	default:
+		return "other"
+	}
+}
+
+// Stats summarises a trace.
+type Stats struct {
+	// Span is the wall-clock extent from first start to last end.
+	Span time.Duration
+	// Lanes is the number of distinct (rank, worker) lanes.
+	Lanes int
+	// Busy is the summed busy time across lanes.
+	Busy time.Duration
+	// Utilization is Busy / (Span * Lanes).
+	Utilization float64
+	// ByLabel sums span time per label.
+	ByLabel map[string]time.Duration
+	// ByPhase sums span time per phase (comp/comm/other).
+	ByPhase map[string]time.Duration
+	// OverlapTime is the total time during which computation and
+	// communication spans were simultaneously active (anywhere in the
+	// job) — the effect the data-flow variant exists to create.
+	OverlapTime time.Duration
+	// MaxIdleGap is the longest interval in which a lane with recorded
+	// activity on both sides sat idle.
+	MaxIdleGap time.Duration
+}
+
+// ComputeStats derives summary statistics from events.
+func ComputeStats(events []Event) Stats {
+	st := Stats{ByLabel: map[string]time.Duration{}, ByPhase: map[string]time.Duration{}}
+	if len(events) == 0 {
+		return st
+	}
+	type lane struct{ rank, worker int }
+	laneEvents := map[lane][]Event{}
+	var minStart, maxEnd time.Duration
+	minStart = events[0].Start
+	for _, e := range events {
+		if e.Start < minStart {
+			minStart = e.Start
+		}
+		if e.End > maxEnd {
+			maxEnd = e.End
+		}
+		st.Busy += e.End - e.Start
+		st.ByLabel[e.Label] += e.End - e.Start
+		st.ByPhase[Phase(e.Label)] += e.End - e.Start
+		l := lane{e.Rank, e.Worker}
+		laneEvents[l] = append(laneEvents[l], e)
+	}
+	st.Span = maxEnd - minStart
+	st.Lanes = len(laneEvents)
+	if st.Span > 0 && st.Lanes > 0 {
+		st.Utilization = float64(st.Busy) / (float64(st.Span) * float64(st.Lanes))
+	}
+
+	// Idle gaps per lane.
+	for _, evs := range laneEvents {
+		sort.Slice(evs, func(i, j int) bool { return evs[i].Start < evs[j].Start })
+		var horizon time.Duration = -1
+		for _, e := range evs {
+			if horizon >= 0 && e.Start > horizon {
+				if gap := e.Start - horizon; gap > st.MaxIdleGap {
+					st.MaxIdleGap = gap
+				}
+			}
+			if e.End > horizon {
+				horizon = e.End
+			}
+		}
+	}
+
+	// Computation/communication overlap via a sweep over phase intervals.
+	type edge struct {
+		t     time.Duration
+		phase string
+		d     int
+	}
+	var edges []edge
+	for _, e := range events {
+		p := Phase(e.Label)
+		if p == "other" {
+			continue
+		}
+		edges = append(edges, edge{e.Start, p, +1}, edge{e.End, p, -1})
+	}
+	sort.Slice(edges, func(i, j int) bool {
+		if edges[i].t != edges[j].t {
+			return edges[i].t < edges[j].t
+		}
+		return edges[i].d < edges[j].d // process ends before starts at ties
+	})
+	comp, comms := 0, 0
+	var last time.Duration
+	for _, ed := range edges {
+		if comp > 0 && comms > 0 {
+			st.OverlapTime += ed.t - last
+		}
+		last = ed.t
+		if ed.phase == "comp" {
+			comp += ed.d
+		} else {
+			comms += ed.d
+		}
+	}
+	return st
+}
+
+// Render draws an ASCII timeline: one row per (rank, worker) lane, columns
+// are equal time buckets, each cell showing the first letter of the label
+// that dominates the bucket ('.' for idle). It is the reproduction's
+// Paraver view.
+func Render(events []Event, width int) string {
+	if len(events) == 0 {
+		return "(empty trace)\n"
+	}
+	if width <= 0 {
+		width = 100
+	}
+	var minStart, maxEnd time.Duration
+	minStart = events[0].Start
+	for _, e := range events {
+		if e.Start < minStart {
+			minStart = e.Start
+		}
+		if e.End > maxEnd {
+			maxEnd = e.End
+		}
+	}
+	span := maxEnd - minStart
+	if span <= 0 {
+		span = 1
+	}
+	type lane struct{ rank, worker int }
+	laneSet := map[lane]bool{}
+	for _, e := range events {
+		laneSet[lane{e.Rank, e.Worker}] = true
+	}
+	lanes := make([]lane, 0, len(laneSet))
+	for l := range laneSet {
+		lanes = append(lanes, l)
+	}
+	sort.Slice(lanes, func(i, j int) bool {
+		if lanes[i].rank != lanes[j].rank {
+			return lanes[i].rank < lanes[j].rank
+		}
+		return lanes[i].worker < lanes[j].worker
+	})
+	laneRow := map[lane]int{}
+	for i, l := range lanes {
+		laneRow[l] = i
+	}
+
+	// Per row and bucket, accumulate time per label.
+	rows := make([]map[int]map[string]time.Duration, len(lanes))
+	for i := range rows {
+		rows[i] = map[int]map[string]time.Duration{}
+	}
+	bucketDur := span / time.Duration(width)
+	if bucketDur <= 0 {
+		bucketDur = 1
+	}
+	for _, e := range events {
+		row := laneRow[lane{e.Rank, e.Worker}]
+		for b := int((e.Start - minStart) / bucketDur); b < width; b++ {
+			bStart := minStart + time.Duration(b)*bucketDur
+			bEnd := bStart + bucketDur
+			if e.End <= bStart {
+				break
+			}
+			ov := minDur(e.End, bEnd) - maxDur(e.Start, bStart)
+			if ov <= 0 {
+				continue
+			}
+			if rows[row][b] == nil {
+				rows[row][b] = map[string]time.Duration{}
+			}
+			rows[row][b][e.Label] += ov
+		}
+	}
+
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "timeline: %v total, %d lanes, one column = %v\n", span, len(lanes), bucketDur)
+	for i, l := range lanes {
+		fmt.Fprintf(&sb, "r%02dw%02d |", l.rank, l.worker)
+		for b := 0; b < width; b++ {
+			best, bestDur := byte('.'), time.Duration(0)
+			// Deterministic winner: iterate labels sorted.
+			labels := make([]string, 0, len(rows[i][b]))
+			for lab := range rows[i][b] {
+				labels = append(labels, lab)
+			}
+			sort.Strings(labels)
+			for _, lab := range labels {
+				if d := rows[i][b][lab]; d > bestDur {
+					best, bestDur = lab[0], d
+				}
+			}
+			sb.WriteByte(best)
+		}
+		sb.WriteString("|\n")
+	}
+	return sb.String()
+}
+
+func minDur(a, b time.Duration) time.Duration {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func maxDur(a, b time.Duration) time.Duration {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,231 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func ms(n int) time.Duration { return time.Duration(n) * time.Millisecond }
+
+func TestNilRecorderIsSafe(t *testing.T) {
+	var r *Recorder
+	r.Record(0, 0, "x", time.Now(), time.Now())
+	ran := false
+	r.Span(0, 0, "x", func() { ran = true })
+	if !ran {
+		t.Error("Span on nil recorder skipped fn")
+	}
+	if r.Events() != nil || r.Len() != 0 {
+		t.Error("nil recorder should report no events")
+	}
+}
+
+func TestRecordAndEventsSorted(t *testing.T) {
+	r := NewRecorder()
+	base := time.Now()
+	r.Record(0, 0, "b", base.Add(ms(10)), base.Add(ms(20)))
+	r.Record(0, 1, "a", base, base.Add(ms(5)))
+	evs := r.Events()
+	if len(evs) != 2 || r.Len() != 2 {
+		t.Fatalf("events = %d", len(evs))
+	}
+	if evs[0].Label != "a" || evs[1].Label != "b" {
+		t.Error("events not sorted by start")
+	}
+}
+
+func TestSpanMeasures(t *testing.T) {
+	r := NewRecorder()
+	r.Span(1, 2, "stencil", func() { time.Sleep(2 * time.Millisecond) })
+	evs := r.Events()
+	if len(evs) != 1 {
+		t.Fatal("no event")
+	}
+	e := evs[0]
+	if e.Rank != 1 || e.Worker != 2 || e.Label != "stencil" {
+		t.Errorf("event = %+v", e)
+	}
+	if e.End-e.Start < time.Millisecond {
+		t.Errorf("span too short: %v", e.End-e.Start)
+	}
+}
+
+func TestConcurrentRecording(t *testing.T) {
+	r := NewRecorder()
+	var wg sync.WaitGroup
+	for i := 0; i < 20; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for j := 0; j < 50; j++ {
+				r.Span(i, 0, "w", func() {})
+			}
+		}(i)
+	}
+	wg.Wait()
+	if r.Len() != 1000 {
+		t.Errorf("events = %d, want 1000", r.Len())
+	}
+}
+
+func TestPhaseClassification(t *testing.T) {
+	cases := map[string]string{
+		"stencil":     "comp",
+		"cksum-local": "comp",
+		"split":       "comp",
+		"pack":        "comm",
+		"unpack":      "comm",
+		"send":        "comm",
+		"recv":        "comm",
+		"MPI_Waitany": "comm",
+		"local-copy":  "comm",
+		"exchange":    "comm",
+		"misc":        "other",
+	}
+	for label, want := range cases {
+		if got := Phase(label); got != want {
+			t.Errorf("Phase(%q) = %q, want %q", label, got, want)
+		}
+	}
+}
+
+func TestComputeStats(t *testing.T) {
+	evs := []Event{
+		{Rank: 0, Worker: 0, Label: "stencil", Start: 0, End: ms(10)},
+		{Rank: 0, Worker: 1, Label: "send", Start: ms(2), End: ms(6)},
+		{Rank: 0, Worker: 0, Label: "stencil", Start: ms(14), End: ms(20)},
+	}
+	st := ComputeStats(evs)
+	if st.Span != ms(20) {
+		t.Errorf("Span = %v", st.Span)
+	}
+	if st.Lanes != 2 {
+		t.Errorf("Lanes = %d", st.Lanes)
+	}
+	if st.Busy != ms(20) {
+		t.Errorf("Busy = %v", st.Busy)
+	}
+	if st.ByPhase["comp"] != ms(16) || st.ByPhase["comm"] != ms(4) {
+		t.Errorf("ByPhase = %v", st.ByPhase)
+	}
+	// Overlap: send (2-6) overlaps stencil (0-10) for 4ms.
+	if st.OverlapTime != ms(4) {
+		t.Errorf("OverlapTime = %v, want 4ms", st.OverlapTime)
+	}
+	// Idle gap on worker 0 between 10 and 14.
+	if st.MaxIdleGap != ms(4) {
+		t.Errorf("MaxIdleGap = %v, want 4ms", st.MaxIdleGap)
+	}
+	if st.Utilization <= 0 || st.Utilization > 1 {
+		t.Errorf("Utilization = %v", st.Utilization)
+	}
+}
+
+func TestComputeStatsEmpty(t *testing.T) {
+	st := ComputeStats(nil)
+	if st.Span != 0 || st.Lanes != 0 || st.OverlapTime != 0 {
+		t.Error("empty stats not zero")
+	}
+}
+
+func TestOverlapExcludesSequentialPhases(t *testing.T) {
+	evs := []Event{
+		{Label: "stencil", Start: 0, End: ms(5)},
+		{Label: "send", Start: ms(5), End: ms(10)},
+	}
+	if st := ComputeStats(evs); st.OverlapTime != 0 {
+		t.Errorf("sequential phases reported overlap %v", st.OverlapTime)
+	}
+}
+
+func TestRender(t *testing.T) {
+	evs := []Event{
+		{Rank: 0, Worker: 0, Label: "stencil", Start: 0, End: ms(50)},
+		{Rank: 0, Worker: 1, Label: "unpack", Start: ms(50), End: ms(100)},
+		{Rank: 1, Worker: 0, Label: "send", Start: ms(25), End: ms(75)},
+	}
+	out := Render(evs, 20)
+	if !strings.Contains(out, "r00w00") || !strings.Contains(out, "r01w00") {
+		t.Errorf("missing lanes:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 4 { // header + 3 lanes
+		t.Errorf("got %d lines", len(lines))
+	}
+	// Lane r00w00: first half 's' (stencil), second half idle.
+	row := lines[1]
+	if !strings.Contains(row, "s") {
+		t.Errorf("lane 0 missing stencil marks: %s", row)
+	}
+	if Render(nil, 10) != "(empty trace)\n" {
+		t.Error("empty render")
+	}
+}
+
+func TestCSVRoundTrip(t *testing.T) {
+	evs := []Event{
+		{Rank: 0, Worker: 0, Label: "stencil", Start: 0, End: ms(1)},
+		{Rank: 3, Worker: 2, Label: "MPI_Isend", Start: ms(2), End: ms(3)},
+	}
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, evs); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 {
+		t.Fatalf("round trip lost events: %d", len(got))
+	}
+	for i := range evs {
+		if got[i] != evs[i] {
+			t.Errorf("event %d: %+v != %+v", i, got[i], evs[i])
+		}
+	}
+}
+
+func TestReadCSVErrors(t *testing.T) {
+	if _, err := ReadCSV(strings.NewReader("header\nbad,line\n")); err == nil {
+		t.Error("malformed line accepted")
+	}
+	if _, err := ReadCSV(strings.NewReader("header\nx,0,l,0,1\n")); err == nil {
+		t.Error("bad rank accepted")
+	}
+	evs, err := ReadCSV(strings.NewReader("rank,worker,label,start_ns,end_ns\n"))
+	if err != nil || len(evs) != 0 {
+		t.Error("header-only file should parse to empty")
+	}
+}
+
+func TestWriteChromeTrace(t *testing.T) {
+	evs := []Event{
+		{Rank: 0, Worker: 1, Label: "stencil", Start: ms(1), End: ms(3)},
+		{Rank: 2, Worker: 0, Label: "MPI_Waitany", Start: ms(2), End: ms(5)},
+	}
+	var buf bytes.Buffer
+	if err := WriteChromeTrace(&buf, evs); err != nil {
+		t.Fatal(err)
+	}
+	var decoded []map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &decoded); err != nil {
+		t.Fatalf("not valid JSON: %v", err)
+	}
+	if len(decoded) != 2 {
+		t.Fatalf("events = %d", len(decoded))
+	}
+	first := decoded[0]
+	if first["name"] != "stencil" || first["ph"] != "X" || first["cat"] != "comp" {
+		t.Errorf("first event = %v", first)
+	}
+	if first["ts"].(float64) != 1000 || first["dur"].(float64) != 2000 {
+		t.Errorf("timing = %v/%v", first["ts"], first["dur"])
+	}
+	if decoded[1]["pid"].(float64) != 2 || decoded[1]["cat"] != "comm" {
+		t.Errorf("second event = %v", decoded[1])
+	}
+}

@@ -1,0 +1,116 @@
+// Package miniamr is a pure-Go reproduction of the system described in
+// "Towards Data-Flow Parallelization for Adaptive Mesh Refinement
+// Applications" (Sala, Rico, Beltran — IEEE CLUSTER 2020): the miniAMR
+// proxy application in three parallelisation variants (MPI-only,
+// MPI+OpenMP fork-join, and the paper's TAMPI+OmpSs-2 data-flow
+// taskification), running on a simulated cluster inside one process.
+//
+// The package is a facade over the implementation packages:
+//
+//   - a message-passing library with MPI semantics (internal/mpi),
+//   - a data-flow tasking runtime with OmpSs-2 features (internal/task),
+//   - a Task-Aware MPI layer binding requests to tasks (internal/tampi),
+//   - the full AMR application: blocks, objects, refinement with 2:1
+//     balance, RCB load balancing, ghost exchanges, stencil, checksums
+//     (internal/amr/...),
+//   - and the experiment harness regenerating the paper's tables and
+//     figures (internal/harness).
+//
+// Quick start:
+//
+//	cfg := miniamr.FourSpheres([3]int{2, 2, 1}, miniamr.Scale{})
+//	m, err := miniamr.Run(miniamr.RunSpec{
+//	    Nodes: 2, RanksPerNode: 1, CoresPerRank: 4,
+//	    Net: miniamr.DefaultNet(), Cfg: cfg, Variant: miniamr.DataFlow,
+//	})
+//
+// See the examples directory and cmd/experiments for complete programs.
+package miniamr
+
+import (
+	"miniamr/internal/amr/app"
+	"miniamr/internal/amr/grid"
+	"miniamr/internal/amr/object"
+	"miniamr/internal/harness"
+	"miniamr/internal/simnet"
+	"miniamr/internal/trace"
+)
+
+// Core configuration and result types of a simulation.
+type (
+	// Config describes one simulation (mesh, loop, objects, options).
+	Config = app.Config
+	// Result is one rank's outcome.
+	Result = app.Result
+	// BlockSize is a block's interior cell extent.
+	BlockSize = grid.Size
+	// Object is a moving refinement-driving body.
+	Object = object.Object
+	// ObjectType enumerates the object geometries.
+	ObjectType = object.Type
+)
+
+// Object geometry types (the reference 16 plus cylinder extensions).
+const (
+	RectangleSurface = object.RectangleSurface
+	RectangleSolid   = object.RectangleSolid
+	SpheroidSurface  = object.SpheroidSurface
+	SpheroidSolid    = object.SpheroidSolid
+	CylinderXSurface = object.CylinderXSurface
+	CylinderYSurface = object.CylinderYSurface
+	CylinderZSurface = object.CylinderZSurface
+)
+
+// Experiment harness types.
+type (
+	// RunSpec describes one measured execution on a virtual cluster.
+	RunSpec = harness.RunSpec
+	// Metrics aggregates a run across ranks.
+	Metrics = harness.Metrics
+	// Variant selects a parallelisation strategy.
+	Variant = harness.Variant
+	// Scale shrinks the paper's inputs to a host's capacity.
+	Scale = harness.Scale
+	// Options scales a whole experiment.
+	Options = harness.Options
+	// NetModel is the simulated interconnect cost model.
+	NetModel = simnet.Model
+	// TraceRecorder captures execution timelines.
+	TraceRecorder = trace.Recorder
+)
+
+// The three variants the paper evaluates.
+const (
+	MPIOnly  = harness.MPIOnly
+	ForkJoin = harness.ForkJoin
+	DataFlow = harness.DataFlow
+)
+
+// Run executes a RunSpec and aggregates metrics across ranks.
+func Run(spec RunSpec) (Metrics, error) { return harness.Run(spec) }
+
+// SingleSphere builds the paper's Table I input: one big sphere entering
+// the mesh from a lower corner.
+func SingleSphere(root [3]int, sc Scale) Config { return harness.SingleSphere(root, sc) }
+
+// FourSpheres builds the paper's scaling input: four spheres crossing the
+// mesh in opposite directions.
+func FourSpheres(root [3]int, sc Scale) Config { return harness.FourSpheres(root, sc) }
+
+// WeakMesh computes the root-block arrangement for a weak-scaling point.
+func WeakMesh(nodes, blocksPerNode int) ([3]int, error) {
+	return harness.WeakMesh(nodes, blocksPerNode)
+}
+
+// DataFlowOptions applies the paper's preferred TAMPI+OSS settings.
+func DataFlowOptions(cfg *Config) { harness.DataFlowOptions(cfg) }
+
+// DefaultNet returns the harness's interconnect model; NoNet charges
+// nothing (useful for correctness runs).
+func DefaultNet() NetModel { return simnet.Default() }
+
+// NoNet returns the free interconnect model.
+func NoNet() NetModel { return simnet.None() }
+
+// NewTraceRecorder creates a recorder to pass in RunSpec.Recorder.
+func NewTraceRecorder() *TraceRecorder { return trace.NewRecorder() }

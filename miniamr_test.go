@@ -1,0 +1,109 @@
+package miniamr_test
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	"miniamr"
+)
+
+// tinyScale keeps facade tests fast.
+var tinyScale = miniamr.Scale{
+	BlockCells: 4, Vars: 2, Timesteps: 2, StagesPerTimestep: 3, MaxLevel: 1,
+}
+
+func TestFacadeRunDataFlow(t *testing.T) {
+	cfg := miniamr.FourSpheres([3]int{2, 2, 1}, tinyScale)
+	miniamr.DataFlowOptions(&cfg)
+	m, err := miniamr.Run(miniamr.RunSpec{
+		Nodes: 2, RanksPerNode: 1, CoresPerRank: 2,
+		Net: miniamr.NoNet(), Cfg: cfg, Variant: miniamr.DataFlow,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Ranks != 2 || m.Cores != 4 || m.Flops == 0 || m.Tasks == 0 {
+		t.Errorf("metrics = %+v", m)
+	}
+	if len(m.Checksums) == 0 {
+		t.Error("no checksums")
+	}
+}
+
+func TestFacadeVariantsAgree(t *testing.T) {
+	cfg := miniamr.SingleSphere([3]int{2, 1, 1}, tinyScale)
+	var ref []float64
+	for _, v := range []miniamr.Variant{miniamr.MPIOnly, miniamr.ForkJoin, miniamr.DataFlow} {
+		m, err := miniamr.Run(miniamr.RunSpec{
+			Nodes: 1, RanksPerNode: 2, CoresPerRank: 2,
+			Net: miniamr.NoNet(), Cfg: cfg, Variant: v,
+		})
+		if err != nil {
+			t.Fatalf("%s: %v", v, err)
+		}
+		var flat []float64
+		for _, ck := range m.Checksums {
+			flat = append(flat, ck...)
+		}
+		if ref == nil {
+			ref = flat
+			continue
+		}
+		if len(flat) != len(ref) {
+			t.Fatalf("%s: checksum count mismatch", v)
+		}
+		for i := range ref {
+			if math.Float64bits(flat[i]) != math.Float64bits(ref[i]) {
+				t.Fatalf("%s: checksum %d differs", v, i)
+			}
+		}
+	}
+}
+
+func TestFacadeTraceRecorder(t *testing.T) {
+	rec := miniamr.NewTraceRecorder()
+	cfg := miniamr.FourSpheres([3]int{2, 1, 1}, tinyScale)
+	if _, err := miniamr.Run(miniamr.RunSpec{
+		Nodes: 1, RanksPerNode: 2, CoresPerRank: 1,
+		Net: miniamr.NoNet(), Cfg: cfg, Variant: miniamr.MPIOnly, Recorder: rec,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if rec.Len() == 0 {
+		t.Error("recorder captured nothing")
+	}
+}
+
+func TestFacadeWeakMesh(t *testing.T) {
+	root, err := miniamr.WeakMesh(4, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if root[0]*root[1]*root[2] != 32 {
+		t.Errorf("WeakMesh(4,8) = %v", root)
+	}
+}
+
+func TestFacadeObjectTypes(t *testing.T) {
+	o := miniamr.Object{Type: miniamr.CylinderZSurface, Size: [3]float64{0.1, 0.1, 0.4},
+		Center: [3]float64{0.5, 0.5, 0.5}}
+	if err := o.Validate(); err != nil {
+		t.Errorf("cylinder object invalid: %v", err)
+	}
+}
+
+// ExampleRun demonstrates the minimal end-to-end API. (The printed metrics
+// depend on the host, so the example does not assert output.)
+func ExampleRun() {
+	cfg := miniamr.FourSpheres([3]int{2, 2, 1}, miniamr.Scale{})
+	miniamr.DataFlowOptions(&cfg)
+	m, err := miniamr.Run(miniamr.RunSpec{
+		Nodes: 2, RanksPerNode: 1, CoresPerRank: 4,
+		Net: miniamr.DefaultNet(), Cfg: cfg, Variant: miniamr.DataFlow,
+	})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(m.Ranks > 0)
+}
