@@ -1,0 +1,27 @@
+# Developer entry points. `make check` is the extended verify recorded in
+# ROADMAP.md: vet + formatting + tier-1 build/tests + race tests on the
+# concurrency-bearing packages of the message path.
+
+GO ?= go
+RACE_PKGS := ./internal/mpi ./internal/task ./internal/tampi ./internal/membuf
+
+.PHONY: test vet fmt-check race check bench
+
+test:
+	$(GO) build ./...
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+fmt-check:
+	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then echo "gofmt needed on:"; echo "$$out"; exit 1; fi
+
+race:
+	$(GO) test -race $(RACE_PKGS)
+
+check: vet fmt-check test race
+
+# Allocation benchmarks of the pooled message path (ReportAllocs is on).
+bench:
+	$(GO) test -run xxx -bench 'BenchmarkPingPong|BenchmarkGhostExchange' -benchtime=2000x ./internal/mpi ./internal/amr/app

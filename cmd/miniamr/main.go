@@ -178,6 +178,8 @@ func run(a runArgs) error {
 	}
 	fmt.Printf("checksums passed:  %d\n", len(m.Checksums))
 	fmt.Printf("messages sent:     %d (%.2f MB total)\n", m.Messages, float64(m.CommBytes)/1e6)
+	fmt.Printf("buffer arena:      %d gets, %.1f%% hit rate, %d live, %d heap allocs\n",
+		m.Arena.Gets, 100*m.Arena.HitRate(), m.Arena.Live, m.HeapAllocs)
 	if len(m.MeshHistory) > 0 {
 		last := m.MeshHistory[len(m.MeshHistory)-1]
 		fmt.Printf("mesh levels:       %v blocks per level\n", last.PerLevel)

@@ -1,0 +1,75 @@
+package app
+
+import (
+	"testing"
+
+	"miniamr/internal/cluster"
+	"miniamr/internal/mpi"
+	"miniamr/internal/simnet"
+)
+
+// BenchmarkGhostExchange measures one full ghost-face exchange (all three
+// directions, pack/send/recv/unpack plus local copies) over the test mesh
+// with the reference MPI-only driver and no simulated network cost. The
+// allocs/op figure tracks the message path's buffer traffic.
+func BenchmarkGhostExchange(b *testing.B) {
+	b.ReportAllocs()
+	cfg := testConfig()
+	if err := cfg.Validate(); err != nil {
+		b.Fatal(err)
+	}
+	const ranks = 4
+	w := mpi.NewWorld(cluster.MustNew(1, ranks, 1), simnet.None())
+	done := make(chan error, 1)
+	go func() {
+		done <- w.Run(func(c *mpi.Comm) {
+			s, err := newState(&cfg, c, nil, 1)
+			if err != nil {
+				panic(err)
+			}
+			d := &mpiOnlyDriver{s: s, scratch: s.arena.GetFloat64(scratchLen(&cfg))}
+			for i := 0; i < b.N; i++ {
+				if err := d.communicate(0, cfg.CommVars); err != nil {
+					panic(err)
+				}
+			}
+			s.arena.PutFloat64(d.scratch)
+			s.close()
+		})
+	}()
+	if err := <-done; err != nil {
+		b.Fatal(err)
+	}
+}
+
+// TestArenaLeakFree is the arena's property test over real workloads:
+// after a full run of each variant — refinement, load balance, block
+// exchange, checksums and all — every buffer taken from the world's arena
+// must have been returned (Live == 0) and every lease fully released.
+func TestArenaLeakFree(t *testing.T) {
+	for name, run := range variants {
+		name, run := name, run
+		t.Run(name, func(t *testing.T) {
+			cfg := testConfig()
+			w := mpi.NewWorld(cluster.MustNew(1, 3, 1), simnet.None())
+			err := w.Run(func(c *mpi.Comm) {
+				if _, err := run(cfg, c, nil); err != nil {
+					panic(err)
+				}
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			st := w.Arena().Stats()
+			if st.Live != 0 || st.LeasesLive != 0 {
+				t.Fatalf("arena leak after %s run: %+v", name, st)
+			}
+			if st.Gets != st.Puts {
+				t.Fatalf("unbalanced arena traffic after %s run: %+v", name, st)
+			}
+			if st.Gets == 0 {
+				t.Fatalf("arena unused by %s run; the message path should pool", name)
+			}
+		})
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"os"
 
+	"miniamr/internal/amr/grid"
 	"miniamr/internal/amr/mesh"
 	"miniamr/internal/amr/snapshot"
 )
@@ -91,7 +92,17 @@ func (s *state) restoreState() error {
 		return fmt.Errorf("app: restore: snapshot at timestep %d outside [0,%d]", st.Step, s.cfg.Timesteps)
 	}
 	s.msh = m
-	s.data = st.Blocks
+	// Re-home the snapshot's blocks onto pooled arena storage so every
+	// live block is arena-owned and the leak accounting (gets == puts
+	// after a clean run) holds for restored runs too.
+	s.data = make(map[mesh.Coord]*grid.Data, len(st.Blocks))
+	for c, blk := range st.Blocks {
+		d := s.newBlockData(c, false)
+		dc, _ := d.Storage()
+		bc, _ := blk.Storage()
+		copy(dc, bc)
+		s.data[c] = d
+	}
 	s.objs = st.Objects
 	s.startStep = st.Step
 	s.startStage = st.Stage

@@ -73,13 +73,17 @@ func RunDataFlow(cfg Config, c *mpi.Comm, rec *trace.Recorder) (Result, error) {
 	}
 	d.scratches = make([][]float64, cfg.Workers)
 	for i := range d.scratches {
-		d.scratches[i] = newScratch(&cfg)
+		d.scratches[i] = s.arena.GetFloat64(scratchLen(&cfg))
 	}
 	res, err := runMain(s, d)
 	if err != nil {
 		return Result{}, err
 	}
 	rt.Shutdown()
+	for _, sc := range d.scratches {
+		s.arena.PutFloat64(sc)
+	}
+	s.close()
 	res.TaskCount = rt.SpawnCount()
 	return res, nil
 }
@@ -146,88 +150,89 @@ func (d *dataFlowDriver) communicate(g0, g1 int) error {
 		}
 		var unpacks []unpackJob
 
-		for _, pe := range sched.Peers {
-			peer := pe.Peer
-
-			// Receives: one task per incoming message; its completion is
-			// bound to the MPI request, so unpackers run only once the
-			// data arrived (the buffer must not be consumed in the task).
-			for mi, msg := range comm.Chunk(pe.Recv, s.chunkCap) {
-				mi, msg := mi, msg
-				buf := s.recvBufs[dir][peer][mi][:comm.MessageLen(msg, gv)]
-				secs := make([]any, len(msg))
-				for i := range msg {
-					secs[i] = sectKey{dirKey: dk, peer: peer, msg: mi, idx: i}
-				}
-				tag := comm.Tag(dir, mi)
-				d.rt.Spawn("recv", func(t *task.Task) {
-					if s.cfg.BlockingTAMPI {
-						// TAMPI's blocking mode: the task pauses until the
-						// message arrives, releasing its core meanwhile.
-						start := time.Now()
-						if _, err := d.x.Recv(t, buf, peer, tag); err != nil {
-							panic(err)
-						}
-						s.rec.Record(s.rank, t.Worker(), "recv-wait", start, time.Now())
-						return
-					}
-					req, err := s.comm.Irecv(buf, peer, tag)
-					if err != nil {
+		// Receives: one task per incoming message; its completion is
+		// bound to the MPI request, so unpackers run only once the
+		// data arrived (the buffer must not be consumed in the task).
+		for pi := range s.recvPlans[dir] {
+			pl := &s.recvPlans[dir][pi]
+			peer, mi, msg, tag := pl.peer, pl.mi, pl.msg, pl.tag
+			buf := s.recvBufs[dir][pi][:pl.cells*gv]
+			secs := make([]any, len(msg))
+			for i := range msg {
+				secs[i] = sectKey{dirKey: dk, peer: peer, msg: mi, idx: i}
+			}
+			d.rt.Spawn("recv", func(t *task.Task) {
+				if s.cfg.BlockingTAMPI {
+					// TAMPI's blocking mode: the task pauses until the
+					// message arrives, releasing its core meanwhile.
+					start := time.Now()
+					if _, err := d.x.Recv(t, buf, peer, tag); err != nil {
 						panic(err)
 					}
-					d.recordInFlight(t, "recv-wait", req)
-					d.x.Iwait(t, req)
-				}, task.Out(secs...)...)
-
-				off := 0
-				for i, tr := range msg {
-					sec := buf[off : off+tr.Len(gv)]
-					off += tr.Len(gv)
-					unpacks = append(unpacks, unpackJob{tr: tr, sec: sec, key: secs[i].(sectKey)})
+					s.rec.Record(s.rank, t.Worker(), "recv-wait", start, time.Now())
+					return
 				}
+				req, err := s.comm.Irecv(buf, peer, tag)
+				if err != nil {
+					panic(err)
+				}
+				d.recordInFlight(t, "recv-wait", req)
+				d.x.Iwait(t, req)
+			}, task.Out(secs...)...)
+
+			off := 0
+			for i, tr := range msg {
+				sec := buf[off : off+tr.Len(gv)]
+				off += tr.Len(gv)
+				unpacks = append(unpacks, unpackJob{tr: tr, sec: sec, key: secs[i].(sectKey)})
 			}
+		}
 
-			// Sends: pack tasks per face writing their buffer section, one
-			// send task per message depending on all its sections.
-			for mi, msg := range comm.Chunk(pe.Send, s.chunkCap) {
-				mi, msg := mi, msg
-				buf := s.sendBufs[dir][peer][mi][:comm.MessageLen(msg, gv)]
-				secs := make([]any, len(msg))
-				for i := range msg {
-					secs[i] = sectKey{dirKey: dk, peer: peer, msg: mi, send: true, idx: i}
-				}
-				off := 0
-				for i, tr := range msg {
-					tr := tr
-					sec := buf[off : off+tr.Len(gv)]
-					off += tr.Len(gv)
-					d.rt.Spawn("pack", func(t *task.Task) {
-						s.rec.Span(s.rank, t.Worker(), "pack", func() {
-							comm.Pack(tr, s.data[tr.Src], g0, g1, sec)
-						})
-					}, task.Merge(
-						task.In(blockKey{c: tr.Src, g: gi}),
-						task.Out(secs[i]),
-					)...)
-				}
-				tag := comm.Tag(dir, mi)
-				d.rt.Spawn("send", func(t *task.Task) {
-					if s.cfg.BlockingTAMPI {
-						start := time.Now()
-						if err := d.x.Send(t, buf, peer, tag); err != nil {
-							panic(err)
-						}
-						s.rec.Record(s.rank, t.Worker(), "send-wait", start, time.Now())
-						return
-					}
-					req, err := s.comm.Isend(buf, peer, tag)
-					if err != nil {
+		// Sends: the message buffer is a fresh arena lease; pack tasks
+		// per face write their section of it, one send task per message
+		// depends on all the sections and transfers the lease to the
+		// MPI layer (the receiving rank returns it to the arena). The
+		// section keys — not the physical buffers — carry the paper's
+		// buffer-reuse dependencies, so chaining behaviour is unchanged.
+		for pi := range s.sendPlans[dir] {
+			pl := &s.sendPlans[dir][pi]
+			peer, mi, msg, tag := pl.peer, pl.mi, pl.msg, pl.tag
+			lease := s.arena.LeaseFloat64(pl.cells * gv)
+			buf := lease.Float64()
+			secs := make([]any, len(msg))
+			for i := range msg {
+				secs[i] = sectKey{dirKey: dk, peer: peer, msg: mi, send: true, idx: i}
+			}
+			off := 0
+			for i, tr := range msg {
+				tr := tr
+				sec := buf[off : off+tr.Len(gv)]
+				off += tr.Len(gv)
+				d.rt.Spawn("pack", func(t *task.Task) {
+					s.rec.Span(s.rank, t.Worker(), "pack", func() {
+						comm.Pack(tr, s.data[tr.Src], g0, g1, sec)
+					})
+				}, task.Merge(
+					task.In(blockKey{c: tr.Src, g: gi}),
+					task.Out(secs[i]),
+				)...)
+			}
+			d.rt.Spawn("send", func(t *task.Task) {
+				if s.cfg.BlockingTAMPI {
+					start := time.Now()
+					if err := d.x.SendOwned(t, lease, peer, tag); err != nil {
 						panic(err)
 					}
-					d.recordInFlight(t, "send-wait", req)
-					d.x.Iwait(t, req)
-				}, task.In(secs...)...)
-			}
+					s.rec.Record(s.rank, t.Worker(), "send-wait", start, time.Now())
+					return
+				}
+				req, err := s.comm.IsendOwned(lease, peer, tag)
+				if err != nil {
+					panic(err)
+				}
+				d.recordInFlight(t, "send-wait", req)
+				d.x.Iwait(t, req)
+			}, task.In(secs...)...)
 		}
 
 		// Intra-process exchanges: local copy tasks between neighbouring
@@ -296,7 +301,7 @@ func (d *dataFlowDriver) checksum() error {
 	d.slotBlocks[par] = owned
 	groups := s.cfg.Groups()
 	for _, bc := range owned {
-		slot := make([]float64, s.cfg.Vars)
+		slot := s.arena.GetFloat64(s.cfg.Vars) // Checksum overwrites it
 		d.slots[par][bc] = slot
 		blk := s.data[bc]
 		deps := make([]any, 0, len(groups))
@@ -337,7 +342,12 @@ func (d *dataFlowDriver) flushChecksum(par int) error {
 	if err := d.x.Err(); err != nil {
 		return err
 	}
-	return s.reduceAndValidate(s.combineBlockSums(blocks, d.slots[par]))
+	local := s.combineBlockSums(blocks, d.slots[par])
+	for _, bc := range blocks {
+		s.arena.PutFloat64(d.slots[par][bc])
+	}
+	d.slots[par] = nil
+	return s.reduceAndValidate(local)
 }
 
 // quiesce closes the parallelism (the explicit taskwait the paper keeps
@@ -394,6 +404,7 @@ func (d *dataFlowDriver) splitOwned(refines []mesh.Coord) error {
 	}
 	d.rt.Wait()
 	for i, bc := range refines {
+		s.releaseBlock(s.data[bc])
 		delete(s.data, bc)
 		for o := 0; o < 8; o++ {
 			s.data[bc.Child(o)] = children[i][o]
@@ -424,6 +435,7 @@ func (d *dataFlowDriver) consolidateOwned(parents []mesh.Coord) error {
 	d.rt.Wait()
 	for i, p := range parents {
 		for o := 0; o < 8; o++ {
+			s.releaseBlock(s.data[p.Child(o)])
 			delete(s.data, p.Child(o))
 		}
 		s.data[p] = newParents[i]
@@ -453,13 +465,13 @@ type taskMover struct {
 func (m *taskMover) sendBlock(bc mesh.Coord, blk *grid.Data, to, tag int) {
 	d := m.d
 	s := d.s
-	buf := make([]float64, blk.InteriorLen())
+	lease := s.arena.LeaseFloat64(blk.InteriorLen())
 	key := xferKey{tag: tag}
 	d.rt.Spawn("exchange-pack", func(t *task.Task) {
-		s.rec.Span(s.rank, t.Worker(), "exchange-pack", func() { blk.PackInterior(buf) })
+		s.rec.Span(s.rank, t.Worker(), "exchange-pack", func() { blk.PackInterior(lease.Float64()) })
 	}, task.Out(key)...)
 	d.rt.Spawn("exchange-send", func(t *task.Task) {
-		if err := d.x.Isend(t, buf, to, tag); err != nil {
+		if err := d.x.IsendOwned(t, lease, to, tag); err != nil {
 			panic(err)
 		}
 	}, task.In(key)...)
@@ -469,7 +481,7 @@ func (m *taskMover) recvBlock(bc mesh.Coord, from, tag int) *grid.Data {
 	d := m.d
 	s := d.s
 	blk := s.newBlockData(bc, false)
-	buf := make([]float64, blk.InteriorLen())
+	buf := s.arena.GetFloat64(blk.InteriorLen())
 	key := xferKey{tag: tag, recv: true}
 	d.rt.Spawn("exchange-recv", func(t *task.Task) {
 		if err := d.x.Irecv(t, buf, from, tag); err != nil {
@@ -478,6 +490,7 @@ func (m *taskMover) recvBlock(bc mesh.Coord, from, tag int) *grid.Data {
 	}, task.Out(key)...)
 	d.rt.Spawn("exchange-unpack", func(t *task.Task) {
 		s.rec.Span(s.rank, t.Worker(), "exchange-unpack", func() { blk.UnpackInterior(buf) })
+		s.arena.PutFloat64(buf)
 	}, task.In(key)...)
 	return blk
 }

@@ -62,6 +62,11 @@ func (s *state) exchangeBlocks(moves []mesh.Move, mv blockMover) error {
 	for i, m := range moves {
 		pending[i] = idxMove{Move: m, id: i}
 	}
+	// One pooled control word serves every ACK and id message: the
+	// protocol runs sequentially on the main goroutine and sends copy
+	// eagerly, so the buffer can be reused immediately.
+	ctl := s.arena.GetInt(1)
+	defer s.arena.PutInt(ctl)
 
 	for round := 0; len(pending) > 0; round++ {
 		if round > 2*len(moves)+2 {
@@ -82,11 +87,11 @@ func (s *state) exchangeBlocks(moves []mesh.Move, mv blockMover) error {
 			if m.To != s.rank {
 				continue
 			}
-			ack := 0
+			ctl[0] = 0
 			if accepted[i] {
-				ack = 1
+				ctl[0] = 1
 			}
-			if err := s.comm.Send([]int{ack}, m.From, exchangeAck); err != nil {
+			if err := s.comm.Send(ctl, m.From, exchangeAck); err != nil {
 				return err
 			}
 		}
@@ -96,17 +101,17 @@ func (s *state) exchangeBlocks(moves []mesh.Move, mv blockMover) error {
 			if m.From != s.rank {
 				continue
 			}
-			ackBuf := make([]int, 1)
-			if _, err := s.comm.Recv(ackBuf, m.To, exchangeAck); err != nil {
+			if _, err := s.comm.Recv(ctl, m.To, exchangeAck); err != nil {
 				return err
 			}
-			if (ackBuf[0] == 1) != accepted[i] {
-				return fmt.Errorf("app: exchange protocol divergence: move %d ack %d, simulated %v", m.id, ackBuf[0], accepted[i])
+			if (ctl[0] == 1) != accepted[i] {
+				return fmt.Errorf("app: exchange protocol divergence: move %d ack %d, simulated %v", m.id, ctl[0], accepted[i])
 			}
 			if !accepted[i] {
 				continue
 			}
-			if err := s.comm.Send([]int{m.id}, m.To, exchangeID); err != nil {
+			ctl[0] = m.id
+			if err := s.comm.Send(ctl, m.To, exchangeID); err != nil {
 				return err
 			}
 			d, ok := s.data[m.Block]
@@ -122,12 +127,11 @@ func (s *state) exchangeBlocks(moves []mesh.Move, mv blockMover) error {
 			if m.To != s.rank || !accepted[i] {
 				continue
 			}
-			idBuf := make([]int, 1)
-			if _, err := s.comm.Recv(idBuf, m.From, exchangeID); err != nil {
+			if _, err := s.comm.Recv(ctl, m.From, exchangeID); err != nil {
 				return err
 			}
-			if idBuf[0] != m.id {
-				return fmt.Errorf("app: exchange id mismatch: got %d, want %d", idBuf[0], m.id)
+			if ctl[0] != m.id {
+				return fmt.Errorf("app: exchange id mismatch: got %d, want %d", ctl[0], m.id)
 			}
 			arrivals[m.Block] = mv.recvBlock(m.Block, m.From, exchangeData+m.id)
 		}
@@ -146,6 +150,9 @@ func (s *state) exchangeBlocks(moves []mesh.Move, mv blockMover) error {
 			counts[m.To]++
 			s.msh.SetOwner(m.Block, m.To)
 			if m.From == s.rank {
+				// Safe to reclaim: barrier drained the mover's async pack
+				// tasks, so nothing reads the block's storage anymore.
+				s.releaseBlock(s.data[m.Block])
 				delete(s.data, m.Block)
 			}
 			if m.To == s.rank {

@@ -8,6 +8,7 @@ import (
 	"miniamr/internal/amr/grid"
 	"miniamr/internal/amr/mesh"
 	"miniamr/internal/forkjoin"
+	"miniamr/internal/membuf"
 	"miniamr/internal/mpi"
 	"miniamr/internal/trace"
 )
@@ -27,17 +28,31 @@ func RunForkJoin(cfg Config, c *mpi.Comm, rec *trace.Recorder) (Result, error) {
 	}
 	pool := forkjoin.MustNew(cfg.Workers)
 	defer pool.Close()
-	scratches := make([][]float64, cfg.Workers)
-	for i := range scratches {
-		scratches[i] = newScratch(&cfg)
+	d := &forkJoinDriver{s: s, pool: pool}
+	d.scratches = make([][]float64, cfg.Workers)
+	d.caches = make([]*membuf.Cache, cfg.Workers)
+	for i := range d.scratches {
+		d.scratches[i] = s.arena.GetFloat64(scratchLen(&cfg))
+		d.caches[i] = membuf.NewCache(s.arena)
 	}
-	return runMain(s, &forkJoinDriver{s: s, pool: pool, scratches: scratches})
+	res, err := runMain(s, d)
+	if err != nil {
+		return Result{}, err
+	}
+	for i := range d.scratches {
+		s.arena.PutFloat64(d.scratches[i])
+		d.caches[i].Flush()
+	}
+	s.close()
+	return res, nil
 }
 
 type forkJoinDriver struct {
 	s         *state
 	pool      *forkjoin.Pool
-	scratches [][]float64 // per-worker staging for cross-level copies
+	scratches [][]float64     // per-worker staging for cross-level copies
+	caches    []*membuf.Cache // per-worker arena fronts for checksum slots
+	ws        *mpi.WaitSet    // reused across stages by the master thread
 }
 
 // parFor dispatches a parallel loop with the configured schedule.
@@ -52,49 +67,48 @@ func (d *forkJoinDriver) parFor(n int, body func(i, w int)) {
 func (d *forkJoinDriver) communicate(g0, g1 int) error {
 	s := d.s
 	gv := g1 - g0
+	if d.ws == nil {
+		d.ws = mpi.NewWaitSet()
+	}
 	for dir := grid.DirX; dir <= grid.DirZ; dir++ {
 		sched := s.scheds[dir]
 
-		// Master posts all receives.
-		var recvReqs []*mpi.Request
-		var recvMsgs [][]comm.Transfer
-		var recvBufs [][]float64
-		for _, pe := range sched.Peers {
-			for mi, msg := range comm.Chunk(pe.Recv, s.chunkCap) {
-				buf := s.recvBufs[dir][pe.Peer][mi][:comm.MessageLen(msg, gv)]
-				req, err := s.comm.Irecv(buf, pe.Peer, comm.Tag(dir, mi))
-				if err != nil {
-					return err
-				}
-				recvReqs = append(recvReqs, req)
-				recvMsgs = append(recvMsgs, msg)
-				recvBufs = append(recvBufs, buf)
+		// Master posts all receives; the waitset index of each request is
+		// its plan index.
+		d.ws.Reset()
+		for i := range s.recvPlans[dir] {
+			pl := &s.recvPlans[dir][i]
+			req, err := s.comm.Irecv(s.recvBufs[dir][i][:pl.cells*gv], pl.peer, pl.tag)
+			if err != nil {
+				return err
 			}
+			d.ws.Add(req)
 		}
 
 		// Parallel region: pack every outgoing transfer (flat index space
-		// across peers and messages), then master sends.
+		// across peers and messages) into fresh arena leases, then master
+		// sends them with ownership transfer.
 		type packJob struct {
 			tr  comm.Transfer
 			dst []float64
 		}
 		var jobs []packJob
 		type sendMsg struct {
-			peer int
-			tag  int
-			buf  []float64
+			peer  int
+			tag   int
+			lease *membuf.Lease
 		}
 		var sends []sendMsg
-		for _, pe := range sched.Peers {
-			for mi, msg := range comm.Chunk(pe.Send, s.chunkCap) {
-				buf := s.sendBufs[dir][pe.Peer][mi][:comm.MessageLen(msg, gv)]
-				off := 0
-				for _, tr := range msg {
-					jobs = append(jobs, packJob{tr: tr, dst: buf[off : off+tr.Len(gv)]})
-					off += tr.Len(gv)
-				}
-				sends = append(sends, sendMsg{peer: pe.Peer, tag: comm.Tag(dir, mi), buf: buf})
+		for i := range s.sendPlans[dir] {
+			pl := &s.sendPlans[dir][i]
+			lease := s.arena.LeaseFloat64(pl.cells * gv)
+			buf := lease.Float64()
+			off := 0
+			for _, tr := range pl.msg {
+				jobs = append(jobs, packJob{tr: tr, dst: buf[off : off+tr.Len(gv)]})
+				off += tr.Len(gv)
 			}
+			sends = append(sends, sendMsg{peer: pl.peer, tag: pl.tag, lease: lease})
 		}
 		d.parFor(len(jobs), func(i, w int) {
 			job := jobs[i]
@@ -104,8 +118,9 @@ func (d *forkJoinDriver) communicate(g0, g1 int) error {
 		})
 		var sendReqs []*mpi.Request
 		for _, sm := range sends {
-			req, err := s.comm.Isend(sm.buf, sm.peer, sm.tag)
+			req, err := s.comm.IsendOwned(sm.lease, sm.peer, sm.tag)
 			if err != nil {
+				sm.lease.Release()
 				return err
 			}
 			sendReqs = append(sendReqs, req)
@@ -125,20 +140,17 @@ func (d *forkJoinDriver) communicate(g0, g1 int) error {
 		})
 
 		// Master waits for arrivals; each message unpacks in parallel.
-		for remaining := len(recvReqs); remaining > 0; remaining-- {
+		for remaining := d.ws.Len(); remaining > 0; remaining-- {
 			var idx int
 			var werr error
 			s.rec.Span(s.rank, 0, "MPI_Waitany", func() {
-				idx, _, werr = mpi.Waitany(recvReqs)
+				idx, _, werr = d.ws.Next()
 			})
 			if werr != nil {
 				return werr
 			}
-			if idx < 0 {
-				return fmt.Errorf("app: Waitany returned no request with %d outstanding", remaining)
-			}
-			msg, buf := recvMsgs[idx], recvBufs[idx]
-			recvReqs[idx] = nil
+			pl := &s.recvPlans[dir][idx]
+			msg, buf := pl.msg, s.recvBufs[dir][idx]
 			offs := make([]int, len(msg))
 			off := 0
 			for i, tr := range msg {
@@ -154,6 +166,9 @@ func (d *forkJoinDriver) communicate(g0, g1 int) error {
 		}
 		if err := mpi.Waitall(sendReqs); err != nil {
 			return err
+		}
+		for _, req := range sendReqs {
+			req.Free()
 		}
 	}
 	return nil
@@ -177,7 +192,7 @@ func (d *forkJoinDriver) checksum() error {
 	owned := s.owned()
 	sums := make([][]float64, len(owned))
 	d.parFor(len(owned), func(i, w int) {
-		out := make([]float64, s.cfg.Vars)
+		out := d.caches[w].GetFloat64(s.cfg.Vars) // Checksum overwrites it
 		blk := s.data[owned[i]]
 		s.rec.Span(s.rank, w, "cksum-local", func() { blk.Checksum(0, s.cfg.Vars, out) })
 		sums[i] = out
@@ -187,7 +202,11 @@ func (d *forkJoinDriver) checksum() error {
 	for i, bc := range owned {
 		perBlock[bc] = sums[i]
 	}
-	return s.reduceAndValidate(s.combineBlockSums(owned, perBlock))
+	local := s.combineBlockSums(owned, perBlock)
+	for _, out := range sums {
+		s.arena.PutFloat64(out)
+	}
+	return s.reduceAndValidate(local)
 }
 
 func (d *forkJoinDriver) refine(advance bool) (bool, error) {
@@ -217,6 +236,7 @@ func (d *forkJoinDriver) splitOwned(refines []mesh.Coord) error {
 		s.rec.Span(s.rank, w, "split", func() { parent.SplitInto(&children[i]) })
 	})
 	for i, bc := range refines {
+		s.releaseBlock(s.data[bc])
 		delete(s.data, bc)
 		for o := 0; o < 8; o++ {
 			s.data[bc.Child(o)] = children[i][o]
@@ -247,6 +267,7 @@ func (d *forkJoinDriver) consolidateOwned(parents []mesh.Coord) error {
 	})
 	for i, p := range parents {
 		for o := 0; o < 8; o++ {
+			s.releaseBlock(jobs[i].children[o])
 			delete(s.data, p.Child(o))
 		}
 		s.data[p] = jobs[i].parent
@@ -264,11 +285,10 @@ type forkJoinMover struct {
 
 func (m *forkJoinMover) sendBlock(bc mesh.Coord, blk *grid.Data, to, tag int) {
 	s := m.d.s
-	buf := make([]float64, blk.InteriorLen())
-	// Parallel pack by interior slab: split the flat payload by worker.
-	s.rec.Span(s.rank, 0, "exchange-pack", func() { blk.PackInterior(buf) })
+	lease := s.arena.LeaseFloat64(blk.InteriorLen())
+	s.rec.Span(s.rank, 0, "exchange-pack", func() { blk.PackInterior(lease.Float64()) })
 	start := time.Now()
-	if err := s.comm.Send(buf, to, tag); err != nil {
+	if err := s.comm.SendOwned(lease, to, tag); err != nil {
 		panic(err)
 	}
 	s.rec.Record(s.rank, 0, "exchange-send", start, time.Now())
@@ -277,13 +297,14 @@ func (m *forkJoinMover) sendBlock(bc mesh.Coord, blk *grid.Data, to, tag int) {
 func (m *forkJoinMover) recvBlock(bc mesh.Coord, from, tag int) *grid.Data {
 	s := m.d.s
 	blk := s.newBlockData(bc, false)
-	buf := make([]float64, blk.InteriorLen())
+	buf := s.arena.GetFloat64(blk.InteriorLen())
 	start := time.Now()
 	if _, err := s.comm.Recv(buf, from, tag); err != nil {
 		panic(err)
 	}
 	s.rec.Record(s.rank, 0, "exchange-recv", start, time.Now())
 	s.rec.Span(s.rank, 0, "exchange-unpack", func() { blk.UnpackInterior(buf) })
+	s.arena.PutFloat64(buf)
 	return blk
 }
 

@@ -23,11 +23,18 @@ func RunMPIOnly(cfg Config, c *mpi.Comm, rec *trace.Recorder) (Result, error) {
 	if err != nil {
 		return Result{}, err
 	}
-	return runMain(s, &mpiOnlyDriver{s: s, scratch: newScratch(&cfg)})
+	d := &mpiOnlyDriver{s: s, scratch: s.arena.GetFloat64(scratchLen(&cfg))}
+	res, err := runMain(s, d)
+	if err != nil {
+		return Result{}, err
+	}
+	s.arena.PutFloat64(d.scratch)
+	s.close()
+	return res, nil
 }
 
-// newScratch sizes a staging buffer for the largest cross-level local copy.
-func newScratch(cfg *Config) []float64 {
+// scratchLen sizes a staging buffer for the largest cross-level local copy.
+func scratchLen(cfg *Config) int {
 	mx := cfg.BlockSize.Y * cfg.BlockSize.Z
 	if n := cfg.BlockSize.X * cfg.BlockSize.Z; n > mx {
 		mx = n
@@ -35,93 +42,87 @@ func newScratch(cfg *Config) []float64 {
 	if n := cfg.BlockSize.X * cfg.BlockSize.Y; n > mx {
 		mx = n
 	}
-	return make([]float64, mx*cfg.CommVars)
+	return mx * cfg.CommVars
 }
 
 type mpiOnlyDriver struct {
 	s       *state
 	scratch []float64
+	// Reused per-stage communication state: the hot path must not allocate.
+	ws       *mpi.WaitSet
+	sendReqs []*mpi.Request
 }
 
 func (d *mpiOnlyDriver) communicate(g0, g1 int) error {
 	s := d.s
 	gv := g1 - g0
+	if d.ws == nil {
+		d.ws = mpi.NewWaitSet()
+	}
 	for dir := grid.DirX; dir <= grid.DirZ; dir++ {
 		sched := s.scheds[dir]
 
 		// Start receiving the required faces from every remote neighbour.
-		var recvReqs []*mpi.Request
-		var recvMsgs [][]comm.Transfer
-		var recvBufs [][]float64
-		for _, pe := range sched.Peers {
-			for mi, msg := range comm.Chunk(pe.Recv, s.chunkCap) {
-				buf := s.recvBufs[dir][pe.Peer][mi][:comm.MessageLen(msg, gv)]
-				req, err := s.comm.Irecv(buf, pe.Peer, comm.Tag(dir, mi))
-				if err != nil {
-					return err
-				}
-				recvReqs = append(recvReqs, req)
-				recvMsgs = append(recvMsgs, msg)
-				recvBufs = append(recvBufs, buf)
+		// The waitset index of each request is its plan index.
+		d.ws.Reset()
+		for i := range s.recvPlans[dir] {
+			pl := &s.recvPlans[dir][i]
+			req, err := s.comm.Irecv(s.recvBufs[dir][i][:pl.cells*gv], pl.peer, pl.tag)
+			if err != nil {
+				return err
 			}
+			d.ws.Add(req)
 		}
 
-		// Pack and send each outgoing face bundle.
-		var sendReqs []*mpi.Request
-		for _, pe := range sched.Peers {
-			for mi, msg := range comm.Chunk(pe.Send, s.chunkCap) {
-				buf := s.sendBufs[dir][pe.Peer][mi][:comm.MessageLen(msg, gv)]
-				s.rec.Span(s.rank, 0, "pack", func() {
-					off := 0
-					for _, tr := range msg {
-						off += comm.Pack(tr, s.data[tr.Src], g0, g1, buf[off:])
-					}
-				})
-				req, err := s.comm.Isend(buf, pe.Peer, comm.Tag(dir, mi))
-				if err != nil {
-					return err
-				}
-				sendReqs = append(sendReqs, req)
+		// Pack each outgoing face bundle into a fresh arena lease and send
+		// it with ownership transfer: the receiving rank returns the buffer
+		// to the arena after unpacking.
+		d.sendReqs = d.sendReqs[:0]
+		for i := range s.sendPlans[dir] {
+			pl := &s.sendPlans[dir][i]
+			lease := s.arena.LeaseFloat64(pl.cells * gv)
+			start := time.Now()
+			comm.PackMessage(pl.msg, s.blockAt, g0, g1, lease.Float64())
+			s.rec.Record(s.rank, 0, "pack", start, time.Now())
+			req, err := s.comm.IsendOwned(lease, pl.peer, pl.tag)
+			if err != nil {
+				lease.Release()
+				return err
 			}
+			d.sendReqs = append(d.sendReqs, req)
 		}
 
 		// Intra-process exchanges overlap the in-flight MPI transfers.
-		s.rec.Span(s.rank, 0, "local-copy", func() {
-			for _, tr := range sched.Local {
-				comm.ExecuteLocal(tr, s.data[tr.Src], s.data[tr.Recv], g0, g1, d.scratch)
-			}
-			for _, bf := range sched.Boundary {
-				s.data[bf.Block].ApplyDomainBoundary(dir, bf.Side, g0, g1)
-			}
-		})
+		start := time.Now()
+		for _, tr := range sched.Local {
+			comm.ExecuteLocal(tr, s.data[tr.Src], s.data[tr.Recv], g0, g1, d.scratch)
+		}
+		for _, bf := range sched.Boundary {
+			s.data[bf.Block].ApplyDomainBoundary(dir, bf.Side, g0, g1)
+		}
+		s.rec.Record(s.rank, 0, "local-copy", start, time.Now())
 
 		// Unpack faces as they arrive.
-		for remaining := len(recvReqs); remaining > 0; remaining-- {
-			var idx int
-			var werr error
-			s.rec.Span(s.rank, 0, "MPI_Waitany", func() {
-				idx, _, werr = mpi.Waitany(recvReqs)
-			})
+		for remaining := d.ws.Len(); remaining > 0; remaining-- {
+			wstart := time.Now()
+			idx, _, werr := d.ws.Next()
+			s.rec.Record(s.rank, 0, "MPI_Waitany", wstart, time.Now())
 			if werr != nil {
 				return werr
 			}
-			if idx < 0 {
-				return fmt.Errorf("app: Waitany returned no request with %d outstanding", remaining)
-			}
-			msg, buf := recvMsgs[idx], recvBufs[idx]
-			recvReqs[idx] = nil
-			s.rec.Span(s.rank, 0, "unpack", func() {
-				off := 0
-				for _, tr := range msg {
-					off += comm.Unpack(tr, s.data[tr.Recv], g0, g1, buf[off:])
-				}
-			})
+			pl := &s.recvPlans[dir][idx]
+			ustart := time.Now()
+			comm.UnpackMessage(pl.msg, s.blockAt, g0, g1, s.recvBufs[dir][idx][:pl.cells*gv])
+			s.rec.Record(s.rank, 0, "unpack", ustart, time.Now())
 		}
 
 		// Wait until all sends complete before reusing the direction's
-		// buffers, as the reference does.
-		if err := mpi.Waitall(sendReqs); err != nil {
+		// buffers, as the reference does; then recycle the requests.
+		if err := mpi.Waitall(d.sendReqs); err != nil {
 			return err
+		}
+		for _, req := range d.sendReqs {
+			req.Free()
 		}
 	}
 	return nil
@@ -143,12 +144,16 @@ func (d *mpiOnlyDriver) checksum() error {
 	perBlock := make(map[mesh.Coord][]float64, len(owned))
 	s.rec.Span(s.rank, 0, "cksum-local", func() {
 		for _, bc := range owned {
-			sums := make([]float64, s.cfg.Vars)
+			sums := s.arena.GetFloat64(s.cfg.Vars) // Checksum overwrites it
 			s.data[bc].Checksum(0, s.cfg.Vars, sums)
 			perBlock[bc] = sums
 		}
 	})
-	return s.reduceAndValidate(s.combineBlockSums(owned, perBlock))
+	local := s.combineBlockSums(owned, perBlock)
+	for _, bc := range owned {
+		s.arena.PutFloat64(perBlock[bc])
+	}
+	return s.reduceAndValidate(local)
 }
 
 func (d *mpiOnlyDriver) refine(advance bool) (bool, error) {
@@ -177,6 +182,7 @@ func (s *state) splitOwnedSeq(refines []mesh.Coord) error {
 			children[o] = s.newBlockData(bc.Child(o), false)
 		}
 		s.rec.Span(s.rank, 0, "split", func() { parent.SplitInto(&children) })
+		s.releaseBlock(parent)
 		delete(s.data, bc)
 		for o, ch := range children {
 			s.data[bc.Child(o)] = ch
@@ -198,6 +204,7 @@ func (s *state) consolidateOwnedSeq(parents []mesh.Coord) error {
 		parent := s.newBlockData(p, false)
 		s.rec.Span(s.rank, 0, "consolidate", func() { parent.ConsolidateFrom(&children) })
 		for o := 0; o < 8; o++ {
+			s.releaseBlock(children[o])
 			delete(s.data, p.Child(o))
 		}
 		s.data[p] = parent
@@ -215,10 +222,10 @@ type syncMover struct {
 
 func (m *syncMover) sendBlock(bc mesh.Coord, d *grid.Data, to, tag int) {
 	s := m.s
-	buf := make([]float64, d.InteriorLen())
-	s.rec.Span(s.rank, 0, "exchange-pack", func() { d.PackInterior(buf) })
+	lease := s.arena.LeaseFloat64(d.InteriorLen())
+	s.rec.Span(s.rank, 0, "exchange-pack", func() { d.PackInterior(lease.Float64()) })
 	start := time.Now()
-	if err := s.comm.Send(buf, to, tag); err != nil {
+	if err := s.comm.SendOwned(lease, to, tag); err != nil {
 		panic(err) // protocol code has verified arguments; transport errors are fatal here
 	}
 	s.rec.Record(s.rank, 0, "exchange-send", start, time.Now())
@@ -227,13 +234,14 @@ func (m *syncMover) sendBlock(bc mesh.Coord, d *grid.Data, to, tag int) {
 func (m *syncMover) recvBlock(bc mesh.Coord, from, tag int) *grid.Data {
 	s := m.s
 	d := s.newBlockData(bc, false)
-	buf := make([]float64, d.InteriorLen())
+	buf := s.arena.GetFloat64(d.InteriorLen())
 	start := time.Now()
 	if _, err := s.comm.Recv(buf, from, tag); err != nil {
 		panic(err)
 	}
 	s.rec.Record(s.rank, 0, "exchange-recv", start, time.Now())
 	s.rec.Span(s.rank, 0, "exchange-unpack", func() { d.UnpackInterior(buf) })
+	s.arena.PutFloat64(buf)
 	return d
 }
 

@@ -10,16 +10,18 @@ import (
 	"miniamr/internal/amr/grid"
 	"miniamr/internal/amr/mesh"
 	"miniamr/internal/amr/object"
+	"miniamr/internal/membuf"
 	"miniamr/internal/mpi"
 	"miniamr/internal/trace"
 )
 
 // state is the per-rank simulation state shared by all driver variants.
 type state struct {
-	cfg  *Config
-	comm *mpi.Comm
-	rank int
-	rec  *trace.Recorder
+	cfg   *Config
+	comm  *mpi.Comm
+	rank  int
+	rec   *trace.Recorder
+	arena *membuf.Arena // the world's buffer arena; all scratch comes from it
 
 	msh  *mesh.Mesh
 	data map[mesh.Coord]*grid.Data
@@ -27,9 +29,17 @@ type state struct {
 
 	chunkCap int // message chunking mode of the running variant
 
-	scheds   [3]*comm.Schedule
-	sendBufs [3]map[int][][]float64 // dir -> peer -> message -> buffer
-	recvBufs [3]map[int][][]float64
+	scheds [3]*comm.Schedule
+	// sendPlans and recvPlans are the chunked ghost messages of each
+	// direction, derived once per mesh epoch: the per-stage hot paths walk
+	// them without re-planning (or allocating). recvBufs[dir][i] is the
+	// pooled receive slab backing recvPlans[dir][i], stable across the
+	// epoch. Send-side slabs are not retained: each message is packed into
+	// a fresh arena lease whose ownership transfers to the MPI layer (the
+	// receiver returns it).
+	sendPlans [3][]commPlan
+	recvPlans [3][]commPlan
+	recvBufs  [3][][]float64
 
 	prevSums    []float64 // last validated global sums, nil right after refinement
 	checksums   [][]float64
@@ -42,6 +52,18 @@ type state struct {
 	// checkpoint; restored suppresses the initial refinement.
 	startStep, startStage int
 	restored              bool
+}
+
+// commPlan is one precomputed ghost message: its peer, message index
+// within the peer pair, matching tag, transfer list, and payload length
+// per ghost variable (message length for a group of gv variables is
+// cells*gv, since transfer lengths are linear in the group width).
+type commPlan struct {
+	peer  int
+	mi    int
+	tag   int
+	cells int
+	msg   []comm.Transfer
 }
 
 // MeshStat is a snapshot of the mesh shape after a refinement epoch.
@@ -82,6 +104,7 @@ func newState(cfg *Config, c *mpi.Comm, rec *trace.Recorder, chunkCap int) (*sta
 		comm:     c,
 		rank:     c.Rank(),
 		rec:      rec,
+		arena:    c.World().Arena(),
 		msh:      m,
 		data:     make(map[mesh.Coord]*grid.Data),
 		objs:     append([]object.Object(nil), cfg.Objects...),
@@ -102,10 +125,17 @@ func newState(cfg *Config, c *mpi.Comm, rec *trace.Recorder, chunkCap int) (*sta
 	return s, nil
 }
 
-// newBlockData allocates a block's storage, optionally filling the initial
-// condition.
+// newBlockData places a block's storage over pooled arena buffers,
+// optionally filling the initial condition. The cell array is cleared (a
+// pooled buffer arrives stale, and blocks must start zeroed exactly like
+// the seed's fresh allocations); the stencil scratch is written before it
+// is read, so its stale contents are harmless. releaseBlock returns the
+// storage.
 func (s *state) newBlockData(bc mesh.Coord, fill bool) *grid.Data {
-	d := grid.MustNewData(s.cfg.BlockSize, s.cfg.Vars)
+	n := grid.StorageLen(s.cfg.BlockSize, s.cfg.Vars)
+	cells := s.arena.GetFloat64(n)
+	clear(cells)
+	d := grid.MustNewDataFrom(s.cfg.BlockSize, s.cfg.Vars, cells, s.arena.GetFloat64(n))
 	if fill {
 		lo, _ := s.msh.Config().Bounds(bc)
 		d.Fill(lo, s.msh.Config().CellWidth(bc, s.cfg.BlockSize), initValue)
@@ -113,33 +143,77 @@ func (s *state) newBlockData(bc mesh.Coord, fill bool) *grid.Data {
 	return d
 }
 
-// rebuildComm recomputes exchange schedules and communication buffers,
-// required after every mesh mutation.
+// releaseBlock returns a dead block's storage to the arena. The block
+// must no longer be reachable.
+func (s *state) releaseBlock(d *grid.Data) {
+	cells, scratch := d.Storage()
+	s.arena.PutFloat64(cells)
+	s.arena.PutFloat64(scratch)
+}
+
+// rebuildComm recomputes exchange schedules, message plans and
+// communication buffers, required after every mesh mutation.
 func (s *state) rebuildComm() error {
+	s.releaseRecvBufs()
 	for dir := grid.DirX; dir <= grid.DirZ; dir++ {
 		sched, err := comm.BuildSchedule(s.msh, s.rank, dir, s.cfg.BlockSize)
 		if err != nil {
 			return err
 		}
 		s.scheds[dir] = sched
-		s.sendBufs[dir] = map[int][][]float64{}
-		s.recvBufs[dir] = map[int][][]float64{}
+		s.sendPlans[dir] = s.sendPlans[dir][:0]
+		s.recvPlans[dir] = s.recvPlans[dir][:0]
 		for _, pe := range sched.Peers {
-			for _, msg := range comm.Chunk(pe.Send, s.chunkCap) {
-				s.sendBufs[dir][pe.Peer] = append(s.sendBufs[dir][pe.Peer],
-					make([]float64, comm.MessageLen(msg, s.cfg.CommVars)))
+			for mi, msg := range comm.Chunk(pe.Send, s.chunkCap) {
+				s.sendPlans[dir] = append(s.sendPlans[dir], commPlan{
+					peer: pe.Peer, mi: mi, tag: comm.Tag(dir, mi),
+					cells: comm.MessageLen(msg, 1), msg: msg,
+				})
 			}
-			for _, msg := range comm.Chunk(pe.Recv, s.chunkCap) {
-				s.recvBufs[dir][pe.Peer] = append(s.recvBufs[dir][pe.Peer],
-					make([]float64, comm.MessageLen(msg, s.cfg.CommVars)))
+			for mi, msg := range comm.Chunk(pe.Recv, s.chunkCap) {
+				pl := commPlan{
+					peer: pe.Peer, mi: mi, tag: comm.Tag(dir, mi),
+					cells: comm.MessageLen(msg, 1), msg: msg,
+				}
+				s.recvPlans[dir] = append(s.recvPlans[dir], pl)
+				s.recvBufs[dir] = append(s.recvBufs[dir],
+					s.arena.GetFloat64(pl.cells*s.cfg.CommVars))
 			}
 		}
 	}
 	return nil
 }
 
+// releaseRecvBufs returns the receive slabs to the arena. Callers must
+// have drained all in-flight receives first; rebuildComm and close run
+// only at quiesced points.
+func (s *state) releaseRecvBufs() {
+	for dir := range s.recvBufs {
+		for _, b := range s.recvBufs[dir] {
+			s.arena.PutFloat64(b)
+		}
+		s.recvBufs[dir] = s.recvBufs[dir][:0]
+	}
+}
+
+// close returns every pooled buffer the state still holds — block storage
+// and receive slabs — to the arena. It is called after a successful run;
+// a failed run abandons its buffers (the job is over anyway, and in-flight
+// operations may still reference them).
+func (s *state) close() {
+	for _, d := range s.data {
+		s.releaseBlock(d)
+	}
+	s.data = nil
+	s.releaseRecvBufs()
+}
+
 // owned returns the rank's blocks in deterministic order.
 func (s *state) owned() []mesh.Coord { return s.msh.Owned(s.rank) }
+
+// blockAt resolves an owned coordinate to its block data, the source/dst
+// resolver for comm.PackMessage and comm.UnpackMessage.
+func (s *state) blockAt(c mesh.Coord) *grid.Data { return s.data[c] }
 
 // runStencil applies the configured stencil kernel to a block's variable
 // group. The 27-point stencil first synthesises edge/corner ghosts from
@@ -224,8 +298,10 @@ func (s *state) advanceObjects() {
 // combineBlockSums folds per-block per-variable sums into global-order
 // local sums: blocks are combined in coordinate order so the result is
 // bit-deterministic regardless of which worker produced each block's sums.
+// The result is a pooled buffer; reduceAndValidate takes ownership of it.
 func (s *state) combineBlockSums(blocks []mesh.Coord, perBlock map[mesh.Coord][]float64) []float64 {
-	out := make([]float64, s.cfg.Vars)
+	out := s.arena.GetFloat64(s.cfg.Vars)
+	clear(out)
 	for _, bc := range blocks {
 		sums := perBlock[bc]
 		for v := range sums {
@@ -237,9 +313,12 @@ func (s *state) combineBlockSums(blocks []mesh.Coord, perBlock map[mesh.Coord][]
 
 // reduceAndValidate completes a checksum: global reduction across ranks,
 // then drift validation against the previous validated sums. Refinement
-// resets the baseline because coarsening legitimately changes sums.
+// resets the baseline because coarsening legitimately changes sums. It
+// takes ownership of local (a pooled buffer from combineBlockSums) and
+// returns it to the arena.
 func (s *state) reduceAndValidate(local []float64) error {
 	global, err := s.comm.AllreduceFloat64(local, mpi.Sum)
+	s.arena.PutFloat64(local)
 	if err != nil {
 		return err
 	}

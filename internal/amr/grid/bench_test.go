@@ -19,6 +19,7 @@ func BenchmarkStencil7(b *testing.B) {
 		b.Run(fmt.Sprintf("block=%d", edge), func(b *testing.B) {
 			d := benchBlock(b, edge, 8)
 			b.SetBytes(int64(8 * d.Size().Cells() * d.Vars()))
+			b.ReportAllocs()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				d.Stencil7(0, 8)
@@ -30,6 +31,7 @@ func BenchmarkStencil7(b *testing.B) {
 
 func BenchmarkStencil27(b *testing.B) {
 	d := benchBlock(b, 12, 8)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		d.Stencil27(0, 8)
@@ -40,6 +42,7 @@ func BenchmarkStencil27(b *testing.B) {
 func BenchmarkPackFace(b *testing.B) {
 	d := benchBlock(b, 12, 8)
 	buf := make([]float64, d.FaceLen(DirX, 0, 8))
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		d.PackFace(DirX, High, 0, 8, buf)
@@ -50,6 +53,7 @@ func BenchmarkUnpackFace(b *testing.B) {
 	d := benchBlock(b, 12, 8)
 	buf := make([]float64, d.FaceLen(DirX, 0, 8))
 	d.PackFace(DirX, High, 0, 8, buf)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		d.UnpackFace(DirX, Low, 0, 8, buf)
@@ -59,6 +63,7 @@ func BenchmarkUnpackFace(b *testing.B) {
 func BenchmarkCopyFaceTo(b *testing.B) {
 	src := benchBlock(b, 12, 8)
 	dst := MustNewData(Size{12, 12, 12}, 8)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		src.CopyFaceTo(dst, DirY, High, 0, 8)
@@ -68,6 +73,7 @@ func BenchmarkCopyFaceTo(b *testing.B) {
 func BenchmarkPackFaceRestrict(b *testing.B) {
 	d := benchBlock(b, 12, 8)
 	buf := make([]float64, d.QuarterFaceLen(DirZ, 0, 8))
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		d.PackFaceRestrict(DirZ, Low, 0, 8, buf)
@@ -80,6 +86,7 @@ func BenchmarkSplitInto(b *testing.B) {
 	for o := range children {
 		children[o] = MustNewData(Size{12, 12, 12}, 8)
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		parent.SplitInto(&children)
@@ -92,6 +99,7 @@ func BenchmarkConsolidateFrom(b *testing.B) {
 	for o := range children {
 		children[o] = benchBlock(b, 12, 8)
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		parent.ConsolidateFrom(&children)
@@ -101,6 +109,7 @@ func BenchmarkConsolidateFrom(b *testing.B) {
 func BenchmarkChecksum(b *testing.B) {
 	d := benchBlock(b, 12, 8)
 	out := make([]float64, 8)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		d.Checksum(0, 8, out)
@@ -111,6 +120,7 @@ func BenchmarkPackInterior(b *testing.B) {
 	d := benchBlock(b, 12, 8)
 	buf := make([]float64, d.InteriorLen())
 	b.SetBytes(int64(8 * d.InteriorLen()))
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		d.PackInterior(buf)

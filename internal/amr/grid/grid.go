@@ -116,6 +116,50 @@ func MustNewData(size Size, vars int) *Data {
 	return d
 }
 
+// StorageLen returns the length of each of the two storage slices
+// (cells and stencil scratch) a block of this shape needs.
+func StorageLen(size Size, vars int) int {
+	return vars * (size.X + 2) * (size.Y + 2) * (size.Z + 2)
+}
+
+// NewDataFrom builds a block over caller-provided storage — typically
+// pooled buffers — instead of allocating. Both slices must have length
+// StorageLen(size, vars). The caller is responsible for the contents of
+// cells (a pooled buffer arrives stale; clear it if the block must start
+// zeroed) and for returning both slices to their pool once the block is
+// dead; Storage retrieves them.
+func NewDataFrom(size Size, vars int, cells, scratch []float64) (*Data, error) {
+	if err := size.Validate(); err != nil {
+		return nil, err
+	}
+	if vars <= 0 {
+		return nil, fmt.Errorf("grid: vars must be positive, got %d", vars)
+	}
+	want := StorageLen(size, vars)
+	if len(cells) != want || len(scratch) != want {
+		return nil, fmt.Errorf("grid: storage length %d/%d does not match block shape (want %d)", len(cells), len(scratch), want)
+	}
+	return &Data{
+		size: size, vars: vars,
+		sx: size.X + 2, sy: size.Y + 2, sz: size.Z + 2,
+		cells: cells, scratch: scratch,
+	}, nil
+}
+
+// MustNewDataFrom is NewDataFrom but panics on invalid arguments.
+func MustNewDataFrom(size Size, vars int, cells, scratch []float64) *Data {
+	d, err := NewDataFrom(size, vars, cells, scratch)
+	if err != nil {
+		panic(err)
+	}
+	return d
+}
+
+// Storage returns the block's two backing slices so an owner that placed
+// the block over pooled buffers can return them. The block must not be
+// used after its storage is reclaimed.
+func (d *Data) Storage() (cells, scratch []float64) { return d.cells, d.scratch }
+
 // Size returns the interior extent.
 func (d *Data) Size() Size { return d.size }
 

@@ -11,10 +11,12 @@ package harness
 
 import (
 	"fmt"
+	"runtime"
 	"time"
 
 	"miniamr/internal/amr/app"
 	"miniamr/internal/cluster"
+	"miniamr/internal/membuf"
 	"miniamr/internal/mpi"
 	"miniamr/internal/simnet"
 	"miniamr/internal/trace"
@@ -91,6 +93,14 @@ type Metrics struct {
 	FinalBlocks int
 	// Messages and CommBytes total the point-to-point traffic of all ranks.
 	Messages, CommBytes int64
+	// Arena is the world buffer arena's traffic: pooled gets/puts, hit
+	// rate, and (for a clean run) zero live buffers. All ranks share one
+	// arena, so these are whole-job counters.
+	Arena membuf.Stats
+	// HeapAllocs is the number of heap objects the process allocated while
+	// the job ran (a runtime.MemStats.Mallocs delta). Together with Arena
+	// it shows how much of the message traffic the pooling absorbs.
+	HeapAllocs uint64
 	// MeshHistory and MeshView come from rank 0 (replicated state).
 	MeshHistory []app.MeshStat
 	MeshView    string
@@ -114,6 +124,8 @@ func Run(spec RunSpec) (Metrics, error) {
 	world := mpi.NewWorld(topo, spec.Net)
 	results := make([]app.Result, topo.Ranks())
 	errs := make([]error, topo.Ranks())
+	var ms0 runtime.MemStats
+	runtime.ReadMemStats(&ms0)
 	runErr := world.Run(func(c *mpi.Comm) {
 		res, err := runner(cfg, c, spec.Recorder)
 		if err != nil {
@@ -131,11 +143,16 @@ func Run(spec RunSpec) (Metrics, error) {
 		return Metrics{}, runErr
 	}
 
+	var ms1 runtime.MemStats
+	runtime.ReadMemStats(&ms1)
+
 	m := Metrics{
 		Ranks: topo.Ranks(), Cores: topo.Cores(),
 		Checksums:   results[0].Checksums,
 		MeshHistory: results[0].MeshHistory,
 		MeshView:    results[0].FinalMeshView,
+		Arena:       world.Arena().Stats(),
+		HeapAllocs:  ms1.Mallocs - ms0.Mallocs,
 	}
 	for _, r := range results {
 		if r.TotalTime > m.Total {

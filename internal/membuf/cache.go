@@ -1,0 +1,66 @@
+package membuf
+
+import "math/bits"
+
+// cacheSlots bounds how many buffers a cache retains per size class before
+// overflowing to the shared arena.
+const cacheSlots = 8
+
+// Cache is a single-owner front for an arena: a worker goroutine's private
+// stash of []float64 buffers (the hot element type of the AMR kernels)
+// that batches pool traffic before it reaches the shared free lists.
+// Gets and Puts through a cache count against the arena's leak accounting
+// exactly like direct arena traffic, so Stats.Live stays meaningful.
+//
+// A Cache is NOT safe for concurrent use — create one per worker. Buffers
+// obtained from a cache may be returned to any cache of the same arena or
+// to the arena directly, and vice versa.
+type Cache struct {
+	a       *Arena
+	classes [numClasses][]([]float64)
+}
+
+// NewCache creates an empty cache over the arena.
+func NewCache(a *Arena) *Cache { return &Cache{a: a} }
+
+// GetFloat64 returns a []float64 of length n with unspecified contents,
+// preferring the cache's private stash.
+func (c *Cache) GetFloat64(n int) []float64 {
+	cl := classFor(n)
+	if cl < numClasses {
+		if l := len(c.classes[cl]); l > 0 {
+			b := c.classes[cl][l-1]
+			c.classes[cl][l-1] = nil
+			c.classes[cl] = c.classes[cl][:l-1]
+			c.a.gets.Add(1)
+			c.a.hits.Add(1)
+			return b[:n]
+		}
+	}
+	return c.a.GetFloat64(n)
+}
+
+// PutFloat64 stashes a buffer in the cache, overflowing to the arena when
+// the class is full.
+func (c *Cache) PutFloat64(b []float64) {
+	if cap(b) > 0 {
+		if cl := bits.Len(uint(cap(b))) - 1; cl < numClasses && len(c.classes[cl]) < cacheSlots {
+			c.classes[cl] = append(c.classes[cl], b[:0])
+			c.a.puts.Add(1)
+			return
+		}
+	}
+	c.a.PutFloat64(b)
+}
+
+// Flush moves every stashed buffer to the arena's shared free lists. The
+// buffers were already accounted as returned when they entered the cache,
+// so Flush does not change the counters.
+func (c *Cache) Flush() {
+	for cl := range c.classes {
+		for _, b := range c.classes[cl] {
+			c.a.f64.putQuiet(b)
+		}
+		c.classes[cl] = nil
+	}
+}

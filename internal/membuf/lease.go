@@ -1,0 +1,139 @@
+package membuf
+
+import (
+	"fmt"
+	"sync/atomic"
+)
+
+// Kind identifies a lease's element type.
+type Kind uint8
+
+// The element types the arena leases, matching the buffer types the mpi
+// layer transports.
+const (
+	KindFloat64 Kind = iota
+	KindInt
+	KindByte
+)
+
+func (k Kind) String() string {
+	switch k {
+	case KindFloat64:
+		return "[]float64"
+	case KindInt:
+		return "[]int"
+	case KindByte:
+		return "[]byte"
+	}
+	return "unknown"
+}
+
+// Lease is a ref-counted handle on one arena buffer, the unit of
+// ownership-transfer along the message path. The creator starts with one
+// reference; Retain adds sharers; the final Release returns the buffer to
+// the arena. After that the lease handle is recycled and must not be
+// touched — a further Release panics (double release).
+type Lease struct {
+	a    *Arena
+	kind Kind
+	f    []float64
+	i    []int
+	b    []byte
+	refs atomic.Int32
+	n    int
+}
+
+// LeaseFloat64 leases a []float64 of length n with unspecified contents.
+func (a *Arena) LeaseFloat64(n int) *Lease {
+	l := a.newLease(KindFloat64, n)
+	l.f = a.GetFloat64(n)
+	return l
+}
+
+// LeaseInt leases a []int of length n with unspecified contents.
+func (a *Arena) LeaseInt(n int) *Lease {
+	l := a.newLease(KindInt, n)
+	l.i = a.GetInt(n)
+	return l
+}
+
+// LeaseByte leases a []byte of length n with unspecified contents.
+func (a *Arena) LeaseByte(n int) *Lease {
+	l := a.newLease(KindByte, n)
+	l.b = a.GetByte(n)
+	return l
+}
+
+func (a *Arena) newLease(k Kind, n int) *Lease {
+	l := a.leasePool.Get().(*Lease)
+	l.a, l.kind, l.n = a, k, n
+	l.refs.Store(1)
+	a.leasesLive.Add(1)
+	return l
+}
+
+// Kind returns the element type of the leased buffer.
+func (l *Lease) Kind() Kind { return l.kind }
+
+// Len returns the element count of the leased buffer.
+func (l *Lease) Len() int { return l.n }
+
+// Float64 returns the leased buffer; it panics if the lease holds another
+// kind.
+func (l *Lease) Float64() []float64 {
+	if l.kind != KindFloat64 {
+		panic(fmt.Sprintf("membuf: Float64 on a %v lease", l.kind))
+	}
+	return l.f
+}
+
+// Int returns the leased buffer; it panics if the lease holds another kind.
+func (l *Lease) Int() []int {
+	if l.kind != KindInt {
+		panic(fmt.Sprintf("membuf: Int on a %v lease", l.kind))
+	}
+	return l.i
+}
+
+// Byte returns the leased buffer; it panics if the lease holds another
+// kind.
+func (l *Lease) Byte() []byte {
+	if l.kind != KindByte {
+		panic(fmt.Sprintf("membuf: Byte on a %v lease", l.kind))
+	}
+	return l.b
+}
+
+// Retain adds a reference, allowing one more Release before the buffer
+// returns to the arena. It may only be called by a goroutine that holds a
+// live reference.
+func (l *Lease) Retain() {
+	if l.refs.Add(1) <= 1 {
+		panic("membuf: Retain on a released lease")
+	}
+}
+
+// Release drops one reference; the last one returns the buffer to the
+// arena and recycles the handle. Releasing an already-dead lease panics
+// (double release).
+func (l *Lease) Release() {
+	refs := l.refs.Add(-1)
+	if refs < 0 {
+		panic("membuf: double release of a lease")
+	}
+	if refs > 0 {
+		return
+	}
+	a := l.a
+	switch l.kind {
+	case KindFloat64:
+		a.PutFloat64(l.f)
+	case KindInt:
+		a.PutInt(l.i)
+	case KindByte:
+		a.PutByte(l.b)
+	}
+	l.a, l.f, l.i, l.b, l.n = nil, nil, nil, nil, 0
+	a.leasesLive.Add(-1)
+	a.leasePool.Put(l)
+}

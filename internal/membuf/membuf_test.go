@@ -1,0 +1,237 @@
+package membuf
+
+import (
+	"sync"
+	"testing"
+)
+
+// sameBacking reports whether two slices share a backing array (compared
+// at full capacity, since pooled buffers travel resliced).
+func sameBacking(a, b []float64) bool {
+	if cap(a) == 0 || cap(b) == 0 {
+		return false
+	}
+	return &a[:cap(a)][cap(a)-1] == &b[:cap(b)][cap(b)-1]
+}
+
+func TestGetPutReuse(t *testing.T) {
+	a := New()
+	b1 := a.GetFloat64(100)
+	if len(b1) != 100 {
+		t.Fatalf("GetFloat64(100) returned len %d", len(b1))
+	}
+	if cap(b1) != 128 {
+		t.Fatalf("size class of 100 should cap at 128, got %d", cap(b1))
+	}
+	a.PutFloat64(b1)
+	b2 := a.GetFloat64(90) // same class; must reuse the same backing array
+	if !sameBacking(b1, b2) {
+		t.Fatal("same-class Get after Put did not reuse the buffer")
+	}
+	if len(b2) != 90 {
+		t.Fatalf("reused buffer has len %d, want 90", len(b2))
+	}
+	st := a.Stats()
+	if st.Gets != 2 || st.Puts != 1 || st.Hits != 1 || st.Misses != 1 {
+		t.Fatalf("stats %+v, want 2 gets, 1 put, 1 hit, 1 miss", st)
+	}
+	if st.Live != 1 {
+		t.Fatalf("Live = %d, want 1", st.Live)
+	}
+	if st.HitRate() != 0.5 {
+		t.Fatalf("HitRate = %v, want 0.5", st.HitRate())
+	}
+}
+
+func TestZeroAndOutsizedLengths(t *testing.T) {
+	a := New()
+	z := a.GetFloat64(0)
+	if len(z) != 0 {
+		t.Fatalf("GetFloat64(0) has len %d", len(z))
+	}
+	a.PutFloat64(z)
+	// Outsized requests fall through to plain allocation and are dropped
+	// on Put without panicking.
+	huge := a.GetInt(1 << 4)
+	a.PutInt(huge)
+	if live := a.Stats().Live; live != 0 {
+		t.Fatalf("Live = %d after matched put", live)
+	}
+}
+
+// TestCrossKindIsolation pins the corruption guarantee: the three element
+// types draw from disjoint pools, so traffic of one kind can never hand
+// out (or scribble over) another kind's backing memory.
+func TestCrossKindIsolation(t *testing.T) {
+	a := New()
+	f := a.GetFloat64(64)
+	for i := range f {
+		f[i] = 3.25
+	}
+	a.PutFloat64(f)
+
+	// Churn the byte and int pools with same-class sizes, writing garbage.
+	by := a.GetByte(64 * 8)
+	for i := range by {
+		by[i] = 0xff
+	}
+	a.PutByte(by)
+	iv := a.GetInt(64)
+	for i := range iv {
+		iv[i] = -1
+	}
+	a.PutInt(iv)
+
+	// The float64 pool must return the original buffer, contents intact up
+	// to its capacity (Get does not zero).
+	f2 := a.GetFloat64(64)
+	if !sameBacking(f, f2) {
+		t.Fatal("float64 pool did not retain its buffer across other-kind churn")
+	}
+	for i, v := range f2 {
+		if v != 3.25 {
+			t.Fatalf("float64 buffer corrupted at %d: %v", i, v)
+		}
+	}
+}
+
+func TestLeaseLifecycle(t *testing.T) {
+	a := New()
+	l := a.LeaseFloat64(32)
+	if l.Kind() != KindFloat64 || l.Len() != 32 || len(l.Float64()) != 32 {
+		t.Fatalf("lease shape wrong: kind=%v len=%d", l.Kind(), l.Len())
+	}
+	if got := a.Stats().LeasesLive; got != 1 {
+		t.Fatalf("LeasesLive = %d, want 1", got)
+	}
+	l.Retain()
+	l.Release()
+	if got := a.Stats().LeasesLive; got != 1 {
+		t.Fatalf("LeasesLive after retained release = %d, want 1", got)
+	}
+	buf := l.Float64()
+	l.Release()
+	st := a.Stats()
+	if st.LeasesLive != 0 || st.Live != 0 {
+		t.Fatalf("after final release: %+v, want no live leases or buffers", st)
+	}
+	// The buffer is back in the pool: a new lease of the class reuses it.
+	l2 := a.LeaseFloat64(20)
+	if !sameBacking(buf, l2.Float64()) {
+		t.Fatal("released lease buffer was not pooled")
+	}
+	l2.Release()
+}
+
+func TestLeaseDoubleReleasePanics(t *testing.T) {
+	a := New()
+	l := a.LeaseInt(4)
+	l.Release()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("double Release did not panic")
+		}
+	}()
+	l.Release()
+}
+
+func TestLeaseKindMismatchPanics(t *testing.T) {
+	a := New()
+	l := a.LeaseByte(4)
+	defer l.Release()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Float64 on a byte lease did not panic")
+		}
+	}()
+	l.Float64()
+}
+
+func TestCache(t *testing.T) {
+	a := New()
+	c := NewCache(a)
+	b := c.GetFloat64(48) // miss: falls through to the arena
+	c.PutFloat64(b)       // stashed privately
+	if st := a.Stats(); st.Live != 0 {
+		t.Fatalf("Live = %d after cache put, want 0", st.Live)
+	}
+	b2 := c.GetFloat64(40)
+	if !sameBacking(b, b2) {
+		t.Fatal("cache did not serve from its stash")
+	}
+	c.PutFloat64(b2)
+	c.Flush()
+	// After a flush the buffer is in the shared free lists.
+	b3 := a.GetFloat64(33)
+	if !sameBacking(b, b3) {
+		t.Fatal("Flush did not hand the buffer to the arena")
+	}
+	a.PutFloat64(b3)
+	if st := a.Stats(); st.Live != 0 {
+		t.Fatalf("final Live = %d, want 0 (stats %+v)", st.Live, st)
+	}
+}
+
+func TestCacheOverflowsToArena(t *testing.T) {
+	a := New()
+	c := NewCache(a)
+	bufs := make([][]float64, cacheSlots+3)
+	for i := range bufs {
+		bufs[i] = a.GetFloat64(16)
+	}
+	for _, b := range bufs {
+		c.PutFloat64(b)
+	}
+	if st := a.Stats(); st.Live != 0 {
+		t.Fatalf("Live = %d after puts, want 0", st.Live)
+	}
+	// Overflowed buffers must be retrievable straight from the arena.
+	seen := 0
+	for i := 0; i < 3; i++ {
+		g := a.GetFloat64(16)
+		for _, b := range bufs {
+			if sameBacking(g, b) {
+				seen++
+				break
+			}
+		}
+	}
+	if seen != 3 {
+		t.Fatalf("only %d of 3 overflow buffers reached the arena", seen)
+	}
+}
+
+// TestConcurrentTraffic hammers the arena from many goroutines so the race
+// detector can vet the locking, and checks the leak counter balances.
+func TestConcurrentTraffic(t *testing.T) {
+	a := New()
+	const workers = 8
+	const iters = 500
+	var wg sync.WaitGroup
+	handoff := make(chan *Lease, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(seed int) {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				n := (seed*31+i)%1000 + 1
+				b := a.GetFloat64(n)
+				b[0], b[n-1] = 1, 2
+				a.PutFloat64(b)
+				iv := a.GetInt(n / 2)
+				a.PutInt(iv)
+				l := a.LeaseByte(n)
+				handoff <- l // ownership transfer to whichever worker drains it
+				(<-handoff).Release()
+			}
+		}(w)
+	}
+	wg.Wait()
+	st := a.Stats()
+	if st.Live != 0 || st.LeasesLive != 0 {
+		t.Fatalf("leaked: %+v", st)
+	}
+	if st.Gets != st.Puts {
+		t.Fatalf("gets %d != puts %d", st.Gets, st.Puts)
+	}
+}

@@ -13,6 +13,7 @@ import (
 func BenchmarkPingPong(b *testing.B) {
 	for _, size := range []int{1, 128, 16384} {
 		b.Run(fmt.Sprintf("floats=%d", size), func(b *testing.B) {
+			b.ReportAllocs()
 			w := NewWorld(cluster.MustNew(1, 2, 1), simnet.None())
 			done := make(chan error, 1)
 			go func() {
@@ -51,6 +52,7 @@ func BenchmarkPingPong(b *testing.B) {
 // BenchmarkUnexpectedQueue measures matching against a deep unexpected
 // message queue, the pattern of a late receiver.
 func BenchmarkUnexpectedQueue(b *testing.B) {
+	b.ReportAllocs()
 	w := NewWorld(cluster.MustNew(1, 2, 1), simnet.None())
 	err := w.Run(func(c *Comm) {
 		const depth = 64
@@ -86,6 +88,7 @@ func BenchmarkUnexpectedQueue(b *testing.B) {
 func BenchmarkAllreduce(b *testing.B) {
 	for _, ranks := range []int{4, 16} {
 		b.Run(fmt.Sprintf("ranks=%d", ranks), func(b *testing.B) {
+			b.ReportAllocs()
 			w := NewWorld(cluster.MustNew(1, ranks, 1), simnet.None())
 			err := w.Run(func(c *Comm) {
 				in := []float64{float64(c.Rank())}
@@ -104,6 +107,7 @@ func BenchmarkAllreduce(b *testing.B) {
 
 // BenchmarkBarrier measures the synchronisation primitive.
 func BenchmarkBarrier(b *testing.B) {
+	b.ReportAllocs()
 	w := NewWorld(cluster.MustNew(1, 8, 1), simnet.None())
 	err := w.Run(func(c *Comm) {
 		for i := 0; i < b.N; i++ {

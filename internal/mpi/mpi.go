@@ -33,6 +33,7 @@ import (
 	"sync/atomic"
 
 	"miniamr/internal/cluster"
+	"miniamr/internal/membuf"
 	"miniamr/internal/simnet"
 )
 
@@ -51,12 +52,13 @@ type World struct {
 	topo  *cluster.Topology
 	net   simnet.Model
 	comms []*Comm
+	arena *membuf.Arena
 }
 
 // NewWorld creates a world with one communicator handle per rank described
 // by the topology, charging message costs according to the model.
 func NewWorld(topo *cluster.Topology, net simnet.Model) *World {
-	w := &World{topo: topo, net: net}
+	w := &World{topo: topo, net: net, arena: membuf.New()}
 	n := topo.Ranks()
 	w.comms = make([]*Comm, n)
 	for r := 0; r < n; r++ {
@@ -70,6 +72,12 @@ func (w *World) Topology() *cluster.Topology { return w.topo }
 
 // Net returns the interconnect model in use.
 func (w *World) Net() simnet.Model { return w.net }
+
+// Arena returns the world's buffer arena. The transport draws its payload
+// clones from it, and the application layers share it for scratch and
+// ownership-transfer sends so a run's buffer traffic is accounted in one
+// place.
+func (w *World) Arena() *membuf.Arena { return w.arena }
 
 // Size returns the number of ranks.
 func (w *World) Size() int { return len(w.comms) }

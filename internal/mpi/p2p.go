@@ -2,22 +2,69 @@ package mpi
 
 import (
 	"fmt"
+	"sync"
 	"time"
+
+	"miniamr/internal/membuf"
 )
 
-// message is a payload in flight or queued at a receiver.
+// message is a payload in flight or queued at a receiver. Messages are
+// recycled through msgPool once the matching engine has copied them out.
 type message struct {
-	src  int
-	tag  int
-	data any // library-owned copy
+	src int
+	tag int
+	pay *membuf.Lease // transport-owned; released after copy-out
 }
 
-// postedRecv is a receive waiting for a matching message.
+var msgPool = sync.Pool{New: func() any { return new(message) }}
+
+func newMessage(src, tag int, pay *membuf.Lease) *message {
+	m := msgPool.Get().(*message)
+	m.src, m.tag, m.pay = src, tag, pay
+	return m
+}
+
+func recycleMessage(m *message) {
+	m.pay = nil
+	msgPool.Put(m)
+}
+
+// recvOutcome is the completion record a blocking receive waits for.
+type recvOutcome struct {
+	st  Status
+	err error
+}
+
+// recvWaiter parks a blocking receive without allocating a Request.
+type recvWaiter struct {
+	ch chan recvOutcome
+}
+
+var waiterPool = sync.Pool{New: func() any {
+	return &recvWaiter{ch: make(chan recvOutcome, 1)}
+}}
+
+// postedRecv is a receive waiting for a matching message. Exactly one of
+// req (non-blocking path) and waiter (blocking fast path) is set.
 type postedRecv struct {
-	src int // rank or AnySource
-	tag int // tag or AnyTag
-	buf any
-	req *Request
+	src    int // rank or AnySource
+	tag    int // tag or AnyTag
+	buf    any
+	req    *Request
+	waiter *recvWaiter
+}
+
+var postedPool = sync.Pool{New: func() any { return new(postedRecv) }}
+
+func newPostedRecv(src, tag int, buf any, req *Request, w *recvWaiter) *postedRecv {
+	pr := postedPool.Get().(*postedRecv)
+	pr.src, pr.tag, pr.buf, pr.req, pr.waiter = src, tag, buf, req, w
+	return pr
+}
+
+func recyclePostedRecv(pr *postedRecv) {
+	pr.buf, pr.req, pr.waiter = nil, nil, nil
+	postedPool.Put(pr)
 }
 
 func (p *postedRecv) matches(src, tag int) bool {
@@ -68,9 +115,20 @@ func (b *mailbox) post(pr *postedRecv) {
 	b.mu.Unlock()
 }
 
+// completeRecv copies the payload out, returns it to the arena, recycles
+// the transport records, and signals the receiver.
 func completeRecv(pr *postedRecv, msg *message) {
-	count, err := copyPayload(pr.buf, msg.data)
-	pr.req.complete(Status{Source: msg.src, Tag: msg.tag, Count: count}, err)
+	count, err := copyPayload(pr.buf, msg.pay)
+	st := Status{Source: msg.src, Tag: msg.tag, Count: count}
+	msg.pay.Release()
+	recycleMessage(msg)
+	req, w := pr.req, pr.waiter
+	recyclePostedRecv(pr)
+	if w != nil {
+		w.ch <- recvOutcome{st: st, err: err}
+		return
+	}
+	req.complete(st, err)
 }
 
 // chanMutex is a mutex built on a channel so that lock acquisition parks
@@ -87,11 +145,48 @@ func newChanMutex() chanMutex {
 func (m chanMutex) Lock()   { m <- struct{}{} }
 func (m chanMutex) Unlock() { <-m }
 
+// delayFor returns the simulated transfer time of a payload to dest.
+func (c *Comm) delayFor(dest, bytes int) time.Duration {
+	if c.world.net.IsZero() {
+		return 0
+	}
+	return c.world.net.EffectiveDelay(c.world.topo.SameNode(c.rank, dest), bytes)
+}
+
+// dispatch injects an owned payload into the transport, charging the cost
+// model and completing req (if non-nil) once the message is delivered to
+// the destination's matching engine. Callers must have validated dest and
+// tag. Ownership of pay passes to the transport here.
+func (c *Comm) dispatch(pay *membuf.Lease, dest, tag, count int, req *Request) {
+	bytes := leaseBytes(pay)
+	c.sentMsgs.Add(1)
+	c.sentBytes.Add(int64(bytes))
+	msg := newMessage(c.rank, tag, pay)
+	dstBox := c.world.comms[dest].box
+	st := Status{Source: c.rank, Tag: tag, Count: count}
+	if delay := c.delayFor(dest, bytes); delay > 0 {
+		go func() {
+			time.Sleep(delay)
+			dstBox.deliver(msg)
+			if req != nil {
+				req.complete(st, nil)
+			}
+		}()
+		return
+	}
+	// Free or sub-granularity transfer: deliver synchronously rather than
+	// paying a goroutine per message.
+	dstBox.deliver(msg)
+	if req != nil {
+		req.complete(st, nil)
+	}
+}
+
 // Isend starts a non-blocking send of buf to dest with the given tag. The
-// buffer is copied eagerly: the caller may reuse it as soon as Isend
-// returns. The returned request completes when the message has been
-// delivered to the destination's matching engine (i.e. after its simulated
-// transfer time).
+// buffer is copied eagerly (into a pooled arena buffer): the caller may
+// reuse it as soon as Isend returns. The returned request completes when
+// the message has been delivered to the destination's matching engine
+// (i.e. after its simulated transfer time).
 func (c *Comm) Isend(buf any, dest, tag int) (*Request, error) {
 	if tag < 0 || tag >= MaxUserTag {
 		return nil, fmt.Errorf("mpi: send tag %d out of range [0,%d)", tag, MaxUserTag)
@@ -109,29 +204,46 @@ func (c *Comm) isend(buf any, dest, tag int) (*Request, error) {
 	if err != nil {
 		return nil, err
 	}
-	msg := &message{src: c.rank, tag: tag, data: clonePayload(buf)}
 	req := newRequest()
-	st := Status{Source: c.rank, Tag: tag, Count: n}
-	c.sentMsgs.Add(1)
-	c.sentBytes.Add(int64(payloadBytes(buf)))
-	dstBox := c.world.comms[dest].box
-	var delay time.Duration
-	if !c.world.net.IsZero() {
-		delay = c.world.net.EffectiveDelay(c.world.topo.SameNode(c.rank, dest), payloadBytes(buf))
-	}
-	if delay == 0 {
-		// Free or sub-granularity transfer: deliver synchronously rather
-		// than paying a goroutine per message.
-		dstBox.deliver(msg)
-		req.complete(st, nil)
-		return req, nil
-	}
-	go func() {
-		time.Sleep(delay)
-		dstBox.deliver(msg)
-		req.complete(st, nil)
-	}()
+	c.dispatch(clonePayload(c.world.arena, buf), dest, tag, n, req)
 	return req, nil
+}
+
+// IsendOwned starts a non-blocking ownership-transfer send: the library
+// takes the lease, and the receiving side returns the buffer to the arena
+// after copying it out. The caller must not touch the lease or its buffer
+// after a successful call. On error the caller retains ownership.
+func (c *Comm) IsendOwned(pay *membuf.Lease, dest, tag int) (*Request, error) {
+	if tag < 0 || tag >= MaxUserTag {
+		return nil, fmt.Errorf("mpi: send tag %d out of range [0,%d)", tag, MaxUserTag)
+	}
+	if dest < 0 || dest >= c.Size() {
+		return nil, fmt.Errorf("mpi: send destination %d out of range [0,%d)", dest, c.Size())
+	}
+	req := newRequest()
+	c.dispatch(pay, dest, tag, pay.Len(), req)
+	return req, nil
+}
+
+// SendOwned is the blocking form of IsendOwned: it returns once the
+// message has been delivered to the destination's matching engine. On
+// error the caller retains ownership of the lease.
+func (c *Comm) SendOwned(pay *membuf.Lease, dest, tag int) error {
+	if tag < 0 || tag >= MaxUserTag {
+		return fmt.Errorf("mpi: send tag %d out of range [0,%d)", tag, MaxUserTag)
+	}
+	if dest < 0 || dest >= c.Size() {
+		return fmt.Errorf("mpi: send destination %d out of range [0,%d)", dest, c.Size())
+	}
+	if c.delayFor(dest, leaseBytes(pay)) == 0 {
+		c.dispatch(pay, dest, tag, pay.Len(), nil)
+		return nil
+	}
+	req := newRequest()
+	c.dispatch(pay, dest, tag, pay.Len(), req)
+	_, err := req.Wait()
+	req.Free()
+	return err
 }
 
 // Irecv starts a non-blocking receive into buf from the given source
@@ -153,27 +265,27 @@ func (c *Comm) irecv(buf any, source, tag int) (*Request, error) {
 		return nil, err
 	}
 	req := newRequest()
-	c.box.post(&postedRecv{src: source, tag: tag, buf: buf, req: req})
+	c.box.post(newPostedRecv(source, tag, buf, req, nil))
 	return req, nil
 }
 
-// Send is the blocking form of Isend.
+// Send is the blocking form of Isend. When the transfer is free under the
+// network model it runs allocation-free: the payload clone comes from the
+// arena and no Request is created.
 func (c *Comm) Send(buf any, dest, tag int) error {
-	req, err := c.Isend(buf, dest, tag)
-	if err != nil {
-		return err
+	if tag < 0 || tag >= MaxUserTag {
+		return fmt.Errorf("mpi: send tag %d out of range [0,%d)", tag, MaxUserTag)
 	}
-	_, err = req.Wait()
-	return err
+	return c.send(buf, dest, tag)
 }
 
-// Recv is the blocking form of Irecv.
+// Recv is the blocking form of Irecv. It parks on a pooled waiter instead
+// of allocating a Request.
 func (c *Comm) Recv(buf any, source, tag int) (Status, error) {
-	req, err := c.Irecv(buf, source, tag)
-	if err != nil {
-		return Status{}, err
+	if tag != AnyTag && (tag < 0 || tag >= MaxUserTag) {
+		return Status{}, fmt.Errorf("mpi: receive tag %d out of range [0,%d)", tag, MaxUserTag)
 	}
-	return req.Wait()
+	return c.recv(buf, source, tag)
 }
 
 // Iprobe reports, without blocking or consuming, whether a message
@@ -187,34 +299,48 @@ func (c *Comm) Iprobe(source, tag int) (bool, Status, error) {
 	if tag != AnyTag && (tag < 0 || tag >= MaxUserTag) {
 		return false, Status{}, fmt.Errorf("mpi: probe tag %d out of range [0,%d)", tag, MaxUserTag)
 	}
-	probe := &postedRecv{src: source, tag: tag}
+	probe := postedRecv{src: source, tag: tag}
 	c.box.mu.Lock()
 	defer c.box.mu.Unlock()
 	for _, msg := range c.box.unexpected {
 		if probe.matches(msg.src, msg.tag) {
-			_, n, err := bufferKind(msg.data)
-			if err != nil {
-				return false, Status{}, err
-			}
-			return true, Status{Source: msg.src, Tag: msg.tag, Count: n}, nil
+			return true, Status{Source: msg.src, Tag: msg.tag, Count: msg.pay.Len()}, nil
 		}
 	}
 	return false, Status{}, nil
 }
 
+// send is Send without the user-tag restriction.
 func (c *Comm) send(buf any, dest, tag int) error {
-	req, err := c.isend(buf, dest, tag)
+	if dest < 0 || dest >= c.Size() {
+		return fmt.Errorf("mpi: send destination %d out of range [0,%d)", dest, c.Size())
+	}
+	k, n, err := bufferKind(buf)
 	if err != nil {
 		return err
 	}
+	if c.delayFor(dest, n*k.elemSize()) == 0 {
+		c.dispatch(clonePayload(c.world.arena, buf), dest, tag, n, nil)
+		return nil
+	}
+	req := newRequest()
+	c.dispatch(clonePayload(c.world.arena, buf), dest, tag, n, req)
 	_, err = req.Wait()
+	req.Free()
 	return err
 }
 
+// recv is Recv without the user-tag restriction.
 func (c *Comm) recv(buf any, source, tag int) (Status, error) {
-	req, err := c.irecv(buf, source, tag)
-	if err != nil {
+	if source != AnySource && (source < 0 || source >= c.Size()) {
+		return Status{}, fmt.Errorf("mpi: receive source %d out of range [0,%d)", source, c.Size())
+	}
+	if _, _, err := bufferKind(buf); err != nil {
 		return Status{}, err
 	}
-	return req.Wait()
+	w := waiterPool.Get().(*recvWaiter)
+	c.box.post(newPostedRecv(source, tag, buf, nil, w))
+	out := <-w.ch
+	waiterPool.Put(w)
+	return out.st, out.err
 }

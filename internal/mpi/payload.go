@@ -1,6 +1,10 @@
 package mpi
 
-import "fmt"
+import (
+	"fmt"
+
+	"miniamr/internal/membuf"
+)
 
 // kind identifies the element type of a message payload or receive buffer.
 type kind uint8
@@ -47,79 +51,96 @@ func bufferKind(buf any) (kind, int, error) {
 	}
 }
 
-// clonePayload copies a user buffer into library-owned storage so the caller
-// may reuse its buffer as soon as the send call returns (eager protocol).
-func clonePayload(buf any) any {
+// clonePayload copies a user buffer into an arena lease so the caller may
+// reuse its buffer as soon as the send call returns (eager protocol). The
+// lease is owned by the transport and released by the receiving side's
+// copyPayload.
+func clonePayload(a *membuf.Arena, buf any) *membuf.Lease {
 	switch b := buf.(type) {
 	case []float64:
-		out := make([]float64, len(b))
-		copy(out, b)
-		return out
+		l := a.LeaseFloat64(len(b))
+		copy(l.Float64(), b)
+		return l
 	case []int:
-		out := make([]int, len(b))
-		copy(out, b)
-		return out
+		l := a.LeaseInt(len(b))
+		copy(l.Int(), b)
+		return l
 	case []byte:
-		out := make([]byte, len(b))
-		copy(out, b)
-		return out
+		l := a.LeaseByte(len(b))
+		copy(l.Byte(), b)
+		return l
 	}
 	panic(fmt.Sprintf("mpi: unsupported payload type %T", buf))
 }
 
-// copyPayload copies message data into a receive buffer of the same kind.
-// It returns the element count copied, or an error on kind mismatch or
-// truncation (message longer than the buffer), matching MPI's
-// MPI_ERR_TRUNCATE behaviour.
-func copyPayload(dst, src any) (int, error) {
-	switch s := src.(type) {
+// copyPayload copies a message payload into a receive buffer of the same
+// kind. It returns the element count copied, or an error on kind mismatch
+// or truncation (message longer than the buffer), matching MPI's
+// MPI_ERR_TRUNCATE behaviour. It does not release the lease; the matching
+// engine does that once the copy-out is done.
+func copyPayload(dst any, pay *membuf.Lease) (int, error) {
+	switch d := dst.(type) {
 	case []float64:
-		d, ok := dst.([]float64)
-		if !ok {
-			return 0, kindMismatch(dst, src)
+		if pay.Kind() != membuf.KindFloat64 {
+			return 0, kindMismatch(dst, pay)
 		}
+		s := pay.Float64()
 		if len(s) > len(d) {
 			return 0, truncErr(len(s), len(d))
 		}
 		copy(d, s)
 		return len(s), nil
 	case []int:
-		d, ok := dst.([]int)
-		if !ok {
-			return 0, kindMismatch(dst, src)
+		if pay.Kind() != membuf.KindInt {
+			return 0, kindMismatch(dst, pay)
 		}
+		s := pay.Int()
 		if len(s) > len(d) {
 			return 0, truncErr(len(s), len(d))
 		}
 		copy(d, s)
 		return len(s), nil
 	case []byte:
-		d, ok := dst.([]byte)
-		if !ok {
-			return 0, kindMismatch(dst, src)
+		if pay.Kind() != membuf.KindByte {
+			return 0, kindMismatch(dst, pay)
 		}
+		s := pay.Byte()
 		if len(s) > len(d) {
 			return 0, truncErr(len(s), len(d))
 		}
 		copy(d, s)
 		return len(s), nil
 	}
-	panic(fmt.Sprintf("mpi: unsupported payload type %T", src))
+	panic(fmt.Sprintf("mpi: unsupported receive buffer type %T", dst))
 }
 
-func kindMismatch(dst, src any) error {
-	return fmt.Errorf("mpi: receive buffer type %T does not match message type %T", dst, src)
+func kindMismatch(dst any, pay *membuf.Lease) error {
+	return fmt.Errorf("mpi: receive buffer type %T does not match message type %v", dst, pay.Kind())
 }
 
 func truncErr(msgLen, bufLen int) error {
 	return fmt.Errorf("mpi: message truncated: %d elements arrived for a buffer of %d", msgLen, bufLen)
 }
 
-// payloadBytes returns the wire size of a payload for the network model.
-func payloadBytes(buf any) int {
+// payloadBytes returns the wire size of a payload for the network model,
+// or an error for unsupported buffer types so the cost model can never
+// silently undercount wire bytes.
+func payloadBytes(buf any) (int, error) {
 	k, n, err := bufferKind(buf)
 	if err != nil {
-		return 0
+		return 0, err
 	}
-	return n * k.elemSize()
+	return n * k.elemSize(), nil
+}
+
+// leaseBytes returns the wire size of a lease payload.
+func leaseBytes(pay *membuf.Lease) int {
+	var elem int
+	switch pay.Kind() {
+	case membuf.KindFloat64, membuf.KindInt:
+		elem = 8
+	default:
+		elem = 1
+	}
+	return pay.Len() * elem
 }

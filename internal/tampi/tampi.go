@@ -28,6 +28,7 @@ package tampi
 import (
 	"sync"
 
+	"miniamr/internal/membuf"
 	"miniamr/internal/mpi"
 	"miniamr/internal/task"
 )
@@ -104,6 +105,32 @@ func (x *Context) Isend(t *task.Task, buf any, dest, tag int) error {
 	}
 	x.Iwait(t, req)
 	return nil
+}
+
+// IsendOwned starts a non-blocking ownership-transfer send and binds it to
+// t: the lease passes to the MPI layer without a copy, and the receiving
+// side returns the buffer to the arena. The caller must not touch the
+// lease after a successful call; on error it retains ownership.
+func (x *Context) IsendOwned(t *task.Task, pay *membuf.Lease, dest, tag int) error {
+	req, err := x.comm.IsendOwned(pay, dest, tag)
+	if err != nil {
+		return err
+	}
+	x.Iwait(t, req)
+	return nil
+}
+
+// SendOwned performs a blocking ownership-transfer send from inside a
+// task: the task pauses until the message has been delivered, releasing
+// its core meanwhile. Lease ownership follows IsendOwned's rules.
+func (x *Context) SendOwned(t *task.Task, pay *membuf.Lease, dest, tag int) error {
+	req, err := x.comm.IsendOwned(pay, dest, tag)
+	if err != nil {
+		return err
+	}
+	t.Suspend(req.Done())
+	_, err = req.Wait()
+	return err
 }
 
 // Irecv starts a non-blocking receive into buf and binds it to t
