@@ -1,11 +1,12 @@
 # Developer entry points. `make check` is the extended verify recorded in
-# ROADMAP.md: vet + formatting + tier-1 build/tests + race tests on the
-# concurrency-bearing packages of the message path.
+# ROADMAP.md: vet + formatting + repo-specific lint + tier-1 build/tests +
+# race tests on the concurrency-bearing packages of the message path.
 
 GO ?= go
-RACE_PKGS := ./internal/mpi ./internal/task ./internal/tampi ./internal/membuf
+RACE_PKGS := ./internal/mpi ./internal/task ./internal/tampi ./internal/membuf \
+	./internal/simnet ./internal/amr/app
 
-.PHONY: test vet fmt-check race check bench
+.PHONY: test vet fmt-check lint race check bench
 
 test:
 	$(GO) build ./...
@@ -17,10 +18,15 @@ vet:
 fmt-check:
 	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then echo "gofmt needed on:"; echo "$$out"; exit 1; fi
 
+# amrlint enforces the repo's ownership and collective invariants
+# (leaselint, reqlint, deplint, collectivelint); exits non-zero on findings.
+lint:
+	$(GO) run ./cmd/amrlint ./...
+
 race:
 	$(GO) test -race $(RACE_PKGS)
 
-check: vet fmt-check test race
+check: vet fmt-check lint test race
 
 # Allocation benchmarks of the pooled message path (ReportAllocs is on).
 bench:

@@ -1,0 +1,53 @@
+// Command amrlint runs the repo-specific static-analysis suite: leaselint,
+// reqlint, deplint and collectivelint (see internal/analysis). Patterns are
+// directories or dir/... trees; the default ./... covers the module.
+//
+// Exit status: 0 clean, 1 findings, 2 usage or load error.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"go/token"
+	"os"
+
+	"miniamr/internal/analysis"
+)
+
+func main() {
+	tests := flag.Bool("tests", false, "also analyze _test.go files")
+	list := flag.Bool("list", false, "list the analyzers and exit")
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(),
+			"usage: amrlint [-tests] [packages]\n\npackages are directories or dir/... trees (default ./...)\n\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	if *list {
+		for _, a := range analysis.All() {
+			fmt.Printf("%-16s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+
+	fset := token.NewFileSet()
+	pkgs, err := analysis.Load(fset, patterns, *tests)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	findings := analysis.Run(pkgs, analysis.All())
+	for _, f := range findings {
+		fmt.Println(f)
+	}
+	if len(findings) > 0 {
+		fmt.Fprintf(os.Stderr, "amrlint: %d finding(s)\n", len(findings))
+		os.Exit(1)
+	}
+}

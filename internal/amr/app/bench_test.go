@@ -52,6 +52,7 @@ func TestArenaLeakFree(t *testing.T) {
 		t.Run(name, func(t *testing.T) {
 			cfg := testConfig()
 			w := mpi.NewWorld(cluster.MustNew(1, 3, 1), simnet.None())
+			w.Arena().SetDebug(true) // any double Put panics at the fault
 			err := w.Run(func(c *mpi.Comm) {
 				if _, err := run(cfg, c, nil); err != nil {
 					panic(err)

@@ -117,10 +117,15 @@ func (d *forkJoinDriver) communicate(g0, g1 int) error {
 			})
 		})
 		var sendReqs []*mpi.Request
-		for _, sm := range sends {
+		for si, sm := range sends {
 			req, err := s.comm.IsendOwned(sm.lease, sm.peer, sm.tag)
 			if err != nil {
-				sm.lease.Release()
+				// The failed and the not-yet-sent leases are still ours;
+				// in-flight sends must settle before their buffers die.
+				for _, rest := range sends[si:] {
+					rest.lease.Release()
+				}
+				mpi.Waitall(sendReqs)
 				return err
 			}
 			sendReqs = append(sendReqs, req)

@@ -86,7 +86,10 @@ func (d *mpiOnlyDriver) communicate(g0, g1 int) error {
 			s.rec.Record(s.rank, 0, "pack", start, time.Now())
 			req, err := s.comm.IsendOwned(lease, pl.peer, pl.tag)
 			if err != nil {
+				// This lease is still ours; earlier sends are in flight
+				// and must settle before their buffers die.
 				lease.Release()
+				mpi.Waitall(d.sendReqs)
 				return err
 			}
 			d.sendReqs = append(d.sendReqs, req)

@@ -1,0 +1,263 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// CollectiveLint flags collective operations (Barrier, Bcast, Allreduce,
+// Allgatherv, ...) issued inside rank-conditional control flow. A
+// collective must be entered by every rank of the communicator; guarding
+// one behind `if rank == 0` is the classic collective-mismatch deadlock.
+// Rank-dependence is tracked through Rank() calls, rank fields, and local
+// variables assigned from either.
+var CollectiveLint = &Analyzer{
+	Name: "collectivelint",
+	Doc: "collective operations must not be nested inside rank-conditional " +
+		"branches",
+	run: runCollectiveLint,
+}
+
+// collectivePrefixes match the exported collective families; typed
+// variants (AllreduceFloat64, AllgathervInt, ...) share the prefix. The
+// lowercase point-to-point helpers collectives are built from are
+// deliberately not matched: inside the implementation, rank-conditional
+// sends are the algorithm.
+var collectivePrefixes = []string{
+	"Bcast", "Allreduce", "Allgather", "Alltoall", "Reduce", "Gather", "Scatter",
+}
+
+func isCollectiveName(name string) bool {
+	if name == "Barrier" {
+		return true
+	}
+	for _, p := range collectivePrefixes {
+		if strings.HasPrefix(name, p) {
+			return true
+		}
+	}
+	return false
+}
+
+func runCollectiveLint(p *Pass) {
+	funcBodies(p.Pkg, func(fd *ast.FuncDecl) {
+		c := &collectiveWalker{pass: p, rankObjs: make(map[types.Object]bool)}
+		c.prescan(fd.Body)
+		c.walkBody(fd.Body)
+	})
+}
+
+type collectiveWalker struct {
+	pass     *Pass
+	rankObjs map[types.Object]bool
+}
+
+// prescan records local variables assigned from rank-dependent
+// expressions, so `rank := c.Rank()` taints later `if rank == 0`.
+func (c *collectiveWalker) prescan(body *ast.BlockStmt) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for i, r := range n.Rhs {
+				// Parallel assignment pairs LHS and RHS by index; a
+				// single multi-value RHS taints every LHS.
+				if !c.rankDependent(r) {
+					continue
+				}
+				if len(n.Lhs) == len(n.Rhs) {
+					c.taint(n.Lhs[i])
+				} else {
+					for _, l := range n.Lhs {
+						c.taint(l)
+					}
+				}
+			}
+		case *ast.ValueSpec:
+			for i, v := range n.Values {
+				if c.rankDependent(v) && i < len(n.Names) {
+					c.taint(n.Names[i])
+				}
+			}
+		}
+		return true
+	})
+}
+
+func (c *collectiveWalker) taint(e ast.Expr) {
+	if id, ok := ast.Unparen(e).(*ast.Ident); ok && id.Name != "_" {
+		if obj := c.pass.objOf(id); obj != nil {
+			c.rankObjs[obj] = true
+		}
+	}
+}
+
+// rankDependent reports whether e's value depends on the caller's rank:
+// a Rank() call, a rank/Rank field or variable, or a tainted local.
+func (c *collectiveWalker) rankDependent(e ast.Expr) bool {
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			if sel, ok := ast.Unparen(n.Fun).(*ast.SelectorExpr); ok && sel.Sel.Name == "Rank" {
+				found = true
+			}
+		case *ast.SelectorExpr:
+			if n.Sel.Name == "rank" || n.Sel.Name == "Rank" {
+				found = true
+			}
+		case *ast.Ident:
+			if n.Name == "rank" {
+				found = true
+			} else if obj := c.pass.objOf(n); obj != nil && c.rankObjs[obj] {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// walkBody walks statements with a rank-conditional nesting flag.
+func (c *collectiveWalker) walkBody(body *ast.BlockStmt) {
+	c.walkStmts(body.List, false)
+}
+
+func (c *collectiveWalker) walkStmts(list []ast.Stmt, inCond bool) {
+	for _, s := range list {
+		c.walkStmt(s, inCond)
+	}
+}
+
+func (c *collectiveWalker) walkStmt(s ast.Stmt, inCond bool) {
+	switch s := s.(type) {
+	case *ast.IfStmt:
+		if s.Init != nil {
+			c.walkStmt(s.Init, inCond)
+		}
+		c.scanExpr(s.Cond, inCond)
+		branchCond := inCond || c.rankDependent(s.Cond)
+		c.walkStmts(s.Body.List, branchCond)
+		if s.Else != nil {
+			c.walkStmt(s.Else, branchCond)
+		}
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			c.walkStmt(s.Init, inCond)
+		}
+		branchCond := inCond
+		if s.Tag != nil {
+			c.scanExpr(s.Tag, inCond)
+			branchCond = branchCond || c.rankDependent(s.Tag)
+		}
+		for _, cl := range s.Body.List {
+			cc := cl.(*ast.CaseClause)
+			caseCond := branchCond
+			for _, e := range cc.List {
+				c.scanExpr(e, inCond)
+				caseCond = caseCond || c.rankDependent(e)
+			}
+			c.walkStmts(cc.Body, caseCond)
+		}
+	case *ast.TypeSwitchStmt:
+		if s.Init != nil {
+			c.walkStmt(s.Init, inCond)
+		}
+		for _, cl := range s.Body.List {
+			c.walkStmts(cl.(*ast.CaseClause).Body, inCond)
+		}
+	case *ast.SelectStmt:
+		for _, cl := range s.Body.List {
+			cc := cl.(*ast.CommClause)
+			if cc.Comm != nil {
+				c.walkStmt(cc.Comm, inCond)
+			}
+			c.walkStmts(cc.Body, inCond)
+		}
+	case *ast.ForStmt:
+		if s.Init != nil {
+			c.walkStmt(s.Init, inCond)
+		}
+		bodyCond := inCond
+		if s.Cond != nil {
+			c.scanExpr(s.Cond, inCond)
+			bodyCond = bodyCond || c.rankDependent(s.Cond)
+		}
+		if s.Post != nil {
+			c.walkStmt(s.Post, bodyCond)
+		}
+		c.walkStmts(s.Body.List, bodyCond)
+	case *ast.RangeStmt:
+		c.scanExpr(s.X, inCond)
+		c.walkStmts(s.Body.List, inCond)
+	case *ast.BlockStmt:
+		c.walkStmts(s.List, inCond)
+	case *ast.LabeledStmt:
+		c.walkStmt(s.Stmt, inCond)
+	case *ast.ExprStmt:
+		c.scanExpr(s.X, inCond)
+	case *ast.AssignStmt:
+		for _, e := range s.Rhs {
+			c.scanExpr(e, inCond)
+		}
+		for _, e := range s.Lhs {
+			c.scanExpr(e, inCond)
+		}
+	case *ast.ReturnStmt:
+		for _, e := range s.Results {
+			c.scanExpr(e, inCond)
+		}
+	case *ast.DeclStmt:
+		ast.Inspect(s, func(n ast.Node) bool {
+			if e, ok := n.(ast.Expr); ok {
+				c.scanExpr(e, inCond)
+				return false
+			}
+			return true
+		})
+	case *ast.GoStmt:
+		c.scanExpr(s.Call, inCond)
+	case *ast.DeferStmt:
+		c.scanExpr(s.Call, inCond)
+	case *ast.SendStmt:
+		c.scanExpr(s.Chan, inCond)
+		c.scanExpr(s.Value, inCond)
+	case *ast.IncDecStmt:
+		c.scanExpr(s.X, inCond)
+	}
+}
+
+// scanExpr reports collective calls in e when inside rank-conditional
+// flow, and analyzes function literals as fresh bodies: a closure's
+// execution context is not the branch it is defined in.
+func (c *collectiveWalker) scanExpr(e ast.Expr, inCond bool) {
+	if e == nil {
+		return
+	}
+	ast.Inspect(e, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			nested := &collectiveWalker{pass: c.pass, rankObjs: c.rankObjs}
+			nested.prescan(n.Body)
+			nested.walkBody(n.Body)
+			return false
+		case *ast.CallExpr:
+			if !inCond {
+				return true
+			}
+			if sel, ok := ast.Unparen(n.Fun).(*ast.SelectorExpr); ok && isCollectiveName(sel.Sel.Name) {
+				c.report(n, sel.Sel.Name)
+			}
+		}
+		return true
+	})
+}
+
+func (c *collectiveWalker) report(call *ast.CallExpr, name string) {
+	c.pass.Reportf(call.Pos(),
+		"collective %s is nested in a rank-conditional branch: every rank must reach a collective or none may (collective-mismatch deadlock)",
+		name)
+}

@@ -1,0 +1,201 @@
+package analysis
+
+import (
+	"bytes"
+	"go/ast"
+	"go/printer"
+	"go/token"
+)
+
+// DepLint checks task.Spawn registrations: the declared in/out/inout
+// dependency keys must be unique, regions declared read-only (in) must not
+// be written by the closure, and the task body must not call back into the
+// runtime's synchronisation entry points (Wait, WaitAccess, WaitKeys,
+// Shutdown) — a task waiting on the runtime that is executing it
+// deadlocks.
+var DepLint = &Analyzer{
+	Name: "deplint",
+	Doc: "task.Spawn dependency keys must be unique and consistent with " +
+		"the closure's accesses; no taskwait inside task bodies",
+	run: runDepLint,
+}
+
+// access is one declared dependency of a Spawn call.
+type access struct {
+	mode string // "in", "out" or "inout"
+	expr ast.Expr
+	key  string // rendered key expression
+}
+
+func runDepLint(p *Pass) {
+	for _, file := range p.Pkg.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+			if !ok || sel.Sel.Name != "Spawn" || len(call.Args) < 2 {
+				return true
+			}
+			body, ok := ast.Unparen(call.Args[1]).(*ast.FuncLit)
+			if !ok {
+				return true
+			}
+			accs := collectAccesses(p.Fset, call.Args[2:])
+			checkDuplicateKeys(p, accs)
+			checkInWrites(p, accs, body)
+			checkTaskwait(p, render(p.Fset, sel.X), body)
+			return true
+		})
+	}
+}
+
+// collectAccesses resolves the access-list arguments of a Spawn call:
+// task.In/Out/InOut key lists, possibly combined through task.Merge.
+// Spread identifiers (accs..., task.Out(secs...)) carry keys the source
+// does not spell out, so they contribute nothing.
+func collectAccesses(fset *token.FileSet, args []ast.Expr) []access {
+	var accs []access
+	for _, arg := range args {
+		call, ok := ast.Unparen(arg).(*ast.CallExpr)
+		if !ok {
+			continue // a bare []Access value; keys unknown
+		}
+		name := calleeName(call)
+		switch name {
+		case "In", "Out", "InOut":
+			if call.Ellipsis.IsValid() {
+				continue // In(keys...): key list unknown
+			}
+			mode := map[string]string{"In": "in", "Out": "out", "InOut": "inout"}[name]
+			for _, key := range call.Args {
+				accs = append(accs, access{mode: mode, expr: key, key: render(fset, key)})
+			}
+		case "Merge":
+			accs = append(accs, collectAccesses(fset, call.Args)...)
+		}
+	}
+	return accs
+}
+
+func calleeName(call *ast.CallExpr) string {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		return fun.Name
+	case *ast.SelectorExpr:
+		return fun.Sel.Name
+	}
+	return ""
+}
+
+func checkDuplicateKeys(p *Pass, accs []access) {
+	seen := make(map[string]string) // rendered key -> mode
+	for _, a := range accs {
+		if prev, ok := seen[a.key]; ok {
+			p.Reportf(a.expr.Pos(),
+				"dependency key %s declared twice (%s and %s); declare each region once, as inout if both read and written",
+				a.key, prev, a.mode)
+			continue
+		}
+		seen[a.key] = a.mode
+	}
+}
+
+// checkInWrites flags closure writes to variables declared as read-only
+// (in) regions. Only keys that name a variable or field directly can be
+// matched against write targets; symbolic keys (strings, composite
+// literals) are not checked.
+func checkInWrites(p *Pass, accs []access, body *ast.FuncLit) {
+	inKeys := make(map[string]bool)
+	for _, a := range accs {
+		if a.mode != "in" {
+			continue
+		}
+		switch ast.Unparen(a.expr).(type) {
+		case *ast.Ident, *ast.SelectorExpr:
+			inKeys[a.key] = true
+		}
+	}
+	if len(inKeys) == 0 {
+		return
+	}
+	report := func(target ast.Expr) {
+		base := writeBase(target)
+		if base == nil {
+			return
+		}
+		if key := render(p.Fset, base); inKeys[key] {
+			p.Reportf(target.Pos(),
+				"task writes to %s, which its Spawn declares as a read-only (in) region", key)
+		}
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for _, l := range n.Lhs {
+				report(l)
+			}
+		case *ast.IncDecStmt:
+			report(n.X)
+		}
+		return true
+	})
+}
+
+// writeBase strips indexing, dereference and parens from a write target,
+// leaving the identifier or selector that names the written region.
+func writeBase(e ast.Expr) ast.Expr {
+	for {
+		switch t := e.(type) {
+		case *ast.ParenExpr:
+			e = t.X
+		case *ast.IndexExpr:
+			e = t.X
+		case *ast.StarExpr:
+			e = t.X
+		default:
+			if _, ok := e.(*ast.Ident); ok {
+				return e
+			}
+			if _, ok := e.(*ast.SelectorExpr); ok {
+				return e
+			}
+			return nil
+		}
+	}
+}
+
+// checkTaskwait flags synchronisation calls on the spawning runtime from
+// inside the task body.
+func checkTaskwait(p *Pass, runtimeExpr string, body *ast.FuncLit) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		switch sel.Sel.Name {
+		case "Wait", "WaitAccess", "WaitKeys", "Shutdown":
+			if render(p.Fset, sel.X) == runtimeExpr {
+				p.Reportf(call.Pos(),
+					"task body calls %s.%s: waiting on the runtime from inside one of its tasks deadlocks",
+					runtimeExpr, sel.Sel.Name)
+			}
+		}
+		return true
+	})
+}
+
+// render prints an expression exactly as written, so distinct composite
+// literals render distinctly (types.ExprString abbreviates them).
+func render(fset *token.FileSet, e ast.Expr) string {
+	var buf bytes.Buffer
+	if err := printer.Fprint(&buf, fset, e); err != nil {
+		return ""
+	}
+	return buf.String()
+}

@@ -1,0 +1,833 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// This file implements the shared intraprocedural resource-flow engine
+// behind leaselint and reqlint. A tracker defines which calls create a
+// resource (an arena lease, a pooled buffer, an MPI request) and what each
+// later occurrence of it does; the engine walks every function body,
+// follows each resource across branches, loops and error checks, and
+// reports resources that a path abandons while still held, consumes twice,
+// or uses after their final release.
+//
+// The analysis is deliberately conservative. A resource that escapes — is
+// stored, captured by a closure, returned, sent on a channel, aliased or
+// passed to an unclassified call — stops being tracked, and a merge of
+// paths that disagree silences further reports. A finding therefore means
+// every occurrence of the value was understood and some path still drops
+// it: very likely a real defect.
+
+// status of one tracked resource along one control-flow path.
+type status uint8
+
+const (
+	// stHeld: created and not yet consumed; a leak if a path ends here.
+	stHeld status = iota
+	// stCondPend: consumption succeeded iff the paired error is nil
+	// (a lease handed to SendOwned/IsendOwned before the error check).
+	stCondPend
+	// stCompleted: completion observed (request Wait/Test); use and a
+	// final Free remain legal.
+	stCompleted
+	// stConsumed: ownership handed off (transfer send, WaitSet.Add);
+	// a later final release is a double release.
+	stConsumed
+	// stFreed: finally released; any further use is a bug.
+	stFreed
+	// stNil: known nil on this path (creator's result on its error path).
+	stNil
+	// stEscaped: aliased/stored/captured; tracking ends, nothing reported.
+	stEscaped
+	// stUnknown: merged paths disagree; tracking ends, nothing reported.
+	stUnknown
+)
+
+// effect is what one occurrence of a tracked resource does to it.
+type effect uint8
+
+const (
+	// effNone: benign read (still reported when the resource is freed).
+	effNone effect = iota
+	// effConsume: unconditional ownership handoff.
+	effConsume
+	// effCondConsume: ownership handoff unless the call errors.
+	effCondConsume
+	// effComplete: completion observed; the resource stays usable.
+	effComplete
+	// effFree: final release.
+	effFree
+	// effEscape: stop tracking.
+	effEscape
+)
+
+// tracker is an analyzer's definition of one resource family.
+type tracker interface {
+	// creator reports whether call creates a resource: the result index
+	// holding it, the result index of the paired error (-1 if none), and
+	// whether the resource is nil when that error is non-nil.
+	creator(call *ast.CallExpr) (resIdx, errIdx int, nilOnErr bool, ok bool)
+	// kindOf names the resource a creator call produces, for messages.
+	kindOf(call *ast.CallExpr) string
+	// methodEffect classifies a method call on the resource.
+	methodEffect(name string) effect
+	// argEffect classifies passing the resource as argument idx of call,
+	// returning the call's error-result index for effCondConsume (-1 if
+	// the effect is unconditional).
+	argEffect(call *ast.CallExpr, idx int) (effect, int)
+	// verbs for messages: past-participle forms of consumption and of the
+	// final release ("released, put back or ownership-transferred" /
+	// "released"; "completed" / "freed").
+	consumeVerb() string
+	freeVerb() string
+	// freeFromHeldOK reports whether a final release of a held resource
+	// is the normal protocol (leases: yes; requests: completion must be
+	// observed first).
+	freeFromHeldOK() bool
+}
+
+// resource is one tracked creation, shared by all paths.
+type resource struct {
+	kind     string
+	pos      token.Pos // creation site
+	depth    int       // block depth of the binding's scope
+	reported bool      // one finding per resource
+}
+
+// track is a resource's per-path state.
+type track struct {
+	res      *resource
+	st       status
+	errObj   types.Object // pairs stCondPend / nilOnErr-held with its error
+	nilOnErr bool
+}
+
+// pstate is the abstract state of one control-flow path.
+type pstate struct {
+	vars        map[types.Object]track
+	unreachable bool
+}
+
+func newPstate() *pstate { return &pstate{vars: make(map[types.Object]track)} }
+
+func (st *pstate) clone() *pstate {
+	out := &pstate{vars: make(map[types.Object]track, len(st.vars)), unreachable: st.unreachable}
+	for k, v := range st.vars {
+		out.vars[k] = v
+	}
+	return out
+}
+
+// mergeWith folds another path into st. Paths that disagree about a
+// resource merge to stUnknown (silence) except that escape dominates.
+func (st *pstate) mergeWith(other *pstate) {
+	if other.unreachable {
+		return
+	}
+	if st.unreachable {
+		st.vars, st.unreachable = other.vars, false
+		return
+	}
+	for obj, a := range st.vars {
+		b, ok := other.vars[obj]
+		switch {
+		case !ok:
+			a.st = stUnknown
+		case a.st == b.st && a.errObj == b.errObj:
+			// identical; keep
+		case a.st == stEscaped || b.st == stEscaped:
+			a.st = stEscaped
+		default:
+			a.st = stUnknown
+		}
+		a.errObj = nil
+		if ok && a.st == st.vars[obj].st {
+			a.errObj = st.vars[obj].errObj
+		}
+		st.vars[obj] = a
+	}
+	for obj, b := range other.vars {
+		if _, ok := st.vars[obj]; !ok {
+			b.st = stUnknown
+			b.errObj = nil
+			st.vars[obj] = b
+		}
+	}
+}
+
+// funcFlow analyzes one function body.
+type funcFlow struct {
+	pass       *Pass
+	tr         tracker
+	depth      int
+	loops      []int // block depths of enclosing loop bodies (continue targets)
+	breakables []int // block depths of enclosing loop/switch/select bodies
+}
+
+// runFlow applies a tracker to every function in the package.
+func runFlow(pass *Pass, tr tracker) {
+	funcBodies(pass.Pkg, func(fd *ast.FuncDecl) {
+		f := &funcFlow{pass: pass, tr: tr}
+		f.runBody(fd.Body)
+	})
+}
+
+func (f *funcFlow) runBody(body *ast.BlockStmt) {
+	st := newPstate()
+	f.walkStmts(body.List, st)
+	if !st.unreachable {
+		f.exitCheck(st, 0)
+	}
+}
+
+// exitCheck reports resources still held at a path exit whose binding
+// lives at depth >= minDepth.
+func (f *funcFlow) exitCheck(st *pstate, minDepth int) {
+	for _, t := range st.vars {
+		if t.st == stHeld && t.res.depth >= minDepth && !t.res.reported {
+			t.res.reported = true
+			f.pass.Reportf(t.res.pos, "%s is not %s on every path", t.res.kind, f.tr.consumeVerb())
+		}
+	}
+}
+
+func (f *funcFlow) walkStmts(list []ast.Stmt, st *pstate) {
+	for _, s := range list {
+		if st.unreachable {
+			return
+		}
+		f.walkStmt(s, st)
+	}
+}
+
+// walkBlock processes a nested scope: resources bound inside it die at its
+// end, so any still held there leak.
+func (f *funcFlow) walkBlock(list []ast.Stmt, st *pstate) {
+	f.depth++
+	f.walkStmts(list, st)
+	if !st.unreachable {
+		f.exitCheck(st, f.depth)
+	}
+	for obj, t := range st.vars {
+		if t.res.depth >= f.depth {
+			delete(st.vars, obj)
+		}
+	}
+	f.depth--
+}
+
+func (f *funcFlow) walkStmt(s ast.Stmt, st *pstate) {
+	switch s := s.(type) {
+	case *ast.AssignStmt:
+		f.walkAssign(s, st)
+	case *ast.DeclStmt:
+		f.walkDecl(s, st)
+	case *ast.ExprStmt:
+		f.walkExpr(s.X, st)
+		if call, ok := ast.Unparen(s.X).(*ast.CallExpr); ok {
+			if _, _, _, isCreator := f.tr.creator(call); isCreator {
+				f.pass.Reportf(call.Pos(), "result of this call is discarded: the %s it creates is never %s",
+					f.tr.kindOf(call), f.tr.consumeVerb())
+			}
+			if isTerminalCall(call) {
+				st.unreachable = true
+			}
+		}
+	case *ast.ReturnStmt:
+		for _, r := range s.Results {
+			f.walkExpr(r, st)
+		}
+		f.exitCheck(st, 0)
+		st.unreachable = true
+	case *ast.IfStmt:
+		f.walkIf(s, st)
+	case *ast.ForStmt:
+		if s.Init != nil {
+			f.walkStmt(s.Init, st)
+		}
+		if s.Cond != nil {
+			f.walkExpr(s.Cond, st)
+		}
+		f.walkLoopBody(s.Body, s.Post, st)
+	case *ast.RangeStmt:
+		f.walkExpr(s.X, st)
+		f.walkLoopBody(s.Body, nil, st)
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			f.walkStmt(s.Init, st)
+		}
+		if s.Tag != nil {
+			f.walkExpr(s.Tag, st)
+		}
+		f.walkClauses(s.Body.List, st, false)
+	case *ast.TypeSwitchStmt:
+		if s.Init != nil {
+			f.walkStmt(s.Init, st)
+		}
+		f.walkClauses(s.Body.List, st, false)
+	case *ast.SelectStmt:
+		f.walkClauses(s.Body.List, st, true)
+	case *ast.BranchStmt:
+		switch s.Tok {
+		case token.BREAK:
+			if n := len(f.breakables); n > 0 {
+				f.exitCheck(st, f.breakables[n-1])
+			}
+			st.unreachable = true
+		case token.CONTINUE:
+			if n := len(f.loops); n > 0 {
+				f.exitCheck(st, f.loops[n-1])
+			}
+			st.unreachable = true
+		case token.GOTO:
+			st.unreachable = true // give up on goto paths
+		}
+	case *ast.BlockStmt:
+		f.walkBlock(s.List, st)
+	case *ast.DeferStmt:
+		f.walkDeferred(s.Call, st)
+	case *ast.GoStmt:
+		f.escapeReferenced(s.Call, st)
+	case *ast.SendStmt:
+		f.walkExpr(s.Chan, st)
+		f.walkExpr(s.Value, st) // a sent resource escapes (bare ident rule)
+	case *ast.IncDecStmt:
+		f.walkBenign(s.X, st)
+	case *ast.LabeledStmt:
+		f.walkStmt(s.Stmt, st)
+	case *ast.EmptyStmt:
+	}
+}
+
+// walkLoopBody analyzes a loop body once against a clone and merges the
+// zero-iteration path back in.
+func (f *funcFlow) walkLoopBody(body *ast.BlockStmt, post ast.Stmt, st *pstate) {
+	bodySt := st.clone()
+	f.loops = append(f.loops, f.depth+1)
+	f.breakables = append(f.breakables, f.depth+1)
+	f.walkBlock(body.List, bodySt)
+	f.loops = f.loops[:len(f.loops)-1]
+	f.breakables = f.breakables[:len(f.breakables)-1]
+	if post != nil && !bodySt.unreachable {
+		f.walkStmt(post, bodySt)
+	}
+	bodySt.unreachable = false // the loop as a whole falls through
+	st.mergeWith(bodySt)
+}
+
+// walkClauses analyzes switch/select clause bodies independently and
+// merges them; a switch without default also keeps the no-case path.
+func (f *funcFlow) walkClauses(clauses []ast.Stmt, st *pstate, isSelect bool) {
+	f.breakables = append(f.breakables, f.depth+1)
+	var out *pstate
+	hasDefault := false
+	for _, c := range clauses {
+		cs := st.clone()
+		var body []ast.Stmt
+		switch c := c.(type) {
+		case *ast.CaseClause:
+			for _, e := range c.List {
+				f.walkExpr(e, cs)
+			}
+			hasDefault = hasDefault || c.List == nil
+			body = c.Body
+		case *ast.CommClause:
+			if c.Comm != nil {
+				f.walkStmt(c.Comm, cs)
+			}
+			hasDefault = hasDefault || c.Comm == nil
+			body = c.Body
+		}
+		f.walkBlock(body, cs)
+		if out == nil {
+			out = cs
+		} else {
+			out.mergeWith(cs)
+		}
+	}
+	f.breakables = f.breakables[:len(f.breakables)-1]
+	if out == nil {
+		return
+	}
+	if !hasDefault && !isSelect {
+		out.mergeWith(st)
+	}
+	*st = *out
+}
+
+// walkIf splits the state, applies error-branch semantics for `err != nil`
+// style conditions, and merges.
+func (f *funcFlow) walkIf(s *ast.IfStmt, st *pstate) {
+	if s.Init != nil {
+		f.walkStmt(s.Init, st)
+	}
+	errObj, nonNilInThen := f.errCond(s.Cond)
+	f.walkExpr(s.Cond, st)
+	thenSt := st.clone()
+	elseSt := st.clone()
+	if errObj != nil {
+		applyErrOutcome(thenSt, errObj, nonNilInThen)
+		applyErrOutcome(elseSt, errObj, !nonNilInThen)
+	}
+	f.walkBlock(s.Body.List, thenSt)
+	if s.Else != nil {
+		f.depth++
+		f.walkStmt(s.Else, elseSt)
+		f.depth--
+	}
+	thenSt.mergeWith(elseSt)
+	*st = *thenSt
+}
+
+// errCond matches `x != nil` / `x == nil` over a plain identifier.
+func (f *funcFlow) errCond(cond ast.Expr) (obj types.Object, nonNilInThen bool) {
+	be, ok := ast.Unparen(cond).(*ast.BinaryExpr)
+	if !ok || (be.Op != token.NEQ && be.Op != token.EQL) {
+		return nil, false
+	}
+	x, y := ast.Unparen(be.X), ast.Unparen(be.Y)
+	if isNilIdent(y) {
+	} else if isNilIdent(x) {
+		x = y
+	} else {
+		return nil, false
+	}
+	id, ok := x.(*ast.Ident)
+	if !ok {
+		return nil, false
+	}
+	return f.pass.objOf(id), be.Op == token.NEQ
+}
+
+func isNilIdent(e ast.Expr) bool {
+	id, ok := e.(*ast.Ident)
+	return ok && id.Name == "nil"
+}
+
+// applyErrOutcome resolves conditional states once a path has decided
+// whether the paired error was non-nil.
+func applyErrOutcome(st *pstate, errObj types.Object, errNonNil bool) {
+	for obj, t := range st.vars {
+		if t.errObj != errObj {
+			continue
+		}
+		switch t.st {
+		case stCondPend: // lease semantics: retained on error
+			if errNonNil {
+				t.st = stHeld
+			} else {
+				t.st = stConsumed
+			}
+		case stHeld: // request semantics: nil on error
+			if t.nilOnErr && errNonNil {
+				t.st = stNil
+			}
+		}
+		t.errObj = nil
+		st.vars[obj] = t
+	}
+}
+
+// walkDecl handles `var x = creator(...)` forms and records benign specs.
+func (f *funcFlow) walkDecl(s *ast.DeclStmt, st *pstate) {
+	gd, ok := s.Decl.(*ast.GenDecl)
+	if !ok {
+		return
+	}
+	for _, spec := range gd.Specs {
+		vs, ok := spec.(*ast.ValueSpec)
+		if !ok {
+			continue
+		}
+		if len(vs.Values) == 1 {
+			if call, ok := ast.Unparen(vs.Values[0]).(*ast.CallExpr); ok {
+				var lhs []ast.Expr
+				for _, n := range vs.Names {
+					lhs = append(lhs, n)
+				}
+				if f.bindCreation(call, lhs, st) {
+					continue
+				}
+			}
+		}
+		for _, v := range vs.Values {
+			f.walkExpr(v, st)
+		}
+	}
+}
+
+func (f *funcFlow) walkAssign(a *ast.AssignStmt, st *pstate) {
+	if len(a.Rhs) == 1 {
+		if call, ok := ast.Unparen(a.Rhs[0]).(*ast.CallExpr); ok {
+			if !f.bindCreation(call, a.Lhs, st) {
+				// Clear overwritten bindings first so an error pairing
+				// established by this call survives the assignment.
+				for _, l := range a.Lhs {
+					f.noteOverwrite(l, st)
+				}
+				f.walkCall(call, st, a.Lhs)
+			}
+			for _, l := range a.Lhs {
+				f.walkLHS(l, st)
+			}
+			return
+		}
+	}
+	for _, r := range a.Rhs {
+		f.walkExpr(r, st)
+	}
+	for _, l := range a.Lhs {
+		f.noteOverwrite(l, st)
+	}
+	for _, l := range a.Lhs {
+		f.walkLHS(l, st)
+	}
+}
+
+// bindCreation classifies a creator call on the RHS of an assignment,
+// binding the new resource and its paired error variable. It returns
+// false when the call is not a creator.
+func (f *funcFlow) bindCreation(call *ast.CallExpr, lhs []ast.Expr, st *pstate) bool {
+	resIdx, errIdx, nilOnErr, ok := f.tr.creator(call)
+	if !ok || resIdx >= len(lhs) || errIdx >= len(lhs) {
+		return false // wrong assignment shape for this creator
+	}
+	for _, l := range lhs {
+		f.noteOverwrite(l, st)
+	}
+	f.walkCall(call, st, nil) // arguments may consume other resources
+	resID, _ := ast.Unparen(lhs[resIdx]).(*ast.Ident)
+	if resID == nil {
+		return true // stored into a field or element: escapes, untracked
+	}
+	if resID.Name == "_" {
+		f.pass.Reportf(call.Pos(), "%s is discarded at creation: it is never %s",
+			f.tr.kindOf(call), f.tr.consumeVerb())
+		return true
+	}
+	obj := f.pass.objOf(resID)
+	if obj == nil {
+		return true // unresolved; cannot track
+	}
+	var errObj types.Object
+	if errIdx >= 0 && errIdx < len(lhs) {
+		if eid, ok := ast.Unparen(lhs[errIdx]).(*ast.Ident); ok && eid.Name != "_" {
+			errObj = f.pass.objOf(eid)
+		}
+	}
+	st.vars[obj] = track{
+		res:      &resource{kind: f.tr.kindOf(call), pos: call.Pos(), depth: f.depth},
+		st:       stHeld,
+		errObj:   errObj,
+		nilOnErr: nilOnErr,
+	}
+	return true
+}
+
+// noteOverwrite reports assigning over a still-held resource and clears
+// pairings through a reassigned error variable.
+func (f *funcFlow) noteOverwrite(lhsExpr ast.Expr, st *pstate) {
+	id, ok := ast.Unparen(lhsExpr).(*ast.Ident)
+	if !ok || id.Name == "_" {
+		return
+	}
+	obj := f.pass.objOf(id)
+	if obj == nil {
+		return
+	}
+	if t, ok := st.vars[obj]; ok {
+		if t.st == stHeld && !t.res.reported {
+			t.res.reported = true
+			f.pass.Reportf(id.Pos(), "%s overwritten while still held: the previous one is never %s",
+				t.res.kind, f.tr.consumeVerb())
+		}
+		delete(st.vars, obj)
+	}
+	// A reassigned error variable no longer witnesses earlier calls.
+	for vobj, t := range st.vars {
+		if t.errObj == obj {
+			if t.st == stCondPend {
+				t.st = stConsumed // assume the transfer succeeded
+			}
+			t.errObj = nil
+			st.vars[vobj] = t
+		}
+	}
+}
+
+// walkLHS visits assignment targets: writes into a tracked buffer are
+// benign uses; anything else recurses normally.
+func (f *funcFlow) walkLHS(l ast.Expr, st *pstate) {
+	switch l := l.(type) {
+	case *ast.Ident:
+		// binding/overwrite handled by callers
+	case *ast.IndexExpr:
+		f.walkBenign(l.X, st)
+		f.walkExpr(l.Index, st)
+	case *ast.StarExpr:
+		f.walkBenign(l.X, st)
+	case *ast.SelectorExpr:
+		f.walkBenign(l.X, st)
+	default:
+		f.walkExpr(l, st)
+	}
+}
+
+// walkBenign visits an expression treating a bare tracked identifier as a
+// plain read instead of an escape.
+func (f *funcFlow) walkBenign(e ast.Expr, st *pstate) {
+	if id, ok := ast.Unparen(e).(*ast.Ident); ok {
+		f.apply(id, st, effNone, nil)
+		return
+	}
+	f.walkExpr(e, st)
+}
+
+// walkExpr classifies every occurrence of tracked resources in e. The
+// default for a bare tracked identifier in an unclassified position is
+// escape: stored, aliased or otherwise out of reach.
+func (f *funcFlow) walkExpr(e ast.Expr, st *pstate) {
+	switch e := e.(type) {
+	case nil:
+	case *ast.Ident:
+		f.apply(e, st, effEscape, nil)
+	case *ast.CallExpr:
+		f.walkCall(e, st, nil)
+	case *ast.ParenExpr:
+		f.walkExpr(e.X, st)
+	case *ast.SelectorExpr:
+		f.walkBenign(e.X, st)
+	case *ast.IndexExpr:
+		f.walkBenign(e.X, st)
+		f.walkExpr(e.Index, st)
+	case *ast.IndexListExpr:
+		f.walkBenign(e.X, st)
+		for _, ix := range e.Indices {
+			f.walkExpr(ix, st)
+		}
+	case *ast.SliceExpr:
+		f.walkExpr(e.X, st) // a subslice aliases the buffer: escape
+		f.walkExpr(e.Low, st)
+		f.walkExpr(e.High, st)
+		f.walkExpr(e.Max, st)
+	case *ast.StarExpr:
+		f.walkBenign(e.X, st)
+	case *ast.UnaryExpr:
+		if e.Op == token.AND {
+			f.walkExpr(e.X, st) // address taken: escape
+		} else {
+			f.walkBenign(e.X, st)
+		}
+	case *ast.BinaryExpr:
+		switch e.Op {
+		case token.EQL, token.NEQ, token.LSS, token.LEQ, token.GTR, token.GEQ,
+			token.LAND, token.LOR:
+			f.walkBenign(e.X, st)
+			f.walkBenign(e.Y, st)
+		default:
+			f.walkExpr(e.X, st)
+			f.walkExpr(e.Y, st)
+		}
+	case *ast.CompositeLit:
+		for _, el := range e.Elts {
+			f.walkExpr(el, st)
+		}
+	case *ast.KeyValueExpr:
+		f.walkExpr(e.Value, st)
+	case *ast.TypeAssertExpr:
+		f.walkExpr(e.X, st)
+	case *ast.FuncLit:
+		f.escapeReferenced(e, st)
+		nested := &funcFlow{pass: f.pass, tr: f.tr}
+		nested.runBody(e.Body)
+	}
+}
+
+// walkCall classifies the callee's receiver and arguments. assign, when
+// non-nil, is the enclosing assignment whose LHS supplies the error
+// variable paired with an effCondConsume argument.
+func (f *funcFlow) walkCall(call *ast.CallExpr, st *pstate, assign []ast.Expr) {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.SelectorExpr:
+		if id, ok := ast.Unparen(fun.X).(*ast.Ident); ok && f.isTracked(id, st) {
+			f.apply(id, st, f.tr.methodEffect(fun.Sel.Name), nil)
+		} else {
+			f.walkBenign(fun.X, st)
+		}
+	case *ast.Ident:
+		switch fun.Name {
+		case "len", "cap", "copy", "clear", "min", "max", "print", "println":
+			for _, a := range call.Args {
+				f.walkBenign(a, st)
+			}
+			return
+		}
+	case *ast.FuncLit:
+		f.walkExpr(fun, st)
+	}
+	for i, arg := range call.Args {
+		id, ok := ast.Unparen(arg).(*ast.Ident)
+		if !ok || !f.isTracked(id, st) {
+			f.walkExpr(arg, st)
+			continue
+		}
+		eff, errResIdx := f.tr.argEffect(call, i)
+		var errObj types.Object
+		if eff == effCondConsume {
+			if errResIdx >= 0 && errResIdx < len(assign) {
+				if eid, ok := ast.Unparen(assign[errResIdx]).(*ast.Ident); ok && eid.Name != "_" {
+					errObj = f.pass.objOf(eid)
+				}
+			}
+			if errObj == nil {
+				eff = effConsume // error unobserved: assume the transfer happened
+			}
+		}
+		f.apply(id, st, eff, errObj)
+	}
+}
+
+// walkDeferred handles `defer call(...)`: effects fire at function exit,
+// so a deferred release keeps the resource usable until then.
+func (f *funcFlow) walkDeferred(call *ast.CallExpr, st *pstate) {
+	if fun, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+		if id, ok := ast.Unparen(fun.X).(*ast.Ident); ok && f.isTracked(id, st) {
+			if eff := f.tr.methodEffect(fun.Sel.Name); eff == effFree || eff == effConsume || eff == effComplete {
+				f.markDeferredConsume(id, st)
+				return
+			}
+		}
+	}
+	for i, arg := range call.Args {
+		if id, ok := ast.Unparen(arg).(*ast.Ident); ok && f.isTracked(id, st) {
+			if eff, _ := f.tr.argEffect(call, i); eff == effFree || eff == effConsume || eff == effCondConsume {
+				f.markDeferredConsume(id, st)
+				continue
+			}
+		}
+	}
+	f.escapeReferenced(call, st)
+}
+
+// markDeferredConsume records that a deferred call settles the resource:
+// it cannot leak, stays usable until return, and tracking for double
+// release would need to model defer ordering, so it simply ends.
+func (f *funcFlow) markDeferredConsume(id *ast.Ident, st *pstate) {
+	if obj := f.pass.objOf(id); obj != nil {
+		if t, ok := st.vars[obj]; ok {
+			t.st = stEscaped
+			st.vars[obj] = t
+		}
+	}
+}
+
+// escapeReferenced marks every tracked identifier under n as escaped —
+// closures and go statements move consumption out of this function's
+// control flow.
+func (f *funcFlow) escapeReferenced(n ast.Node, st *pstate) {
+	ast.Inspect(n, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok {
+			if obj := f.pass.objOf(id); obj != nil {
+				if t, ok := st.vars[obj]; ok {
+					t.st = stEscaped
+					st.vars[obj] = t
+				}
+			}
+		}
+		return true
+	})
+}
+
+func (f *funcFlow) isTracked(id *ast.Ident, st *pstate) bool {
+	obj := f.pass.objOf(id)
+	if obj == nil {
+		return false
+	}
+	_, ok := st.vars[obj]
+	return ok
+}
+
+// apply transitions one resource under one occurrence's effect.
+func (f *funcFlow) apply(id *ast.Ident, st *pstate, eff effect, errObj types.Object) {
+	obj := f.pass.objOf(id)
+	if obj == nil {
+		return
+	}
+	t, ok := st.vars[obj]
+	if !ok {
+		return
+	}
+	report := func(format string, args ...any) {
+		if !t.res.reported {
+			t.res.reported = true
+			f.pass.Reportf(id.Pos(), format, args...)
+		}
+	}
+	switch t.st {
+	case stEscaped, stUnknown, stNil:
+		return
+	}
+	switch eff {
+	case effNone:
+		if t.st == stFreed {
+			report("use of %s after it was %s", t.res.kind, f.tr.freeVerb())
+		}
+		return
+	case effEscape:
+		t.st = stEscaped
+	case effComplete:
+		switch t.st {
+		case stFreed:
+			report("use of %s after it was %s", t.res.kind, f.tr.freeVerb())
+		case stHeld, stCondPend:
+			t.st = stCompleted
+		}
+	case effConsume, effCondConsume:
+		switch t.st {
+		case stFreed:
+			report("use of %s after it was %s", t.res.kind, f.tr.freeVerb())
+		case stConsumed:
+			report("%s handed off twice (double transfer)", t.res.kind)
+		case stHeld, stCompleted, stCondPend:
+			if eff == effCondConsume {
+				t.st = stCondPend
+				t.errObj = errObj
+			} else {
+				t.st = stConsumed
+				t.errObj = nil
+			}
+		}
+	case effFree:
+		switch t.st {
+		case stFreed:
+			report("%s %s twice (double %s)", t.res.kind, f.tr.freeVerb(), f.tr.freeVerb())
+		case stConsumed, stCondPend:
+			report("%s %s after its ownership was already handed off", t.res.kind, f.tr.freeVerb())
+		case stHeld:
+			if !f.tr.freeFromHeldOK() {
+				report("%s %s before its completion was observed", t.res.kind, f.tr.freeVerb())
+			}
+			t.st = stFreed
+		case stCompleted:
+			t.st = stFreed
+		}
+	}
+	st.vars[obj] = t
+}
+
+// isTerminalCall reports calls after which control does not continue.
+func isTerminalCall(call *ast.CallExpr) bool {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		return fun.Name == "panic"
+	case *ast.SelectorExpr:
+		switch fun.Sel.Name {
+		case "Fatal", "Fatalf", "Fatalln", "Exit", "Goexit":
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,199 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Package is one parsed and tolerantly type-checked directory of Go files.
+//
+// The loader does not build a full-module type graph: each package is
+// checked in isolation with an importer that fails every import, and the
+// type errors are swallowed. That still resolves every function-local
+// identifier to a distinct types.Object — which is what the flow analyses
+// need to track values across shadowing — while keeping the loader free of
+// go/packages, GOPATH and build-cache dependencies. API classification in
+// the analyzers is name- and shape-based for the same reason.
+type Package struct {
+	// Dir is the directory the files came from.
+	Dir string
+	// Name is the package clause name shared by Files.
+	Name string
+	// Fset positions all Files.
+	Fset *token.FileSet
+	// Files are the parsed sources in file-name order.
+	Files []*ast.File
+	// Info carries the tolerant type-check's Defs and Uses maps.
+	Info *types.Info
+}
+
+// Load resolves patterns to directories and parses each into Packages.
+// A pattern is either a directory or a `dir/...` tree; `./...` walks the
+// enclosing module. The walk skips testdata, vendor and hidden or
+// underscore-prefixed directories; _test.go files are skipped unless
+// includeTests is set. Directories given literally (no `...`) are loaded
+// even where a walk would skip them, which is how the analyzer corpora
+// under testdata/ load themselves.
+func Load(fset *token.FileSet, patterns []string, includeTests bool) ([]*Package, error) {
+	dirSet := make(map[string]bool)
+	var dirs []string
+	add := func(dir string) {
+		if !dirSet[dir] {
+			dirSet[dir] = true
+			dirs = append(dirs, dir)
+		}
+	}
+	for _, pat := range patterns {
+		if rest, ok := strings.CutSuffix(pat, "..."); ok {
+			root := filepath.Clean(rest)
+			if root == "" || root == "." {
+				var err error
+				if root, err = moduleRoot(); err != nil {
+					return nil, err
+				}
+			}
+			if err := walkTree(root, add); err != nil {
+				return nil, err
+			}
+			continue
+		}
+		info, err := os.Stat(pat)
+		if err != nil {
+			return nil, fmt.Errorf("amrlint: %w", err)
+		}
+		if !info.IsDir() {
+			return nil, fmt.Errorf("amrlint: %s is not a directory (patterns are dirs or dir/... trees)", pat)
+		}
+		add(filepath.Clean(pat))
+	}
+	sort.Strings(dirs)
+
+	var pkgs []*Package
+	for _, dir := range dirs {
+		ps, err := parseDir(fset, dir, includeTests)
+		if err != nil {
+			return nil, err
+		}
+		pkgs = append(pkgs, ps...)
+	}
+	return pkgs, nil
+}
+
+// moduleRoot walks up from the working directory to the enclosing go.mod.
+func moduleRoot() (string, error) {
+	dir, err := os.Getwd()
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", fmt.Errorf("amrlint: no go.mod above the working directory")
+		}
+		dir = parent
+	}
+}
+
+// walkTree adds every Go-bearing directory under root, skipping the
+// directories the go tool itself skips.
+func walkTree(root string, add func(string)) error {
+	return filepath.WalkDir(root, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() {
+			return nil
+		}
+		name := d.Name()
+		if path != root && (name == "testdata" || name == "vendor" ||
+			strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")) {
+			return filepath.SkipDir
+		}
+		entries, err := os.ReadDir(path)
+		if err != nil {
+			return err
+		}
+		for _, e := range entries {
+			if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") {
+				add(path)
+				break
+			}
+		}
+		return nil
+	})
+}
+
+// parseDir parses one directory into one Package per package clause (a
+// directory holds at most the package and its external _test package).
+func parseDir(fset *token.FileSet, dir string, includeTests bool) ([]*Package, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	byName := make(map[string]*Package)
+	var order []string
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") ||
+			strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") {
+			continue
+		}
+		if !includeTests && strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		path := filepath.Join(dir, name)
+		file, err := parser.ParseFile(fset, path, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, fmt.Errorf("amrlint: %w", err)
+		}
+		pkgName := file.Name.Name
+		pkg := byName[pkgName]
+		if pkg == nil {
+			pkg = &Package{Dir: dir, Name: pkgName, Fset: fset}
+			byName[pkgName] = pkg
+			order = append(order, pkgName)
+		}
+		pkg.Files = append(pkg.Files, file)
+	}
+	sort.Strings(order)
+	var pkgs []*Package
+	for _, name := range order {
+		pkg := byName[name]
+		pkg.Info = checkTolerant(fset, pkg.Files)
+		pkgs = append(pkgs, pkg)
+	}
+	return pkgs, nil
+}
+
+// checkTolerant type-checks files for name resolution only: imports fail,
+// errors are swallowed, and the resulting Defs/Uses maps are returned.
+func checkTolerant(fset *token.FileSet, files []*ast.File) *types.Info {
+	info := &types.Info{
+		Defs: make(map[*ast.Ident]types.Object),
+		Uses: make(map[*ast.Ident]types.Object),
+	}
+	conf := types.Config{
+		Error:    func(error) {}, // incomplete programs are expected
+		Importer: noImporter{},
+	}
+	// The returned error restates what Error already swallowed.
+	conf.Check("lint", fset, files, info) //nolint:errcheck
+	return info
+}
+
+// noImporter fails every import; see the Package doc for why.
+type noImporter struct{}
+
+func (noImporter) Import(path string) (*types.Package, error) {
+	return nil, fmt.Errorf("amrlint checks packages in isolation; no import %q", path)
+}

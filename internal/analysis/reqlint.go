@@ -1,0 +1,81 @@
+package analysis
+
+import (
+	"go/ast"
+)
+
+// ReqLint enforces request completion: every request returned by
+// Isend/Irecv/IsendOwned must flow into Wait, Test, Waitall, Waitany, a
+// WaitSet, or a task binding (Iwait) on every path — including error
+// paths, where the request is nil and needs nothing. It also flags
+// requests that are dropped at the call site, overwritten while in
+// flight, or freed before completion was observed. Free after completion
+// is optional (the pool reclaims completed requests), so it is not
+// required here.
+var ReqLint = &Analyzer{
+	Name: "reqlint",
+	Doc: "every Isend/Irecv request must be completed (Wait/Test/Waitall/" +
+		"Waitany/WaitSet/Iwait) on every path",
+	run: func(p *Pass) { runFlow(p, reqTracker{}) },
+}
+
+type reqTracker struct{}
+
+// reqCreators are the 3-argument (buf/lease, peer, tag) methods returning
+// (*Request, error). The tampi wrappers of the same names take a leading
+// *task.Task (4 arguments) and return only an error, so the argument
+// count distinguishes the two.
+var reqCreators = map[string]bool{
+	"Isend":      true,
+	"Irecv":      true,
+	"IsendOwned": true,
+	"isend":      true,
+	"irecv":      true,
+}
+
+func (reqTracker) creator(call *ast.CallExpr) (resIdx, errIdx int, nilOnErr, ok bool) {
+	sel, okSel := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !okSel || len(call.Args) != 3 || !reqCreators[sel.Sel.Name] {
+		return 0, 0, false, false
+	}
+	return 0, 1, true, true
+}
+
+func (reqTracker) kindOf(*ast.CallExpr) string { return "request" }
+
+func (reqTracker) methodEffect(name string) effect {
+	switch name {
+	case "Wait", "Test":
+		return effComplete
+	case "Free":
+		return effFree
+	case "Done", "String":
+		return effNone
+	default:
+		// OnComplete and anything unrecognised moves completion out of
+		// this function's control flow.
+		return effEscape
+	}
+}
+
+func (reqTracker) argEffect(call *ast.CallExpr, idx int) (effect, int) {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.SelectorExpr:
+		switch fun.Sel.Name {
+		case "Waitall", "Waitany", "Iwait", "Add":
+			return effConsume, -1
+		}
+	case *ast.Ident:
+		switch fun.Name {
+		case "Waitall", "Waitany":
+			return effConsume, -1
+		}
+	}
+	return effEscape, -1
+}
+
+func (reqTracker) consumeVerb() string {
+	return "completed (Wait, Test, Waitall, Waitany, WaitSet or Iwait)"
+}
+func (reqTracker) freeVerb() string     { return "freed" }
+func (reqTracker) freeFromHeldOK() bool { return false }

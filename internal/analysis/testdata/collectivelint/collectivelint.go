@@ -1,0 +1,108 @@
+// Package collcorpus seeds collectivelint violations next to clean
+// exemplars. The stubs mirror the mpi collective API shapes; the corpus is
+// analyzed, not compiled.
+package collcorpus
+
+// --- stubs mirroring the mpi package ---
+
+type Op int
+
+type Comm struct {
+	rank int
+}
+
+func (c *Comm) Rank() int { return c.rank }
+func (c *Comm) Size() int { return 0 }
+
+func (c *Comm) Barrier() error                                     { return nil }
+func (c *Comm) Bcast(buf any, root int) error                      { return nil }
+func (c *Comm) AllreduceFloat64(v float64, op Op) (float64, error) { return 0, nil }
+func (c *Comm) AllgathervInt(local []int) ([]int, []int, error)    { return nil, nil, nil }
+func (c *Comm) send(buf any, dest, tag int) error                  { return nil }
+func (c *Comm) recv(buf any, source, tag int) error                { return nil }
+
+// --- violations ---
+
+func barrierOnRoot(c *Comm) error {
+	if c.Rank() == 0 {
+		return c.Barrier() // want "collective Barrier is nested in a rank-conditional branch"
+	}
+	return nil
+}
+
+func taintedRankVariable(c *Comm, v float64) (float64, error) {
+	rank := c.Rank()
+	if rank == 0 {
+		return c.AllreduceFloat64(v, 0) // want "collective AllreduceFloat64"
+	}
+	return v, nil
+}
+
+func collectiveInElse(c *Comm, buf []int) error {
+	if c.Rank() == 0 {
+		_ = buf
+	} else {
+		return c.Bcast(buf, 0) // want "collective Bcast"
+	}
+	return nil
+}
+
+func switchOnRank(c *Comm, local []int) error {
+	switch c.Rank() {
+	case 0:
+		_, _, err := c.AllgathervInt(local) // want "collective AllgathervInt"
+		return err
+	default:
+		return nil
+	}
+}
+
+func rankField(c *Comm, s struct{ rank int }) error {
+	if s.rank > 0 {
+		return c.Barrier() // want "collective Barrier"
+	}
+	return nil
+}
+
+func nestedCondition(c *Comm, n int) error {
+	if n > 3 {
+		if c.Rank()%2 == 0 {
+			for i := 0; i < n; i++ {
+				if err := c.Barrier(); err != nil { // want "collective Barrier"
+					return err
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// --- clean exemplars ---
+
+func cleanUnconditional(c *Comm, v float64) (float64, error) {
+	if err := c.Barrier(); err != nil {
+		return 0, err
+	}
+	return c.AllreduceFloat64(v, 0)
+}
+
+func cleanRankIndependentBranch(c *Comm, n int) error {
+	if n > 3 { // every rank computes the same n
+		return c.Barrier()
+	}
+	return nil
+}
+
+func cleanRankConditionalPointToPoint(c *Comm, buf []int) error {
+	if c.Rank() == 0 {
+		return c.send(buf, 1, 0) // point-to-point may be rank-conditional
+	}
+	return c.recv(buf, 0, 0)
+}
+
+func cleanCollectiveAfterRankBranch(c *Comm, buf []int) error {
+	if c.Rank() == 0 {
+		buf[0] = 1
+	}
+	return c.Bcast(buf, 0) // back on the unconditional path
+}

@@ -1,0 +1,93 @@
+// Package depcorpus seeds deplint violations next to clean exemplars. The
+// stubs mirror the task API shapes; the corpus is analyzed, not compiled.
+package depcorpus
+
+// --- stubs mirroring the task package ---
+
+type Task struct{}
+
+type Access struct{}
+
+func In(keys ...any) []Access          { return nil }
+func Out(keys ...any) []Access         { return nil }
+func InOut(keys ...any) []Access       { return nil }
+func Merge(lists ...[]Access) []Access { return nil }
+
+type Runtime struct{}
+
+func (rt *Runtime) Spawn(label string, body func(t *Task), accs ...Access) {}
+func (rt *Runtime) Wait()                                                  {}
+func (rt *Runtime) WaitAccess(accs ...Access)                              {}
+func (rt *Runtime) WaitKeys(keys ...any)                                   {}
+func (rt *Runtime) Shutdown()                                              {}
+
+type blockKey struct{ c, g int }
+
+// --- violations ---
+
+func duplicateKey(rt *Runtime) {
+	rt.Spawn("t", func(*Task) {}, Merge(In("x"), Out("x"))...) // want "declared twice"
+}
+
+func duplicateStructKey(rt *Runtime, c int) {
+	rt.Spawn("t", func(*Task) {}, Merge(
+		In(blockKey{c: c, g: 0}),
+		InOut(blockKey{c: c, g: 0}), // want "declared twice"
+	)...)
+}
+
+func writeToInRegion(rt *Runtime, buf []float64) {
+	rt.Spawn("t", func(*Task) {
+		buf[0] = 1 // want "read-only"
+	}, In(buf)...)
+}
+
+func incToInRegion(rt *Runtime, counter *int) {
+	rt.Spawn("t", func(*Task) {
+		*counter++ // want "read-only"
+	}, In(counter)...)
+}
+
+func taskwaitInBody(rt *Runtime) {
+	rt.Spawn("t", func(*Task) {
+		rt.Wait() // want "deadlocks"
+	}, Out("k")...)
+}
+
+func shutdownInBody(rt *Runtime) {
+	rt.Spawn("t", func(*Task) {
+		rt.Shutdown() // want "deadlocks"
+	})
+}
+
+// --- clean exemplars ---
+
+func cleanDistinctKeys(rt *Runtime, c int) {
+	rt.Spawn("t", func(*Task) {}, Merge(
+		In(blockKey{c: c, g: 0}),
+		InOut(blockKey{c: c, g: 1}), // same struct, different field: distinct
+	)...)
+}
+
+func cleanInOutWrite(rt *Runtime, buf []float64) {
+	rt.Spawn("t", func(*Task) {
+		buf[0] = 1 // declared inout: writing is the point
+	}, InOut(buf)...)
+}
+
+func cleanSymbolicKeys(rt *Runtime, buf []float64) {
+	rt.Spawn("pack", func(*Task) {
+		buf[0] = 1 // key "stage" is symbolic, not the variable written
+	}, Merge(In("prev"), Out("stage"))...)
+}
+
+func cleanNestedSpawn(rt *Runtime) {
+	rt.Spawn("outer", func(*Task) {
+		rt.Spawn("inner", func(*Task) {}) // spawning from a task is fine
+	})
+}
+
+func cleanSpreadAccesses(rt *Runtime, accs []Access, keys []any) {
+	rt.Spawn("t", func(*Task) {}, accs...)         // keys unknown: nothing to check
+	rt.Spawn("t", func(*Task) {}, Out(keys...)...) // spread key list: unknown
+}

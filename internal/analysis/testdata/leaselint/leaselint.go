@@ -1,0 +1,140 @@
+// Package leasecorpus seeds leaselint violations next to clean exemplars.
+// The stubs mirror the membuf/mpi API shapes; the corpus is analyzed, not
+// compiled.
+package leasecorpus
+
+// --- stubs mirroring membuf and mpi shapes ---
+
+type Lease struct{}
+
+func (l *Lease) Release()           {}
+func (l *Lease) Retain() *Lease     { return l }
+func (l *Lease) Float64() []float64 { return nil }
+func (l *Lease) Len() int           { return 0 }
+
+type Arena struct{}
+
+func (a *Arena) LeaseFloat64(n int) *Lease  { return nil }
+func (a *Arena) LeaseInt(n int) *Lease      { return nil }
+func (a *Arena) GetFloat64(n int) []float64 { return nil }
+func (a *Arena) PutFloat64(b []float64)     {}
+
+type Request struct{}
+
+func (r *Request) Wait() (int, error) { return 0, nil }
+
+type Comm struct{}
+
+func (c *Comm) SendOwned(l *Lease, dest, tag int) error              { return nil }
+func (c *Comm) IsendOwned(l *Lease, dest, tag int) (*Request, error) { return nil, nil }
+
+// --- violations ---
+
+func leakOnEarlyReturn(a *Arena, n int) error {
+	l := a.LeaseFloat64(n) // want "not released, put back or ownership-transferred on every path"
+	if n > 8 {
+		return nil // leaks l
+	}
+	l.Release()
+	return nil
+}
+
+func doubleRelease(a *Arena) {
+	l := a.LeaseFloat64(4)
+	l.Release()
+	l.Release() // want "released twice"
+}
+
+func useAfterRelease(a *Arena) float64 {
+	l := a.LeaseFloat64(4)
+	l.Release()
+	return l.Float64()[0] // want "use of arena lease after it was released"
+}
+
+func releaseAfterTransfer(a *Arena, c *Comm) {
+	l := a.LeaseFloat64(4)
+	c.SendOwned(l, 1, 0) // error unobserved: ownership assumed transferred
+	l.Release()          // want "released after its ownership was already handed off"
+}
+
+func discardedAtCreation(a *Arena) {
+	_ = a.LeaseFloat64(4) // want "discarded at creation"
+}
+
+func errPathLeak(a *Arena, c *Comm) error {
+	l := a.LeaseFloat64(8) // want "not released, put back or ownership-transferred on every path"
+	if err := c.SendOwned(l, 1, 0); err != nil {
+		return err // on error the lease is retained; it must be released here
+	}
+	return nil
+}
+
+func overwrittenWhileHeld(a *Arena) {
+	l := a.LeaseFloat64(4)
+	l = a.LeaseFloat64(8) // want "overwritten while still held"
+	l.Release()
+}
+
+func bufferLeak(a *Arena, n int) []float64 {
+	buf := a.GetFloat64(n) // want "pooled buffer is not released"
+	if n == 0 {
+		return nil // leaks buf
+	}
+	out := make([]float64, n)
+	copy(out, buf)
+	a.PutFloat64(buf)
+	return out
+}
+
+// --- clean exemplars ---
+
+func cleanRelease(a *Arena, n int) float64 {
+	l := a.LeaseFloat64(n)
+	v := l.Float64()[0]
+	l.Release()
+	return v
+}
+
+func cleanDeferPut(a *Arena, n int) float64 {
+	buf := a.GetFloat64(n)
+	defer a.PutFloat64(buf)
+	buf[0] = 1
+	return buf[0]
+}
+
+func cleanTransferWithErrPath(a *Arena, c *Comm) error {
+	l := a.LeaseFloat64(8)
+	if err := c.SendOwned(l, 1, 0); err != nil {
+		l.Release()
+		return err
+	}
+	return nil
+}
+
+func cleanIsendOwned(a *Arena, c *Comm) (*Request, error) {
+	l := a.LeaseFloat64(8)
+	req, err := c.IsendOwned(l, 1, 0)
+	if err != nil {
+		l.Release()
+		return nil, err
+	}
+	return req, nil
+}
+
+type holder struct{ l *Lease }
+
+func cleanEscapeIntoStruct(a *Arena) *holder {
+	l := a.LeaseFloat64(4)
+	return &holder{l: l} // ownership moves to the holder; tracking ends
+}
+
+func cleanLoopPerIteration(a *Arena, peers []int, c *Comm) error {
+	for _, p := range peers {
+		l := a.LeaseFloat64(16)
+		if err := c.SendOwned(l, p, 0); err != nil {
+			l.Release()
+			return err
+		}
+	}
+	return nil
+}

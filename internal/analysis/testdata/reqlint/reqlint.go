@@ -1,0 +1,179 @@
+// Package reqcorpus seeds reqlint violations next to clean exemplars. The
+// stubs mirror the mpi/tampi API shapes; the corpus is analyzed, not
+// compiled.
+package reqcorpus
+
+// --- stubs mirroring mpi and tampi shapes ---
+
+type Request struct{}
+
+func (r *Request) Wait() (int, error)    { return 0, nil }
+func (r *Request) Test() (bool, error)   { return true, nil }
+func (r *Request) Free()                 {}
+func (r *Request) Done() <-chan struct{} { return nil }
+func (r *Request) OnComplete(f func())   {}
+
+type Lease struct{}
+
+type Comm struct{}
+
+func (c *Comm) Isend(buf any, dest, tag int) (*Request, error)       { return nil, nil }
+func (c *Comm) Irecv(buf any, source, tag int) (*Request, error)     { return nil, nil }
+func (c *Comm) IsendOwned(l *Lease, dest, tag int) (*Request, error) { return nil, nil }
+
+func Waitall(reqs ...*Request) error       { return nil }
+func Waitany(reqs []*Request) (int, error) { return 0, nil }
+
+type WaitSet struct{}
+
+func (ws *WaitSet) Add(r *Request) {}
+
+type Task struct{}
+
+type Context struct{}
+
+func (x *Context) Iwait(t *Task, reqs ...*Request) {}
+
+// --- violations ---
+
+func droppedResult(c *Comm, buf []float64) {
+	c.Isend(buf, 1, 0) // want "result of this call is discarded"
+}
+
+func discardedRequest(c *Comm, buf []float64) error {
+	_, err := c.Isend(buf, 1, 0) // want "request is discarded at creation"
+	return err
+}
+
+func neverCompleted(c *Comm, buf []float64) error {
+	req, err := c.Isend(buf, 1, 0) // want "request is not completed"
+	if err != nil {
+		return err
+	}
+	_ = buf
+	_ = func() *Request { return nil } // req itself is never waited on
+	return nil
+}
+
+func shadowedInFlight(c *Comm, buf []float64) error {
+	req, err := c.Irecv(buf, 1, 0)
+	if err != nil {
+		return err
+	}
+	req, err = c.Irecv(buf, 2, 0) // want "request overwritten while still held"
+	if err != nil {
+		return err
+	}
+	_, werr := req.Wait()
+	return werr
+}
+
+func freedBeforeCompletion(c *Comm, buf []float64) error {
+	req, err := c.Isend(buf, 1, 0)
+	if err != nil {
+		return err
+	}
+	req.Free() // want "freed before its completion was observed"
+	return nil
+}
+
+func useAfterFree(c *Comm, buf []float64) error {
+	req, err := c.Isend(buf, 1, 0)
+	if err != nil {
+		return err
+	}
+	if _, werr := req.Wait(); werr != nil {
+		return werr
+	}
+	req.Free()
+	req.Wait() // want "use of request after it was freed"
+	return nil
+}
+
+func completedOnlyOnOnePath(c *Comm, buf []float64, n int) error {
+	req, err := c.Irecv(buf, 1, 0) // want "request is not completed"
+	if err != nil {
+		return err
+	}
+	if n > 0 {
+		_, werr := req.Wait()
+		return werr
+	}
+	return nil // leaks req in flight
+}
+
+func secondSendErrorPathLeak(c *Comm, buf []float64) error {
+	r1, err := c.Isend(buf, 1, 0) // want "request is not completed"
+	if err != nil {
+		return err
+	}
+	r2, err := c.Isend(buf, 2, 0)
+	if err != nil {
+		return err // abandons r1 in flight
+	}
+	return Waitall(r1, r2)
+}
+
+// --- clean exemplars ---
+
+func cleanWait(c *Comm, buf []float64) error {
+	req, err := c.Irecv(buf, 1, 0)
+	if err != nil {
+		return err // req is nil on error: nothing to complete
+	}
+	_, werr := req.Wait()
+	return werr
+}
+
+func cleanWaitall(c *Comm, buf []float64) error {
+	r1, err := c.Isend(buf, 1, 0)
+	if err != nil {
+		return err
+	}
+	r2, err := c.Isend(buf, 2, 0)
+	if err != nil {
+		r1.Wait() // settle the in-flight request before bailing
+		return err
+	}
+	return Waitall(r1, r2)
+}
+
+func cleanWaitSet(c *Comm, buf []float64, ws *WaitSet) error {
+	req, err := c.Irecv(buf, 1, 0)
+	if err != nil {
+		return err
+	}
+	ws.Add(req)
+	return nil
+}
+
+func cleanIwait(c *Comm, x *Context, t *Task, buf []float64) error {
+	req, err := c.Isend(buf, 1, 0)
+	if err != nil {
+		return err
+	}
+	x.Iwait(t, req)
+	return nil
+}
+
+func cleanEscapeIntoSlice(c *Comm, buf []float64, peers []int) ([]*Request, error) {
+	var reqs []*Request
+	for _, p := range peers {
+		req, err := c.Isend(buf, p, 0)
+		if err != nil {
+			return reqs, err
+		}
+		reqs = append(reqs, req) // completion handled by the caller
+	}
+	return reqs, nil
+}
+
+func cleanFreeAfterWait(c *Comm, buf []float64) error {
+	req, err := c.Isend(buf, 1, 0)
+	if err != nil {
+		return err
+	}
+	_, werr := req.Wait()
+	req.Free()
+	return werr
+}

@@ -14,6 +14,11 @@ const (
 	KindFloat64 Kind = iota
 	KindInt
 	KindByte
+
+	// kindReleased poisons a handle whose final reference was dropped, so
+	// a stale accessor call fails loudly instead of reading a recycled or
+	// re-leased buffer.
+	kindReleased Kind = 0xFF
 )
 
 func (k Kind) String() string {
@@ -24,6 +29,8 @@ func (k Kind) String() string {
 		return "[]int"
 	case KindByte:
 		return "[]byte"
+	case kindReleased:
+		return "released"
 	}
 	return "unknown"
 }
@@ -134,6 +141,7 @@ func (l *Lease) Release() {
 		a.PutByte(l.b)
 	}
 	l.a, l.f, l.i, l.b, l.n = nil, nil, nil, nil, 0
+	l.kind = kindReleased // use-after-release now panics in the accessors
 	a.leasesLive.Add(-1)
 	a.leasePool.Put(l)
 }

@@ -51,6 +51,10 @@ func classFor(n int) int {
 type pool[T any] struct {
 	mu      sync.Mutex
 	classes [numClasses][][]T
+	// pooled, when non-nil (debug mode), holds the identity of every
+	// buffer currently filed, so a double Put panics instead of handing
+	// the same backing array to two future Gets.
+	pooled map[*T]struct{}
 }
 
 func (p *pool[T]) get(a *Arena, n int) []T {
@@ -65,6 +69,9 @@ func (p *pool[T]) get(a *Arena, n int) []T {
 			b := p.classes[c][l-1]
 			p.classes[c][l-1] = nil
 			p.classes[c] = p.classes[c][:l-1]
+			if p.pooled != nil {
+				delete(p.pooled, &b[0:1][0])
+			}
 			p.mu.Unlock()
 			a.hits.Add(1)
 			return b[:n]
@@ -96,8 +103,31 @@ func (p *pool[T]) putQuiet(b []T) {
 	}
 	b = b[:0]
 	p.mu.Lock()
+	if p.pooled != nil {
+		ptr := &b[0:1][0]
+		if _, dup := p.pooled[ptr]; dup {
+			p.mu.Unlock()
+			panic("membuf: double Put of a buffer")
+		}
+		p.pooled[ptr] = struct{}{}
+	}
 	p.classes[c] = append(p.classes[c], b)
 	p.mu.Unlock()
+}
+
+func (p *pool[T]) setDebug(on bool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if !on {
+		p.pooled = nil
+		return
+	}
+	p.pooled = make(map[*T]struct{})
+	for _, class := range p.classes {
+		for _, b := range class {
+			p.pooled[&b[0:1][0]] = struct{}{}
+		}
+	}
 }
 
 // Arena is a shared, size-classed buffer pool with leak accounting.
@@ -119,6 +149,16 @@ func New() *Arena {
 	a := &Arena{}
 	a.leasePool.New = func() any { return new(Lease) }
 	return a
+}
+
+// SetDebug toggles double-Put detection: while on, returning the same
+// buffer twice panics at the second Put instead of corrupting the free
+// lists. Detection costs one map operation per Get/Put, so it is meant for
+// tests and debugging runs, not the hot path.
+func (a *Arena) SetDebug(on bool) {
+	a.f64.setDebug(on)
+	a.ints.setDebug(on)
+	a.bytes.setDebug(on)
 }
 
 // GetFloat64 returns a []float64 of length n with unspecified contents.

@@ -235,3 +235,72 @@ func TestConcurrentTraffic(t *testing.T) {
 		t.Fatalf("gets %d != puts %d", st.Gets, st.Puts)
 	}
 }
+
+func TestLeaseUseAfterReleasePanics(t *testing.T) {
+	a := New()
+	l := a.LeaseFloat64(8)
+	l.Release()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("accessor on a released lease did not panic")
+		}
+	}()
+	l.Float64() // the handle is poisoned: the buffer may already be re-leased
+}
+
+func TestLeaseReuseResetsPoisonedKind(t *testing.T) {
+	a := New()
+	l := a.LeaseInt(4)
+	l.Release()
+	l2 := a.LeaseInt(4) // recycles the poisoned handle
+	if l2.Kind() != KindInt {
+		t.Fatalf("recycled lease kind = %v, want %v", l2.Kind(), KindInt)
+	}
+	if got := l2.Int(); len(got) != 4 {
+		t.Fatalf("len = %d, want 4", len(got))
+	}
+	l2.Release()
+}
+
+func TestDoublePutPanicsInDebugMode(t *testing.T) {
+	a := New()
+	a.SetDebug(true)
+	b := a.GetFloat64(16)
+	a.PutFloat64(b)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("double Put did not panic in debug mode")
+		}
+	}()
+	a.PutFloat64(b)
+}
+
+func TestDebugModeAllowsLegitimateReuse(t *testing.T) {
+	a := New()
+	a.SetDebug(true)
+	b := a.GetInt(8)
+	a.PutInt(b)
+	b2 := a.GetInt(8) // same backing array, checked out again
+	if &b[0] != &b2[0] {
+		t.Fatal("expected the pooled buffer back")
+	}
+	a.PutInt(b2) // a Get between the Puts makes this legal
+	a.SetDebug(false)
+	st := a.Stats()
+	if st.Live != 0 {
+		t.Fatalf("Live = %d, want 0", st.Live)
+	}
+}
+
+func TestSetDebugOnPopulatedArena(t *testing.T) {
+	a := New()
+	b := a.GetByte(32)
+	a.PutByte(b) // filed before debug mode turns on
+	a.SetDebug(true)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("double Put of a pre-debug buffer did not panic")
+		}
+	}()
+	a.PutByte(b)
+}

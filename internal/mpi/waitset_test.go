@@ -1,0 +1,110 @@
+package mpi
+
+import (
+	"testing"
+)
+
+func TestWaitSetEmptyAndReset(t *testing.T) {
+	ws := NewWaitSet()
+	if ws.Len() != 0 {
+		t.Fatalf("Len = %d, want 0", ws.Len())
+	}
+	// Reset of a set that never held a request is a no-op.
+	ws.Reset()
+	if ws.Len() != 0 {
+		t.Fatalf("Len after Reset = %d, want 0", ws.Len())
+	}
+	// A zero-request round consumes nothing: Len is the loop bound, so a
+	// `for i := 0; i < ws.Len(); i++ { ws.Next() }` round never calls Next.
+	for i := 0; i < ws.Len(); i++ {
+		t.Fatal("loop body must not run on an empty set")
+	}
+}
+
+func TestWaitSetAlreadyCompletedRequest(t *testing.T) {
+	w := testWorld(t, 2)
+	err := w.Run(func(c *Comm) {
+		switch c.Rank() {
+		case 0:
+			req, err := c.Isend([]float64{1.5}, 1, 3)
+			if err != nil {
+				t.Errorf("isend: %v", err)
+				return
+			}
+			if _, err := req.Wait(); err != nil {
+				t.Errorf("wait: %v", err)
+				return
+			}
+			// The request is already complete; Add must deliver it to
+			// Next immediately instead of blocking forever.
+			ws := NewWaitSet()
+			ws.Add(req)
+			idx, _, nerr := ws.Next()
+			if nerr != nil {
+				t.Errorf("next: %v", nerr)
+			}
+			if idx != 0 {
+				t.Errorf("idx = %d, want 0", idx)
+			}
+		case 1:
+			buf := make([]float64, 1)
+			if _, err := c.Recv(buf, 0, 3); err != nil {
+				t.Errorf("recv: %v", err)
+			}
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWaitSetMixedCompletedAndPending(t *testing.T) {
+	w := testWorld(t, 2)
+	err := w.Run(func(c *Comm) {
+		switch c.Rank() {
+		case 0:
+			r1, err := c.Isend([]float64{1}, 1, 1)
+			if err != nil {
+				t.Errorf("isend 1: %v", err)
+				return
+			}
+			if _, err := r1.Wait(); err != nil {
+				t.Errorf("wait 1: %v", err)
+				return
+			}
+			r2, err := c.Isend([]float64{2}, 1, 2)
+			if err != nil {
+				t.Errorf("isend 2: %v", err)
+				return
+			}
+			ws := NewWaitSet()
+			ws.Add(r1) // completed before joining the set
+			ws.Add(r2) // may still be in flight
+			seen := make(map[int]bool)
+			for i := 0; i < ws.Len(); i++ {
+				idx, _, nerr := ws.Next()
+				if nerr != nil {
+					t.Errorf("next: %v", nerr)
+				}
+				if seen[idx] {
+					t.Errorf("index %d consumed twice", idx)
+				}
+				seen[idx] = true
+			}
+			if !seen[0] || !seen[1] {
+				t.Errorf("seen = %v, want indices 0 and 1", seen)
+			}
+		case 1:
+			buf := make([]float64, 1)
+			if _, err := c.Recv(buf, 0, 1); err != nil {
+				t.Errorf("recv 1: %v", err)
+			}
+			if _, err := c.Recv(buf, 0, 2); err != nil {
+				t.Errorf("recv 2: %v", err)
+			}
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
