@@ -6,7 +6,7 @@ GO ?= go
 RACE_PKGS := ./internal/mpi ./internal/task ./internal/tampi ./internal/membuf \
 	./internal/simnet ./internal/amr/app
 
-.PHONY: test vet fmt-check lint race check bench
+.PHONY: test vet fmt-check lint sanitize race check bench
 
 test:
 	$(GO) build ./...
@@ -23,10 +23,16 @@ fmt-check:
 lint:
 	$(GO) run ./cmd/amrlint ./...
 
+# amrsan: the seeded-violation corpus plus full driver runs with the
+# runtime sanitizer forced on (AMRSAN=1), which must stay clean.
+sanitize:
+	$(GO) test ./internal/sanitize
+	AMRSAN=1 $(GO) test ./internal/amr/app
+
 race:
 	$(GO) test -race $(RACE_PKGS)
 
-check: vet fmt-check lint test race
+check: vet fmt-check lint test sanitize race
 
 # Allocation benchmarks of the pooled message path (ReportAllocs is on).
 bench:

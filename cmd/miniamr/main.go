@@ -57,6 +57,7 @@ func main() {
 		netModel   = flag.String("net", "default", "interconnect model: none, default or slow")
 		tracePath  = flag.String("trace", "", "write an execution trace CSV to this path")
 		traceWidth = flag.Int("trace-width", 100, "columns of the printed timeline (with -trace)")
+		sanitizeOn = flag.Bool("sanitize", false, "run under the amrsan runtime sanitizer (also AMRSAN=1); findings go to stderr and exit status 1")
 	)
 	flag.Parse()
 
@@ -69,7 +70,7 @@ func main() {
 		stencil: *stencil, partitioner: *partition, noLB: *noLB, blockTampi: *blockTampi,
 		uniformRefine: *uniformRef, showMesh: *showMesh,
 		checkpoint: *checkpoint, restore: *restore, chromeOut: *chromeOut,
-		fjSchedule: *fjSchedule,
+		fjSchedule: *fjSchedule, sanitize: *sanitizeOn,
 	}); err != nil {
 		fmt.Fprintln(os.Stderr, "miniamr:", err)
 		os.Exit(1)
@@ -95,6 +96,7 @@ type runArgs struct {
 	uniformRefine, showMesh           bool
 	checkpoint, restore               string
 	chromeOut, fjSchedule             string
+	sanitize                          bool
 }
 
 func run(a runArgs) error {
@@ -157,6 +159,7 @@ func run(a runArgs) error {
 	m, err := harness.Run(harness.RunSpec{
 		Nodes: a.nodes, RanksPerNode: a.ranksPerNode, CoresPerRank: a.coresPerRank,
 		Net: net, Cfg: cfg, Variant: harness.Variant(a.variant), Recorder: rec,
+		Sanitize: a.sanitize,
 	})
 	if err != nil {
 		return err
@@ -213,6 +216,16 @@ func run(a runArgs) error {
 	}
 	if a.checkpoint != "" {
 		fmt.Printf("checkpoint:        %s (per rank)\n", a.checkpoint)
+	}
+	if m.Sanitizer != nil {
+		if len(m.Sanitizer) == 0 {
+			fmt.Printf("sanitizer:         clean (0 findings)\n")
+		} else {
+			for _, r := range m.Sanitizer {
+				fmt.Fprintln(os.Stderr, r)
+			}
+			return fmt.Errorf("sanitizer reported %d finding(s)", len(m.Sanitizer))
+		}
 	}
 	return nil
 }

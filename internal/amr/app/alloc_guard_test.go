@@ -1,0 +1,27 @@
+package app
+
+import "testing"
+
+// ghostExchangeAllocBaseline is the pooled message path's steady-state
+// allocation budget for one full ghost exchange, established when the
+// zero-copy buffer arena landed: a handful of per-call slice headers,
+// nothing proportional to message count or size. The sanitizer hooks
+// must not move it while the sanitizer is off.
+const ghostExchangeAllocBaseline = 8
+
+// TestGhostExchangeAllocBaseline guards the sanitizer-off fast path:
+// every hook added for amrsan is a nil check, so the exchange's
+// allocs/op must stay at the pooled-arena baseline.
+func TestGhostExchangeAllocBaseline(t *testing.T) {
+	if testing.Short() {
+		t.Skip("allocation baseline needs steady-state iterations")
+	}
+	if raceEnabled {
+		t.Skip("race instrumentation perturbs allocation counts")
+	}
+	res := testing.Benchmark(benchGhostExchange)
+	if got := res.AllocsPerOp(); got > ghostExchangeAllocBaseline {
+		t.Errorf("ghost exchange allocs/op = %d, want <= %d (sanitizer-off path must stay pooled)",
+			got, ghostExchangeAllocBaseline)
+	}
+}

@@ -2,12 +2,14 @@ package app
 
 import (
 	"math"
+	"os"
 	"testing"
 
 	"miniamr/internal/amr/grid"
 	"miniamr/internal/amr/object"
 	"miniamr/internal/cluster"
 	"miniamr/internal/mpi"
+	"miniamr/internal/sanitize"
 	"miniamr/internal/simnet"
 	"miniamr/internal/trace"
 )
@@ -46,10 +48,17 @@ var variants = map[string]variantFunc{
 }
 
 // runVariant executes a variant on a fresh world and returns per-rank
-// results.
+// results. With AMRSAN=1 in the environment every run is additionally
+// executed under the runtime sanitizer and any finding fails the test.
 func runVariant(t *testing.T, cfg Config, ranks int, run variantFunc, rec *trace.Recorder) []Result {
 	t.Helper()
 	w := mpi.NewWorld(cluster.MustNew(1, ranks, 1), simnet.None())
+	var san *sanitize.Sanitizer
+	if os.Getenv("AMRSAN") == "1" {
+		san = sanitize.New(sanitize.Options{})
+		san.Attach(w)
+		cfg.Sanitizer = san
+	}
 	results := make([]Result, ranks)
 	err := w.Run(func(c *mpi.Comm) {
 		res, err := run(cfg, c, rec)
@@ -59,6 +68,11 @@ func runVariant(t *testing.T, cfg Config, ranks int, run variantFunc, rec *trace
 		}
 		results[c.Rank()] = res
 	})
+	if san != nil {
+		for _, r := range san.Finish() {
+			t.Errorf("sanitizer: %v", r)
+		}
+	}
 	if err != nil && !t.Failed() {
 		t.Fatal(err)
 	}

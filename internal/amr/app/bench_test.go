@@ -12,7 +12,11 @@ import (
 // directions, pack/send/recv/unpack plus local copies) over the test mesh
 // with the reference MPI-only driver and no simulated network cost. The
 // allocs/op figure tracks the message path's buffer traffic.
-func BenchmarkGhostExchange(b *testing.B) {
+func BenchmarkGhostExchange(b *testing.B) { benchGhostExchange(b) }
+
+// benchGhostExchange is the benchmark body, shared with the allocation
+// baseline guard in alloc_guard_test.go.
+func benchGhostExchange(b *testing.B) {
 	b.ReportAllocs()
 	cfg := testConfig()
 	if err := cfg.Validate(); err != nil {

@@ -22,6 +22,7 @@ import (
 
 	"miniamr/internal/amr/grid"
 	"miniamr/internal/amr/object"
+	"miniamr/internal/sanitize"
 )
 
 // Config describes one simulation. The option names follow the miniAMR
@@ -125,6 +126,13 @@ type Config struct {
 	// DisableImmediateSuccessor turns off the data-flow scheduler's
 	// locality policy (ablation).
 	DisableImmediateSuccessor bool
+
+	// Sanitizer, when set, wires the amrsan runtime sanitizer into the
+	// run: the data-flow variant registers a per-rank task observer and
+	// reports its tasks' actual accesses for dependency-race checking.
+	// The caller owns attachment to the world (sanitize.Attach) and the
+	// end-of-run audit (Finish). Nil costs nothing.
+	Sanitizer *sanitize.Sanitizer
 }
 
 // defaultChecksumTolerance allows for the small non-conservation introduced

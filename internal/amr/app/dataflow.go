@@ -8,6 +8,7 @@ import (
 	"miniamr/internal/amr/grid"
 	"miniamr/internal/amr/mesh"
 	"miniamr/internal/mpi"
+	"miniamr/internal/sanitize"
 	"miniamr/internal/tampi"
 	"miniamr/internal/task"
 	"miniamr/internal/trace"
@@ -59,17 +60,27 @@ func RunDataFlow(cfg Config, c *mpi.Comm, rec *trace.Recorder) (Result, error) {
 	if err != nil {
 		return Result{}, err
 	}
-	rt, err := task.NewRuntime(task.Options{
+	opts := task.Options{
 		Workers:                   cfg.Workers,
 		DisableImmediateSuccessor: cfg.DisableImmediateSuccessor,
-	})
+	}
+	var san *sanitize.DepSanitizer
+	if cfg.Sanitizer != nil {
+		// The concrete observer is assigned only when non-nil, so the
+		// runtime's nil check stays meaningful (a nil *DepSanitizer in an
+		// interface would not compare equal to nil).
+		san = cfg.Sanitizer.Observer(c.Rank())
+		opts.Observer = san
+	}
+	rt, err := task.NewRuntime(opts)
 	if err != nil {
 		return Result{}, err
 	}
 	d := &dataFlowDriver{
-		s:  s,
-		rt: rt,
-		x:  tampi.New(c),
+		s:   s,
+		rt:  rt,
+		x:   tampi.New(c),
+		san: san,
 	}
 	d.scratches = make([][]float64, cfg.Workers)
 	for i := range d.scratches {
@@ -92,6 +103,7 @@ type dataFlowDriver struct {
 	s         *state
 	rt        *task.Runtime
 	x         *tampi.Context
+	san       *sanitize.DepSanitizer // nil when the sanitizer is off
 	scratches [][]float64
 
 	// Delayed-checksum state: two parities of per-block sum slots.
@@ -115,6 +127,30 @@ func (d *dataFlowDriver) recordInFlight(t *task.Task, label string, req *mpi.Req
 	})
 }
 
+// noteRead/noteWrite/bindSection report the task's actual accesses to the
+// dependency-race sanitizer. With the sanitizer off each is a nil check.
+func (d *dataFlowDriver) noteRead(t *task.Task, key any) {
+	if d.san != nil {
+		d.san.NoteRead(t, key)
+	}
+}
+
+func (d *dataFlowDriver) noteWrite(t *task.Task, key any) {
+	if d.san != nil {
+		d.san.NoteWrite(t, key)
+	}
+}
+
+// bindSection registers which storage a buffer-section key stands for, so
+// the sanitizer can flag one buffer bound under two keys. Only the
+// persistent receive buffers are bound: send sections live in per-stage
+// arena leases whose storage is legitimately recycled under fresh keys.
+func (d *dataFlowDriver) bindSection(key any, sec []float64) {
+	if d.san != nil && len(sec) > 0 {
+		d.san.BindRegion(key, &sec[0])
+	}
+}
+
 // dirKey folds the direction into buffer keys, or collapses all directions
 // onto one key space when buffers are shared.
 func (d *dataFlowDriver) dirKey(dir grid.Dir) int {
@@ -135,6 +171,11 @@ func (d *dataFlowDriver) communicate(g0, g1 int) error {
 	s := d.s
 	gv := g1 - g0
 	gi := d.groupIndex(g0)
+	if d.san != nil {
+		// Refinement may have rebuilt the exchange plans with recycled
+		// storage; aliasing is only meaningful within one set of plans.
+		d.san.ResetBindings()
+	}
 	for dir := grid.DirX; dir <= grid.DirZ; dir++ {
 		sched := s.scheds[dir]
 		dk := d.dirKey(dir)
@@ -162,6 +203,9 @@ func (d *dataFlowDriver) communicate(g0, g1 int) error {
 				secs[i] = sectKey{dirKey: dk, peer: peer, msg: mi, idx: i}
 			}
 			d.rt.Spawn("recv", func(t *task.Task) {
+				for _, k := range secs {
+					d.noteWrite(t, k) // the arriving message fills every section
+				}
 				if s.cfg.BlockingTAMPI {
 					// TAMPI's blocking mode: the task pauses until the
 					// message arrives, releasing its core meanwhile.
@@ -184,6 +228,7 @@ func (d *dataFlowDriver) communicate(g0, g1 int) error {
 			for i, tr := range msg {
 				sec := buf[off : off+tr.Len(gv)]
 				off += tr.Len(gv)
+				d.bindSection(secs[i], sec)
 				unpacks = append(unpacks, unpackJob{tr: tr, sec: sec, key: secs[i].(sectKey)})
 			}
 		}
@@ -208,16 +253,22 @@ func (d *dataFlowDriver) communicate(g0, g1 int) error {
 				tr := tr
 				sec := buf[off : off+tr.Len(gv)]
 				off += tr.Len(gv)
+				secKey := secs[i]
 				d.rt.Spawn("pack", func(t *task.Task) {
+					d.noteRead(t, blockKey{c: tr.Src, g: gi})
+					d.noteWrite(t, secKey)
 					s.rec.Span(s.rank, t.Worker(), "pack", func() {
 						comm.Pack(tr, s.data[tr.Src], g0, g1, sec)
 					})
 				}, task.Merge(
 					task.In(blockKey{c: tr.Src, g: gi}),
-					task.Out(secs[i]),
+					task.Out(secKey),
 				)...)
 			}
 			d.rt.Spawn("send", func(t *task.Task) {
+				for _, k := range secs {
+					d.noteRead(t, k) // the send serialises every packed section
+				}
 				if s.cfg.BlockingTAMPI {
 					start := time.Now()
 					if err := d.x.SendOwned(t, lease, peer, tag); err != nil {
@@ -240,6 +291,8 @@ func (d *dataFlowDriver) communicate(g0, g1 int) error {
 		for _, tr := range sched.Local {
 			tr := tr
 			d.rt.Spawn("local-copy", func(t *task.Task) {
+				d.noteRead(t, blockKey{c: tr.Src, g: gi})
+				d.noteWrite(t, blockKey{c: tr.Recv, g: gi})
 				s.rec.Span(s.rank, t.Worker(), "local-copy", func() {
 					comm.ExecuteLocal(tr, s.data[tr.Src], s.data[tr.Recv], g0, g1, d.scratches[t.Worker()])
 				})
@@ -252,6 +305,7 @@ func (d *dataFlowDriver) communicate(g0, g1 int) error {
 			bf := bf
 			dir := dir
 			d.rt.Spawn("boundary", func(t *task.Task) {
+				d.noteWrite(t, blockKey{c: bf.Block, g: gi})
 				s.data[bf.Block].ApplyDomainBoundary(dir, bf.Side, g0, g1)
 			}, task.InOut(blockKey{c: bf.Block, g: gi})...)
 		}
@@ -260,7 +314,10 @@ func (d *dataFlowDriver) communicate(g0, g1 int) error {
 		// ghosts once the bound requests complete.
 		for _, uj := range unpacks {
 			tr, sec := uj.tr, uj.sec
+			key := uj.key
 			d.rt.Spawn("unpack", func(t *task.Task) {
+				d.noteRead(t, key)
+				d.noteWrite(t, blockKey{c: tr.Recv, g: gi})
 				s.rec.Span(s.rank, t.Worker(), "unpack", func() {
 					comm.Unpack(tr, s.data[tr.Recv], g0, g1, sec)
 				})
@@ -279,8 +336,10 @@ func (d *dataFlowDriver) stencil(g0, g1 int) error {
 	s := d.s
 	gi := d.groupIndex(g0)
 	for _, bc := range s.owned() {
+		bc := bc
 		blk := s.data[bc]
 		d.rt.Spawn("stencil", func(t *task.Task) {
+			d.noteWrite(t, blockKey{c: bc, g: gi})
 			s.rec.Span(s.rank, t.Worker(), "stencil", func() { s.runStencil(blk, g0, g1) })
 		}, task.InOut(blockKey{c: bc, g: gi})...)
 		s.flops += s.stencilFlops(blk, g0, g1)
@@ -308,7 +367,12 @@ func (d *dataFlowDriver) checksum() error {
 		for gi := range groups {
 			deps = append(deps, blockKey{c: bc, g: gi})
 		}
+		bc := bc
 		d.rt.Spawn("cksum-local", func(t *task.Task) {
+			for _, dep := range deps {
+				d.noteRead(t, dep)
+			}
+			d.noteWrite(t, slotKey{c: bc, parity: par})
 			s.rec.Span(s.rank, t.Worker(), "cksum-local", func() {
 				blk.Checksum(0, s.cfg.Vars, slot)
 			})
@@ -468,9 +532,11 @@ func (m *taskMover) sendBlock(bc mesh.Coord, blk *grid.Data, to, tag int) {
 	lease := s.arena.LeaseFloat64(blk.InteriorLen())
 	key := xferKey{tag: tag}
 	d.rt.Spawn("exchange-pack", func(t *task.Task) {
+		d.noteWrite(t, key)
 		s.rec.Span(s.rank, t.Worker(), "exchange-pack", func() { blk.PackInterior(lease.Float64()) })
 	}, task.Out(key)...)
 	d.rt.Spawn("exchange-send", func(t *task.Task) {
+		d.noteRead(t, key)
 		if err := d.x.IsendOwned(t, lease, to, tag); err != nil {
 			panic(err)
 		}
@@ -484,11 +550,13 @@ func (m *taskMover) recvBlock(bc mesh.Coord, from, tag int) *grid.Data {
 	buf := s.arena.GetFloat64(blk.InteriorLen())
 	key := xferKey{tag: tag, recv: true}
 	d.rt.Spawn("exchange-recv", func(t *task.Task) {
+		d.noteWrite(t, key)
 		if err := d.x.Irecv(t, buf, from, tag); err != nil {
 			panic(err)
 		}
 	}, task.Out(key)...)
 	d.rt.Spawn("exchange-unpack", func(t *task.Task) {
+		d.noteRead(t, key)
 		s.rec.Span(s.rank, t.Worker(), "exchange-unpack", func() { blk.UnpackInterior(buf) })
 		s.arena.PutFloat64(buf)
 	}, task.In(key)...)

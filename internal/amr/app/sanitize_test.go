@@ -1,0 +1,94 @@
+package app
+
+import (
+	"testing"
+
+	"miniamr/internal/cluster"
+	"miniamr/internal/mpi"
+	"miniamr/internal/sanitize"
+	"miniamr/internal/simnet"
+)
+
+// runSanitized executes one variant under the full sanitizer and returns
+// the per-rank results plus the findings.
+func runSanitized(t *testing.T, cfg Config, ranks int, run variantFunc) ([]Result, []sanitize.Report) {
+	t.Helper()
+	w := mpi.NewWorld(cluster.MustNew(1, ranks, 1), simnet.None())
+	san := sanitize.New(sanitize.Options{})
+	san.Attach(w)
+	cfg.Sanitizer = san
+	results := make([]Result, ranks)
+	err := w.Run(func(c *mpi.Comm) {
+		res, err := run(cfg, c, nil)
+		if err != nil {
+			t.Errorf("rank %d: %v", c.Rank(), err)
+			panic(err)
+		}
+		results[c.Rank()] = res
+	})
+	reports := san.Finish()
+	if err != nil && !t.Failed() {
+		t.Fatal(err)
+	}
+	return results, reports
+}
+
+// TestSanitizedVariantsClean is the sanitizer's soundness check over the
+// real drivers: a full sanitized run of every variant must report zero
+// findings, and instrumenting the run must not perturb the numerics —
+// all variants still produce bit-identical checksum histories.
+func TestSanitizedVariantsClean(t *testing.T) {
+	cfg := testConfig()
+	var reference []float64
+	for _, name := range []string{"mpionly", "forkjoin", "dataflow"} {
+		run := variants[name]
+		t.Run(name, func(t *testing.T) {
+			results, reports := runSanitized(t, cfg, 3, run)
+			for _, r := range reports {
+				t.Errorf("unexpected finding: %v", r)
+			}
+			if t.Failed() {
+				return
+			}
+			sums := checksumsOf(results)
+			if reference == nil {
+				reference = sums
+				return
+			}
+			if len(sums) != len(reference) {
+				t.Fatalf("checksum history length %d, want %d", len(sums), len(reference))
+			}
+			for i := range sums {
+				if sums[i] != reference[i] {
+					t.Fatalf("checksum %d = %v, want %v (sanitized variants must stay bit-identical)",
+						i, sums[i], reference[i])
+				}
+			}
+		})
+	}
+}
+
+// TestSanitizedDataFlowOptions covers the data-flow configurations whose
+// dependency structures differ most: per-face messages, separate buffers
+// and delayed checksums, and blocking TAMPI operations.
+func TestSanitizedDataFlowOptions(t *testing.T) {
+	cases := map[string]func(*Config){
+		"send-faces-separate": func(c *Config) {
+			c.SendFaces = true
+			c.SeparateBuffers = true
+		},
+		"delayed-checksum": func(c *Config) { c.DelayedChecksum = true },
+		"blocking-tampi":   func(c *Config) { c.BlockingTAMPI = true },
+	}
+	for name, mutate := range cases {
+		mutate := mutate
+		t.Run(name, func(t *testing.T) {
+			cfg := testConfig()
+			mutate(&cfg)
+			_, reports := runSanitized(t, cfg, 2, RunDataFlow)
+			for _, r := range reports {
+				t.Errorf("unexpected finding: %v", r)
+			}
+		})
+	}
+}

@@ -87,6 +87,10 @@ type tracker interface {
 	// is the normal protocol (leases: yes; requests: completion must be
 	// observed first).
 	freeFromHeldOK() bool
+	// paramType reports whether a parameter declared with this type
+	// expression can carry the tracked resource into a callee, making
+	// the parameter eligible for an interprocedural summary.
+	paramType(expr ast.Expr) bool
 }
 
 // resource is one tracked creation, shared by all paths.
@@ -165,21 +169,41 @@ type funcFlow struct {
 	depth      int
 	loops      []int // block depths of enclosing loop bodies (continue targets)
 	breakables []int // block depths of enclosing loop/switch/select bodies
+
+	// summaries holds the package's interprocedural parameter summaries
+	// (summary.go); walkCall consults them after the builtin argEffect
+	// returns effEscape.
+	summaries map[types.Object]paramEffects
+	// seed pre-populates the entry state (summary passes seed the
+	// function's tracked parameters as held).
+	seed map[types.Object]track
+	// summaryHook, when non-nil, observes the path state at every normal
+	// function exit (returns and the fall-through); panic paths owe
+	// nothing, matching exitCheck.
+	summaryHook func(st *pstate)
 }
 
-// runFlow applies a tracker to every function in the package.
+// runFlow applies a tracker to every function in the package, first
+// computing the package's interprocedural parameter summaries.
 func runFlow(pass *Pass, tr tracker) {
+	sums := computeSummaries(pass, tr)
 	funcBodies(pass.Pkg, func(fd *ast.FuncDecl) {
-		f := &funcFlow{pass: pass, tr: tr}
+		f := &funcFlow{pass: pass, tr: tr, summaries: sums}
 		f.runBody(fd.Body)
 	})
 }
 
 func (f *funcFlow) runBody(body *ast.BlockStmt) {
 	st := newPstate()
+	for obj, t := range f.seed {
+		st.vars[obj] = t
+	}
 	f.walkStmts(body.List, st)
 	if !st.unreachable {
 		f.exitCheck(st, 0)
+		if f.summaryHook != nil {
+			f.summaryHook(st)
+		}
 	}
 }
 
@@ -241,6 +265,9 @@ func (f *funcFlow) walkStmt(s ast.Stmt, st *pstate) {
 			f.walkExpr(r, st)
 		}
 		f.exitCheck(st, 0)
+		if f.summaryHook != nil {
+			f.summaryHook(st)
+		}
 		st.unreachable = true
 	case *ast.IfStmt:
 		f.walkIf(s, st)
@@ -641,7 +668,7 @@ func (f *funcFlow) walkExpr(e ast.Expr, st *pstate) {
 		f.walkExpr(e.X, st)
 	case *ast.FuncLit:
 		f.escapeReferenced(e, st)
-		nested := &funcFlow{pass: f.pass, tr: f.tr}
+		nested := &funcFlow{pass: f.pass, tr: f.tr, summaries: f.summaries}
 		nested.runBody(e.Body)
 	}
 }
@@ -675,6 +702,13 @@ func (f *funcFlow) walkCall(call *ast.CallExpr, st *pstate, assign []ast.Expr) {
 			continue
 		}
 		eff, errResIdx := f.tr.argEffect(call, i)
+		if eff == effEscape {
+			// The builtin classification gives up here; an interprocedural
+			// summary of the callee may still know what happens.
+			if se, known := f.summaryEffect(call, i); known {
+				eff, errResIdx = se, -1
+			}
+		}
 		var errObj types.Object
 		if eff == effCondConsume {
 			if errResIdx >= 0 && errResIdx < len(assign) {

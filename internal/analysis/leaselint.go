@@ -88,3 +88,10 @@ func (leaseTracker) consumeVerb() string {
 }
 func (leaseTracker) freeVerb() string     { return "released" }
 func (leaseTracker) freeFromHeldOK() bool { return true }
+
+// paramType admits *Lease / *membuf.Lease parameters to interprocedural
+// summaries. Pooled buffers stay out: a bare []float64 parameter carries
+// no signal that it came from a pool.
+func (leaseTracker) paramType(expr ast.Expr) bool {
+	return pointerToNamed(expr, "Lease")
+}

@@ -79,3 +79,10 @@ func (reqTracker) consumeVerb() string {
 }
 func (reqTracker) freeVerb() string     { return "freed" }
 func (reqTracker) freeFromHeldOK() bool { return false }
+
+// paramType admits *Request / *mpi.Request parameters to interprocedural
+// summaries; request slices and variadics are already classified by
+// argEffect (Waitall, Waitany, Iwait).
+func (reqTracker) paramType(expr ast.Expr) bool {
+	return pointerToNamed(expr, "Request")
+}

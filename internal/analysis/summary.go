@@ -1,0 +1,264 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// This file adds the interprocedural layer to the resource-flow engine:
+// per-function summaries of what a callee does to tracked-typed
+// parameters, computed bottom-up over the package and consulted by
+// walkCall when the builtin classification would otherwise end tracking.
+//
+// A summary exists for a parameter only when every function exit agrees
+// on the parameter's final state: all paths release it (effFree), all
+// hand ownership off (effConsume), all observe completion (effComplete),
+// or all leave it untouched (effNone). Mixed exits, conditional
+// consumption and any escape produce no summary, and the call site falls
+// back to the engine's conservative default — tracking ends, nothing is
+// reported. Summaries therefore never silence a finding the
+// intraprocedural engine would have produced; they only extend tracking
+// through helpers whose behavior is unambiguous.
+
+// maxSummaryIters bounds the fixpoint over delegation chains (helper A
+// summarizes only after helper B it calls has). Real chains are short;
+// anything deeper just leaves the tail on the conservative default.
+const maxSummaryIters = 8
+
+// paramEffects maps flat argument positions to a callee's summarized
+// effect on the resource passed there.
+type paramEffects map[int]effect
+
+// summaryParam is one tracked-typed parameter position of a candidate
+// function. obj is nil for blank parameters, which the body provably
+// cannot touch.
+type summaryParam struct {
+	idx int
+	obj types.Object
+}
+
+// computeSummaries builds parameter summaries for one tracker over one
+// package, iterating so helpers that delegate to other helpers summarize
+// too.
+func computeSummaries(pass *Pass, tr tracker) map[types.Object]paramEffects {
+	type candidate struct {
+		fn     types.Object
+		body   *ast.BlockStmt
+		params []summaryParam
+	}
+	var cands []candidate
+	funcBodies(pass.Pkg, func(fd *ast.FuncDecl) {
+		params := summaryParams(pass, tr, fd.Type)
+		if len(params) == 0 {
+			return
+		}
+		fn := pass.Pkg.Info.Defs[fd.Name]
+		if fn == nil {
+			return
+		}
+		cands = append(cands, candidate{fn: fn, body: fd.Body, params: params})
+	})
+	if len(cands) == 0 {
+		return nil
+	}
+	sums := make(map[types.Object]paramEffects)
+	for iter := 0; iter < maxSummaryIters; iter++ {
+		changed := false
+		for _, c := range cands {
+			next := summarizeFunc(pass, tr, sums, c.body, c.params)
+			if !effectsEqual(sums[c.fn], next) {
+				changed = true
+				if next == nil {
+					delete(sums, c.fn)
+				} else {
+					sums[c.fn] = next
+				}
+			}
+		}
+		if !changed {
+			break
+		}
+	}
+	return sums
+}
+
+// summaryParams collects the tracked-typed, non-variadic parameters of a
+// function type as flat argument positions. Variadic and slice-typed
+// parameters stay unsummarized: their builtin classification (Waitall,
+// Iwait, ...) already covers the real APIs.
+func summaryParams(pass *Pass, tr tracker, ft *ast.FuncType) []summaryParam {
+	if ft.Params == nil {
+		return nil
+	}
+	var out []summaryParam
+	idx := 0
+	for _, field := range ft.Params.List {
+		n := len(field.Names)
+		if n == 0 {
+			n = 1 // unnamed parameter still occupies a position
+		}
+		_, variadic := field.Type.(*ast.Ellipsis)
+		if !variadic && tr.paramType(field.Type) {
+			for i := 0; i < n; i++ {
+				sp := summaryParam{idx: idx + i}
+				if i < len(field.Names) && field.Names[i].Name != "_" {
+					sp.obj = pass.Pkg.Info.Defs[field.Names[i]]
+					if sp.obj == nil {
+						continue // unresolved: leave this position conservative
+					}
+				}
+				out = append(out, sp)
+			}
+		}
+		idx += n
+	}
+	return out
+}
+
+// summarizeFunc runs one silent flow pass over body with every tracked
+// parameter seeded as held and folds the per-exit states into effects.
+// Findings from the pass go to a discarded sink: the reporting pass over
+// the same body runs separately, and a seeded parameter left held at exit
+// is a summary fact, not a leak.
+func summarizeFunc(pass *Pass, tr tracker, sums map[types.Object]paramEffects, body *ast.BlockStmt, params []summaryParam) paramEffects {
+	var sink []Finding
+	silent := &Pass{Fset: pass.Fset, Pkg: pass.Pkg, analyzer: pass.analyzer, findings: &sink}
+	seed := make(map[types.Object]track)
+	for _, p := range params {
+		if p.obj != nil {
+			seed[p.obj] = track{
+				res: &resource{kind: "parameter", pos: body.Pos(), depth: 0},
+				st:  stHeld,
+			}
+		}
+	}
+	var exits []map[types.Object]status
+	f := &funcFlow{
+		pass:      silent,
+		tr:        tr,
+		summaries: sums,
+		seed:      seed,
+		summaryHook: func(st *pstate) {
+			snap := make(map[types.Object]status, len(seed))
+			for obj := range seed {
+				if t, ok := st.vars[obj]; ok {
+					snap[obj] = t.st
+				} else {
+					snap[obj] = stUnknown // overwritten or dropped: no summary
+				}
+			}
+			exits = append(exits, snap)
+		},
+	}
+	f.runBody(body)
+
+	var out paramEffects
+	for _, p := range params {
+		eff, ok := exitEffect(p, exits)
+		if !ok {
+			continue
+		}
+		if out == nil {
+			out = make(paramEffects)
+		}
+		out[p.idx] = eff
+	}
+	return out
+}
+
+// exitEffect folds one parameter's exit states into a single effect, or
+// reports that no sound summary exists.
+func exitEffect(p summaryParam, exits []map[types.Object]status) (effect, bool) {
+	if p.obj == nil {
+		// Blank parameter: the body cannot touch it, so the caller still
+		// holds the resource after the call.
+		return effNone, true
+	}
+	if len(exits) == 0 {
+		return 0, false // no normal exit (panics, infinite loop)
+	}
+	var st status
+	first := true
+	for _, snap := range exits {
+		s := snap[p.obj]
+		if s == stNil {
+			continue // nothing was owed on that path
+		}
+		if first {
+			st, first = s, false
+		} else if s != st {
+			return 0, false // exits disagree
+		}
+	}
+	if first {
+		return 0, false
+	}
+	switch st {
+	case stHeld:
+		return effNone, true
+	case stConsumed:
+		return effConsume, true
+	case stCompleted:
+		return effComplete, true
+	case stFreed:
+		return effFree, true
+	}
+	return 0, false // escaped, unknown or still conditional
+}
+
+func effectsEqual(a, b paramEffects) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for k, v := range a {
+		if bv, ok := b[k]; !ok || bv != v {
+			return false
+		}
+	}
+	return true
+}
+
+// summaryEffect looks up the summarized effect for argument idx of call.
+// walkCall consults it only after the tracker's builtin argEffect returned
+// effEscape, so explicit API classifications always win over summaries.
+func (f *funcFlow) summaryEffect(call *ast.CallExpr, idx int) (effect, bool) {
+	if f.summaries == nil {
+		return 0, false
+	}
+	var id *ast.Ident
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return 0, false
+	}
+	obj := f.pass.objOf(id)
+	if obj == nil {
+		return 0, false
+	}
+	sum, ok := f.summaries[obj]
+	if !ok {
+		return 0, false
+	}
+	eff, ok := sum[idx]
+	return eff, ok
+}
+
+// pointerToNamed reports whether expr is `*Name` or `*pkg.Name`. The
+// loader type-checks packages in isolation, so parameter classification
+// is shape-based like the rest of the suite.
+func pointerToNamed(expr ast.Expr, name string) bool {
+	star, ok := ast.Unparen(expr).(*ast.StarExpr)
+	if !ok {
+		return false
+	}
+	switch x := ast.Unparen(star.X).(type) {
+	case *ast.Ident:
+		return x.Name == name
+	case *ast.SelectorExpr:
+		return x.Sel.Name == name
+	}
+	return false
+}

@@ -1,0 +1,86 @@
+// interproc.go exercises the interprocedural summaries: helpers that
+// release, transfer or merely read their lease parameter on every exit
+// are summarized, and the summarized effect applies at the call site.
+// Helpers with mixed exits get no summary and the call site stays on the
+// conservative default (tracking ends, nothing reported).
+package leasecorpus
+
+// --- helpers the engine summarizes ---
+
+func releaseHelper(l *Lease) { l.Release() }
+
+func releaseViaChain(l *Lease) { releaseHelper(l) }
+
+func readHelper(l *Lease) float64 { return l.Float64()[0] }
+
+func transferHelper(c *Comm, l *Lease) {
+	c.SendOwned(l, 1, 0) // error unobserved: ownership assumed transferred
+}
+
+func dropHelper(_ *Lease) {} // ignores its lease: callers still hold it
+
+func maybeRelease(l *Lease, n int) { // mixed exits: no summary
+	if n > 0 {
+		l.Release()
+	}
+}
+
+// --- violations the summaries expose ---
+
+func doubleReleaseThroughHelper(a *Arena) {
+	l := a.LeaseFloat64(4)
+	releaseHelper(l)
+	l.Release() // want "released twice"
+}
+
+func doubleReleaseThroughChain(a *Arena) {
+	l := a.LeaseFloat64(4)
+	releaseViaChain(l)
+	l.Release() // want "released twice"
+}
+
+func useAfterHelperRelease(a *Arena) float64 {
+	l := a.LeaseFloat64(4)
+	releaseHelper(l)
+	return l.Float64()[0] // want "use of arena lease after it was released"
+}
+
+func leakPastReadHelper(a *Arena, n int) float64 {
+	l := a.LeaseFloat64(n) // want "not released, put back or ownership-transferred on every path"
+	v := readHelper(l)
+	if n > 8 {
+		return v // readHelper only reads: the lease is still held here
+	}
+	l.Release()
+	return v
+}
+
+func releaseAfterHelperTransfer(a *Arena, c *Comm) {
+	l := a.LeaseFloat64(4)
+	transferHelper(c, l)
+	l.Release() // want "released after its ownership was already handed off"
+}
+
+func leakThroughDropHelper(a *Arena) {
+	l := a.LeaseFloat64(4) // want "not released, put back or ownership-transferred on every path"
+	dropHelper(l)          // the blank parameter cannot release it
+}
+
+// --- clean exemplars ---
+
+func cleanHelperRelease(a *Arena, n int) float64 {
+	l := a.LeaseFloat64(n)
+	v := readHelper(l)
+	releaseHelper(l)
+	return v
+}
+
+func cleanHelperTransfer(a *Arena, c *Comm) {
+	l := a.LeaseFloat64(8)
+	transferHelper(c, l)
+}
+
+func cleanMaybeRelease(a *Arena, n int) {
+	l := a.LeaseFloat64(n)
+	maybeRelease(l, n) // no summary: tracking ends, stays silent
+}

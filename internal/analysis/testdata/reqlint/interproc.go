@@ -1,0 +1,95 @@
+// interproc.go exercises the interprocedural summaries: helpers that
+// wait on, free or merely poll their request parameter on every exit are
+// summarized, and the summarized effect applies at the call site.
+// Helpers with mixed exits get no summary and the call site stays on the
+// conservative default (tracking ends, nothing reported).
+package reqcorpus
+
+// --- helpers the engine summarizes ---
+
+func waitHelper(r *Request) error {
+	_, err := r.Wait()
+	return err
+}
+
+func settleViaChain(r *Request) error { return waitHelper(r) }
+
+func freeHelper(r *Request) { r.Free() }
+
+func peekHelper(r *Request) bool { return r.Done() != nil }
+
+func maybeWait(r *Request, n int) { // mixed exits: no summary
+	if n > 0 {
+		r.Wait()
+	}
+}
+
+// --- violations the summaries expose ---
+
+func useAfterFreeViaHelpers(c *Comm, buf []float64) error {
+	req, err := c.Isend(buf, 1, 0)
+	if err != nil {
+		return err
+	}
+	if werr := waitHelper(req); werr != nil {
+		return werr
+	}
+	req.Free()
+	req.Wait() // want "use of request after it was freed"
+	return nil
+}
+
+func freedEarlyViaHelper(c *Comm, buf []float64) error {
+	req, err := c.Isend(buf, 1, 0)
+	if err != nil {
+		return err
+	}
+	freeHelper(req) // want "freed before its completion was observed"
+	return nil
+}
+
+func leakPastPeekHelper(c *Comm, buf []float64) error {
+	req, err := c.Irecv(buf, 1, 0) // want "request is not completed"
+	if err != nil {
+		return err
+	}
+	_ = peekHelper(req) // peek is benign: the request is still in flight
+	return nil
+}
+
+// --- clean exemplars ---
+
+func cleanWaitViaHelper(c *Comm, buf []float64) error {
+	req, err := c.Isend(buf, 1, 0)
+	if err != nil {
+		return err
+	}
+	return waitHelper(req)
+}
+
+func cleanWaitViaChain(c *Comm, buf []float64) error {
+	req, err := c.Isend(buf, 1, 0)
+	if err != nil {
+		return err
+	}
+	return settleViaChain(req)
+}
+
+func cleanDeferredHelperWait(c *Comm, buf []float64) error {
+	req, err := c.Irecv(buf, 1, 0)
+	if err != nil {
+		return err
+	}
+	defer waitHelper(req)
+	buf[0] = 1
+	return nil
+}
+
+func cleanMaybeWait(c *Comm, buf []float64, n int) error {
+	req, err := c.Isend(buf, 1, 0)
+	if err != nil {
+		return err
+	}
+	maybeWait(req, n) // no summary: tracking ends, stays silent
+	return nil
+}

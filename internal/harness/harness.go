@@ -11,6 +11,7 @@ package harness
 
 import (
 	"fmt"
+	"os"
 	"runtime"
 	"time"
 
@@ -18,6 +19,7 @@ import (
 	"miniamr/internal/cluster"
 	"miniamr/internal/membuf"
 	"miniamr/internal/mpi"
+	"miniamr/internal/sanitize"
 	"miniamr/internal/simnet"
 	"miniamr/internal/trace"
 )
@@ -66,7 +68,14 @@ type RunSpec struct {
 	Variant Variant
 	// Recorder, when non-nil, captures an execution trace.
 	Recorder *trace.Recorder
+	// Sanitize attaches the amrsan runtime sanitizer to the run; findings
+	// land in Metrics.Sanitizer. Setting the AMRSAN=1 environment variable
+	// forces it on for every run (the test suite's opt-in hook).
+	Sanitize bool
 }
+
+// sanitizeForced reports whether the environment forces sanitized runs.
+func sanitizeForced() bool { return os.Getenv("AMRSAN") == "1" }
 
 // Metrics aggregates a run across ranks the way the paper reports results.
 type Metrics struct {
@@ -104,6 +113,9 @@ type Metrics struct {
 	// MeshHistory and MeshView come from rank 0 (replicated state).
 	MeshHistory []app.MeshStat
 	MeshView    string
+	// Sanitizer holds the amrsan findings of a sanitized run (nil when the
+	// sanitizer was off; empty for a clean sanitized run).
+	Sanitizer []sanitize.Report
 }
 
 // Run executes a spec and aggregates the metrics.
@@ -122,6 +134,12 @@ func Run(spec RunSpec) (Metrics, error) {
 		return Metrics{}, err
 	}
 	world := mpi.NewWorld(topo, spec.Net)
+	var san *sanitize.Sanitizer
+	if spec.Sanitize || sanitizeForced() {
+		san = sanitize.New(sanitize.Options{})
+		san.Attach(world)
+		cfg.Sanitizer = san
+	}
 	results := make([]app.Result, topo.Ranks())
 	errs := make([]error, topo.Ranks())
 	var ms0 runtime.MemStats
@@ -134,6 +152,10 @@ func Run(spec RunSpec) (Metrics, error) {
 		}
 		results[c.Rank()] = res
 	})
+	var findings []sanitize.Report
+	if san != nil {
+		findings = san.Finish()
+	}
 	for _, err := range errs {
 		if err != nil {
 			return Metrics{}, err
@@ -153,6 +175,7 @@ func Run(spec RunSpec) (Metrics, error) {
 		MeshView:    results[0].FinalMeshView,
 		Arena:       world.Arena().Stats(),
 		HeapAllocs:  ms1.Mallocs - ms0.Mallocs,
+		Sanitizer:   findings,
 	}
 	for _, r := range results {
 		if r.TotalTime > m.Total {

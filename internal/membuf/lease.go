@@ -76,6 +76,9 @@ func (a *Arena) newLease(k Kind, n int) *Lease {
 	l.a, l.kind, l.n = a, k, n
 	l.refs.Store(1)
 	a.leasesLive.Add(1)
+	if a.mon != nil {
+		a.mon.LeaseCreated(l, k, n)
+	}
 	return l
 }
 
@@ -132,6 +135,9 @@ func (l *Lease) Release() {
 		return
 	}
 	a := l.a
+	if a.mon != nil {
+		a.mon.LeaseReleased(l)
+	}
 	switch l.kind {
 	case KindFloat64:
 		a.PutFloat64(l.f)

@@ -139,10 +139,29 @@ type Arena struct {
 
 	leasePool sync.Pool
 
+	mon Monitor // optional sanitizer hooks; nil in normal runs
+
 	gets, puts   atomic.Int64
 	hits, misses atomic.Int64
 	leasesLive   atomic.Int64
 }
+
+// Monitor observes lease lifecycle events for the runtime sanitizer: the
+// sanitizer records each live lease's creation site so leaks are reported
+// with a stack instead of a bare count. Implementations must be safe for
+// concurrent use and must not retain l after LeaseReleased returns (the
+// handle is recycled).
+type Monitor interface {
+	// LeaseCreated fires when a lease is handed out.
+	LeaseCreated(l *Lease, kind Kind, n int)
+	// LeaseReleased fires when a lease's final reference is dropped,
+	// before the handle is recycled.
+	LeaseReleased(l *Lease)
+}
+
+// SetMonitor attaches a lease monitor. It must be called before the arena
+// is shared; every hook is nil-guarded so the unmonitored path is free.
+func (a *Arena) SetMonitor(m Monitor) { a.mon = m }
 
 // New creates an empty arena.
 func New() *Arena {

@@ -1,0 +1,26 @@
+package mpi
+
+import "testing"
+
+// pingPongAllocBaseline is the pooled message path's steady-state budget
+// for one round trip (two sends, two receives): the per-call slice
+// headers that escape into the `any` buffer parameters, nothing from the
+// transport itself. The monitor hooks must not move it while no monitor
+// is attached.
+const pingPongAllocBaseline = 4
+
+// TestPingPongAllocBaseline guards the unmonitored fast path of the
+// message engine against allocation regressions.
+func TestPingPongAllocBaseline(t *testing.T) {
+	if testing.Short() {
+		t.Skip("allocation baseline needs steady-state iterations")
+	}
+	if raceEnabled {
+		t.Skip("race instrumentation perturbs allocation counts")
+	}
+	res := testing.Benchmark(func(b *testing.B) { benchPingPong(b, 128) })
+	if got := res.AllocsPerOp(); got > pingPongAllocBaseline {
+		t.Errorf("ping-pong allocs/op = %d, want <= %d (unmonitored path must stay pooled)",
+			got, pingPongAllocBaseline)
+	}
+}

@@ -13,39 +13,45 @@ import (
 func BenchmarkPingPong(b *testing.B) {
 	for _, size := range []int{1, 128, 16384} {
 		b.Run(fmt.Sprintf("floats=%d", size), func(b *testing.B) {
-			b.ReportAllocs()
-			w := NewWorld(cluster.MustNew(1, 2, 1), simnet.None())
-			done := make(chan error, 1)
-			go func() {
-				done <- w.Run(func(c *Comm) {
-					buf := make([]float64, size)
-					switch c.Rank() {
-					case 0:
-						for i := 0; i < b.N; i++ {
-							if err := c.Send(buf, 1, 0); err != nil {
-								panic(err)
-							}
-							if _, err := c.Recv(buf, 1, 1); err != nil {
-								panic(err)
-							}
-						}
-					case 1:
-						for i := 0; i < b.N; i++ {
-							if _, err := c.Recv(buf, 0, 0); err != nil {
-								panic(err)
-							}
-							if err := c.Send(buf, 0, 1); err != nil {
-								panic(err)
-							}
-						}
+			benchPingPong(b, size)
+		})
+	}
+}
+
+// benchPingPong is the ping-pong body, shared with the allocation
+// baseline guard in alloc_guard_test.go.
+func benchPingPong(b *testing.B, size int) {
+	b.ReportAllocs()
+	w := NewWorld(cluster.MustNew(1, 2, 1), simnet.None())
+	done := make(chan error, 1)
+	go func() {
+		done <- w.Run(func(c *Comm) {
+			buf := make([]float64, size)
+			switch c.Rank() {
+			case 0:
+				for i := 0; i < b.N; i++ {
+					if err := c.Send(buf, 1, 0); err != nil {
+						panic(err)
 					}
-				})
-			}()
-			b.SetBytes(int64(16 * size))
-			if err := <-done; err != nil {
-				b.Fatal(err)
+					if _, err := c.Recv(buf, 1, 1); err != nil {
+						panic(err)
+					}
+				}
+			case 1:
+				for i := 0; i < b.N; i++ {
+					if _, err := c.Recv(buf, 0, 0); err != nil {
+						panic(err)
+					}
+					if err := c.Send(buf, 0, 1); err != nil {
+						panic(err)
+					}
+				}
 			}
 		})
+	}()
+	b.SetBytes(int64(16 * size))
+	if err := <-done; err != nil {
+		b.Fatal(err)
 	}
 }
 

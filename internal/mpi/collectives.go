@@ -91,6 +91,16 @@ func (c *Comm) beginCollective() (seq int, release func()) {
 
 func collTag(seq, phase int) int { return MaxUserTag + seq*phaseCount + phase }
 
+// noteCollective reports a collective entry to the attached monitor, which
+// audits op/root/count agreement across ranks at end of run. Called with
+// the collective lock held, right after the sequence number is reserved,
+// so records are emitted in collective order.
+func (c *Comm) noteCollective(name, op string, root, count, seq int) {
+	if mon := c.world.mon; mon != nil {
+		mon.CollectiveEnter(c.rank, name, op, root, count, seq)
+	}
+}
+
 // Barrier blocks until every rank has entered it.
 func (c *Comm) Barrier() error {
 	_, err := c.AllreduceInt([]int{0}, Sum)
@@ -103,6 +113,11 @@ func (c *Comm) Barrier() error {
 func (c *Comm) Bcast(buf any, root int) error {
 	seq, release := c.beginCollective()
 	defer release()
+	_, n, err := bufferKind(buf)
+	if err != nil {
+		return err
+	}
+	c.noteCollective("Bcast", "", root, n, seq)
 	return c.bcast(buf, root, collTag(seq, phaseBcast))
 }
 
@@ -145,6 +160,7 @@ func (c *Comm) bcast(buf any, root, tag int) error {
 func (c *Comm) AllreduceFloat64(in []float64, op Op) ([]float64, error) {
 	seq, release := c.beginCollective()
 	defer release()
+	c.noteCollective("AllreduceFloat64", op.String(), -1, len(in), seq)
 	acc := make([]float64, len(in))
 	copy(acc, in)
 	p := c.Size()
@@ -174,6 +190,7 @@ func (c *Comm) AllreduceFloat64(in []float64, op Op) ([]float64, error) {
 func (c *Comm) AllreduceInt(in []int, op Op) ([]int, error) {
 	seq, release := c.beginCollective()
 	defer release()
+	c.noteCollective("AllreduceInt", op.String(), -1, len(in), seq)
 	acc := make([]int, len(in))
 	copy(acc, in)
 	p := c.Size()
@@ -205,6 +222,9 @@ func (c *Comm) AllreduceInt(in []int, op Op) ([]int, error) {
 func (c *Comm) AllgathervInt(in []int) (data []int, counts []int, err error) {
 	seq, release := c.beginCollective()
 	defer release()
+	// Contribution lengths legally differ across ranks: count -1 exempts
+	// them from the cross-rank agreement audit.
+	c.noteCollective("AllgathervInt", "", -1, -1, seq)
 	p := c.Size()
 	counts = make([]int, p)
 	ctag := collTag(seq, phaseGatherCount)

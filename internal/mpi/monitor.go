@@ -1,0 +1,76 @@
+package mpi
+
+import "errors"
+
+// ErrAborted marks the error a Monitor's abort callback injects into a
+// blocked operation (see BlockEnter). The deadlock sanitizer uses it to
+// terminate a provably stuck job deterministically; callers can detect it
+// with errors.Is. After an abort the job is considered dead: a message that
+// later matches the aborted operation may panic the transport (completion
+// of an already-aborted request), which is acceptable because aborts only
+// fire when no rank can make progress.
+var ErrAborted = errors.New("mpi: blocked operation aborted")
+
+// BlockInfo describes one blocked receive-side operation, the node of the
+// deadlock monitor's wait-for graph.
+type BlockInfo struct {
+	// Rank is the blocked rank.
+	Rank int
+	// Peer is the rank the operation waits on, or AnySource.
+	Peer int
+	// Tag is the tag the operation waits for, or AnyTag.
+	Tag int
+	// Op names the blocking call ("Recv", "Request.Wait", "tampi.Recv").
+	Op string
+	// Soft marks a suspended task rather than a blocked rank goroutine:
+	// the rank's other tasks keep running, so soft blocks are reported for
+	// context but never feed deadlock detection.
+	Soft bool
+}
+
+// Monitor observes transport events for the runtime sanitizer. All methods
+// must be safe for concurrent use; they are invoked from rank goroutines
+// and delivery goroutines. Every hook site is nil-guarded, so a world
+// without a monitor pays one pointer check and zero allocations.
+type Monitor interface {
+	// MessageSent fires when a payload enters the transport (send side).
+	MessageSent(src, dest, tag int)
+	// MessageDelivered fires when the payload reaches the destination's
+	// matching engine (after its simulated transfer time).
+	MessageDelivered(src, dest, tag int)
+	// MessageMatched fires when a message is matched with a receive.
+	// src/tag are the message's actual origin; postedSrc/postedTag are the
+	// receive's declared pattern (possibly AnySource/AnyTag).
+	MessageMatched(dest, src, tag, postedSrc, postedTag int)
+	// RecvPosted fires when a receive (blocking or non-blocking) is posted.
+	RecvPosted(rank, src, tag int)
+	// BlockEnter fires when a goroutine is about to block in a receive-side
+	// wait. abort, when non-nil, force-completes the blocked operation with
+	// the given error; the monitor may only call it on a provably dead job.
+	// The returned token pairs with BlockExit.
+	BlockEnter(info BlockInfo, abort func(error)) (token uint64)
+	// BlockExit fires when the blocked operation completed (or aborted).
+	BlockExit(token uint64)
+	// CollectiveEnter fires when a rank enters a collective. seq is the
+	// rank's collective sequence number: equal numbers across ranks denote
+	// the same logical collective. root is -1 for rootless collectives; op
+	// is empty for non-reductions; count is -1 when lengths may legally
+	// differ across ranks (Allgatherv).
+	CollectiveEnter(rank int, name, op string, root, count, seq int)
+	// RankDone fires when a rank's body returns (normally or by panic), so
+	// finished ranks stop counting toward all-blocked detection.
+	RankDone(rank int)
+}
+
+// SetMonitor attaches a transport monitor. It must be called before Run and
+// before any communication; attaching mid-flight yields torn accounting.
+func (w *World) SetMonitor(m Monitor) {
+	w.mon = m
+	for r, c := range w.comms {
+		c.box.mon = m
+		c.box.rank = r
+	}
+}
+
+// Monitor returns the attached transport monitor, or nil.
+func (w *World) Monitor() Monitor { return w.mon }

@@ -53,6 +53,7 @@ type World struct {
 	net   simnet.Model
 	comms []*Comm
 	arena *membuf.Arena
+	mon   Monitor // optional sanitizer hooks; nil in normal runs
 }
 
 // NewWorld creates a world with one communicator handle per rank described
@@ -103,6 +104,9 @@ func (w *World) Run(body func(c *Comm)) error {
 		wg.Add(1)
 		go func(rank int) {
 			defer wg.Done()
+			if w.mon != nil {
+				defer w.mon.RankDone(rank)
+			}
 			defer func() {
 				if p := recover(); p != nil {
 					errs[rank] = fmt.Errorf("mpi: rank %d panicked: %v", rank, p)

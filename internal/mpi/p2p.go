@@ -1,6 +1,7 @@
 package mpi
 
 import (
+	"errors"
 	"fmt"
 	"sync"
 	"time"
@@ -79,6 +80,11 @@ type mailbox struct {
 	mu         chanMutex
 	unexpected []*message
 	posted     []*postedRecv
+
+	// Sanitizer hooks; nil in normal runs. Set by World.SetMonitor before
+	// any traffic. The monitor is never invoked while mu is held.
+	mon  Monitor
+	rank int
 }
 
 func newMailbox() *mailbox { return &mailbox{mu: newChanMutex()} }
@@ -86,12 +92,15 @@ func newMailbox() *mailbox { return &mailbox{mu: newChanMutex()} }
 // deliver makes a message visible at this mailbox, completing the oldest
 // matching posted receive if one exists.
 func (b *mailbox) deliver(msg *message) {
+	if b.mon != nil {
+		b.mon.MessageDelivered(msg.src, b.rank, msg.tag)
+	}
 	b.mu.Lock()
 	for i, pr := range b.posted {
 		if pr.matches(msg.src, msg.tag) {
 			b.posted = append(b.posted[:i], b.posted[i+1:]...)
 			b.mu.Unlock()
-			completeRecv(pr, msg)
+			b.completeRecv(pr, msg)
 			return
 		}
 	}
@@ -102,12 +111,15 @@ func (b *mailbox) deliver(msg *message) {
 // post registers a receive, completing it immediately against the oldest
 // matching unexpected message if one exists.
 func (b *mailbox) post(pr *postedRecv) {
+	if b.mon != nil {
+		b.mon.RecvPosted(b.rank, pr.src, pr.tag)
+	}
 	b.mu.Lock()
 	for i, msg := range b.unexpected {
 		if pr.matches(msg.src, msg.tag) {
 			b.unexpected = append(b.unexpected[:i], b.unexpected[i+1:]...)
 			b.mu.Unlock()
-			completeRecv(pr, msg)
+			b.completeRecv(pr, msg)
 			return
 		}
 	}
@@ -117,7 +129,10 @@ func (b *mailbox) post(pr *postedRecv) {
 
 // completeRecv copies the payload out, returns it to the arena, recycles
 // the transport records, and signals the receiver.
-func completeRecv(pr *postedRecv, msg *message) {
+func (b *mailbox) completeRecv(pr *postedRecv, msg *message) {
+	if b.mon != nil {
+		b.mon.MessageMatched(b.rank, msg.src, msg.tag, pr.src, pr.tag)
+	}
 	count, err := copyPayload(pr.buf, msg.pay)
 	st := Status{Source: msg.src, Tag: msg.tag, Count: count}
 	msg.pay.Release()
@@ -161,6 +176,9 @@ func (c *Comm) dispatch(pay *membuf.Lease, dest, tag, count int, req *Request) {
 	bytes := leaseBytes(pay)
 	c.sentMsgs.Add(1)
 	c.sentBytes.Add(int64(bytes))
+	if c.world.mon != nil {
+		c.world.mon.MessageSent(c.rank, dest, tag)
+	}
 	msg := newMessage(c.rank, tag, pay)
 	dstBox := c.world.comms[dest].box
 	st := Status{Source: c.rank, Tag: tag, Count: count}
@@ -265,6 +283,10 @@ func (c *Comm) irecv(buf any, source, tag int) (*Request, error) {
 		return nil, err
 	}
 	req := newRequest()
+	if mon := c.world.mon; mon != nil {
+		req.mon = mon
+		req.binfo = BlockInfo{Rank: c.rank, Peer: source, Tag: tag, Op: "Request.Wait"}
+	}
 	c.box.post(newPostedRecv(source, tag, buf, req, nil))
 	return req, nil
 }
@@ -340,7 +362,32 @@ func (c *Comm) recv(buf any, source, tag int) (Status, error) {
 	}
 	w := waiterPool.Get().(*recvWaiter)
 	c.box.post(newPostedRecv(source, tag, buf, nil, w))
-	out := <-w.ch
+	var out recvOutcome
+	if mon := c.world.mon; mon != nil {
+		select {
+		case out = <-w.ch:
+		default:
+			token := mon.BlockEnter(
+				BlockInfo{Rank: c.rank, Peer: source, Tag: tag, Op: "Recv"},
+				func(err error) {
+					// Non-blocking: if the genuine outcome raced in, the
+					// abort is a no-op and the receiver consumes it instead.
+					select {
+					case w.ch <- recvOutcome{err: err}:
+					default:
+					}
+				})
+			out = <-w.ch
+			mon.BlockExit(token)
+		}
+	} else {
+		out = <-w.ch
+	}
+	if errors.Is(out.err, ErrAborted) {
+		// The waiter's channel could still receive a late genuine outcome;
+		// keep it out of the pool so it cannot corrupt a future receive.
+		return out.st, out.err
+	}
 	waiterPool.Put(w)
 	return out.st, out.err
 }

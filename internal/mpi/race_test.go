@@ -1,0 +1,7 @@
+//go:build race
+
+package mpi
+
+// raceEnabled reports whether the race detector is compiled in; alloc
+// baselines are skipped under it (instrumentation allocates).
+const raceEnabled = true

@@ -19,6 +19,12 @@ type Request struct {
 	callbacks []func()
 	ws        *WaitSet // at most one waitset owns an incomplete request
 	wsIdx     int
+
+	// Sanitizer identity, set at creation only while a Monitor is attached
+	// to the world (see irecv) and cleared by Free. With no monitor both
+	// fields stay zero and Wait takes its original path.
+	mon   Monitor
+	binfo BlockInfo
 }
 
 var requestPool = sync.Pool{New: func() any { return new(Request) }}
@@ -65,12 +71,47 @@ func (r *Request) Wait() (Status, error) {
 		r.doneCh = make(chan struct{})
 	}
 	ch := r.doneCh
+	mon := r.mon
 	r.mu.Unlock()
-	<-ch
+	if mon != nil {
+		token := mon.BlockEnter(r.binfo, r.abort)
+		<-ch
+		mon.BlockExit(token)
+	} else {
+		<-ch
+	}
 	r.mu.Lock()
 	st, err := r.status, r.err
 	r.mu.Unlock()
 	return st, err
+}
+
+// abort force-completes an in-flight request on behalf of the deadlock
+// monitor; it is a no-op on an already-completed request. A genuine
+// completion arriving after an abort panics in complete, which is
+// acceptable only because aborts fire solely on provably dead jobs.
+func (r *Request) abort(err error) {
+	r.mu.Lock()
+	if r.done {
+		r.mu.Unlock()
+		return
+	}
+	r.done = true
+	r.err = err
+	cbs := r.callbacks
+	r.callbacks = nil
+	if r.doneCh != nil {
+		close(r.doneCh)
+	}
+	ws, wsIdx := r.ws, r.wsIdx
+	r.ws = nil
+	r.mu.Unlock()
+	for _, cb := range cbs {
+		cb()
+	}
+	if ws != nil {
+		ws.deliver(wsIdx)
+	}
 }
 
 // Test reports whether the operation has completed, without blocking.
@@ -127,6 +168,8 @@ func (r *Request) Free() {
 	r.status = Status{}
 	r.err = nil
 	r.ws = nil
+	r.mon = nil
+	r.binfo = BlockInfo{}
 	r.mu.Unlock()
 	requestPool.Put(r)
 }

@@ -1,0 +1,63 @@
+package sanitize
+
+import (
+	"fmt"
+	"sync"
+
+	"miniamr/internal/membuf"
+)
+
+// leaseMonitor implements membuf.Monitor: it keeps every live lease's
+// creation stack so an end-of-run leak report names the allocation site
+// instead of a bare survivor count.
+type leaseMonitor struct {
+	s *Sanitizer
+
+	mu   sync.Mutex
+	live map[*membuf.Lease]leaseRec
+}
+
+type leaseRec struct {
+	kind  membuf.Kind
+	n     int
+	stack string
+}
+
+func newLeaseMonitor(s *Sanitizer) *leaseMonitor {
+	return &leaseMonitor{s: s, live: make(map[*membuf.Lease]leaseRec)}
+}
+
+// LeaseCreated implements membuf.Monitor.
+func (lm *leaseMonitor) LeaseCreated(l *membuf.Lease, kind membuf.Kind, n int) {
+	rec := leaseRec{kind: kind, n: n, stack: captureStack(2)}
+	lm.mu.Lock()
+	lm.live[l] = rec
+	lm.mu.Unlock()
+}
+
+// LeaseReleased implements membuf.Monitor. The pointer is used only as a
+// map key; the lease is never dereferenced after this call.
+func (lm *leaseMonitor) LeaseReleased(l *membuf.Lease) {
+	lm.mu.Lock()
+	delete(lm.live, l)
+	lm.mu.Unlock()
+}
+
+// audit reports every lease still live at the end of the run.
+func (lm *leaseMonitor) audit() {
+	lm.mu.Lock()
+	recs := make([]leaseRec, 0, len(lm.live))
+	for _, rec := range lm.live {
+		recs = append(recs, rec)
+	}
+	lm.mu.Unlock()
+	for _, rec := range recs {
+		lm.s.report("", Report{
+			Check: KindLeaseLeak,
+			Rank:  -1,
+			Key:   fmt.Sprintf("%v[%d]", rec.kind, rec.n),
+			Msg:   "arena lease never released; leased at:",
+			Stack: rec.stack,
+		})
+	}
+}

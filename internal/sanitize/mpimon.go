@@ -1,0 +1,482 @@
+package sanitize
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"miniamr/internal/mpi"
+)
+
+// route keys the send/match accounting: actual (src, dest, tag) for
+// messages, (rank, pattern-src, pattern-tag) for posted receives.
+type route struct {
+	a, b, tag int
+}
+
+// collRec is one rank's record of entering a collective.
+type collRec struct {
+	name  string
+	op    string
+	root  int
+	count int
+}
+
+// blockRec is one blocked receive-side operation.
+type blockRec struct {
+	info  mpi.BlockInfo
+	abort func(error)
+}
+
+// mpiMonitor implements mpi.Monitor: transport accounting for the
+// end-of-run audits plus the live wait-for state the deadlock watchdog
+// reads. Every event bumps a monotonic counter; the watchdog only trusts
+// a suspicion that survives a grace period with that counter frozen.
+type mpiMonitor struct {
+	s     *Sanitizer
+	ranks int
+	grace time.Duration
+
+	mu          sync.Mutex
+	events      uint64
+	inTransit   int // sent but not yet delivered to a matching engine
+	sent        map[route]int
+	matched     map[route]int
+	posted      map[route]int
+	postMatched map[route]int
+	blocks      map[uint64]*blockRec
+	nextToken   uint64
+	colls       map[int]map[int]collRec // seq -> rank -> record
+	collCount   map[int]int             // rank -> collectives entered
+	ranksDone   map[int]bool
+	deadlocked  bool
+
+	stopCh   chan struct{}
+	stopOnce sync.Once
+}
+
+func newMPIMonitor(s *Sanitizer, ranks int, grace time.Duration) *mpiMonitor {
+	return &mpiMonitor{
+		s:           s,
+		ranks:       ranks,
+		grace:       grace,
+		sent:        make(map[route]int),
+		matched:     make(map[route]int),
+		posted:      make(map[route]int),
+		postMatched: make(map[route]int),
+		blocks:      make(map[uint64]*blockRec),
+		colls:       make(map[int]map[int]collRec),
+		collCount:   make(map[int]int),
+		ranksDone:   make(map[int]bool),
+	}
+}
+
+func (m *mpiMonitor) stop() {
+	m.stopOnce.Do(func() {
+		if m.stopCh != nil {
+			close(m.stopCh)
+		}
+	})
+}
+
+// MessageSent implements mpi.Monitor.
+func (m *mpiMonitor) MessageSent(src, dest, tag int) {
+	m.mu.Lock()
+	m.events++
+	m.inTransit++
+	m.sent[route{src, dest, tag}]++
+	m.mu.Unlock()
+}
+
+// MessageDelivered implements mpi.Monitor.
+func (m *mpiMonitor) MessageDelivered(src, dest, tag int) {
+	m.mu.Lock()
+	m.events++
+	m.inTransit--
+	m.mu.Unlock()
+}
+
+// MessageMatched implements mpi.Monitor.
+func (m *mpiMonitor) MessageMatched(dest, src, tag, postedSrc, postedTag int) {
+	m.mu.Lock()
+	m.events++
+	m.matched[route{src, dest, tag}]++
+	m.postMatched[route{dest, postedSrc, postedTag}]++
+	m.mu.Unlock()
+}
+
+// RecvPosted implements mpi.Monitor.
+func (m *mpiMonitor) RecvPosted(rank, src, tag int) {
+	m.mu.Lock()
+	m.events++
+	m.posted[route{rank, src, tag}]++
+	m.mu.Unlock()
+}
+
+// BlockEnter implements mpi.Monitor.
+func (m *mpiMonitor) BlockEnter(info mpi.BlockInfo, abort func(error)) uint64 {
+	m.mu.Lock()
+	m.events++
+	m.nextToken++
+	token := m.nextToken
+	m.blocks[token] = &blockRec{info: info, abort: abort}
+	m.mu.Unlock()
+	return token
+}
+
+// BlockExit implements mpi.Monitor.
+func (m *mpiMonitor) BlockExit(token uint64) {
+	m.mu.Lock()
+	m.events++
+	delete(m.blocks, token)
+	m.mu.Unlock()
+}
+
+// CollectiveEnter implements mpi.Monitor.
+func (m *mpiMonitor) CollectiveEnter(rank int, name, op string, root, count, seq int) {
+	m.mu.Lock()
+	m.events++
+	byRank := m.colls[seq]
+	if byRank == nil {
+		byRank = make(map[int]collRec)
+		m.colls[seq] = byRank
+	}
+	byRank[rank] = collRec{name: name, op: op, root: root, count: count}
+	m.collCount[rank]++
+	m.mu.Unlock()
+}
+
+// RankDone implements mpi.Monitor.
+func (m *mpiMonitor) RankDone(rank int) {
+	m.mu.Lock()
+	m.events++
+	m.ranksDone[rank] = true
+	m.mu.Unlock()
+}
+
+// watchdog polls the wait-for state. A suspicion — no message in transit
+// and either every unfinished rank hard-blocked, or a cycle among the
+// hard waits-on-rank edges — must hold with the event counter frozen for
+// the full grace period before it is reported; any transport activity
+// resets the clock. On report, every implicated blocked operation is
+// aborted so the stuck job terminates deterministically.
+func (m *mpiMonitor) watchdog() {
+	m.mu.Lock()
+	if m.stopCh == nil {
+		m.stopCh = make(chan struct{})
+	}
+	stopCh := m.stopCh
+	m.mu.Unlock()
+
+	interval := m.grace / 8
+	if interval < time.Millisecond {
+		interval = time.Millisecond
+	}
+	needed := int(m.grace / interval)
+	ticker := time.NewTicker(interval)
+	defer ticker.Stop()
+
+	var lastEvents uint64
+	stable := 0
+	for {
+		select {
+		case <-stopCh:
+			return
+		case <-ticker.C:
+		}
+		m.mu.Lock()
+		suspicious, victims, desc := m.suspicionLocked()
+		ev := m.events
+		if !suspicious || ev != lastEvents {
+			lastEvents = ev
+			stable = 0
+			m.mu.Unlock()
+			continue
+		}
+		stable++
+		if stable < needed {
+			m.mu.Unlock()
+			continue
+		}
+		m.deadlocked = true
+		aborts := make([]func(error), 0, len(victims))
+		for _, b := range victims {
+			if b.abort != nil {
+				aborts = append(aborts, b.abort)
+			}
+		}
+		m.mu.Unlock()
+		m.s.report("deadlock", Report{
+			Check: KindDeadlock,
+			Rank:  -1,
+			Msg:   desc,
+		})
+		err := fmt.Errorf("amrsan: deadlock detected, blocked operation aborted: %w", mpi.ErrAborted)
+		for _, abort := range aborts {
+			abort(err)
+		}
+		return
+	}
+}
+
+// suspicionLocked evaluates the deadlock condition. Caller holds m.mu.
+func (m *mpiMonitor) suspicionLocked() (bool, []*blockRec, string) {
+	if m.deadlocked || m.inTransit != 0 {
+		return false, nil, ""
+	}
+	hard := make(map[int][]*blockRec)
+	for _, b := range m.blocks {
+		if !b.info.Soft {
+			hard[b.info.Rank] = append(hard[b.info.Rank], b)
+		}
+	}
+	if len(hard) == 0 {
+		return false, nil, ""
+	}
+
+	allBlocked := true
+	for r := 0; r < m.ranks; r++ {
+		if !m.ranksDone[r] && len(hard[r]) == 0 {
+			allBlocked = false
+			break
+		}
+	}
+	cycle := m.findCycleLocked(hard)
+
+	if !allBlocked && cycle == nil {
+		return false, nil, ""
+	}
+
+	var victims []*blockRec
+	var desc strings.Builder
+	if allBlocked {
+		desc.WriteString("every unfinished rank is blocked in a receive-side wait")
+		for r := 0; r < m.ranks; r++ {
+			victims = append(victims, hard[r]...)
+		}
+	} else {
+		fmt.Fprintf(&desc, "wait-for cycle among ranks %v", cycle)
+		inCycle := make(map[int]bool, len(cycle))
+		for _, r := range cycle {
+			inCycle[r] = true
+		}
+		for r := range hard {
+			if inCycle[r] {
+				victims = append(victims, hard[r]...)
+			}
+		}
+	}
+	desc.WriteString(": ")
+	desc.WriteString(m.describeBlocksLocked(hard))
+	return true, victims, desc.String()
+}
+
+// findCycleLocked searches the waits-on-rank digraph (hard blocks with a
+// concrete peer; AnySource waits carry no edge — they could be satisfied
+// by any future sender, so only all-blocked detection covers them) and
+// returns the ranks of one cycle, or nil.
+func (m *mpiMonitor) findCycleLocked(hard map[int][]*blockRec) []int {
+	edges := make(map[int][]int)
+	for r, bs := range hard {
+		for _, b := range bs {
+			if b.info.Peer >= 0 {
+				edges[r] = append(edges[r], b.info.Peer)
+			}
+		}
+	}
+	const (
+		unseen = iota
+		onPath
+		done
+	)
+	state := make(map[int]int)
+	var path []int
+	var cycle []int
+	var visit func(r int) bool
+	visit = func(r int) bool {
+		state[r] = onPath
+		path = append(path, r)
+		for _, p := range edges[r] {
+			switch state[p] {
+			case onPath:
+				for i, pr := range path {
+					if pr == p {
+						cycle = append([]int(nil), path[i:]...)
+						return true
+					}
+				}
+			case unseen:
+				if visit(p) {
+					return true
+				}
+			}
+		}
+		path = path[:len(path)-1]
+		state[r] = done
+		return false
+	}
+	ranks := make([]int, 0, len(edges))
+	for r := range edges {
+		ranks = append(ranks, r)
+	}
+	sort.Ints(ranks)
+	for _, r := range ranks {
+		if state[r] == unseen && visit(r) {
+			sort.Ints(cycle)
+			return cycle
+		}
+	}
+	return nil
+}
+
+// describeBlocksLocked renders every current block (hard and soft) for
+// the deadlock report. Caller holds m.mu.
+func (m *mpiMonitor) describeBlocksLocked(hard map[int][]*blockRec) string {
+	var lines []string
+	for _, b := range m.blocks {
+		src := "any"
+		if b.info.Peer >= 0 {
+			src = fmt.Sprintf("%d", b.info.Peer)
+		}
+		kind := ""
+		if b.info.Soft {
+			kind = ", suspended task"
+		}
+		lines = append(lines, fmt.Sprintf("rank %d in %s(src=%s, tag=%s%s)",
+			b.info.Rank, b.info.Op, src, tagString(b.info.Tag), kind))
+	}
+	sort.Strings(lines)
+	return strings.Join(lines, "; ")
+}
+
+// tagString renders a tag, decoding the reserved collective space.
+func tagString(tag int) string {
+	if tag == mpi.AnyTag {
+		return "any"
+	}
+	if tag >= mpi.MaxUserTag {
+		return fmt.Sprintf("collective#%d", tag-mpi.MaxUserTag)
+	}
+	return fmt.Sprintf("%d", tag)
+}
+
+// audit runs the end-of-run matching and collective checks.
+func (m *mpiMonitor) audit() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.auditMessagesLocked()
+	m.auditCollectivesLocked()
+}
+
+func (m *mpiMonitor) auditMessagesLocked() {
+	routes := make([]route, 0, len(m.sent))
+	for rt := range m.sent {
+		routes = append(routes, rt)
+	}
+	sortRoutes(routes)
+	for _, rt := range routes {
+		if lost := m.sent[rt] - m.matched[rt]; lost > 0 {
+			m.s.report(fmt.Sprintf("unreceived|%d|%d|%d", rt.a, rt.b, rt.tag), Report{
+				Check: KindUnreceived,
+				Rank:  rt.b,
+				Key:   fmt.Sprintf("tag %s", tagString(rt.tag)),
+				Msg: fmt.Sprintf("%d message(s) from rank %d to rank %d were never received",
+					lost, rt.a, rt.b),
+			})
+		}
+	}
+	routes = routes[:0]
+	for rt := range m.posted {
+		routes = append(routes, rt)
+	}
+	sortRoutes(routes)
+	for _, rt := range routes {
+		if open := m.posted[rt] - m.postMatched[rt]; open > 0 {
+			src := "any"
+			if rt.b >= 0 {
+				src = fmt.Sprintf("%d", rt.b)
+			}
+			m.s.report(fmt.Sprintf("dangling|%d|%d|%d", rt.a, rt.b, rt.tag), Report{
+				Check: KindDanglingRecv,
+				Rank:  rt.a,
+				Key:   fmt.Sprintf("tag %s", tagString(rt.tag)),
+				Msg: fmt.Sprintf("%d posted receive(s) from src %s never completed",
+					open, src),
+			})
+		}
+	}
+}
+
+func sortRoutes(routes []route) {
+	sort.Slice(routes, func(i, j int) bool {
+		if routes[i].a != routes[j].a {
+			return routes[i].a < routes[j].a
+		}
+		if routes[i].b != routes[j].b {
+			return routes[i].b < routes[j].b
+		}
+		return routes[i].tag < routes[j].tag
+	})
+}
+
+func (m *mpiMonitor) auditCollectivesLocked() {
+	// Participation: every rank that entered any collective must have
+	// entered the same number of them.
+	counts := make(map[int][]int) // collective count -> ranks
+	for r := 0; r < m.ranks; r++ {
+		counts[m.collCount[r]] = append(counts[m.collCount[r]], r)
+	}
+	if len(counts) > 1 {
+		var parts []string
+		for n, ranks := range counts {
+			parts = append(parts, fmt.Sprintf("ranks %v entered %d", ranks, n))
+		}
+		sort.Strings(parts)
+		m.s.report("coll-count", Report{
+			Check: KindCollectiveMismatch,
+			Rank:  -1,
+			Msg:   "ranks executed differing numbers of collectives: " + strings.Join(parts, "; "),
+		})
+	}
+
+	seqs := make([]int, 0, len(m.colls))
+	for seq := range m.colls {
+		seqs = append(seqs, seq)
+	}
+	sort.Ints(seqs)
+	for _, seq := range seqs {
+		byRank := m.colls[seq]
+		ranks := make([]int, 0, len(byRank))
+		for r := range byRank {
+			ranks = append(ranks, r)
+		}
+		sort.Ints(ranks)
+		ref := byRank[ranks[0]]
+		for _, r := range ranks[1:] {
+			got := byRank[r]
+			var field, a, b string
+			switch {
+			case got.name != ref.name:
+				field, a, b = "operation", ref.name, got.name
+			case got.op != ref.op:
+				field, a, b = "reduction op", ref.op, got.op
+			case got.root != ref.root:
+				field, a, b = "root", fmt.Sprint(ref.root), fmt.Sprint(got.root)
+			case got.count != ref.count && got.count >= 0 && ref.count >= 0:
+				field, a, b = "count", fmt.Sprint(ref.count), fmt.Sprint(got.count)
+			default:
+				continue
+			}
+			m.s.report(fmt.Sprintf("coll-mismatch|%d", seq), Report{
+				Check: KindCollectiveMismatch,
+				Rank:  r,
+				Key:   fmt.Sprintf("collective #%d (%s)", seq, ref.name),
+				Msg: fmt.Sprintf("divergent %s: rank %d used %s where rank %d used %s",
+					field, r, b, ranks[0], a),
+			})
+			break
+		}
+	}
+}

@@ -45,6 +45,24 @@ type Context struct {
 // New builds a task-aware context over a communicator.
 func New(c *mpi.Comm) *Context { return &Context{comm: c} }
 
+// suspend parks t until req completes, reporting the pause to an attached
+// transport monitor as a soft block: the rank's other tasks keep running,
+// so the pause is diagnostic context for deadlock reports, never a
+// deadlock-detection input. With no monitor attached this is exactly
+// t.Suspend(req.Done()).
+func (x *Context) suspend(t *task.Task, req *mpi.Request, op string, peer, tag int) {
+	mon := x.comm.World().Monitor()
+	if mon == nil {
+		t.Suspend(req.Done())
+		return
+	}
+	token := mon.BlockEnter(mpi.BlockInfo{
+		Rank: x.comm.Rank(), Peer: peer, Tag: tag, Op: op, Soft: true,
+	}, nil)
+	t.Suspend(req.Done())
+	mon.BlockExit(token)
+}
+
 // Comm returns the underlying communicator.
 func (x *Context) Comm() *mpi.Comm { return x.comm }
 
@@ -128,7 +146,7 @@ func (x *Context) SendOwned(t *task.Task, pay *membuf.Lease, dest, tag int) erro
 	if err != nil {
 		return err
 	}
-	t.Suspend(req.Done())
+	x.suspend(t, req, "tampi.SendOwned", dest, tag)
 	_, err = req.Wait()
 	return err
 }
@@ -152,7 +170,7 @@ func (x *Context) Send(t *task.Task, buf any, dest, tag int) error {
 	if err != nil {
 		return err
 	}
-	t.Suspend(req.Done())
+	x.suspend(t, req, "tampi.Send", dest, tag)
 	_, err = req.Wait()
 	return err
 }
@@ -165,6 +183,6 @@ func (x *Context) Recv(t *task.Task, buf any, source, tag int) (mpi.Status, erro
 	if err != nil {
 		return mpi.Status{}, err
 	}
-	t.Suspend(req.Done())
+	x.suspend(t, req, "tampi.Recv", source, tag)
 	return req.Wait()
 }

@@ -9,6 +9,7 @@ type node struct {
 	rt    *Runtime
 	label string
 	body  func(t *Task)
+	id    uint64 // spawn-ordered task id; 0 for WaitAccess pseudo-nodes
 
 	pending    int     // unsatisfied predecessor count; guarded by rt.mu
 	successors []*node // guarded by rt.mu
@@ -95,6 +96,9 @@ func (n *node) finish() []*node {
 	rt := n.rt
 	rt.mu.Lock()
 	n.finished = true
+	if rt.obs != nil && n.id != 0 {
+		rt.obs.TaskFinished(n.id)
+	}
 	var ready []*node
 	for _, s := range n.successors {
 		s.pending--
@@ -127,6 +131,10 @@ type Task struct {
 
 // Label returns the label the task was spawned with.
 func (t *Task) Label() string { return t.node.label }
+
+// ID returns the task's runtime-unique id (positive, in spawn order), the
+// identity the sanitizer's access notes attach to.
+func (t *Task) ID() uint64 { return t.node.id }
 
 // Worker returns the virtual core currently executing the task.
 func (t *Task) Worker() int { return t.core }

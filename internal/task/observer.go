@@ -1,0 +1,26 @@
+package task
+
+// Observer receives task-graph lifecycle events for the runtime sanitizer.
+// All callbacks are invoked with the runtime's internal lock held, so they
+// are serialised with respect to each other; implementations must not call
+// back into the Runtime. Every hook site is nil-guarded: a runtime without
+// an observer pays one pointer check per event and nothing else.
+//
+// Task ids are positive and unique within one Runtime, in spawn order.
+// WaitAccess/WaitKeys pseudo-tasks carry no id and are never reported.
+type Observer interface {
+	// TaskSpawned fires when Spawn registers a task, before any of its
+	// dependence edges. The accs slice is the caller's; implementations
+	// must copy what they keep.
+	TaskSpawned(id uint64, label string, accs []Access)
+	// TaskDependence fires when the graph adds an edge: succ will not
+	// start until pred has released its dependencies.
+	TaskDependence(pred, succ uint64)
+	// TaskFinished fires when a task releases its dependencies (body
+	// returned and all bound events completed).
+	TaskFinished(id uint64)
+	// Quiesced fires when Wait observes a fully drained graph: every task
+	// spawned so far has finished, so accesses before the quiescent point
+	// are ordered against everything spawned after it.
+	Quiesced()
+}

@@ -107,6 +107,10 @@ type Options struct {
 	// OnTaskEnd, when set, is invoked after each task body completes with
 	// the task's label and the virtual core that ran it. Used by tracing.
 	OnTaskEnd func(label string, worker int)
+	// Observer, when set, receives task-graph lifecycle events (spawns,
+	// dependence edges, completions, quiescent points). Used by the
+	// runtime sanitizer; nil costs nothing.
+	Observer Observer
 }
 
 // Runtime schedules tasks over a fixed set of virtual cores.
@@ -121,6 +125,8 @@ type Runtime struct {
 	cores      chan int // virtual core ids; capacity = Workers
 	imsucc     bool
 	onTaskEnd  func(string, int)
+	obs        Observer // nil unless a sanitizer is attached
+	nextID     uint64   // task id source; guarded by mu
 	firstPanic any
 	panicOnce  sync.Once
 }
@@ -141,6 +147,7 @@ func NewRuntime(opts Options) (*Runtime, error) {
 		cores:     make(chan int, opts.Workers),
 		imsucc:    !opts.DisableImmediateSuccessor,
 		onTaskEnd: opts.OnTaskEnd,
+		obs:       opts.Observer,
 	}
 	rt.cond = sync.NewCond(&rt.mu)
 	for i := 0; i < opts.Workers; i++ {
@@ -184,8 +191,13 @@ func (rt *Runtime) Spawn(label string, body func(t *Task), accs ...Access) {
 		rt.mu.Unlock()
 		panic("task: Spawn after Shutdown")
 	}
+	rt.nextID++
+	n.id = rt.nextID
 	rt.spawned++
 	rt.live++
+	if rt.obs != nil {
+		rt.obs.TaskSpawned(n.id, label, accs)
+	}
 	rt.link(n, accs)
 	ready := n.pending == 0
 	rt.mu.Unlock()
@@ -204,12 +216,12 @@ func (rt *Runtime) link(n *node, accs []Access) {
 		}
 		switch a.Mode {
 		case ModeIn:
-			addEdge(st.lastWriter, n)
+			rt.addEdge(st.lastWriter, n)
 			st.readers = append(st.readers, n)
 		case ModeOut, ModeInOut:
-			addEdge(st.lastWriter, n)
+			rt.addEdge(st.lastWriter, n)
 			for _, r := range st.readers {
-				addEdge(r, n)
+				rt.addEdge(r, n)
 			}
 			st.lastWriter = n
 			st.readers = st.readers[:0]
@@ -219,13 +231,16 @@ func (rt *Runtime) link(n *node, accs []Access) {
 
 // addEdge makes succ depend on pred unless pred is absent, finished, or
 // identical to succ (a task reading and writing the same key must not
-// depend on itself).
-func addEdge(pred, succ *node) {
+// depend on itself). Caller holds rt.mu.
+func (rt *Runtime) addEdge(pred, succ *node) {
 	if pred == nil || pred == succ || pred.finished {
 		return
 	}
 	pred.successors = append(pred.successors, succ)
 	succ.pending++
+	if rt.obs != nil && pred.id != 0 && succ.id != 0 {
+		rt.obs.TaskDependence(pred.id, succ.id)
+	}
 }
 
 // Wait blocks until every spawned task has finished (an OmpSs-2/OpenMP
@@ -235,6 +250,9 @@ func (rt *Runtime) Wait() {
 	rt.mu.Lock()
 	for rt.live > 0 {
 		rt.cond.Wait()
+	}
+	if rt.obs != nil {
+		rt.obs.Quiesced()
 	}
 	p := rt.firstPanic
 	rt.mu.Unlock()
@@ -258,11 +276,11 @@ func (rt *Runtime) WaitAccess(accs ...Access) {
 		}
 		switch a.Mode {
 		case ModeIn:
-			addEdge(st.lastWriter, w)
+			rt.addEdge(st.lastWriter, w)
 		case ModeOut, ModeInOut:
-			addEdge(st.lastWriter, w)
+			rt.addEdge(st.lastWriter, w)
 			for _, r := range st.readers {
-				addEdge(r, w)
+				rt.addEdge(r, w)
 			}
 		}
 	}
