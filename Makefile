@@ -6,7 +6,10 @@ GO ?= go
 RACE_PKGS := ./internal/mpi ./internal/task ./internal/tampi ./internal/membuf \
 	./internal/simnet ./internal/amr/app
 
-.PHONY: test vet fmt-check lint sanitize race check bench
+GOLDEN_DIR := internal/analysis/testdata/golden
+GRAPH_PKGS := ./internal/amr/app
+
+.PHONY: test vet fmt-check lint graph golden sanitize race check bench
 
 test:
 	$(GO) build ./...
@@ -18,10 +21,23 @@ vet:
 fmt-check:
 	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then echo "gofmt needed on:"; echo "$$out"; exit 1; fi
 
-# amrlint enforces the repo's ownership and collective invariants
-# (leaselint, reqlint, deplint, collectivelint); exits non-zero on findings.
+# amrlint enforces the repo's ownership, collective and task-graph
+# invariants (leaselint, reqlint, deplint, collectivelint, graphlint);
+# amrgraph -check diffs the extracted driver DAGs against the committed
+# goldens. Both exit non-zero on findings or drift.
 lint:
 	$(GO) run ./cmd/amrlint ./...
+	$(GO) run ./cmd/amrgraph -check $(GOLDEN_DIR) $(GRAPH_PKGS)
+
+# Render the driver task graphs as DOT under build/graphs (pipe through
+# `dot -Tsvg` to visualise).
+graph:
+	$(GO) run ./cmd/amrgraph -format dot -o build/graphs $(GRAPH_PKGS)
+
+# Refresh the committed golden text graphs after an intentional change
+# to a driver pipeline.
+golden:
+	$(GO) run ./cmd/amrgraph -update $(GOLDEN_DIR) $(GRAPH_PKGS)
 
 # amrsan: the seeded-violation corpus plus full driver runs with the
 # runtime sanitizer forced on (AMRSAN=1), which must stay clean.

@@ -1,0 +1,133 @@
+// Command amrgraph extracts the per-driver task DAGs and communication
+// topologies declared by //amr:graph anchors (see internal/analysis) and
+// emits them as text, DOT or JSON. It is the graph half of amrlint: the
+// same extraction that powers the graphlint analyzer, exposed so the
+// graphs can be rendered, diffed and committed as goldens.
+//
+// Modes:
+//
+//	amrgraph [packages]                  print graphs to stdout (-format)
+//	amrgraph -o dir [packages]           write one file per driver to dir
+//	amrgraph -update dir [packages]      refresh golden text graphs in dir
+//	amrgraph -check dir [packages]       diff against goldens; exit 1 on drift
+//
+// Exit status: 0 clean, 1 golden mismatch or graph findings, 2 usage or
+// load error.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"go/token"
+	"os"
+	"path/filepath"
+
+	"miniamr/internal/analysis"
+)
+
+func main() {
+	format := flag.String("format", "text", "output format: text, dot or json")
+	outDir := flag.String("o", "", "write one file per driver into this directory")
+	checkDir := flag.String("check", "", "compare text graphs against goldens in this directory")
+	updateDir := flag.String("update", "", "write text graphs as goldens into this directory")
+	tests := flag.Bool("tests", false, "also analyze _test.go files")
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(),
+			"usage: amrgraph [-format text|dot|json] [-o dir | -check dir | -update dir] [packages]\n\npackages are directories or dir/... trees (default ./...)\n\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	switch *format {
+	case "text", "dot", "json":
+	default:
+		fmt.Fprintf(os.Stderr, "amrgraph: unknown format %q\n", *format)
+		os.Exit(2)
+	}
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+
+	fset := token.NewFileSet()
+	pkgs, err := analysis.Load(fset, patterns, *tests)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	graphs, findings := analysis.ExtractGraphs(pkgs)
+	for _, f := range findings {
+		fmt.Fprintln(os.Stderr, f)
+	}
+	if len(graphs) == 0 {
+		fmt.Fprintln(os.Stderr, "amrgraph: no //amr:graph anchors found")
+		os.Exit(2)
+	}
+
+	status := 0
+	if len(findings) > 0 {
+		status = 1
+	}
+
+	switch {
+	case *checkDir != "":
+		for _, g := range graphs {
+			path := filepath.Join(*checkDir, g.Driver+".txt")
+			want, err := os.ReadFile(path)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "amrgraph: missing golden for driver %s: %v\n", g.Driver, err)
+				status = 1
+				continue
+			}
+			if got := g.Text(); got != string(want) {
+				fmt.Fprintf(os.Stderr, "amrgraph: driver %s diverges from golden %s (run amrgraph -update %s to refresh)\n",
+					g.Driver, path, *checkDir)
+				status = 1
+			}
+		}
+	case *updateDir != "":
+		if err := os.MkdirAll(*updateDir, 0o755); err != nil {
+			fmt.Fprintln(os.Stderr, "amrgraph:", err)
+			os.Exit(2)
+		}
+		for _, g := range graphs {
+			path := filepath.Join(*updateDir, g.Driver+".txt")
+			if err := os.WriteFile(path, []byte(g.Text()), 0o644); err != nil {
+				fmt.Fprintln(os.Stderr, "amrgraph:", err)
+				os.Exit(2)
+			}
+			fmt.Println("wrote", path)
+		}
+	case *outDir != "":
+		if err := os.MkdirAll(*outDir, 0o755); err != nil {
+			fmt.Fprintln(os.Stderr, "amrgraph:", err)
+			os.Exit(2)
+		}
+		ext := map[string]string{"text": ".txt", "dot": ".dot", "json": ".json"}[*format]
+		for _, g := range graphs {
+			path := filepath.Join(*outDir, g.Driver+ext)
+			if err := os.WriteFile(path, []byte(render(g, *format)), 0o644); err != nil {
+				fmt.Fprintln(os.Stderr, "amrgraph:", err)
+				os.Exit(2)
+			}
+			fmt.Println("wrote", path)
+		}
+	default:
+		for _, g := range graphs {
+			fmt.Print(render(g, *format))
+		}
+	}
+	os.Exit(status)
+}
+
+func render(g *analysis.Graph, format string) string {
+	switch format {
+	case "dot":
+		return g.DOT()
+	case "json":
+		return g.JSON()
+	default:
+		return g.Text()
+	}
+}

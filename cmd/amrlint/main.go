@@ -1,11 +1,17 @@
 // Command amrlint runs the repo-specific static-analysis suite: leaselint,
-// reqlint, deplint and collectivelint (see internal/analysis). Patterns are
-// directories or dir/... trees; the default ./... covers the module.
+// reqlint, deplint, collectivelint and graphlint (see internal/analysis).
+// Patterns are directories or dir/... trees; the default ./... covers the
+// module.
+//
+// -json switches the findings to one JSON record per line (file, line,
+// analyzer, message); -graph emits the extracted driver graphs instead of
+// findings, as DOT by default or as JSON objects with -json.
 //
 // Exit status: 0 clean, 1 findings, 2 usage or load error.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"go/token"
@@ -14,12 +20,22 @@ import (
 	"miniamr/internal/analysis"
 )
 
+// jsonFinding is the stable machine-readable record shape.
+type jsonFinding struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
+}
+
 func main() {
 	tests := flag.Bool("tests", false, "also analyze _test.go files")
 	list := flag.Bool("list", false, "list the analyzers and exit")
+	jsonOut := flag.Bool("json", false, "emit findings as JSON records, one per line")
+	graph := flag.Bool("graph", false, "emit the extracted driver graphs (DOT, or JSON with -json)")
 	flag.Usage = func() {
 		fmt.Fprintf(flag.CommandLine.Output(),
-			"usage: amrlint [-tests] [packages]\n\npackages are directories or dir/... trees (default ./...)\n\n")
+			"usage: amrlint [-tests] [-json] [-graph] [packages]\n\npackages are directories or dir/... trees (default ./...)\n\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -42,8 +58,37 @@ func main() {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
 	}
+
+	if *graph {
+		graphs, findings := analysis.ExtractGraphs(pkgs)
+		for _, f := range findings {
+			fmt.Fprintln(os.Stderr, f)
+		}
+		for _, g := range graphs {
+			if *jsonOut {
+				fmt.Print(g.JSON())
+			} else {
+				fmt.Print(g.DOT())
+			}
+		}
+		if len(findings) > 0 {
+			os.Exit(1)
+		}
+		return
+	}
+
 	findings := analysis.Run(pkgs, analysis.All())
+	enc := json.NewEncoder(os.Stdout)
 	for _, f := range findings {
+		if *jsonOut {
+			enc.Encode(jsonFinding{ //nolint:errcheck // stdout encode of plain strings
+				File:     f.Pos.Filename,
+				Line:     f.Pos.Line,
+				Analyzer: f.Analyzer,
+				Message:  f.Message,
+			})
+			continue
+		}
 		fmt.Println(f)
 	}
 	if len(findings) > 0 {

@@ -19,7 +19,12 @@ import (
 // variable group (never individual faces), plus communication buffer
 // sections.
 type (
-	// blockKey is a block's variable-group range.
+	// blockKey is a block's variable-group range. Block state persists
+	// across timesteps, and graphlint matches it as one class so the
+	// pack -> local-copy -> boundary -> unpack -> stencil -> checksum
+	// chain is visible at the phase level.
+	//
+	//amr:region state
 	blockKey struct {
 		c mesh.Coord
 		g int // group index
@@ -27,6 +32,9 @@ type (
 	// sectKey is one transfer's section of a message buffer. dirKey is the
 	// direction+1, or 0 when buffers are shared across directions
 	// (reproducing the false dependencies that --separate_buffers removes).
+	// Sections are per-stage: produced, consumed once, recycled.
+	//
+	//amr:region stage match=dirKey,send,idx
 	sectKey struct {
 		dirKey int
 		peer   int
@@ -35,13 +43,18 @@ type (
 		idx    int
 	}
 	// slotKey is a per-block checksum accumulator slot; parity alternates
-	// between consecutive checksum stages for the delayed validation.
+	// between consecutive checksum stages for the delayed validation
+	// (class matching: the delayed flush reads the other parity).
+	//
+	//amr:region stage
 	slotKey struct {
 		c      mesh.Coord
 		parity int
 	}
 	// xferKey orders the pack->send and recv->unpack pairs of the
 	// refinement block exchange, keyed by the move's data tag.
+	//
+	//amr:region stage match=recv
 	xferKey struct {
 		tag  int
 		recv bool
@@ -167,6 +180,8 @@ func (d *dataFlowDriver) groupIndex(g0 int) int { return g0 / d.s.cfg.CommVars }
 // receive task per message binding the request, pack tasks per face, send
 // tasks per message with multidependencies on the packed sections, local
 // copy tasks, and unpack tasks fed by the receive's buffer sections.
+//
+//amr:graph driver=dataflow phase=communicate seq=1
 func (d *dataFlowDriver) communicate(g0, g1 int) error {
 	s := d.s
 	gv := g1 - g0
@@ -332,6 +347,8 @@ func (d *dataFlowDriver) communicate(g0, g1 int) error {
 
 // stencil spawns one task per block, depending in-out on the block's
 // variable group so it naturally follows the ghost fills.
+//
+//amr:graph driver=dataflow phase=stencil seq=2
 func (d *dataFlowDriver) stencil(g0, g1 int) error {
 	s := d.s
 	gi := d.groupIndex(g0)
@@ -350,6 +367,8 @@ func (d *dataFlowDriver) stencil(g0, g1 int) error {
 // checksum spawns local-reduction tasks into the current parity's slots
 // and validates either this stage (default) or the previous one
 // (DelayedChecksum), so the barrier does not drain in-flight stages.
+//
+//amr:graph driver=dataflow phase=checksum seq=3
 func (d *dataFlowDriver) checksum() error {
 	s := d.s
 	par := d.parity
@@ -453,6 +472,8 @@ func (d *dataFlowDriver) refine(advance bool) (bool, error) {
 }
 
 // splitOwned taskifies the block-splitting copies.
+//
+//amr:graph driver=dataflow phase=split seq=4
 func (d *dataFlowDriver) splitOwned(refines []mesh.Coord) error {
 	s := d.s
 	children := make([][8]*grid.Data, len(refines))
@@ -478,6 +499,8 @@ func (d *dataFlowDriver) splitOwned(refines []mesh.Coord) error {
 }
 
 // consolidateOwned taskifies the coarsening copies.
+//
+//amr:graph driver=dataflow phase=consolidate seq=5
 func (d *dataFlowDriver) consolidateOwned(parents []mesh.Coord) error {
 	s := d.s
 	newParents := make([]*grid.Data, len(parents))
@@ -526,6 +549,11 @@ type taskMover struct {
 	d *dataFlowDriver
 }
 
+// sendBlock is anchored directly: the exchange protocol reaches it only
+// through the blockMover interface, which static extraction cannot see
+// through.
+//
+//amr:graph driver=dataflow phase=exchange-send seq=6
 func (m *taskMover) sendBlock(bc mesh.Coord, blk *grid.Data, to, tag int) {
 	d := m.d
 	s := d.s
@@ -543,6 +571,7 @@ func (m *taskMover) sendBlock(bc mesh.Coord, blk *grid.Data, to, tag int) {
 	}, task.In(key)...)
 }
 
+//amr:graph driver=dataflow phase=exchange-recv seq=7
 func (m *taskMover) recvBlock(bc mesh.Coord, from, tag int) *grid.Data {
 	d := m.d
 	s := d.s

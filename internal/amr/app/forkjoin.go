@@ -64,6 +64,7 @@ func (d *forkJoinDriver) parFor(n int, body func(i, w int)) {
 	d.pool.ForWorker(n, body)
 }
 
+//amr:graph driver=forkjoin phase=communicate seq=1
 func (d *forkJoinDriver) communicate(g0, g1 int) error {
 	s := d.s
 	gv := g1 - g0
@@ -179,6 +180,7 @@ func (d *forkJoinDriver) communicate(g0, g1 int) error {
 	return nil
 }
 
+//amr:graph driver=forkjoin phase=stencil seq=2
 func (d *forkJoinDriver) stencil(g0, g1 int) error {
 	s := d.s
 	owned := s.owned()
@@ -192,6 +194,7 @@ func (d *forkJoinDriver) stencil(g0, g1 int) error {
 	return nil
 }
 
+//amr:graph driver=forkjoin phase=checksum seq=3
 func (d *forkJoinDriver) checksum() error {
 	s := d.s
 	owned := s.owned()
@@ -288,6 +291,7 @@ type forkJoinMover struct {
 	d *forkJoinDriver
 }
 
+//amr:graph driver=forkjoin phase=exchange-send seq=4
 func (m *forkJoinMover) sendBlock(bc mesh.Coord, blk *grid.Data, to, tag int) {
 	s := m.d.s
 	lease := s.arena.LeaseFloat64(blk.InteriorLen())
@@ -299,6 +303,7 @@ func (m *forkJoinMover) sendBlock(bc mesh.Coord, blk *grid.Data, to, tag int) {
 	s.rec.Record(s.rank, 0, "exchange-send", start, time.Now())
 }
 
+//amr:graph driver=forkjoin phase=exchange-recv seq=5
 func (m *forkJoinMover) recvBlock(bc mesh.Coord, from, tag int) *grid.Data {
 	s := m.d.s
 	blk := s.newBlockData(bc, false)

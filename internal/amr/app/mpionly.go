@@ -53,6 +53,7 @@ type mpiOnlyDriver struct {
 	sendReqs []*mpi.Request
 }
 
+//amr:graph driver=mpionly phase=communicate seq=1
 func (d *mpiOnlyDriver) communicate(g0, g1 int) error {
 	s := d.s
 	gv := g1 - g0
@@ -131,6 +132,7 @@ func (d *mpiOnlyDriver) communicate(g0, g1 int) error {
 	return nil
 }
 
+//amr:graph driver=mpionly phase=stencil seq=2
 func (d *mpiOnlyDriver) stencil(g0, g1 int) error {
 	s := d.s
 	for _, bc := range s.owned() {
@@ -141,6 +143,7 @@ func (d *mpiOnlyDriver) stencil(g0, g1 int) error {
 	return nil
 }
 
+//amr:graph driver=mpionly phase=checksum seq=3
 func (d *mpiOnlyDriver) checksum() error {
 	s := d.s
 	owned := s.owned()
@@ -223,6 +226,7 @@ type syncMover struct {
 	s *state
 }
 
+//amr:graph driver=mpionly phase=exchange-send seq=4
 func (m *syncMover) sendBlock(bc mesh.Coord, d *grid.Data, to, tag int) {
 	s := m.s
 	lease := s.arena.LeaseFloat64(d.InteriorLen())
@@ -234,6 +238,7 @@ func (m *syncMover) sendBlock(bc mesh.Coord, d *grid.Data, to, tag int) {
 	s.rec.Record(s.rank, 0, "exchange-send", start, time.Now())
 }
 
+//amr:graph driver=mpionly phase=exchange-recv seq=5
 func (m *syncMover) recvBlock(bc mesh.Coord, from, tag int) *grid.Data {
 	s := m.s
 	d := s.newBlockData(bc, false)

@@ -56,7 +56,7 @@ type Analyzer struct {
 
 // All returns the full amrlint suite in reporting order.
 func All() []*Analyzer {
-	return []*Analyzer{LeaseLint, ReqLint, DepLint, CollectiveLint}
+	return []*Analyzer{LeaseLint, ReqLint, DepLint, CollectiveLint, GraphLint}
 }
 
 // Pass carries one analyzer's view of one package.
@@ -88,7 +88,8 @@ func (p *Pass) objOf(id *ast.Ident) types.Object {
 }
 
 // Run applies the analyzers to every package and returns the combined
-// findings in (file, line, column, analyzer) order.
+// findings, deduplicated and in (file, line, column, analyzer, message)
+// order.
 func Run(pkgs []*Package, analyzers []*Analyzer) []Finding {
 	var findings []Finding
 	for _, pkg := range pkgs {
@@ -97,6 +98,14 @@ func Run(pkgs []*Package, analyzers []*Analyzer) []Finding {
 			a.run(pass)
 		}
 	}
+	return dedupeFindings(findings)
+}
+
+// dedupeFindings sorts findings into reporting order and drops exact
+// duplicates. The builtin classification and the interprocedural
+// summary layer can legitimately diagnose the same site — the user
+// should see one finding, not the analysis architecture.
+func dedupeFindings(findings []Finding) []Finding {
 	sort.Slice(findings, func(i, j int) bool {
 		a, b := findings[i], findings[j]
 		if a.Pos.Filename != b.Pos.Filename {
@@ -108,9 +117,22 @@ func Run(pkgs []*Package, analyzers []*Analyzer) []Finding {
 		if a.Pos.Column != b.Pos.Column {
 			return a.Pos.Column < b.Pos.Column
 		}
-		return a.Analyzer < b.Analyzer
+		if a.Analyzer != b.Analyzer {
+			return a.Analyzer < b.Analyzer
+		}
+		return a.Message < b.Message
 	})
-	return findings
+	out := findings[:0]
+	for _, f := range findings {
+		if n := len(out); n > 0 {
+			prev := out[n-1]
+			if f.Pos == prev.Pos && f.Analyzer == prev.Analyzer && f.Message == prev.Message {
+				continue
+			}
+		}
+		out = append(out, f)
+	}
+	return out
 }
 
 // funcBodies visits every function body in the package's files: named

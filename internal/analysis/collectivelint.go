@@ -8,15 +8,41 @@ import (
 
 // CollectiveLint flags collective operations (Barrier, Bcast, Allreduce,
 // Allgatherv, ...) issued inside rank-conditional control flow. A
-// collective must be entered by every rank of the communicator; guarding
-// one behind `if rank == 0` is the classic collective-mismatch deadlock.
-// Rank-dependence is tracked through Rank() calls, rank fields, and local
-// variables assigned from either.
+// collective must be entered by every rank of the communicator, the same
+// number of times; guarding one behind `if rank == 0` is the classic
+// collective-mismatch deadlock, and issuing one inside a loop whose trip
+// count depends on the rank (`for i := 0; i < rank; i++`, `range
+// owned(rank)`) desynchronises the ranks just as surely. Rank-dependence
+// is tracked through Rank() calls, rank fields, and local variables
+// assigned from either.
 var CollectiveLint = &Analyzer{
 	Name: "collectivelint",
 	Doc: "collective operations must not be nested inside rank-conditional " +
-		"branches",
+		"branches or rank-counted loops",
 	run: runCollectiveLint,
+}
+
+// condReason classifies why control flow is rank-conditional: nested in a
+// rank-dependent branch, or inside a loop whose trip count depends on the
+// rank. The outermost reason wins — it names the construct that first
+// desynchronises the ranks.
+type condReason int
+
+const (
+	condNone condReason = iota
+	condBranch
+	condLoop
+)
+
+// escalate keeps an outer reason or establishes a new one.
+func escalate(outer condReason, dep bool, kind condReason) condReason {
+	if outer != condNone {
+		return outer
+	}
+	if dep {
+		return kind
+	}
+	return condNone
 }
 
 // collectivePrefixes match the exported collective families; typed
@@ -121,25 +147,25 @@ func (c *collectiveWalker) rankDependent(e ast.Expr) bool {
 	return found
 }
 
-// walkBody walks statements with a rank-conditional nesting flag.
+// walkBody walks statements with the rank-conditional reason in effect.
 func (c *collectiveWalker) walkBody(body *ast.BlockStmt) {
-	c.walkStmts(body.List, false)
+	c.walkStmts(body.List, condNone)
 }
 
-func (c *collectiveWalker) walkStmts(list []ast.Stmt, inCond bool) {
+func (c *collectiveWalker) walkStmts(list []ast.Stmt, inCond condReason) {
 	for _, s := range list {
 		c.walkStmt(s, inCond)
 	}
 }
 
-func (c *collectiveWalker) walkStmt(s ast.Stmt, inCond bool) {
+func (c *collectiveWalker) walkStmt(s ast.Stmt, inCond condReason) {
 	switch s := s.(type) {
 	case *ast.IfStmt:
 		if s.Init != nil {
 			c.walkStmt(s.Init, inCond)
 		}
 		c.scanExpr(s.Cond, inCond)
-		branchCond := inCond || c.rankDependent(s.Cond)
+		branchCond := escalate(inCond, c.rankDependent(s.Cond), condBranch)
 		c.walkStmts(s.Body.List, branchCond)
 		if s.Else != nil {
 			c.walkStmt(s.Else, branchCond)
@@ -151,14 +177,14 @@ func (c *collectiveWalker) walkStmt(s ast.Stmt, inCond bool) {
 		branchCond := inCond
 		if s.Tag != nil {
 			c.scanExpr(s.Tag, inCond)
-			branchCond = branchCond || c.rankDependent(s.Tag)
+			branchCond = escalate(branchCond, c.rankDependent(s.Tag), condBranch)
 		}
 		for _, cl := range s.Body.List {
 			cc := cl.(*ast.CaseClause)
 			caseCond := branchCond
 			for _, e := range cc.List {
 				c.scanExpr(e, inCond)
-				caseCond = caseCond || c.rankDependent(e)
+				caseCond = escalate(caseCond, c.rankDependent(e), condBranch)
 			}
 			c.walkStmts(cc.Body, caseCond)
 		}
@@ -184,7 +210,7 @@ func (c *collectiveWalker) walkStmt(s ast.Stmt, inCond bool) {
 		bodyCond := inCond
 		if s.Cond != nil {
 			c.scanExpr(s.Cond, inCond)
-			bodyCond = bodyCond || c.rankDependent(s.Cond)
+			bodyCond = escalate(bodyCond, c.rankDependent(s.Cond), condLoop)
 		}
 		if s.Post != nil {
 			c.walkStmt(s.Post, bodyCond)
@@ -192,7 +218,9 @@ func (c *collectiveWalker) walkStmt(s ast.Stmt, inCond bool) {
 		c.walkStmts(s.Body.List, bodyCond)
 	case *ast.RangeStmt:
 		c.scanExpr(s.X, inCond)
-		c.walkStmts(s.Body.List, inCond)
+		// Ranging over a rank-dependent collection runs the body a
+		// rank-dependent number of times.
+		c.walkStmts(s.Body.List, escalate(inCond, c.rankDependent(s.X), condLoop))
 	case *ast.BlockStmt:
 		c.walkStmts(s.List, inCond)
 	case *ast.LabeledStmt:
@@ -233,7 +261,7 @@ func (c *collectiveWalker) walkStmt(s ast.Stmt, inCond bool) {
 // scanExpr reports collective calls in e when inside rank-conditional
 // flow, and analyzes function literals as fresh bodies: a closure's
 // execution context is not the branch it is defined in.
-func (c *collectiveWalker) scanExpr(e ast.Expr, inCond bool) {
+func (c *collectiveWalker) scanExpr(e ast.Expr, inCond condReason) {
 	if e == nil {
 		return
 	}
@@ -245,18 +273,24 @@ func (c *collectiveWalker) scanExpr(e ast.Expr, inCond bool) {
 			nested.walkBody(n.Body)
 			return false
 		case *ast.CallExpr:
-			if !inCond {
+			if inCond == condNone {
 				return true
 			}
 			if sel, ok := ast.Unparen(n.Fun).(*ast.SelectorExpr); ok && isCollectiveName(sel.Sel.Name) {
-				c.report(n, sel.Sel.Name)
+				c.report(n, sel.Sel.Name, inCond)
 			}
 		}
 		return true
 	})
 }
 
-func (c *collectiveWalker) report(call *ast.CallExpr, name string) {
+func (c *collectiveWalker) report(call *ast.CallExpr, name string, reason condReason) {
+	if reason == condLoop {
+		c.pass.Reportf(call.Pos(),
+			"collective %s runs inside a loop that executes a rank-dependent number of times: ranks issue different collective counts (loop-count-mismatch deadlock)",
+			name)
+		return
+	}
 	c.pass.Reportf(call.Pos(),
 		"collective %s is nested in a rank-conditional branch: every rank must reach a collective or none may (collective-mismatch deadlock)",
 		name)

@@ -1,0 +1,401 @@
+package analysis
+
+import (
+	"encoding/json"
+	"fmt"
+	"go/token"
+	"strings"
+)
+
+// This file holds graphlint's graph model: the per-driver task DAG and
+// rank-symbolic communication topology the extractor materialises, the
+// dataflow-edge construction over it, and the invariant checks the
+// ISSUE names — acyclicity, read-before-write, dead writes, send/recv
+// mirror symmetry. Emission (Text for goldens, DOT, JSON) lives here
+// too so cmd/amrgraph stays a thin wrapper.
+
+// RegAccess is one declared region access of a node.
+type RegAccess struct {
+	Mode   string `json:"mode"` // "in", "out" or "inout"
+	Region string `json:"region"`
+	Many   bool   `json:"many,omitempty"` // a spread slice of keys: one term stands for all
+
+	val symval
+	pos token.Pos
+}
+
+// CommEvent is one point-to-point operation a node performs, with its
+// peer and tag as rank-symbolic terms.
+type CommEvent struct {
+	Kind string `json:"kind"` // "send" or "recv"
+	Op   string `json:"op"`
+	Peer string `json:"peer"`
+	Tag  string `json:"tag"`
+
+	peerVal, tagVal symval
+	pos             token.Pos
+}
+
+// Node is one vertex of a driver graph: a spawned task, a standalone
+// communication operation, a collective, or a dependency wait.
+type Node struct {
+	ID       string      `json:"id"`
+	Phase    string      `json:"phase"`
+	Kind     string      `json:"kind"` // "task", "send", "recv", "collective", "wait"
+	Label    string      `json:"label"`
+	Accesses []RegAccess `json:"accesses,omitempty"`
+	Comm     []CommEvent `json:"comm,omitempty"`
+	Unknown  bool        `json:"unknown,omitempty"` // has dependencies the source does not spell out
+
+	pos token.Pos
+}
+
+// Edge is one dependence between nodes. Kind "flow" is a true
+// read-after-write, "anti" a write-after-read, "waw" a write-after-write
+// and "seq" the program order of non-task operations within a phase.
+type Edge struct {
+	From   string `json:"from"`
+	To     string `json:"to"`
+	Kind   string `json:"kind"`
+	Region string `json:"region,omitempty"`
+}
+
+// Phase is one anchored pipeline stage of a driver.
+type Phase struct {
+	Name string `json:"name"`
+	Seq  int    `json:"seq"`
+}
+
+// Graph is the extracted per-timestep task DAG and communication
+// topology of one driver.
+type Graph struct {
+	Driver string  `json:"driver"`
+	Phases []Phase `json:"phases"`
+	Nodes  []*Node `json:"nodes"`
+	Edges  []Edge  `json:"edges"`
+
+	ids map[string]int // id -> count of labels used, for disambiguation
+	idx map[string]int // id -> node index
+}
+
+func newGraph(driver string) *Graph {
+	return &Graph{Driver: driver, ids: make(map[string]int), idx: make(map[string]int)}
+}
+
+// addNode appends a node, disambiguating repeated phase/label ids.
+func (g *Graph) addNode(phase, label, kind string, pos token.Pos) *Node {
+	id := phase + "/" + label
+	g.ids[id]++
+	if n := g.ids[id]; n > 1 {
+		id = fmt.Sprintf("%s#%d", id, n)
+	}
+	node := &Node{ID: id, Phase: phase, Kind: kind, Label: label, pos: pos}
+	g.idx[id] = len(g.Nodes)
+	g.Nodes = append(g.Nodes, node)
+	return node
+}
+
+// finalize derives the dependence edges from the nodes' region accesses
+// and verifies the graph invariants, reporting violations through pass.
+func (g *Graph) finalize(pass *Pass) {
+	g.buildEdges(pass)
+	g.checkSymmetry(pass)
+	g.checkAcyclic(pass)
+}
+
+type writeRec struct {
+	node     *Node
+	val      symval
+	mode     string
+	pos      token.Pos
+	seq      int // global event order
+	consumed bool
+}
+
+type readRec struct {
+	node *Node
+	val  symval
+	seq  int
+}
+
+// buildEdges replays the nodes in extraction order against a write/read
+// history, exactly like the task runtime resolves dependencies at spawn
+// time: a read depends on the latest matching write (flow), a write
+// follows the readers since the last matching write (anti) or that
+// write itself (waw). Stage regions read before any write or written
+// but never read are the dropped-edge defects graphlint exists to
+// catch; state regions persist across timesteps and carry no such
+// obligations.
+func (g *Graph) buildEdges(pass *Pass) {
+	// A node with dependencies the source does not spell out (accs...)
+	// makes producer/consumer obligations unverifiable.
+	verifiable := true
+	for _, n := range g.Nodes {
+		if n.Unknown {
+			verifiable = false
+		}
+	}
+
+	var writes []*writeRec
+	var reads []readRec
+	seq := 0
+	edgeSeen := make(map[string]bool)
+	for _, e := range g.Edges { // extraction already added the seq chain
+		edgeSeen[e.From+"\x00"+e.To] = true
+	}
+	addEdge := func(from, to *Node, kind string, region string) {
+		if from == to {
+			return
+		}
+		key := from.ID + "\x00" + to.ID
+		if edgeSeen[key] {
+			return
+		}
+		edgeSeen[key] = true
+		g.Edges = append(g.Edges, Edge{From: from.ID, To: to.ID, Kind: kind, Region: region})
+	}
+	lastWrite := func(val symval, not *Node) *writeRec {
+		for i := len(writes) - 1; i >= 0; i-- {
+			if writes[i].node != not && regionsMatch(writes[i].val, val) {
+				return writes[i]
+			}
+		}
+		return nil
+	}
+
+	for _, n := range g.Nodes {
+		// Reads first: an inout access observes the previous producer
+		// before overwriting the region.
+		for i := range n.Accesses {
+			acc := &n.Accesses[i]
+			if acc.Mode == "out" || acc.val == nil {
+				continue
+			}
+			if w := lastWrite(acc.val, n); w != nil {
+				addEdge(w.node, n, "flow", regionLabel(acc.val))
+				w.consumed = true
+				// Earlier writes of the same region were already chained
+				// to this one through waw/anti edges; reading the head of
+				// the chain consumes them all.
+				for _, pw := range writes {
+					if pw.node != n && regionsMatch(pw.val, acc.val) {
+						pw.consumed = true
+					}
+				}
+			} else if verifiable && regionKind(acc.val) == "stage" {
+				pass.Reportf(acc.pos,
+					"task %s reads stage region %s that no earlier task writes (read-before-write: a dependency edge is missing or the producer was dropped)",
+					n.Label, renderVal(acc.val))
+			}
+			reads = append(reads, readRec{node: n, val: acc.val, seq: seq})
+			seq++
+		}
+		for i := range n.Accesses {
+			acc := &n.Accesses[i]
+			if acc.Mode == "in" || acc.val == nil {
+				continue
+			}
+			w := lastWrite(acc.val, n)
+			anti := false
+			since := -1
+			if w != nil {
+				since = w.seq
+			}
+			for _, r := range reads {
+				if r.node != n && r.seq > since && regionsMatch(r.val, acc.val) {
+					addEdge(r.node, n, "anti", regionLabel(acc.val))
+					anti = true
+				}
+			}
+			if !anti && w != nil {
+				addEdge(w.node, n, "waw", regionLabel(acc.val))
+			}
+			writes = append(writes, &writeRec{node: n, val: acc.val, mode: acc.Mode, pos: acc.pos, seq: seq})
+			seq++
+		}
+	}
+
+	if verifiable {
+		for _, w := range writes {
+			if !w.consumed && w.mode == "out" && regionKind(w.val) == "stage" {
+				pass.Reportf(w.pos,
+					"task %s writes stage region %s that no later task reads (dead write: the consumer edge was dropped or the out declaration is stale)",
+					w.node.Label, renderVal(w.val))
+			}
+		}
+	}
+}
+
+// checkSymmetry verifies ghost-exchange peer-and-tag symmetry: every
+// send's (peer, tag) term must equal some receive's under the
+// send/recv mirror relation, and vice versa. A one-sided operation is
+// the static shadow of an unmatched message — a hang at runtime.
+func (g *Graph) checkSymmetry(pass *Pass) {
+	var sends, recvs []*CommEvent
+	for _, n := range g.Nodes {
+		for i := range n.Comm {
+			ev := &n.Comm[i]
+			switch ev.Kind {
+			case "send":
+				sends = append(sends, ev)
+			case "recv":
+				recvs = append(recvs, ev)
+			}
+		}
+	}
+	if len(sends) == 0 && len(recvs) == 0 {
+		return
+	}
+	matches := func(a *CommEvent, others []*CommEvent) bool {
+		peer, tag := renderVal(mirror(a.peerVal)), renderVal(mirror(a.tagVal))
+		for _, o := range others {
+			if o.Peer == peer && o.Tag == tag {
+				return true
+			}
+		}
+		return false
+	}
+	for _, s := range sends {
+		if !matches(s, recvs) {
+			pass.Reportf(s.pos,
+				"%s to peer %s tag %s has no matching receive under the send/recv mirror relation (peer-and-tag symmetry broken: unmatched message)",
+				s.Op, s.Peer, s.Tag)
+		}
+	}
+	for _, r := range recvs {
+		if !matches(r, sends) {
+			pass.Reportf(r.pos,
+				"%s from peer %s tag %s has no matching send under the send/recv mirror relation (peer-and-tag symmetry broken: unmatched message)",
+				r.Op, r.Peer, r.Tag)
+		}
+	}
+}
+
+// checkAcyclic guards DAG-ness. Edges are forward in extraction order by
+// construction, so a cycle means the builder itself regressed — but the
+// invariant is cheap to state and the goldens rest on it.
+func (g *Graph) checkAcyclic(pass *Pass) {
+	adj := make(map[string][]string)
+	for _, e := range g.Edges {
+		adj[e.From] = append(adj[e.From], e.To)
+	}
+	const (
+		white = 0
+		grey  = 1
+		black = 2
+	)
+	color := make(map[string]int)
+	var visit func(id string) bool
+	visit = func(id string) bool {
+		switch color[id] {
+		case grey:
+			return false
+		case black:
+			return true
+		}
+		color[id] = grey
+		for _, next := range adj[id] {
+			if !visit(next) {
+				return false
+			}
+		}
+		color[id] = black
+		return true
+	}
+	for _, n := range g.Nodes {
+		if !visit(n.ID) {
+			pass.Reportf(n.pos, "driver %s task graph has a dependency cycle through %s", g.Driver, n.ID)
+			return
+		}
+	}
+}
+
+// Text renders the canonical golden form: phases in pipeline order,
+// nodes in extraction order, then the edge list. It carries no file
+// positions, so unrelated edits never churn the goldens.
+func (g *Graph) Text() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "driver %s\n", g.Driver)
+	byPhase := make(map[string][]*Node)
+	for _, n := range g.Nodes {
+		byPhase[n.Phase] = append(byPhase[n.Phase], n)
+	}
+	for _, ph := range g.Phases {
+		fmt.Fprintf(&b, "phase %s seq=%d\n", ph.Name, ph.Seq)
+		for _, n := range byPhase[ph.Name] {
+			fmt.Fprintf(&b, "  %s %s\n", n.Kind, n.ID)
+			if n.Unknown {
+				fmt.Fprintf(&b, "    deps unknown\n")
+			}
+			for _, a := range n.Accesses {
+				many := ""
+				if a.Many {
+					many = " many"
+				}
+				fmt.Fprintf(&b, "    %-5s %s%s\n", a.Mode, a.Region, many)
+			}
+			for _, c := range n.Comm {
+				fmt.Fprintf(&b, "    %s %s peer=%s tag=%s\n", c.Kind, c.Op, c.Peer, c.Tag)
+			}
+		}
+	}
+	fmt.Fprintf(&b, "edges\n")
+	for _, e := range g.Edges {
+		region := ""
+		if e.Region != "" {
+			region = " " + e.Region
+		}
+		fmt.Fprintf(&b, "  %s -> %s %s%s\n", e.From, e.To, e.Kind, region)
+	}
+	return b.String()
+}
+
+// DOT renders the graph for graphviz, one cluster per phase.
+func (g *Graph) DOT() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "digraph %q {\n", g.Driver)
+	b.WriteString("  rankdir=LR;\n  node [shape=box, fontsize=10];\n")
+	byPhase := make(map[string][]*Node)
+	for _, n := range g.Nodes {
+		byPhase[n.Phase] = append(byPhase[n.Phase], n)
+	}
+	for pi, ph := range g.Phases {
+		fmt.Fprintf(&b, "  subgraph cluster_%d {\n    label=%q;\n", pi, ph.Name)
+		for _, n := range byPhase[ph.Name] {
+			shape := ""
+			switch n.Kind {
+			case "collective":
+				shape = ", shape=hexagon"
+			case "send", "recv":
+				shape = ", shape=cds"
+			case "wait":
+				shape = ", shape=octagon"
+			}
+			fmt.Fprintf(&b, "    %q [label=%q%s];\n", n.ID, n.Label, shape)
+		}
+		b.WriteString("  }\n")
+	}
+	for _, e := range g.Edges {
+		attr := ""
+		switch e.Kind {
+		case "anti":
+			attr = ", style=dashed"
+		case "waw":
+			attr = ", style=dotted"
+		case "seq":
+			attr = ", color=gray"
+		}
+		fmt.Fprintf(&b, "  %q -> %q [label=%q%s];\n", e.From, e.To, e.Region, attr)
+	}
+	b.WriteString("}\n")
+	return b.String()
+}
+
+// JSON renders the graph as one indented JSON object.
+func (g *Graph) JSON() string {
+	out, err := json.MarshalIndent(g, "", "  ")
+	if err != nil {
+		return "{}" // the model contains no unmarshalable values
+	}
+	return string(out) + "\n"
+}

@@ -3,6 +3,7 @@ package analysis
 import (
 	"fmt"
 	"go/ast"
+	"go/build/constraint"
 	"go/parser"
 	"go/token"
 	"go/types"
@@ -38,7 +39,9 @@ type Package struct {
 // A pattern is either a directory or a `dir/...` tree; `./...` walks the
 // enclosing module. The walk skips testdata, vendor and hidden or
 // underscore-prefixed directories; _test.go files are skipped unless
-// includeTests is set. Directories given literally (no `...`) are loaded
+// includeTests is set, and files whose //go:build line evaluates false
+// with no build tags set (`//go:build ignore` and friends) are skipped
+// like the build skips them. Directories given literally (no `...`) are loaded
 // even where a walk would skip them, which is how the analyzer corpora
 // under testdata/ load themselves.
 func Load(fset *token.FileSet, patterns []string, includeTests bool) ([]*Package, error) {
@@ -156,6 +159,9 @@ func parseDir(fset *token.FileSet, dir string, includeTests bool) ([]*Package, e
 		if err != nil {
 			return nil, fmt.Errorf("amrlint: %w", err)
 		}
+		if excludedByConstraint(file) {
+			continue
+		}
 		pkgName := file.Name.Name
 		pkg := byName[pkgName]
 		if pkg == nil {
@@ -173,6 +179,31 @@ func parseDir(fset *token.FileSet, dir string, includeTests bool) ([]*Package, e
 		pkgs = append(pkgs, pkg)
 	}
 	return pkgs, nil
+}
+
+// excludedByConstraint reports whether a parsed file's //go:build line
+// (anything before the package clause) evaluates false under the
+// loader's empty tag set. That is how `//go:build ignore` helper files
+// and platform-gated stubs stay out of the analysis, mirroring what the
+// build does to them. The legacy `// +build` syntax is not consulted;
+// gofmt rewrites it to the //go:build form.
+func excludedByConstraint(file *ast.File) bool {
+	for _, cg := range file.Comments {
+		if cg.Pos() >= file.Package {
+			break
+		}
+		for _, c := range cg.List {
+			if !constraint.IsGoBuild(c.Text) {
+				continue
+			}
+			expr, err := constraint.Parse(c.Text)
+			if err != nil {
+				return false // malformed lines do not gate the build either
+			}
+			return !expr.Eval(func(string) bool { return false })
+		}
+	}
+	return false
 }
 
 // checkTolerant type-checks files for name resolution only: imports fail,

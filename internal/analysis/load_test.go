@@ -1,0 +1,106 @@
+package analysis
+
+import (
+	"go/token"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// fileNames lists the base names of a package's parsed files.
+func fileNames(fset *token.FileSet, pkg *Package) []string {
+	var names []string
+	for _, f := range pkg.Files {
+		names = append(names, filepath.Base(fset.Position(f.Package).Filename))
+	}
+	return names
+}
+
+// TestLoadBuildConstraints locks in the loader's file selection over the
+// committed fixture: //go:build-excluded files and _test.go files stay
+// out by default, and -tests admits the latter but never the former.
+func TestLoadBuildConstraints(t *testing.T) {
+	fset := token.NewFileSet()
+	pkgs, err := Load(fset, []string{filepath.Join("testdata", "load")}, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgs) != 1 {
+		t.Fatalf("got %d packages, want 1", len(pkgs))
+	}
+	if got := fileNames(fset, pkgs[0]); len(got) != 1 || got[0] != "plain.go" {
+		t.Errorf("default load parsed %v, want [plain.go]", got)
+	}
+
+	pkgs, err = Load(fset, []string{filepath.Join("testdata", "load")}, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgs) != 1 {
+		t.Fatalf("got %d packages with tests, want 1", len(pkgs))
+	}
+	got := fileNames(fset, pkgs[0])
+	if len(got) != 2 || got[0] != "extra_test.go" || got[1] != "plain.go" {
+		t.Errorf("load with tests parsed %v, want [extra_test.go plain.go]", got)
+	}
+	for _, name := range got {
+		if name == "tagged.go" {
+			t.Errorf("//go:build ignore file loaded: %v", got)
+		}
+	}
+}
+
+// TestLoadSyntaxError verifies a broken source file surfaces as a
+// wrapped load error rather than a panic or a silent skip. The fixture
+// is generated, not committed: a committed syntax error would trip
+// gofmt over the tree.
+func TestLoadSyntaxError(t *testing.T) {
+	dir := t.TempDir()
+	src := "package broken\n\nfunc Unclosed() {\n"
+	if err := os.WriteFile(filepath.Join(dir, "broken.go"), []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	fset := token.NewFileSet()
+	_, err := Load(fset, []string{dir}, false)
+	if err == nil {
+		t.Fatal("loading a syntactically broken file did not error")
+	}
+	if !strings.HasPrefix(err.Error(), "amrlint: ") {
+		t.Errorf("load error %q is not wrapped with the amrlint prefix", err)
+	}
+	if !strings.Contains(err.Error(), "broken.go") {
+		t.Errorf("load error %q does not name the broken file", err)
+	}
+}
+
+// TestRunDeduplicatesFindings is the regression test for the dedupe
+// layer: running the same analyzer twice over a corpus that seeds
+// findings must report each site exactly once, in sorted order.
+func TestRunDeduplicatesFindings(t *testing.T) {
+	fset := token.NewFileSet()
+	pkgs, err := Load(fset, []string{filepath.Join("testdata", "collectivelint")}, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	once := Run(pkgs, []*Analyzer{CollectiveLint})
+	if len(once) == 0 {
+		t.Fatal("corpus produced no findings; dedupe test is vacuous")
+	}
+	twice := Run(pkgs, []*Analyzer{CollectiveLint, CollectiveLint})
+	if len(twice) != len(once) {
+		t.Fatalf("duplicate analyzer pass changed finding count: %d vs %d", len(twice), len(once))
+	}
+	for i := range once {
+		if once[i] != twice[i] {
+			t.Errorf("finding %d differs after duplicate pass: %v vs %v", i, once[i], twice[i])
+		}
+	}
+	for i := 1; i < len(twice); i++ {
+		a, b := twice[i-1], twice[i]
+		if a.Pos.Filename > b.Pos.Filename ||
+			(a.Pos.Filename == b.Pos.Filename && a.Pos.Line > b.Pos.Line) {
+			t.Errorf("findings out of order: %v before %v", a, b)
+		}
+	}
+}

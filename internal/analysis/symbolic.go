@@ -1,0 +1,305 @@
+package analysis
+
+import (
+	"go/ast"
+	"strings"
+)
+
+// This file defines the symbolic term domain graphlint's extractor
+// evaluates driver code into. A symval is an abstract value: concrete
+// enough that two sites computing the same dependency key or message tag
+// render to the same canonical string, abstract enough that loop indices
+// and rank-local data collapse to stable placeholders. Matching is
+// structural over renders; there is no solver.
+//
+// The abstraction rules that make real driver code converge:
+//
+//   - the method receiver is the empty atom, so d.s.recvPlans and
+//     s.recvPlans render identically as s.recvPlans;
+//   - indexing drops the index expression (x[i] -> x[]): one iteration
+//     stands for all of them;
+//   - loop variables become $-atoms named after the ranged source, so
+//     the same loop shape produces the same term at every site;
+//   - uniformly built slices keep one element term; indexing returns it
+//     and append joins into it.
+
+// symval is one abstract value. All implementations are pointers.
+type symval interface {
+	render(b *strings.Builder)
+}
+
+// symAtom is a free name: an unbound identifier, a package name, a
+// function parameter, or the ground receiver (empty name).
+type symAtom struct{ name string }
+
+// symField is a field or selector projection x.name.
+type symField struct {
+	x    symval
+	name string
+}
+
+// symIndex is an element of x with the index abstracted away.
+type symIndex struct{ x symval }
+
+// symCall is an uninterpreted (or multi-statement inlined) call.
+type symCall struct {
+	name string
+	args []symval
+}
+
+// symLit is a literal or an otherwise-opaque expression rendered as
+// written.
+type symLit struct{ text string }
+
+// symBin is a binary operation over two terms.
+type symBin struct {
+	op   string
+	x, y symval
+}
+
+// symStruct is a composite literal of a struct type known to the
+// extractor (dependency keys, helper records). Missing fields are
+// implicit zeroes of their declared type.
+type symStruct struct {
+	info   *structInfo
+	fields map[string]symval
+}
+
+// symSlice abstracts a uniformly built slice by its single element term.
+// elem is nil for an empty slice.
+type symSlice struct{ elem symval }
+
+func (v *symAtom) render(b *strings.Builder) { b.WriteString(v.name) }
+
+func (v *symField) render(b *strings.Builder) {
+	var inner strings.Builder
+	v.x.render(&inner)
+	if inner.Len() > 0 {
+		b.WriteString(inner.String())
+		b.WriteByte('.')
+	}
+	b.WriteString(v.name)
+}
+
+func (v *symIndex) render(b *strings.Builder) {
+	v.x.render(b)
+	b.WriteString("[]")
+}
+
+func (v *symCall) render(b *strings.Builder) {
+	b.WriteString(v.name)
+	b.WriteByte('(')
+	for i, a := range v.args {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		a.render(b)
+	}
+	b.WriteByte(')')
+}
+
+func (v *symLit) render(b *strings.Builder) { b.WriteString(v.text) }
+
+func (v *symBin) render(b *strings.Builder) {
+	v.x.render(b)
+	b.WriteString(v.op)
+	v.y.render(b)
+}
+
+func (v *symStruct) render(b *strings.Builder) {
+	b.WriteString(v.info.name)
+	b.WriteByte('{')
+	for i, f := range v.info.fields {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(f.name)
+		b.WriteByte(':')
+		if fv, ok := v.fields[f.name]; ok {
+			fv.render(b)
+		} else {
+			b.WriteString(f.zero)
+		}
+	}
+	b.WriteByte('}')
+}
+
+func (v *symSlice) render(b *strings.Builder) {
+	b.WriteString("[]")
+	if v.elem != nil {
+		v.elem.render(b)
+	}
+}
+
+// renderVal is the canonical string form used for matching and output.
+func renderVal(v symval) string {
+	if v == nil {
+		return "?"
+	}
+	var b strings.Builder
+	v.render(&b)
+	return b.String()
+}
+
+// structField is one declared field of a registered struct type.
+type structField struct {
+	name string
+	zero string // rendered zero value of the declared type
+}
+
+// structInfo is the extractor's view of a struct type declaration,
+// carrying field order (for canonical rendering), zero literals (for
+// filling unset composite-literal fields) and the //amr:region spec.
+type structInfo struct {
+	name   string
+	fields []structField
+	region *regionSpec
+}
+
+// regionSpec is a parsed //amr:region directive: whether keys of the
+// type name persistent state (no producer/consumer obligations) or an
+// ephemeral stage region, and which fields participate in region
+// identity. An empty match list means pure type-class matching.
+type regionSpec struct {
+	kind  string // "state" or "stage"
+	match []string
+}
+
+// zeroFor renders the zero value of a declared field type, shape-based
+// like the rest of the suite.
+func zeroFor(t ast.Expr) string {
+	if id, ok := ast.Unparen(t).(*ast.Ident); ok {
+		switch id.Name {
+		case "bool":
+			return "false"
+		case "string":
+			return `""`
+		case "int", "int8", "int16", "int32", "int64",
+			"uint", "uint8", "uint16", "uint32", "uint64", "uintptr",
+			"float32", "float64", "byte", "rune", "complex64", "complex128":
+			return "0"
+		}
+	}
+	return "{}"
+}
+
+// matchRender renders one match field of a struct term, substituting the
+// declared zero when the literal leaves the field unset.
+func (v *symStruct) matchRender(field string) string {
+	if fv, ok := v.fields[field]; ok {
+		return renderVal(fv)
+	}
+	for _, f := range v.info.fields {
+		if f.name == field {
+			return f.zero
+		}
+	}
+	return "{}"
+}
+
+// regionsMatch reports whether two key terms name the same region. Terms
+// of the same //amr:region-annotated struct type compare only their
+// declared match fields (all fields equal when the list is empty, i.e.
+// pure class matching); everything else falls back to exact render
+// equality.
+func regionsMatch(a, b symval) bool {
+	sa, aok := a.(*symStruct)
+	sb, bok := b.(*symStruct)
+	if aok && bok && sa.info == sb.info && sa.info.region != nil {
+		for _, f := range sa.info.region.match {
+			if sa.matchRender(f) != sb.matchRender(f) {
+				return false
+			}
+		}
+		return true
+	}
+	return renderVal(a) == renderVal(b)
+}
+
+// regionKind classifies a key term: "state" and "stage" from the
+// directive on its type, "unknown" otherwise. Only stage regions carry
+// read-before-write and dead-write obligations.
+func regionKind(v symval) string {
+	if s, ok := v.(*symStruct); ok && s.info.region != nil {
+		return s.info.region.kind
+	}
+	return "unknown"
+}
+
+// regionLabel is the short name used on graph edges: the type class for
+// annotated keys, the full term otherwise.
+func regionLabel(v symval) string {
+	if s, ok := v.(*symStruct); ok && s.info.region != nil {
+		return s.info.name
+	}
+	return renderVal(v)
+}
+
+// mirrorNames is the send/recv reflection: applying it to a send's peer
+// and tag terms must yield the matching receive's terms. It covers the
+// repo's naming conventions for plan tables (sendPlans/recvPlans),
+// mover parameters (to/from) and move records (To/From).
+var mirrorNames = map[string]string{
+	"sendPlans": "recvPlans",
+	"recvPlans": "sendPlans",
+	"to":        "from",
+	"from":      "to",
+	"To":        "From",
+	"From":      "To",
+}
+
+func mirrorName(n string) string {
+	if m, ok := mirrorNames[n]; ok {
+		return m
+	}
+	return n
+}
+
+// mirror produces the term's image under the send/recv reflection.
+func mirror(v symval) symval {
+	switch v := v.(type) {
+	case *symAtom:
+		return &symAtom{name: mirrorName(v.name)}
+	case *symField:
+		return &symField{x: mirror(v.x), name: mirrorName(v.name)}
+	case *symIndex:
+		return &symIndex{x: mirror(v.x)}
+	case *symCall:
+		args := make([]symval, len(v.args))
+		for i, a := range v.args {
+			args[i] = mirror(a)
+		}
+		return &symCall{name: v.name, args: args}
+	case *symBin:
+		return &symBin{op: v.op, x: mirror(v.x), y: mirror(v.y)}
+	case *symStruct:
+		fields := make(map[string]symval, len(v.fields))
+		for k, fv := range v.fields {
+			fields[k] = mirror(fv)
+		}
+		return &symStruct{info: v.info, fields: fields}
+	case *symSlice:
+		if v.elem == nil {
+			return v
+		}
+		return &symSlice{elem: mirror(v.elem)}
+	default:
+		return v
+	}
+}
+
+// joinVals folds a new element into a slice's element abstraction:
+// equal renders keep the term, disagreement goes opaque rather than
+// wrong.
+func joinVals(a, b symval) symval {
+	if a == nil {
+		return b
+	}
+	if b == nil {
+		return a
+	}
+	if renderVal(a) == renderVal(b) {
+		return a
+	}
+	return &symLit{text: "?"}
+}

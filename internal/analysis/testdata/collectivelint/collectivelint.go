@@ -77,6 +77,35 @@ func nestedCondition(c *Comm, n int) error {
 	return nil
 }
 
+func collectiveInRankBoundedLoop(c *Comm, v float64) error {
+	for i := 0; i < c.Rank(); i++ {
+		if _, err := c.AllreduceFloat64(v, 0); err != nil { // want "rank-dependent number of times"
+			return err
+		}
+	}
+	return nil
+}
+
+func collectiveInRankSlicedRange(c *Comm, parts []int) error {
+	for range parts[:c.Rank()] {
+		if err := c.Barrier(); err != nil { // want "rank-dependent number of times"
+			return err
+		}
+	}
+	return nil
+}
+
+func branchReasonWinsOverInnerLoop(c *Comm, n int) error {
+	if c.Rank() > 0 {
+		for i := 0; i < c.Rank(); i++ {
+			if err := c.Barrier(); err != nil { // want "rank-conditional branch"
+				return err
+			}
+		}
+	}
+	return nil
+}
+
 // --- clean exemplars ---
 
 func cleanUnconditional(c *Comm, v float64) (float64, error) {
@@ -98,6 +127,15 @@ func cleanRankConditionalPointToPoint(c *Comm, buf []int) error {
 		return c.send(buf, 1, 0) // point-to-point may be rank-conditional
 	}
 	return c.recv(buf, 0, 0)
+}
+
+func cleanRankIndependentLoop(c *Comm, parts []int) error {
+	for range parts { // same length on every rank
+		if err := c.Barrier(); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 func cleanCollectiveAfterRankBranch(c *Comm, buf []int) error {

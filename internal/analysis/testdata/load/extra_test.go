@@ -1,0 +1,3 @@
+package loadcorpus
+
+func ExtraTestOnly() int { return 3 }

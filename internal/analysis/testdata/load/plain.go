@@ -1,0 +1,4 @@
+// Package loadcorpus exercises the loader: this file always loads.
+package loadcorpus
+
+func Plain() int { return 1 }

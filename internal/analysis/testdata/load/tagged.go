@@ -1,0 +1,8 @@
+//go:build ignore
+
+// This file is parked out of the build; the loader must skip it the
+// same way the go tool does.
+
+package loadcorpus
+
+func Tagged() int { return 2 }
