@@ -9,7 +9,7 @@ RACE_PKGS := ./internal/mpi ./internal/task ./internal/tampi ./internal/membuf \
 GOLDEN_DIR := internal/analysis/testdata/golden
 GRAPH_PKGS := ./internal/amr/app
 
-.PHONY: test vet fmt-check lint graph golden sanitize race check bench
+.PHONY: test vet fmt-check lint graph golden sanitize chaos race check bench
 
 test:
 	$(GO) build ./...
@@ -45,10 +45,17 @@ sanitize:
 	$(GO) test ./internal/sanitize
 	AMRSAN=1 $(GO) test ./internal/amr/app
 
+# chaos: the seeded fault-injection suite — injector determinism, MPI
+# matching under drops/duplicates/spikes, watchdog fault-awareness, and
+# the per-driver bit-identical-checksum regression.
+chaos:
+	$(GO) test -run 'Chaos|Fault|Partition|Stall|Cut' ./internal/simnet ./internal/mpi \
+		./internal/sanitize ./internal/tampi ./internal/harness
+
 race:
 	$(GO) test -race $(RACE_PKGS)
 
-check: vet fmt-check lint test sanitize race
+check: vet fmt-check lint test sanitize chaos race
 
 # Allocation benchmarks of the pooled message path (ReportAllocs is on).
 bench:

@@ -58,6 +58,8 @@ func main() {
 		tracePath  = flag.String("trace", "", "write an execution trace CSV to this path")
 		traceWidth = flag.Int("trace-width", 100, "columns of the printed timeline (with -trace)")
 		sanitizeOn = flag.Bool("sanitize", false, "run under the amrsan runtime sanitizer (also AMRSAN=1); findings go to stderr and exit status 1")
+		chaosOn    = flag.Bool("chaos", false, "inject a seeded fault schedule (drops, duplicates, latency spikes, partitions, stalls) and run the MPI layer's retransmit/ack path")
+		chaosSeed  = flag.Uint64("chaos-seed", 1, "seed of the fault schedule (with -chaos); the same seed reproduces the same injected-event log")
 	)
 	flag.Parse()
 
@@ -71,6 +73,7 @@ func main() {
 		uniformRefine: *uniformRef, showMesh: *showMesh,
 		checkpoint: *checkpoint, restore: *restore, chromeOut: *chromeOut,
 		fjSchedule: *fjSchedule, sanitize: *sanitizeOn,
+		chaos: *chaosOn, chaosSeed: *chaosSeed,
 	}); err != nil {
 		fmt.Fprintln(os.Stderr, "miniamr:", err)
 		os.Exit(1)
@@ -97,6 +100,8 @@ type runArgs struct {
 	checkpoint, restore               string
 	chromeOut, fjSchedule             string
 	sanitize                          bool
+	chaos                             bool
+	chaosSeed                         uint64
 }
 
 func run(a runArgs) error {
@@ -156,11 +161,16 @@ func run(a runArgs) error {
 		rec = trace.NewRecorder()
 	}
 
-	m, err := harness.Run(harness.RunSpec{
+	spec := harness.RunSpec{
 		Nodes: a.nodes, RanksPerNode: a.ranksPerNode, CoresPerRank: a.coresPerRank,
 		Net: net, Cfg: cfg, Variant: harness.Variant(a.variant), Recorder: rec,
 		Sanitize: a.sanitize,
-	})
+	}
+	if a.chaos {
+		faults := simnet.DefaultFaults(a.chaosSeed)
+		spec.Chaos = &faults
+	}
+	m, err := harness.Run(spec)
 	if err != nil {
 		return err
 	}
@@ -183,6 +193,11 @@ func run(a runArgs) error {
 	fmt.Printf("messages sent:     %d (%.2f MB total)\n", m.Messages, float64(m.CommBytes)/1e6)
 	fmt.Printf("buffer arena:      %d gets, %.1f%% hit rate, %d live, %d heap allocs\n",
 		m.Arena.Gets, 100*m.Arena.HitRate(), m.Arena.Live, m.HeapAllocs)
+	if a.chaos {
+		fmt.Printf("faults injected:   %d (seed %d): %s\n", m.Faults.Total(), a.chaosSeed, m.Faults)
+		fmt.Printf("fault recovery:    %d retransmits, %d drops recovered, %d duplicates discarded, %d reordered, %d abandoned\n",
+			m.Chaos.Retransmits, m.Chaos.Recovered, m.Chaos.DupsDiscarded, m.Chaos.Reordered, m.Chaos.Abandoned)
+	}
 	if len(m.MeshHistory) > 0 {
 		last := m.MeshHistory[len(m.MeshHistory)-1]
 		fmt.Printf("mesh levels:       %v blocks per level\n", last.PerLevel)

@@ -5,13 +5,15 @@ import "testing"
 // ghostExchangeAllocBaseline is the pooled message path's steady-state
 // allocation budget for one full ghost exchange, established when the
 // zero-copy buffer arena landed: a handful of per-call slice headers,
-// nothing proportional to message count or size. The sanitizer hooks
-// must not move it while the sanitizer is off.
+// nothing proportional to message count or size. Neither the sanitizer
+// hooks (while the sanitizer is off) nor the chaos fault hooks (while
+// chaos is off) may move it.
 const ghostExchangeAllocBaseline = 8
 
-// TestGhostExchangeAllocBaseline guards the sanitizer-off fast path:
-// every hook added for amrsan is a nil check, so the exchange's
-// allocs/op must stay at the pooled-arena baseline.
+// TestGhostExchangeAllocBaseline guards the sanitizer-off, chaos-off
+// fast path: every hook added for amrsan is a nil check and the fault
+// path is one nil pointer test in dispatch, so the exchange's allocs/op
+// must stay at the pooled-arena baseline.
 func TestGhostExchangeAllocBaseline(t *testing.T) {
 	if testing.Short() {
 		t.Skip("allocation baseline needs steady-state iterations")

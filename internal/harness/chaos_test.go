@@ -1,0 +1,113 @@
+package harness
+
+import (
+	"testing"
+	"time"
+
+	"miniamr/internal/mpi"
+	"miniamr/internal/simnet"
+)
+
+// chaosResilience keeps the retransmit clock fast enough for test hosts
+// while leaving a budget no healing fault schedule can exhaust.
+var chaosResilience = mpi.Resilience{RetryTimeout: 2 * time.Millisecond, MaxRetries: 20}
+
+// chaosSpec is the suite's fixed scenario: the tiny four-spheres problem
+// on 2 nodes x 2 ranks x 2 cores, with or without a fault schedule.
+func chaosSpec(v Variant, faults *simnet.Faults) RunSpec {
+	opt := tinyOpts()
+	cfg := FourSpheres([3]int{2, 2, 1}, opt.Scale)
+	return RunSpec{
+		Nodes: 2, RanksPerNode: 2, CoresPerRank: 2,
+		Net: simnet.None(), Cfg: cfg, Variant: v,
+		Chaos: faults, Resilience: chaosResilience,
+	}
+}
+
+// TestChaosChecksumsMatchFaultFree locks in the resilience guarantee:
+// every driver, run under the default seeded fault schedule, must finish
+// with checksums bit-identical to its fault-free run. Faults may only
+// cost time — never data.
+func TestChaosChecksumsMatchFaultFree(t *testing.T) {
+	for _, v := range Variants {
+		v := v
+		t.Run(string(v), func(t *testing.T) {
+			t.Parallel()
+			base, err := Run(chaosSpec(v, nil))
+			if err != nil {
+				t.Fatalf("fault-free run: %v", err)
+			}
+			faults := simnet.DefaultFaults(123)
+			m, err := Run(chaosSpec(v, &faults))
+			if err != nil {
+				t.Fatalf("chaos run: %v", err)
+			}
+			if m.Faults.Total() == 0 {
+				t.Fatal("default schedule injected nothing; the run proved nothing")
+			}
+			if len(m.Checksums) != len(base.Checksums) {
+				t.Fatalf("chaos run passed %d checksum stages, fault-free %d",
+					len(m.Checksums), len(base.Checksums))
+			}
+			for i := range base.Checksums {
+				if len(m.Checksums[i]) != len(base.Checksums[i]) {
+					t.Fatalf("stage %d: %d checksums under faults, want %d",
+						i, len(m.Checksums[i]), len(base.Checksums[i]))
+				}
+				for j := range base.Checksums[i] {
+					if m.Checksums[i][j] != base.Checksums[i][j] {
+						t.Fatalf("checksum[%d][%d] = %v under faults, want %v (bit-identical)",
+							i, j, m.Checksums[i][j], base.Checksums[i][j])
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestChaosLogReproducible locks in the determinism contract end to end:
+// the same -chaos-seed on the same problem must reproduce a byte-identical
+// injected-event log, and a different seed must not.
+func TestChaosLogReproducible(t *testing.T) {
+	t.Parallel()
+	run := func(seed uint64) string {
+		faults := simnet.DefaultFaults(seed)
+		m, err := Run(chaosSpec(DataFlow, &faults))
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if m.Faults.Total() == 0 {
+			t.Fatalf("seed %d: no faults injected", seed)
+		}
+		return simnet.LogString(m.FaultLog)
+	}
+	first := run(77)
+	if again := run(77); again != first {
+		t.Fatalf("same seed produced different injected-event logs:\n--- run 1\n%s--- run 2\n%s",
+			first, again)
+	}
+	if other := run(78); other == first {
+		t.Error("different seeds produced identical injected-event logs")
+	}
+}
+
+// TestChaosMetricsPopulated checks the harness surfaces the chaos
+// accounting: fault counts, the event log, and the transport's recovery
+// counters all land in Metrics.
+func TestChaosMetricsPopulated(t *testing.T) {
+	t.Parallel()
+	faults := simnet.DefaultFaults(9)
+	m, err := Run(chaosSpec(MPIOnly, &faults))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if int64(len(m.FaultLog)) != m.Faults.Total() {
+		t.Errorf("fault log has %d events, counters say %d", len(m.FaultLog), m.Faults.Total())
+	}
+	if lost := m.Faults.Drops + m.Faults.PartitionDrops; lost > 0 && m.Chaos.Recovered != lost {
+		t.Errorf("recovered %d of %d dropped messages", m.Chaos.Recovered, lost)
+	}
+	if m.Chaos.Abandoned != 0 {
+		t.Errorf("%d messages abandoned under a healing schedule", m.Chaos.Abandoned)
+	}
+}

@@ -72,6 +72,15 @@ type RunSpec struct {
 	// land in Metrics.Sanitizer. Setting the AMRSAN=1 environment variable
 	// forces it on for every run (the test suite's opt-in hook).
 	Sanitize bool
+	// Chaos, when non-nil and enabled, injects the seeded fault schedule
+	// into the transport and switches the MPI layer to its reliable
+	// (retransmit/ack) path. The injected events land in Metrics.FaultLog
+	// and, when a Recorder is attached, as zero-length "fault:<kind>"
+	// trace spans.
+	Chaos *simnet.Faults
+	// Resilience tunes the retransmit protocol of a chaos run; the zero
+	// value selects the defaults. Ignored when Chaos is off.
+	Resilience mpi.Resilience
 }
 
 // sanitizeForced reports whether the environment forces sanitized runs.
@@ -116,6 +125,14 @@ type Metrics struct {
 	// Sanitizer holds the amrsan findings of a sanitized run (nil when the
 	// sanitizer was off; empty for a clean sanitized run).
 	Sanitizer []sanitize.Report
+	// Faults counts the injected faults of a chaos run by kind.
+	Faults simnet.FaultStats
+	// FaultLog is the chaos run's injected-event schedule, sorted
+	// deterministically: the same seed yields a byte-identical log.
+	FaultLog []simnet.FaultEvent
+	// Chaos counts the transport's recovery work (retransmits, discarded
+	// duplicates, reordered arrivals, recovered drops, abandoned sends).
+	Chaos mpi.ChaosStats
 }
 
 // Run executes a spec and aggregates the metrics.
@@ -134,6 +151,17 @@ func Run(spec RunSpec) (Metrics, error) {
 		return Metrics{}, err
 	}
 	world := mpi.NewWorld(topo, spec.Net)
+	var inj *simnet.Injector
+	if spec.Chaos != nil && spec.Chaos.Enabled() {
+		inj = simnet.NewInjector(*spec.Chaos)
+		if rec := spec.Recorder; rec != nil {
+			inj.OnEvent = func(ev simnet.FaultEvent) {
+				now := time.Now()
+				rec.Record(ev.Src, 0, "fault:"+ev.Kind.String(), now, now)
+			}
+		}
+		world.EnableChaos(inj, spec.Resilience)
+	}
 	var san *sanitize.Sanitizer
 	if spec.Sanitize || sanitizeForced() {
 		san = sanitize.New(sanitize.Options{})
@@ -176,6 +204,11 @@ func Run(spec RunSpec) (Metrics, error) {
 		Arena:       world.Arena().Stats(),
 		HeapAllocs:  ms1.Mallocs - ms0.Mallocs,
 		Sanitizer:   findings,
+	}
+	if inj != nil {
+		m.Faults = inj.Stats()
+		m.FaultLog = inj.Log()
+		m.Chaos = world.ChaosStats()
 	}
 	for _, r := range results {
 		if r.TotalTime > m.Total {

@@ -5,12 +5,13 @@ import "testing"
 // pingPongAllocBaseline is the pooled message path's steady-state budget
 // for one round trip (two sends, two receives): the per-call slice
 // headers that escape into the `any` buffer parameters, nothing from the
-// transport itself. The monitor hooks must not move it while no monitor
-// is attached.
+// transport itself. Neither the monitor hooks (while no monitor is
+// attached) nor the chaos fault hooks (while EnableChaos was never
+// called — one c.rel nil check in dispatch) may move it.
 const pingPongAllocBaseline = 4
 
-// TestPingPongAllocBaseline guards the unmonitored fast path of the
-// message engine against allocation regressions.
+// TestPingPongAllocBaseline guards the unmonitored, chaos-off fast path
+// of the message engine against allocation regressions.
 func TestPingPongAllocBaseline(t *testing.T) {
 	if testing.Short() {
 		t.Skip("allocation baseline needs steady-state iterations")

@@ -1,0 +1,414 @@
+package mpi
+
+import (
+	"fmt"
+	mrand "math/rand/v2"
+	"sync"
+	"testing"
+	"time"
+
+	"miniamr/internal/cluster"
+	"miniamr/internal/simnet"
+)
+
+// chaosWorld builds a world with the given faults and a fast retry
+// clock, so drop-heavy tests recover in microseconds instead of the
+// production default's milliseconds.
+func chaosWorld(ranks int, f simnet.Faults) *World {
+	w := NewWorld(cluster.MustNew(1, ranks, 1), simnet.None())
+	w.EnableChaos(simnet.NewInjector(f), Resilience{
+		RetryTimeout: 500 * time.Microsecond, MaxRetries: 20, Backoff: 1.5,
+	})
+	return w
+}
+
+// lossyFaults is a hostile schedule: drops, duplicates and spikes all
+// enabled on both link classes.
+func lossyFaults(seed uint64) simnet.Faults {
+	lf := simnet.LinkFaults{
+		Drop: 0.15, Duplicate: 0.10, Spike: 0.15, SpikeMax: 200 * time.Microsecond,
+	}
+	return simnet.Faults{Seed: seed, Intra: lf, Inter: lf}
+}
+
+// TestChaosPingPongRecovers: a long blocking ping-pong over a lossy link
+// must complete with intact payloads — every drop recovered, every
+// duplicate suppressed.
+func TestChaosPingPongRecovers(t *testing.T) {
+	w := chaosWorld(2, lossyFaults(7))
+	const rounds = 120
+	err := w.Run(func(c *Comm) {
+		buf := make([]int, 2)
+		peer := 1 - c.Rank()
+		for i := 0; i < rounds; i++ {
+			if c.Rank() == 0 {
+				if err := c.Send([]int{i, 100 + i}, peer, 3); err != nil {
+					t.Errorf("send %d: %v", i, err)
+				}
+				if _, err := c.Recv(buf, peer, 4); err != nil {
+					t.Errorf("recv %d: %v", i, err)
+				} else if buf[0] != i || buf[1] != 200+i {
+					t.Errorf("round %d: got %v", i, buf)
+				}
+			} else {
+				if _, err := c.Recv(buf, peer, 3); err != nil {
+					t.Errorf("recv %d: %v", i, err)
+				} else if buf[0] != i || buf[1] != 100+i {
+					t.Errorf("round %d: got %v", i, buf)
+				}
+				if err := c.Send([]int{i, 200 + i}, peer, 4); err != nil {
+					t.Errorf("send %d: %v", i, err)
+				}
+			}
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := w.ChaosStats(); st.Recovered == 0 {
+		t.Errorf("no drops recovered over %d lossy rounds: %+v (injector: %+v)",
+			rounds, st, w.Faults().Stats())
+	}
+}
+
+// refMatcher is the in-memory reference the property test checks the
+// transport against: per source pair it records the send order and
+// answers "which message must a (src, tag) receive match next" — the
+// earliest unconsumed message from that source with a matching tag,
+// which is exactly MPI's non-overtaking guarantee given that the
+// reliable layer restores per-pair arrival order.
+type refMatcher struct {
+	sent     map[int][]refMsg // src -> messages in send order
+	consumed map[int][]bool
+}
+
+type refMsg struct {
+	tag, id int
+}
+
+func newRefMatcher() *refMatcher {
+	return &refMatcher{sent: map[int][]refMsg{}, consumed: map[int][]bool{}}
+}
+
+func (r *refMatcher) send(src, tag, id int) {
+	r.sent[src] = append(r.sent[src], refMsg{tag: tag, id: id})
+	r.consumed[src] = append(r.consumed[src], false)
+}
+
+// match consumes and returns the id the next (src, tag-pattern) receive
+// must see, or -1 if the reference has nothing left to match (a test
+// bug).
+func (r *refMatcher) match(src, tag int) int {
+	for i, m := range r.sent[src] {
+		if r.consumed[src][i] {
+			continue
+		}
+		if tag == AnyTag || tag == m.tag {
+			r.consumed[src][i] = true
+			return m.id
+		}
+	}
+	return -1
+}
+
+// TestChaosP2PMatchingProperty is the seeded property test of the
+// satellite: random interleavings of Isend/Irecv with wildcard tags,
+// drops and duplicates enabled, checked against the reference matcher
+// for per-pair FIFO order and exactly-once delivery. Source-specific
+// receives are checked against exact reference predictions; a wildcard-
+// source phase then drains the rest and is checked for per-source
+// monotone ids (FIFO) and completeness (exactly-once).
+func TestChaosP2PMatchingProperty(t *testing.T) {
+	seeds := []uint64{1, 2, 3, 4, 5, 6, 7, 8}
+	if testing.Short() {
+		seeds = seeds[:3]
+	}
+	for _, seed := range seeds {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			t.Parallel()
+			runChaosMatchingSeed(t, seed)
+		})
+	}
+}
+
+func runChaosMatchingSeed(t *testing.T, seed uint64) {
+	const (
+		senders  = 2
+		receiver = 2
+		perSrc   = 120
+		tags     = 3
+	)
+	w := chaosWorld(3, lossyFaults(seed))
+
+	// Precompute the deterministic per-sender tag sequences and the
+	// receiver's plan with one PCG per party, so the reference matcher
+	// can replay them exactly.
+	tagSeq := make([][]int, senders)
+	for s := 0; s < senders; s++ {
+		r := mrand.New(mrand.NewPCG(seed, uint64(s)))
+		tagSeq[s] = make([]int, perSrc)
+		for i := range tagSeq[s] {
+			tagSeq[s][i] = r.IntN(tags)
+		}
+	}
+	ref := newRefMatcher()
+	for s := 0; s < senders; s++ {
+		for i, tag := range tagSeq[s] {
+			ref.send(s, tag, i)
+		}
+	}
+
+	// The receiver's plan: a prefix of source-specific receives (random
+	// source, random tag pattern, random blocking/non-blocking), checked
+	// against exact reference predictions, then wildcard-source receives
+	// draining the remainder.
+	type recvOp struct {
+		src, tag int
+		nonblock bool
+		wantID   int
+	}
+	plan := []recvOp{}
+	rr := mrand.New(mrand.NewPCG(seed, 99))
+	remaining := map[int]int{0: perSrc, 1: perSrc}
+	specific := perSrc // specific receives across both sources
+	for n := 0; n < specific; n++ {
+		src := rr.IntN(senders)
+		if remaining[src] == 0 {
+			src = 1 - src
+		}
+		tag := AnyTag
+		if rr.IntN(2) == 0 {
+			// A concrete tag: pick the tag of some pending message from
+			// src so the receive cannot starve.
+			tag = -2 // sentinel; resolved below
+		}
+		op := recvOp{src: src, nonblock: rr.IntN(2) == 0}
+		if tag == AnyTag {
+			op.tag = AnyTag
+		} else {
+			// Choose the tag of the earliest unconsumed message so that
+			// matching is always possible; the reference still decides
+			// which id that is.
+			op.tag = peekNextTag(ref, src)
+		}
+		op.wantID = ref.match(op.src, op.tag)
+		if op.wantID < 0 {
+			t.Fatalf("plan bug: no matchable message for src=%d tag=%d", op.src, op.tag)
+		}
+		plan = append(plan, op)
+		remaining[src]--
+	}
+	wildcards := remaining[0] + remaining[1]
+
+	var mu sync.Mutex
+	got := map[int][]int{} // src -> ids in receive order (wildcard phase)
+
+	err := w.Run(func(c *Comm) {
+		switch c.Rank() {
+		case 0, 1:
+			r := mrand.New(mrand.NewPCG(seed, uint64(c.Rank()+10)))
+			var reqs []*Request
+			for i, tag := range tagSeq[c.Rank()] {
+				payload := []int{c.Rank(), i}
+				if r.IntN(2) == 0 {
+					if err := c.Send(payload, receiver, tag); err != nil {
+						t.Errorf("send: %v", err)
+					}
+				} else {
+					req, err := c.Isend(payload, receiver, tag)
+					if err != nil {
+						t.Errorf("isend: %v", err)
+						continue
+					}
+					reqs = append(reqs, req)
+				}
+				if r.IntN(8) == 0 {
+					time.Sleep(time.Duration(r.IntN(50)) * time.Microsecond)
+				}
+			}
+			if err := Waitall(reqs); err != nil {
+				t.Errorf("waitall: %v", err)
+			}
+		case receiver:
+			buf := make([]int, 2)
+			for i, op := range plan {
+				var st Status
+				var err error
+				if op.nonblock {
+					var req *Request
+					req, err = c.Irecv(buf, op.src, op.tag)
+					if err == nil {
+						st, err = req.Wait()
+						req.Free()
+					}
+				} else {
+					st, err = c.Recv(buf, op.src, op.tag)
+				}
+				if err != nil {
+					t.Errorf("recv %d: %v", i, err)
+					return
+				}
+				if buf[0] != op.src || buf[1] != op.wantID {
+					t.Errorf("recv %d (src=%d tag=%d): got src=%d id=%d, reference says id=%d",
+						i, op.src, op.tag, buf[0], buf[1], op.wantID)
+					return
+				}
+				if st.Source != op.src {
+					t.Errorf("recv %d: status source %d, want %d", i, st.Source, op.src)
+				}
+			}
+			for i := 0; i < wildcards; i++ {
+				st, err := c.Recv(buf, AnySource, AnyTag)
+				if err != nil {
+					t.Errorf("wildcard recv %d: %v", i, err)
+					return
+				}
+				if st.Source != buf[0] {
+					t.Errorf("wildcard recv %d: status source %d, payload says %d", i, st.Source, buf[0])
+				}
+				mu.Lock()
+				got[buf[0]] = append(got[buf[0]], buf[1])
+				mu.Unlock()
+			}
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Exactly-once and per-pair FIFO over the wildcard phase: per source
+	// the ids must be strictly increasing (order) and exactly the
+	// reference's unconsumed set (completeness, no duplicates).
+	for src := 0; src < senders; src++ {
+		var want []int
+		for i, c := range ref.consumed[src] {
+			if !c {
+				want = append(want, i)
+			}
+		}
+		ids := got[src]
+		if len(ids) != len(want) {
+			t.Fatalf("src %d: wildcard phase received %d messages, reference expects %d (%v vs %v)",
+				src, len(ids), len(want), ids, want)
+		}
+		for i := range ids {
+			if ids[i] != want[i] {
+				t.Fatalf("src %d: wildcard ids out of FIFO order or duplicated: got %v, want %v",
+					src, ids, want)
+			}
+		}
+	}
+	if st := w.ChaosStats(); st.Recovered == 0 && st.DupsDiscarded == 0 {
+		t.Errorf("chaos schedule injected nothing the transport had to recover: %+v", st)
+	}
+}
+
+// peekNextTag returns the tag of the earliest unconsumed message from
+// src in the reference, so a concrete-tag receive always has a match.
+func peekNextTag(r *refMatcher, src int) int {
+	for i, m := range r.sent[src] {
+		if !r.consumed[src][i] {
+			return m.tag
+		}
+	}
+	return AnyTag
+}
+
+// TestChaosCollectives: the collectives are built on the same p2p
+// transport, so they must survive the lossy fabric unchanged.
+func TestChaosCollectives(t *testing.T) {
+	w := chaosWorld(4, lossyFaults(11))
+	err := w.Run(func(c *Comm) {
+		for round := 0; round < 10; round++ {
+			in := []float64{float64(c.Rank() + round)}
+			out, err := c.AllreduceFloat64(in, Sum)
+			if err != nil {
+				t.Errorf("rank %d allreduce: %v", c.Rank(), err)
+				return
+			}
+			want := float64(0+1+2+3) + 4*float64(round)
+			if out[0] != want {
+				t.Errorf("rank %d round %d: allreduce = %v, want %v", c.Rank(), round, out[0], want)
+				return
+			}
+			if err := c.Barrier(); err != nil {
+				t.Errorf("rank %d barrier: %v", c.Rank(), err)
+				return
+			}
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestChaosOwnedSends: the ownership-transfer path releases exactly one
+// reference per message under drops and duplicates — the run must end
+// with zero live leases.
+func TestChaosOwnedSends(t *testing.T) {
+	w := chaosWorld(2, lossyFaults(13))
+	const msgs = 80
+	err := w.Run(func(c *Comm) {
+		if c.Rank() == 0 {
+			for i := 0; i < msgs; i++ {
+				pay := w.Arena().LeaseFloat64(16)
+				for j := range pay.Float64() {
+					pay.Float64()[j] = float64(i)
+				}
+				if err := c.SendOwned(pay, 1, 5); err != nil {
+					t.Errorf("sendowned %d: %v", i, err)
+				}
+			}
+		} else {
+			buf := make([]float64, 16)
+			for i := 0; i < msgs; i++ {
+				if _, err := c.Recv(buf, 0, 5); err != nil {
+					t.Errorf("recv %d: %v", i, err)
+				} else if buf[0] != float64(i) {
+					t.Errorf("msg %d: payload %v", i, buf[0])
+				}
+			}
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitForZeroLive(t, w)
+}
+
+// waitForZeroLive waits briefly for in-flight retransmit clones (already
+// acked data whose spurious retransmissions may still be landing) to be
+// released, then asserts the arena has no live leases.
+func waitForZeroLive(t *testing.T, w *World) {
+	t.Helper()
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		if w.Arena().Stats().Live == 0 {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Errorf("arena still holds %d live leases after chaos run", w.Arena().Stats().Live)
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestChaosOffIsInert: a world without EnableChaos must have no reliable
+// state at all — the dispatch fast path stays the pooled zero-allocation
+// one the alloc baselines guard.
+func TestChaosOffIsInert(t *testing.T) {
+	w := testWorld(t, 2)
+	if w.ChaosEnabled() || w.Faults() != nil {
+		t.Error("fresh world reports chaos enabled")
+	}
+	for r := 0; r < 2; r++ {
+		if w.Comm(r).rel != nil {
+			t.Errorf("rank %d has reliable state without chaos", r)
+		}
+	}
+	if st := w.ChaosStats(); st != (ChaosStats{}) {
+		t.Errorf("chaos counters nonzero on a chaos-free world: %+v", st)
+	}
+}

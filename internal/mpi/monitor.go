@@ -62,10 +62,30 @@ type Monitor interface {
 	RankDone(rank int)
 }
 
+// FaultMonitor is the optional fault-awareness extension of Monitor: a
+// monitor that also implements it is told about injected faults and dead
+// links, so its deadlock watchdog can tell "stalled by an injected
+// fault, retry pending" from a true deadlock. Methods must be safe for
+// concurrent use.
+type FaultMonitor interface {
+	// FaultInjected fires when the transport acts on an injected fault.
+	// kind is "drop", "duplicate", "spike", "stall" or "cut"; dest is -1
+	// for rank-level faults (stalls); seq is the per-pair sequence
+	// number the fault hit.
+	FaultInjected(kind string, src, dest, seq int)
+	// LinkDead fires when one message's retransmit budget exhausts: the
+	// (src, dest) link is presumed partitioned and the message sent on
+	// it abandoned. Fires once per abandoned message.
+	LinkDead(src, dest int)
+}
+
 // SetMonitor attaches a transport monitor. It must be called before Run and
 // before any communication; attaching mid-flight yields torn accounting.
+// A monitor that also implements FaultMonitor receives fault events from
+// the chaos path.
 func (w *World) SetMonitor(m Monitor) {
 	w.mon = m
+	w.fmon, _ = m.(FaultMonitor)
 	for r, c := range w.comms {
 		c.box.mon = m
 		c.box.rank = r

@@ -54,6 +54,12 @@ type World struct {
 	comms []*Comm
 	arena *membuf.Arena
 	mon   Monitor // optional sanitizer hooks; nil in normal runs
+
+	// Chaos state (see reliable.go); all nil/zero unless EnableChaos ran.
+	faults *simnet.Injector
+	resil  Resilience
+	fmon   FaultMonitor // monitor's optional fault-awareness, set by SetMonitor
+	chaos  chaosCounters
 }
 
 // NewWorld creates a world with one communicator handle per rank described
@@ -130,6 +136,7 @@ type Comm struct {
 	world *World
 	rank  int
 	box   *mailbox
+	rel   *relComm // reliable-transport state; nil unless chaos is enabled
 
 	collMu  sync.Mutex // serialises collectives within the rank
 	collSeq int        // per-rank collective sequence number

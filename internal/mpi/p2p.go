@@ -173,6 +173,12 @@ func (c *Comm) delayFor(dest, bytes int) time.Duration {
 // the destination's matching engine. Callers must have validated dest and
 // tag. Ownership of pay passes to the transport here.
 func (c *Comm) dispatch(pay *membuf.Lease, dest, tag, count int, req *Request) {
+	if c.rel != nil {
+		// Chaos enabled: route through the resilient sequence-numbered
+		// path (reliable.go). One nil check is the fast path's whole cost.
+		c.dispatchReliable(pay, dest, tag, count, req)
+		return
+	}
 	bytes := leaseBytes(pay)
 	c.sentMsgs.Add(1)
 	c.sentBytes.Add(int64(bytes))

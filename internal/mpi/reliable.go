@@ -1,0 +1,413 @@
+package mpi
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"miniamr/internal/membuf"
+	"miniamr/internal/simnet"
+)
+
+// This file is the transport's resilience layer, active only when chaos
+// is enabled on the world (World.EnableChaos). With faults in play the
+// plain dispatch path of p2p.go is not enough: a dropped payload would
+// wedge its receiver forever and a duplicated one would corrupt MPI's
+// matching semantics. The reliable path therefore stamps every primary
+// message of a (src, dst) pair with a sequence number and runs a
+// retransmit/ack protocol around the simulated fabric:
+//
+//   - The sender keeps the payload in a per-pair outbox until the
+//     receiver acknowledges its sequence number, retransmitting on a
+//     timeout with exponential backoff until a configurable retry budget
+//     exhausts (at which point the link is declared dead and the fault
+//     monitor told, so the amrsan watchdog can name it).
+//   - The receiver runs per-pair dedup and reordering: duplicate
+//     sequence numbers are discarded, out-of-order arrivals are parked
+//     until the gap fills, and messages enter the matching engine in
+//     exact sequence order. Per-pair FIFO matching — MPI's
+//     non-overtaking guarantee — therefore survives drops, duplicates
+//     and latency spikes without any driver change.
+//   - Acks ride an out-of-band, reliable control path (a direct call in
+//     this in-process transport); only the data path is lossy.
+//
+// Every delivery attempt carries a fresh clone of the payload so the
+// receive side's copy-out/release discipline is unchanged; the outbox
+// releases the original on ack. When chaos is off none of this exists:
+// Comm.rel stays nil and dispatch keeps its zero-allocation fast path.
+//
+// Faults apply to primary transmissions only — the seeded schedule is
+// then a pure function of the seed and the application's send counts
+// (see internal/simnet/faults.go). The one exception is a permanently
+// Cut link, which discards retransmissions too so the budget must
+// exhaust.
+
+// Resilience tunes the retransmit/ack protocol. The zero value selects
+// defaults safe for the simulated fabric models.
+type Resilience struct {
+	// RetryTimeout is the wait before the first retransmission of an
+	// unacknowledged message. Default 5ms, comfortably above the
+	// simulated transfer times of the stock network models.
+	RetryTimeout time.Duration
+	// MaxRetries is how many retransmissions are attempted before the
+	// link is declared dead. Default 10.
+	MaxRetries int
+	// Backoff multiplies the timeout after every retransmission.
+	// Default 2.
+	Backoff float64
+}
+
+func (r Resilience) withDefaults() Resilience {
+	if r.RetryTimeout <= 0 {
+		r.RetryTimeout = 5 * time.Millisecond
+	}
+	if r.MaxRetries <= 0 {
+		r.MaxRetries = 10
+	}
+	if r.Backoff < 1 {
+		r.Backoff = 2
+	}
+	return r
+}
+
+// ChaosStats counts the resilience layer's recovery work.
+type ChaosStats struct {
+	// Retransmits is the number of retransmission attempts (including
+	// attempts suppressed by a permanently cut link).
+	Retransmits int64
+	// DupsDiscarded is the number of duplicate deliveries suppressed by
+	// sequence-number dedup (injected duplicates and spurious
+	// retransmissions alike).
+	DupsDiscarded int64
+	// Reordered is the number of messages parked in a reorder buffer
+	// because an earlier sequence number had not arrived yet.
+	Reordered int64
+	// Recovered is the number of messages whose primary transmission was
+	// dropped and that a retransmission later delivered.
+	Recovered int64
+	// Abandoned is the number of messages given up on after the retry
+	// budget exhausted (dead links only).
+	Abandoned int64
+}
+
+// chaosCounters is the atomic backing store for ChaosStats.
+type chaosCounters struct {
+	retransmits, dupsDiscarded, reordered, recovered, abandoned atomic.Int64
+}
+
+// EnableChaos switches the world's transport onto the reliable path,
+// injecting faults according to inj and recovering them with the given
+// resilience parameters. It must be called before Run and before any
+// traffic. A nil injector is a no-op.
+func (w *World) EnableChaos(inj *simnet.Injector, r Resilience) {
+	if inj == nil {
+		return
+	}
+	if w.faults != nil {
+		panic("mpi: EnableChaos called twice")
+	}
+	w.faults = inj
+	w.resil = r.withDefaults()
+	for _, c := range w.comms {
+		c.rel = newRelComm(len(w.comms))
+	}
+}
+
+// ChaosEnabled reports whether the world runs the reliable chaos path.
+func (w *World) ChaosEnabled() bool { return w.faults != nil }
+
+// Faults returns the attached fault injector, or nil.
+func (w *World) Faults() *simnet.Injector { return w.faults }
+
+// ChaosStats snapshots the resilience counters.
+func (w *World) ChaosStats() ChaosStats {
+	return ChaosStats{
+		Retransmits:   w.chaos.retransmits.Load(),
+		DupsDiscarded: w.chaos.dupsDiscarded.Load(),
+		Reordered:     w.chaos.reordered.Load(),
+		Recovered:     w.chaos.recovered.Load(),
+		Abandoned:     w.chaos.abandoned.Load(),
+	}
+}
+
+// relComm is one rank's reliable-transport state: an outbox per
+// destination and an inbox per source.
+type relComm struct {
+	stallN atomic.Int64 // per-rank send index driving stall injection
+	out    []outPair
+	in     []inPair
+}
+
+func newRelComm(n int) *relComm {
+	rc := &relComm{out: make([]outPair, n), in: make([]inPair, n)}
+	for i := range rc.out {
+		rc.out[i].pending = make(map[int]*outEntry)
+	}
+	for i := range rc.in {
+		rc.in[i].held = make(map[int]heldMsg)
+	}
+	return rc
+}
+
+// outEntry is one unacknowledged message held for retransmission.
+type outEntry struct {
+	seq, tag, count int
+	bytes           int
+	pay             *membuf.Lease // original payload; released on ack or give-up
+	dropped         bool          // primary transmission was discarded
+	attempts        int           // retransmissions so far
+	timeout         time.Duration // next retransmit timeout (backed off)
+	timer           *time.Timer
+}
+
+// outPair is the sender-side stream state of one (this rank -> dest)
+// pair.
+type outPair struct {
+	mu      sync.Mutex
+	nextSeq int
+	pending map[int]*outEntry
+}
+
+// heldMsg is an out-of-order arrival parked until the gap before it
+// fills.
+type heldMsg struct {
+	tag int
+	pay *membuf.Lease
+}
+
+// inPair is the receiver-side stream state of one (src -> this rank)
+// pair: dedup plus a reorder buffer that releases messages to the
+// matching engine in exact sequence order.
+type inPair struct {
+	mu       sync.Mutex
+	expected int
+	held     map[int]heldMsg
+	ready    []heldMsg // in-order, awaiting release to the mailbox
+	draining bool      // a goroutine is releasing ready messages
+}
+
+// dispatchReliable is dispatch for chaos-enabled worlds. Ownership of
+// pay passes to the outbox, which releases it on ack or give-up; every
+// delivery attempt carries a clone.
+func (c *Comm) dispatchReliable(pay *membuf.Lease, dest, tag, count int, req *Request) {
+	w := c.world
+	inj := w.faults
+
+	// Rank stall: pause the sending rank, as if preempted, before the
+	// message enters the transport.
+	if d := inj.Stall(c.rank, int(c.rel.stallN.Add(1))-1); d > 0 {
+		if w.fmon != nil {
+			w.fmon.FaultInjected("stall", c.rank, -1, 0)
+		}
+		time.Sleep(d)
+	}
+
+	bytes := leaseBytes(pay)
+	c.sentMsgs.Add(1)
+	c.sentBytes.Add(int64(bytes))
+	if w.mon != nil {
+		w.mon.MessageSent(c.rank, dest, tag)
+	}
+
+	op := &c.rel.out[dest]
+	op.mu.Lock()
+	seq := op.nextSeq
+	op.nextSeq++
+	// The seeded schedule decides the primary transmission's fate.
+	dec := inj.Send(w.topo.SameNode(c.rank, dest), c.rank, dest, seq)
+	e := &outEntry{
+		seq: seq, tag: tag, count: count, bytes: bytes,
+		pay: pay, dropped: dec.Drop, timeout: w.resil.RetryTimeout,
+	}
+	op.pending[seq] = e
+	var clones []*membuf.Lease
+	if !dec.Drop {
+		clones = append(clones, cloneLease(w.arena, pay))
+		if dec.Duplicate {
+			clones = append(clones, cloneLease(w.arena, pay))
+		}
+	}
+	e.timer = time.AfterFunc(e.timeout, func() { c.retransmit(dest, seq) })
+	op.mu.Unlock()
+
+	if w.fmon != nil {
+		switch {
+		case dec.Cut:
+			w.fmon.FaultInjected("cut", c.rank, dest, seq)
+		case dec.Drop:
+			w.fmon.FaultInjected("drop", c.rank, dest, seq)
+		case dec.Duplicate:
+			w.fmon.FaultInjected("duplicate", c.rank, dest, seq)
+		case dec.Spike > 0:
+			w.fmon.FaultInjected("spike", c.rank, dest, seq)
+		}
+	}
+
+	// The send request completes when the primary attempt's (possibly
+	// spiked) transfer time elapses, whether or not the fabric delivered
+	// it — the payload was copied eagerly, so completion is a local
+	// matter, exactly as for a buffered MPI send.
+	st := Status{Source: c.rank, Tag: tag, Count: count}
+	delay := c.delayFor(dest, bytes) + dec.Spike
+	go func() {
+		if delay > 0 {
+			time.Sleep(delay)
+		}
+		for _, cl := range clones {
+			w.comms[dest].arrive(c.rank, seq, tag, cl)
+		}
+		if req != nil {
+			req.complete(st, nil)
+		}
+	}()
+}
+
+// retransmit is the outbox timer callback for (dest, seq): resend if
+// still unacknowledged, or declare the link dead once the budget is
+// spent. Retransmissions are never faulted by the seeded schedule; only
+// a permanent cut discards them.
+func (c *Comm) retransmit(dest, seq int) {
+	w := c.world
+	op := &c.rel.out[dest]
+	op.mu.Lock()
+	e := op.pending[seq]
+	if e == nil {
+		op.mu.Unlock()
+		return // acked in the meantime
+	}
+	if e.attempts >= w.resil.MaxRetries {
+		delete(op.pending, seq)
+		pay := e.pay
+		op.mu.Unlock()
+		pay.Release()
+		w.chaos.abandoned.Add(1)
+		if w.fmon != nil {
+			w.fmon.LinkDead(c.rank, dest)
+		}
+		return
+	}
+	e.attempts++
+	e.timeout = time.Duration(float64(e.timeout) * w.resil.Backoff)
+	var clone *membuf.Lease
+	if !w.faults.Cut(c.rank, dest) {
+		clone = cloneLease(w.arena, e.pay)
+	}
+	e.timer = time.AfterFunc(e.timeout, func() { c.retransmit(dest, seq) })
+	tag, bytes := e.tag, e.bytes
+	op.mu.Unlock()
+
+	w.chaos.retransmits.Add(1)
+	if clone == nil {
+		return // cut link: burn the attempt, the budget will exhaust
+	}
+	delay := c.delayFor(dest, bytes)
+	go func() {
+		if delay > 0 {
+			time.Sleep(delay)
+		}
+		w.comms[dest].arrive(c.rank, seq, tag, clone)
+	}()
+}
+
+// arrive is the receiver-side entry point of one delivery attempt on the
+// (src -> c.rank) pair. It dedups by sequence number, parks out-of-order
+// arrivals, releases in-order messages to the matching engine through a
+// single drainer (preserving exact sequence order), and acknowledges the
+// arrival to the sender's outbox.
+func (c *Comm) arrive(src, seq, tag int, pay *membuf.Lease) {
+	w := c.world
+	ip := &c.rel.in[src]
+	ip.mu.Lock()
+	if _, dup := ip.held[seq]; dup || seq < ip.expected {
+		ip.mu.Unlock()
+		pay.Release()
+		w.chaos.dupsDiscarded.Add(1)
+		w.ackData(src, c.rank, seq)
+		return
+	}
+	if seq > ip.expected {
+		ip.held[seq] = heldMsg{tag: tag, pay: pay}
+		ip.mu.Unlock()
+		w.chaos.reordered.Add(1)
+		w.ackData(src, c.rank, seq)
+		return
+	}
+	// In order: queue this message plus every parked one it unblocks.
+	ip.ready = append(ip.ready, heldMsg{tag: tag, pay: pay})
+	ip.expected++
+	for {
+		h, ok := ip.held[ip.expected]
+		if !ok {
+			break
+		}
+		delete(ip.held, ip.expected)
+		ip.ready = append(ip.ready, h)
+		ip.expected++
+	}
+	if ip.draining {
+		// Another goroutine is mid-release; it will pick these up. Not
+		// releasing here keeps the mailbox seeing pair messages in exact
+		// sequence order.
+		ip.mu.Unlock()
+		w.ackData(src, c.rank, seq)
+		return
+	}
+	ip.draining = true
+	for len(ip.ready) > 0 {
+		batch := ip.ready
+		ip.ready = nil
+		ip.mu.Unlock()
+		for _, m := range batch {
+			c.box.deliver(newMessage(src, m.tag, m.pay))
+		}
+		ip.mu.Lock()
+	}
+	ip.draining = false
+	ip.mu.Unlock()
+	w.ackData(src, c.rank, seq)
+}
+
+// ackData acknowledges sequence number seq of the (src -> dst) pair: the
+// sender's outbox drops the entry, stops its retransmit timer and
+// releases the original payload. Acks are idempotent (re-acks of an
+// already-cleared entry are no-ops), which makes duplicate deliveries
+// harmless on the control path too.
+func (w *World) ackData(src, dst, seq int) {
+	op := &w.comms[src].rel.out[dst]
+	op.mu.Lock()
+	e := op.pending[seq]
+	if e == nil {
+		op.mu.Unlock()
+		return
+	}
+	delete(op.pending, seq)
+	if e.timer != nil {
+		e.timer.Stop()
+	}
+	pay, recovered := e.pay, e.dropped
+	op.mu.Unlock()
+	pay.Release()
+	if recovered {
+		w.chaos.recovered.Add(1)
+	}
+}
+
+// cloneLease copies a payload into a fresh arena lease, the per-attempt
+// copy the reliable path delivers so the receive side's release
+// discipline stays unchanged.
+func cloneLease(a *membuf.Arena, pay *membuf.Lease) *membuf.Lease {
+	switch pay.Kind() {
+	case membuf.KindFloat64:
+		l := a.LeaseFloat64(pay.Len())
+		copy(l.Float64(), pay.Float64())
+		return l
+	case membuf.KindInt:
+		l := a.LeaseInt(pay.Len())
+		copy(l.Int(), pay.Int())
+		return l
+	default:
+		l := a.LeaseByte(pay.Len())
+		copy(l.Byte(), pay.Byte())
+		return l
+	}
+}

@@ -1,0 +1,108 @@
+package sanitize_test
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"miniamr/internal/cluster"
+	"miniamr/internal/mpi"
+	"miniamr/internal/sanitize"
+	"miniamr/internal/simnet"
+)
+
+// TestHealingPartitionDoesNotTripWatchdog drops every primary
+// transmission so each message is only delivered by a retransmission that
+// fires well after the deadlock grace period. While the retry is pending
+// both ranks sit hard-blocked with the event counter frozen — exactly the
+// picture a deadlock presents — and only the in-transit veto separates
+// them. The run must complete with no deadlock report.
+func TestHealingPartitionDoesNotTripWatchdog(t *testing.T) {
+	t.Parallel()
+	san := sanitize.New(sanitize.Options{DeadlockGrace: 30 * time.Millisecond})
+	w := mpi.NewWorld(cluster.MustNew(1, 2, 1), simnet.None())
+	drop := simnet.LinkFaults{Drop: 1}
+	inj := simnet.NewInjector(simnet.Faults{Seed: 7, Intra: drop, Inter: drop})
+	w.EnableChaos(inj, mpi.Resilience{RetryTimeout: 120 * time.Millisecond, MaxRetries: 10})
+	san.Attach(w)
+	err := w.Run(func(c *mpi.Comm) {
+		buf := make([]int, 1)
+		for round := 0; round < 2; round++ {
+			switch c.Rank() {
+			case 0:
+				if err := c.Send([]int{round}, 1, 5); err != nil {
+					panic(err)
+				}
+				if _, err := c.Recv(buf, 1, 6); err != nil {
+					panic(err)
+				}
+			case 1:
+				if _, err := c.Recv(buf, 0, 5); err != nil {
+					panic(err)
+				}
+				if err := c.Send(buf, 0, 6); err != nil {
+					panic(err)
+				}
+			}
+		}
+	})
+	if err != nil {
+		t.Fatalf("run failed: %v", err)
+	}
+	if got := inj.Stats().Drops; got == 0 {
+		t.Fatal("no drops injected; the scenario exercised nothing")
+	}
+	if got := w.ChaosStats().Retransmits; got == 0 {
+		t.Fatal("no retransmissions happened; messages were never at risk")
+	}
+	for _, r := range san.Finish() {
+		if r.Check == sanitize.KindDeadlock {
+			t.Fatalf("healing faults tripped the deadlock watchdog: %s", r.Msg)
+		}
+	}
+}
+
+// TestPermanentPartitionAbortsNamingRanks cuts the 0->1 link outright:
+// the retransmit budget exhausts, LinkDead removes the doomed message
+// from the in-transit count, and the watchdog must then report a genuine
+// deadlock whose description names the partitioned link.
+func TestPermanentPartitionAbortsNamingRanks(t *testing.T) {
+	t.Parallel()
+	san := sanitize.New(sanitize.Options{DeadlockGrace: 40 * time.Millisecond})
+	w := mpi.NewWorld(cluster.MustNew(1, 2, 1), simnet.None())
+	inj := simnet.NewInjector(simnet.Faults{Seed: 7, Cut: [][2]int{{0, 1}}})
+	w.EnableChaos(inj, mpi.Resilience{RetryTimeout: 2 * time.Millisecond, MaxRetries: 3})
+	san.Attach(w)
+	err := w.Run(func(c *mpi.Comm) {
+		buf := make([]int, 1)
+		switch c.Rank() {
+		case 0:
+			if err := c.Send([]int{1}, 1, 5); err != nil {
+				panic(err)
+			}
+			_, _ = c.Recv(buf, 1, 6) // aborted: the reply never comes
+		case 1:
+			_, _ = c.Recv(buf, 0, 5) // aborted: the cut link eats the message
+		}
+	})
+	if err != nil {
+		t.Fatalf("run failed: %v", err)
+	}
+	if got := w.ChaosStats().Abandoned; got == 0 {
+		t.Fatal("no message was abandoned; the cut link did not bite")
+	}
+	var dl *sanitize.Report
+	for _, r := range san.Finish() {
+		if r.Check == sanitize.KindDeadlock {
+			rc := r
+			dl = &rc
+			break
+		}
+	}
+	if dl == nil {
+		t.Fatal("permanent partition produced no deadlock report")
+	}
+	if !strings.Contains(dl.Msg, "partitioned") || !strings.Contains(dl.Msg, "0->1") {
+		t.Fatalf("deadlock report does not name the partitioned link 0->1: %s", dl.Msg)
+	}
+}

@@ -41,7 +41,9 @@ type mpiMonitor struct {
 
 	mu          sync.Mutex
 	events      uint64
-	inTransit   int // sent but not yet delivered to a matching engine
+	inTransit   int            // sent but not yet delivered to a matching engine
+	faults      map[string]int // injected-fault census by kind
+	deadLinks   map[[2]int]int // (src,dest) -> abandoned messages
 	sent        map[route]int
 	matched     map[route]int
 	posted      map[route]int
@@ -62,6 +64,8 @@ func newMPIMonitor(s *Sanitizer, ranks int, grace time.Duration) *mpiMonitor {
 		s:           s,
 		ranks:       ranks,
 		grace:       grace,
+		faults:      make(map[string]int),
+		deadLinks:   make(map[[2]int]int),
 		sent:        make(map[route]int),
 		matched:     make(map[route]int),
 		posted:      make(map[route]int),
@@ -156,6 +160,29 @@ func (m *mpiMonitor) RankDone(rank int) {
 	m.mu.Unlock()
 }
 
+// FaultInjected implements mpi.FaultMonitor. An injected fault counts as
+// transport activity: a dropped message stays in transit (the transport
+// still owes a retransmit), so the watchdog's grace clock resets and a
+// rank stalled behind a pending retry is never mistaken for deadlocked.
+func (m *mpiMonitor) FaultInjected(kind string, src, dest, seq int) {
+	m.mu.Lock()
+	m.events++
+	m.faults[kind]++
+	m.mu.Unlock()
+}
+
+// LinkDead implements mpi.FaultMonitor. The transport abandoned one
+// message after exhausting its retransmit budget: it will never reach a
+// matching engine, so it leaves the in-transit count, and the link is
+// recorded so a deadlock report can name the partitioned ranks.
+func (m *mpiMonitor) LinkDead(src, dest int) {
+	m.mu.Lock()
+	m.events++
+	m.inTransit--
+	m.deadLinks[[2]int{src, dest}]++
+	m.mu.Unlock()
+}
+
 // watchdog polls the wait-for state. A suspicion — no message in transit
 // and either every unfinished rank hard-blocked, or a cycle among the
 // hard waits-on-rank edges — must hold with the event counter frozen for
@@ -222,8 +249,13 @@ func (m *mpiMonitor) watchdog() {
 }
 
 // suspicionLocked evaluates the deadlock condition. Caller holds m.mu.
+// A positive in-transit count vetoes any suspicion: under fault injection
+// a dropped message stays in transit until acked or abandoned, so "stalled
+// by an injected fault, retry pending" never reads as a deadlock. The
+// count can dip below zero transiently when a late duplicate delivery and
+// a LinkDead race their decrements, so only > 0 vetoes.
 func (m *mpiMonitor) suspicionLocked() (bool, []*blockRec, string) {
-	if m.deadlocked || m.inTransit != 0 {
+	if m.deadlocked || m.inTransit > 0 {
 		return false, nil, ""
 	}
 	hard := make(map[int][]*blockRec)
@@ -267,6 +299,25 @@ func (m *mpiMonitor) suspicionLocked() (bool, []*blockRec, string) {
 				victims = append(victims, hard[r]...)
 			}
 		}
+	}
+	if len(m.deadLinks) > 0 {
+		links := make([][2]int, 0, len(m.deadLinks))
+		for l := range m.deadLinks {
+			links = append(links, l)
+		}
+		sort.Slice(links, func(i, j int) bool {
+			if links[i][0] != links[j][0] {
+				return links[i][0] < links[j][0]
+			}
+			return links[i][1] < links[j][1]
+		})
+		var parts []string
+		for _, l := range links {
+			parts = append(parts, fmt.Sprintf("%d->%d (%d message(s) abandoned)",
+				l[0], l[1], m.deadLinks[l]))
+		}
+		fmt.Fprintf(&desc, "; link(s) presumed partitioned after retransmit budget exhausted: %s",
+			strings.Join(parts, ", "))
 	}
 	desc.WriteString(": ")
 	desc.WriteString(m.describeBlocksLocked(hard))

@@ -1,0 +1,406 @@
+package simnet
+
+import (
+	"fmt"
+	"math/rand/v2"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// This file is the deterministic fault-injection engine. The latency model
+// in simnet.go describes a *well-behaved* interconnect; Faults describes a
+// misbehaving one: messages dropped, duplicated or delayed by spikes, links
+// partitioned for bursts (or cut permanently), and ranks stalled as if
+// preempted by the OS. The MPI layer consults an Injector on every
+// primary transmission and realises the decisions it returns; its
+// retransmit/ack protocol (internal/mpi/reliable.go) then recovers the
+// lost traffic, so applications complete with bit-identical results.
+//
+// Determinism contract: every decision is a pure function of
+// (Seed, link class, src, dst, seq) — or (Seed, rank, n) for stalls — via
+// a PCG stream keyed by those values. The injected-event schedule
+// therefore depends only on the seed and on how many primary messages the
+// application sends on each pair (retransmissions are never faulted by
+// the seeded schedule and never consume draws), so a given seed yields a
+// byte-identical event log on every run, regardless of goroutine
+// interleaving. Permanent Cut links are static configuration, applied to
+// every transmission attempt but excluded from the seeded log.
+
+// FaultKind labels one kind of injected fault.
+type FaultKind uint8
+
+// The fault kinds the injector produces.
+const (
+	// FaultDrop: a primary transmission is discarded in flight.
+	FaultDrop FaultKind = iota
+	// FaultDuplicate: a primary transmission is delivered twice.
+	FaultDuplicate
+	// FaultSpike: a primary transmission is delayed by an extra latency
+	// spike on top of the model's transfer time.
+	FaultSpike
+	// FaultPartition: a primary transmission is discarded because its
+	// link is inside a temporary partition burst.
+	FaultPartition
+	// FaultStall: a rank is paused before one of its sends, as if the OS
+	// preempted it.
+	FaultStall
+
+	numFaultKinds
+)
+
+// String implements fmt.Stringer.
+func (k FaultKind) String() string {
+	switch k {
+	case FaultDrop:
+		return "drop"
+	case FaultDuplicate:
+		return "duplicate"
+	case FaultSpike:
+		return "spike"
+	case FaultPartition:
+		return "partition"
+	case FaultStall:
+		return "stall"
+	}
+	return fmt.Sprintf("fault(%d)", uint8(k))
+}
+
+// FaultEvent is one injected fault, the unit of the reproducible schedule.
+type FaultEvent struct {
+	Kind FaultKind
+	// Src and Dst are the link's ranks; Dst is -1 for rank-level events
+	// (stalls).
+	Src, Dst int
+	// Seq is the per-pair primary-message sequence number the fault hit,
+	// or the rank's send index for stalls.
+	Seq int
+	// Delay is the injected extra latency (spikes and stalls).
+	Delay time.Duration
+}
+
+// String renders the event in the fixed format the seeded chaos suite
+// compares byte-for-byte.
+func (e FaultEvent) String() string {
+	if e.Dst < 0 {
+		return fmt.Sprintf("%s rank=%d n=%d delay=%s", e.Kind, e.Src, e.Seq, e.Delay)
+	}
+	if e.Delay > 0 {
+		return fmt.Sprintf("%s %d->%d seq=%d delay=%s", e.Kind, e.Src, e.Dst, e.Seq, e.Delay)
+	}
+	return fmt.Sprintf("%s %d->%d seq=%d", e.Kind, e.Src, e.Dst, e.Seq)
+}
+
+// LinkFaults configures the per-message fault rates of one link class
+// (intra-node or inter-node). Rates are probabilities in [0,1]; drop,
+// duplicate and spike are mutually exclusive per message (drop wins over
+// duplicate over spike).
+type LinkFaults struct {
+	// Drop is the probability a primary transmission is discarded.
+	Drop float64
+	// Duplicate is the probability a primary transmission arrives twice.
+	Duplicate float64
+	// Spike is the probability a primary transmission is delayed by an
+	// extra uniform(0, SpikeMax] latency spike.
+	Spike float64
+	// SpikeMax bounds the injected spike.
+	SpikeMax time.Duration
+	// Partition is the probability, per sequence number, that a temporary
+	// partition burst starts there: that message and the next
+	// PartitionLen-1 on the same pair are discarded.
+	Partition float64
+	// PartitionLen is the burst length in messages (default 4).
+	PartitionLen int
+}
+
+// Faults configures the fault injector. The zero value injects nothing.
+type Faults struct {
+	// Seed selects the schedule; equal seeds yield byte-identical event
+	// logs for the same traffic shape.
+	Seed uint64
+	// Intra and Inter are the fault rates of the two link classes.
+	Intra, Inter LinkFaults
+	// Stall is the per-send probability that the sending rank pauses for
+	// a uniform(0, StallMax] duration before dispatching.
+	Stall float64
+	// StallMax bounds the injected stall.
+	StallMax time.Duration
+	// Cut lists directed rank pairs whose link is partitioned permanently:
+	// every transmission attempt (retransmissions included) is discarded,
+	// so the pair's retransmit budget must exhaust. Static configuration,
+	// not part of the seeded schedule.
+	Cut [][2]int
+}
+
+// DefaultFaults is the default chaos schedule: drops, duplicates and
+// latency spikes on both link classes, occasional short partitions on the
+// fabric, and rare stalls — lively enough that every recovery path of the
+// MPI layer is exercised in a few hundred messages, gentle enough that
+// small runs still finish quickly.
+func DefaultFaults(seed uint64) Faults {
+	return Faults{
+		Seed: seed,
+		Intra: LinkFaults{
+			Drop: 0.02, Duplicate: 0.02, Spike: 0.05, SpikeMax: 200 * time.Microsecond,
+		},
+		Inter: LinkFaults{
+			Drop: 0.05, Duplicate: 0.03, Spike: 0.08, SpikeMax: 500 * time.Microsecond,
+			Partition: 0.002, PartitionLen: 4,
+		},
+		Stall: 0.002, StallMax: 300 * time.Microsecond,
+	}
+}
+
+// Enabled reports whether the configuration can inject anything at all.
+func (f Faults) Enabled() bool {
+	lf := func(l LinkFaults) bool {
+		return l.Drop > 0 || l.Duplicate > 0 || l.Spike > 0 || l.Partition > 0
+	}
+	return lf(f.Intra) || lf(f.Inter) || f.Stall > 0 || len(f.Cut) > 0
+}
+
+// Decision is the injector's verdict on one primary transmission.
+type Decision struct {
+	// Drop discards the transmission (plain drop, partition burst, or a
+	// permanent cut). The reliable layer recovers it by retransmission
+	// unless Cut is also set.
+	Drop bool
+	// Cut marks the drop as a permanent link cut: retransmissions are
+	// discarded too, so the link's retry budget will exhaust.
+	Cut bool
+	// Duplicate delivers the transmission twice.
+	Duplicate bool
+	// Spike is extra latency to add to the model's transfer time.
+	Spike time.Duration
+}
+
+// FaultStats counts injected events per kind.
+type FaultStats struct {
+	Drops, Duplicates, Spikes, PartitionDrops, Stalls int64
+}
+
+// Total sums all injected events.
+func (s FaultStats) Total() int64 {
+	return s.Drops + s.Duplicates + s.Spikes + s.PartitionDrops + s.Stalls
+}
+
+// String renders the counters for the run summary.
+func (s FaultStats) String() string {
+	return fmt.Sprintf("%d drops, %d duplicates, %d spikes, %d partition drops, %d stalls",
+		s.Drops, s.Duplicates, s.Spikes, s.PartitionDrops, s.Stalls)
+}
+
+// Injector evaluates a Faults configuration. It is safe for concurrent
+// use by every rank of a world; the recorded schedule is retrieved with
+// Log (deterministically sorted) after the run.
+type Injector struct {
+	cfg Faults
+	cut map[[2]int]bool
+
+	// OnEvent, when non-nil, observes every injected event as it happens
+	// (the harness routes it into the execution trace). It must be set
+	// before the injector sees traffic and must be safe for concurrent
+	// use.
+	OnEvent func(FaultEvent)
+
+	counts [numFaultKinds]atomic.Int64
+
+	mu  sync.Mutex
+	log []FaultEvent
+}
+
+// NewInjector compiles a configuration.
+func NewInjector(cfg Faults) *Injector {
+	in := &Injector{cfg: cfg}
+	if len(cfg.Cut) > 0 {
+		in.cut = make(map[[2]int]bool, len(cfg.Cut))
+		for _, p := range cfg.Cut {
+			in.cut[p] = true
+		}
+	}
+	return in
+}
+
+// Config returns the configuration the injector was compiled from.
+func (in *Injector) Config() Faults { return in.cfg }
+
+// streamFor derives the PCG stream of one (domain, a, b, seq) tuple. The
+// multipliers are arbitrary odd 64-bit constants (splitmix64-flavoured)
+// that spread the key space; determinism only needs them fixed.
+func (in *Injector) streamFor(domain, a, b, seq int) *rand.Rand {
+	k := in.cfg.Seed
+	k ^= uint64(domain+1) * 0x9e3779b97f4a7c15
+	k ^= uint64(a+1) * 0xbf58476d1ce4e5b9
+	k ^= uint64(b+2) * 0x94d049bb133111eb
+	return rand.New(rand.NewPCG(k, uint64(seq)))
+}
+
+// draws holds the per-sequence random draws of one link message.
+type draws struct {
+	u         float64 // event selector
+	spikeFrac float64 // spike magnitude fraction
+	burst     bool    // a partition burst starts at this seq
+}
+
+func (in *Injector) drawsFor(class int, src, dst, seq int, l LinkFaults) draws {
+	s := in.streamFor(class, src, dst, seq)
+	var d draws
+	d.u = s.Float64()
+	d.spikeFrac = s.Float64()
+	d.burst = s.Float64() < l.Partition
+	return d
+}
+
+// linkClass returns the class index used in the stream key: 0 intra-node,
+// 1 inter-node.
+func linkClass(sameNode bool) int {
+	if sameNode {
+		return 0
+	}
+	return 1
+}
+
+// Send decides the fate of primary transmission seq on the (src, dst)
+// pair and records the injected event, if any. It must be called exactly
+// once per primary transmission; retransmissions must not consult it.
+func (in *Injector) Send(sameNode bool, src, dst, seq int) Decision {
+	var dec Decision
+	if in.cut != nil && in.cut[[2]int{src, dst}] {
+		// Static cut: drop silently (not part of the seeded schedule).
+		dec.Drop, dec.Cut = true, true
+		return dec
+	}
+	l := in.cfg.Intra
+	if !sameNode {
+		l = in.cfg.Inter
+	}
+	class := linkClass(sameNode)
+
+	// Temporary partition: seq is discarded when a burst started at any
+	// of the previous PartitionLen-1 sequence numbers (or here).
+	if l.Partition > 0 {
+		plen := l.PartitionLen
+		if plen <= 0 {
+			plen = 4
+		}
+		for back := 0; back < plen && back <= seq; back++ {
+			if in.drawsFor(class, src, dst, seq-back, l).burst {
+				dec.Drop = true
+				in.record(FaultEvent{Kind: FaultPartition, Src: src, Dst: dst, Seq: seq})
+				return dec
+			}
+		}
+	}
+
+	d := in.drawsFor(class, src, dst, seq, l)
+	switch {
+	case d.u < l.Drop:
+		dec.Drop = true
+		in.record(FaultEvent{Kind: FaultDrop, Src: src, Dst: dst, Seq: seq})
+	case d.u < l.Drop+l.Duplicate:
+		dec.Duplicate = true
+		in.record(FaultEvent{Kind: FaultDuplicate, Src: src, Dst: dst, Seq: seq})
+	case d.u < l.Drop+l.Duplicate+l.Spike && l.SpikeMax > 0:
+		dec.Spike = time.Duration(d.spikeFrac * float64(l.SpikeMax))
+		if dec.Spike <= 0 {
+			dec.Spike = 1
+		}
+		in.record(FaultEvent{Kind: FaultSpike, Src: src, Dst: dst, Seq: seq, Delay: dec.Spike})
+	}
+	return dec
+}
+
+// Cut reports whether the (src, dst) link is permanently cut; the
+// reliable layer consults it on retransmissions (which never consume
+// seeded draws).
+func (in *Injector) Cut(src, dst int) bool {
+	return in.cut != nil && in.cut[[2]int{src, dst}]
+}
+
+// Stall returns how long rank must pause before its n-th send (counting
+// from 0), or zero. Like Send, it is a pure function of (Seed, rank, n).
+func (in *Injector) Stall(rank, n int) time.Duration {
+	if in.cfg.Stall <= 0 || in.cfg.StallMax <= 0 {
+		return 0
+	}
+	s := in.streamFor(2, rank, -1, n)
+	if s.Float64() >= in.cfg.Stall {
+		return 0
+	}
+	d := time.Duration(s.Float64() * float64(in.cfg.StallMax))
+	if d <= 0 {
+		d = 1
+	}
+	in.record(FaultEvent{Kind: FaultStall, Src: rank, Dst: -1, Seq: n, Delay: d})
+	return d
+}
+
+// record files an event into the schedule log and counters.
+func (in *Injector) record(ev FaultEvent) {
+	switch ev.Kind {
+	case FaultDrop:
+		in.counts[FaultDrop].Add(1)
+	case FaultDuplicate:
+		in.counts[FaultDuplicate].Add(1)
+	case FaultSpike:
+		in.counts[FaultSpike].Add(1)
+	case FaultPartition:
+		in.counts[FaultPartition].Add(1)
+	case FaultStall:
+		in.counts[FaultStall].Add(1)
+	}
+	in.mu.Lock()
+	in.log = append(in.log, ev)
+	in.mu.Unlock()
+	if in.OnEvent != nil {
+		in.OnEvent(ev)
+	}
+}
+
+// Stats returns the injected-event counters.
+func (in *Injector) Stats() FaultStats {
+	return FaultStats{
+		Drops:          in.counts[FaultDrop].Load(),
+		Duplicates:     in.counts[FaultDuplicate].Load(),
+		Spikes:         in.counts[FaultSpike].Load(),
+		PartitionDrops: in.counts[FaultPartition].Load(),
+		Stalls:         in.counts[FaultStall].Load(),
+	}
+}
+
+// Log returns the injected-event schedule in a deterministic order
+// (by src, dst, seq, kind): for a fixed seed and traffic shape the
+// rendering of this slice is byte-identical across runs, whatever the
+// goroutine interleaving was.
+func (in *Injector) Log() []FaultEvent {
+	in.mu.Lock()
+	out := make([]FaultEvent, len(in.log))
+	copy(out, in.log)
+	in.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.Src != b.Src {
+			return a.Src < b.Src
+		}
+		if a.Dst != b.Dst {
+			return a.Dst < b.Dst
+		}
+		if a.Seq != b.Seq {
+			return a.Seq < b.Seq
+		}
+		return a.Kind < b.Kind
+	})
+	return out
+}
+
+// LogString renders the schedule one event per line, the form the seeded
+// chaos suite compares across runs.
+func LogString(events []FaultEvent) string {
+	var b []byte
+	for _, e := range events {
+		b = append(b, e.String()...)
+		b = append(b, '\n')
+	}
+	return string(b)
+}

@@ -1,0 +1,244 @@
+package simnet
+
+import (
+	"math/rand/v2"
+	"sync"
+	"testing"
+	"time"
+)
+
+// chaosConfig is a lively schedule used across the determinism tests.
+func chaosConfig(seed uint64) Faults {
+	return Faults{
+		Seed: seed,
+		Intra: LinkFaults{
+			Drop: 0.1, Duplicate: 0.1, Spike: 0.2, SpikeMax: time.Millisecond,
+		},
+		Inter: LinkFaults{
+			Drop: 0.15, Duplicate: 0.1, Spike: 0.2, SpikeMax: 2 * time.Millisecond,
+			Partition: 0.01, PartitionLen: 3,
+		},
+		Stall: 0.05, StallMax: time.Millisecond,
+	}
+}
+
+// TestChaosDecisionsArePure verifies that the verdict on a given
+// (class, src, dst, seq) tuple does not depend on query order or on any
+// other query: the schedule is a pure function of the seed.
+func TestChaosDecisionsArePure(t *testing.T) {
+	const n = 500
+	a := NewInjector(chaosConfig(42))
+	b := NewInjector(chaosConfig(42))
+
+	type key struct {
+		same     bool
+		src, dst int
+		seq      int
+	}
+	var keys []key
+	for seq := 0; seq < n; seq++ {
+		keys = append(keys, key{true, 0, 1, seq}, key{false, 1, 2, seq})
+	}
+	decA := make(map[key]Decision)
+	for _, k := range keys {
+		decA[k] = a.Send(k.same, k.src, k.dst, k.seq)
+	}
+	// Query b in a shuffled order (deterministic shuffle).
+	r := rand.New(rand.NewPCG(7, 7))
+	r.Shuffle(len(keys), func(i, j int) { keys[i], keys[j] = keys[j], keys[i] })
+	for _, k := range keys {
+		if got := b.Send(k.same, k.src, k.dst, k.seq); got != decA[k] {
+			t.Fatalf("decision for %+v differs across query orders: %+v vs %+v", k, got, decA[k])
+		}
+	}
+	if la, lb := LogString(a.Log()), LogString(b.Log()); la != lb {
+		t.Errorf("sorted event logs differ across query orders:\n--- a ---\n%s--- b ---\n%s", la, lb)
+	}
+}
+
+// TestChaosLogReproducible runs the same query schedule twice, from
+// concurrent goroutines, and demands byte-identical logs.
+func TestChaosLogReproducible(t *testing.T) {
+	run := func() string {
+		in := NewInjector(chaosConfig(1234))
+		var wg sync.WaitGroup
+		for pair := 0; pair < 4; pair++ {
+			wg.Add(1)
+			go func(pair int) {
+				defer wg.Done()
+				for seq := 0; seq < 300; seq++ {
+					in.Send(pair%2 == 0, pair, pair+1, seq)
+				}
+				for n := 0; n < 100; n++ {
+					in.Stall(pair, n)
+				}
+			}(pair)
+		}
+		wg.Wait()
+		return LogString(in.Log())
+	}
+	first := run()
+	if first == "" {
+		t.Fatal("schedule injected no events; rates too low for the test to mean anything")
+	}
+	if second := run(); second != first {
+		t.Errorf("same seed produced different logs:\n--- first ---\n%s--- second ---\n%s", first, second)
+	}
+	// A different seed must produce a different schedule.
+	other := NewInjector(chaosConfig(99))
+	for seq := 0; seq < 300; seq++ {
+		other.Send(true, 0, 1, seq)
+		other.Send(false, 1, 2, seq)
+	}
+	if LogString(other.Log()) == first {
+		t.Error("different seeds produced identical logs")
+	}
+}
+
+// TestPartitionBurstContiguity: every partition burst drops PartitionLen
+// consecutive sequence numbers (unless truncated by seq 0).
+func TestPartitionBurstContiguity(t *testing.T) {
+	cfg := Faults{
+		Seed:  5,
+		Inter: LinkFaults{Partition: 0.02, PartitionLen: 4},
+	}
+	in := NewInjector(cfg)
+	const n = 2000
+	dropped := make([]bool, n)
+	for seq := 0; seq < n; seq++ {
+		d := in.Send(false, 0, 1, seq)
+		dropped[seq] = d.Drop
+	}
+	count := 0
+	for seq := 0; seq < n; seq++ {
+		if !dropped[seq] {
+			continue
+		}
+		count++
+		// A dropped seq must belong to a burst whose start is within
+		// PartitionLen-1 positions back; bursts therefore appear as runs
+		// of length >= min(PartitionLen, seq+1) unless merged. Check the
+		// cheap invariant: a drop is adjacent to another drop whenever
+		// the burst is longer than one.
+		if cfg.Inter.PartitionLen > 1 && seq+1 < n {
+			prev := seq > 0 && dropped[seq-1]
+			next := dropped[seq+1]
+			if !prev && !next {
+				t.Errorf("isolated partition drop at seq %d (burst len %d)", seq, cfg.Inter.PartitionLen)
+			}
+		}
+	}
+	if count == 0 {
+		t.Fatal("no partition drops injected; raise the rate")
+	}
+}
+
+// TestRatesRoughlyHonoured sanity-checks that a 10%% drop rate lands in
+// the right ballpark over many draws.
+func TestRatesRoughlyHonoured(t *testing.T) {
+	in := NewInjector(Faults{Seed: 8, Inter: LinkFaults{Drop: 0.1}})
+	const n = 5000
+	drops := 0
+	for seq := 0; seq < n; seq++ {
+		if in.Send(false, 0, 1, seq).Drop {
+			drops++
+		}
+	}
+	if drops < n/20 || drops > n/5 {
+		t.Errorf("drop rate 0.1 injected %d/%d drops", drops, n)
+	}
+}
+
+// TestCutLinks: permanent cuts drop every attempt, are reported as Cut,
+// and stay out of the seeded schedule log.
+func TestCutLinks(t *testing.T) {
+	in := NewInjector(Faults{Seed: 3, Cut: [][2]int{{0, 1}}})
+	for seq := 0; seq < 50; seq++ {
+		d := in.Send(false, 0, 1, seq)
+		if !d.Drop || !d.Cut {
+			t.Fatalf("cut link delivered seq %d: %+v", seq, d)
+		}
+	}
+	if !in.Cut(0, 1) {
+		t.Error("Cut(0,1) = false for a cut link")
+	}
+	if in.Cut(1, 0) {
+		t.Error("Cut(1,0) = true for the uncut reverse direction")
+	}
+	if d := in.Send(false, 1, 0, 0); d.Drop {
+		t.Errorf("reverse direction dropped: %+v", d)
+	}
+	if log := in.Log(); len(log) != 0 {
+		t.Errorf("cut drops leaked into the seeded log: %v", log)
+	}
+}
+
+// TestStallDeterminism: stalls are a pure function of (seed, rank, n) and
+// recorded in the log.
+func TestStallDeterminism(t *testing.T) {
+	a := NewInjector(Faults{Seed: 11, Stall: 0.2, StallMax: time.Millisecond})
+	b := NewInjector(Faults{Seed: 11, Stall: 0.2, StallMax: time.Millisecond})
+	stalls := 0
+	for n := 0; n < 200; n++ {
+		da, db := a.Stall(3, n), b.Stall(3, n)
+		if da != db {
+			t.Fatalf("stall(3,%d) differs: %v vs %v", n, da, db)
+		}
+		if da > 0 {
+			stalls++
+			if da > time.Millisecond {
+				t.Errorf("stall %v exceeds StallMax", da)
+			}
+		}
+	}
+	if stalls == 0 {
+		t.Fatal("no stalls injected")
+	}
+	if got := a.Stats().Stalls; got != int64(stalls) {
+		t.Errorf("Stats().Stalls = %d, want %d", got, stalls)
+	}
+}
+
+// TestOnEventObserver: every recorded event reaches the observer.
+func TestOnEventObserver(t *testing.T) {
+	in := NewInjector(Faults{Seed: 21, Inter: LinkFaults{Drop: 0.5}})
+	var mu sync.Mutex
+	seen := 0
+	in.OnEvent = func(ev FaultEvent) {
+		mu.Lock()
+		seen++
+		mu.Unlock()
+		if ev.Kind != FaultDrop {
+			t.Errorf("unexpected event kind %v", ev.Kind)
+		}
+	}
+	for seq := 0; seq < 100; seq++ {
+		in.Send(false, 0, 1, seq)
+	}
+	if int64(seen) != in.Stats().Drops || seen == 0 {
+		t.Errorf("observer saw %d events, stats say %d", seen, in.Stats().Drops)
+	}
+}
+
+// TestEnabled covers the zero-value and the knobs one by one.
+func TestEnabled(t *testing.T) {
+	if (Faults{}).Enabled() {
+		t.Error("zero Faults reports enabled")
+	}
+	cases := []Faults{
+		{Intra: LinkFaults{Drop: 0.1}},
+		{Inter: LinkFaults{Duplicate: 0.1}},
+		{Inter: LinkFaults{Spike: 0.1, SpikeMax: time.Millisecond}},
+		{Inter: LinkFaults{Partition: 0.1}},
+		{Stall: 0.1, StallMax: time.Millisecond},
+		{Cut: [][2]int{{0, 1}}},
+	}
+	for i, c := range cases {
+		if !c.Enabled() {
+			t.Errorf("case %d: Enabled() = false", i)
+		}
+	}
+	if !DefaultFaults(1).Enabled() {
+		t.Error("DefaultFaults reports disabled")
+	}
+}

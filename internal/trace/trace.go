@@ -85,10 +85,14 @@ func (r *Recorder) Len() int {
 	return len(r.events)
 }
 
-// Phase classifies a label into computation, communication, or other,
-// driving the overlap statistics.
+// Phase classifies a label into computation, communication, fault
+// injection, or other, driving the overlap statistics.
 func Phase(label string) string {
 	switch {
+	case strings.HasPrefix(label, "fault:"):
+		// Injected-fault markers (chaos runs): neither computation nor
+		// communication, kept distinct so they never count as overlap.
+		return "fault"
 	case strings.HasPrefix(label, "stencil"), strings.HasPrefix(label, "cksum"),
 		strings.HasPrefix(label, "split"), strings.HasPrefix(label, "consolidate"):
 		return "comp"
