@@ -4,10 +4,10 @@
 
 GO ?= go
 RACE_PKGS := ./internal/mpi ./internal/task ./internal/tampi ./internal/membuf \
-	./internal/simnet ./internal/amr/app
+	./internal/simnet ./internal/amr/app ./internal/driver ./internal/hydro
 
 GOLDEN_DIR := internal/analysis/testdata/golden
-GRAPH_PKGS := ./internal/amr/app
+GRAPH_PKGS := ./internal/amr/app ./internal/hydro
 
 .PHONY: test vet fmt-check lint graph golden sanitize chaos race check bench
 
@@ -43,20 +43,23 @@ golden:
 # runtime sanitizer forced on (AMRSAN=1), which must stay clean.
 sanitize:
 	$(GO) test ./internal/sanitize
-	AMRSAN=1 $(GO) test ./internal/amr/app
+	AMRSAN=1 $(GO) test ./internal/amr/app ./internal/hydro
 
 # chaos: the seeded fault-injection suite — injector determinism, MPI
 # matching under drops/duplicates/spikes, watchdog fault-awareness, and
 # the per-driver bit-identical-checksum regression.
 chaos:
 	$(GO) test -run 'Chaos|Fault|Partition|Stall|Cut' ./internal/simnet ./internal/mpi \
-		./internal/sanitize ./internal/tampi ./internal/harness
+		./internal/sanitize ./internal/tampi ./internal/harness ./internal/hydro
 
 race:
 	$(GO) test -race $(RACE_PKGS)
 
 check: vet fmt-check lint test sanitize chaos race
 
-# Allocation benchmarks of the pooled message path (ReportAllocs is on).
+# Performance trajectory: the allocation benchmarks of the pooled message
+# path plus end-to-end driver runs of both applications, recorded as one
+# machine-readable JSON document (BENCH_<n>.json, committed per PR).
+BENCH_OUT := BENCH_6.json
 bench:
-	$(GO) test -run xxx -bench 'BenchmarkPingPong|BenchmarkGhostExchange' -benchtime=2000x ./internal/mpi ./internal/amr/app
+	$(GO) run ./cmd/benchjson -o $(BENCH_OUT)

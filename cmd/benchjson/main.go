@@ -1,0 +1,225 @@
+// Command benchjson records the repo's performance trajectory as one
+// machine-readable JSON document (BENCH_<n>.json in the repo root, one
+// per PR). It combines two layers:
+//
+//   - the allocation micro-benchmarks of the pooled message path
+//     (BenchmarkPingPong, BenchmarkGhostExchange), run via `go test
+//     -bench -benchmem` and parsed from the standard output format; and
+//   - end-to-end driver runs of both applications (miniAMR and HYDRO) in
+//     all three variants on a small virtual cluster, reporting wall
+//     time, stencil/sweep work and the buffer arena's hit rate.
+//
+// Wall-clock numbers vary across hosts; the allocation counts and arena
+// hit rates are the stable regression surface (see the alloc-guard
+// tests), and the driver times give the relative variant picture.
+//
+// Usage:
+//
+//	go run ./cmd/benchjson -o BENCH_6.json
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"os/exec"
+	"runtime"
+	"strconv"
+	"strings"
+	"time"
+
+	"miniamr/internal/amr/app"
+	"miniamr/internal/driver"
+	"miniamr/internal/harness"
+	"miniamr/internal/hydro"
+	"miniamr/internal/simnet"
+)
+
+// Micro is one parsed `go test -bench` result line.
+type Micro struct {
+	Name        string  `json:"name"`
+	Package     string  `json:"package"`
+	Iterations  int64   `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+}
+
+// Driver is one end-to-end application run.
+type Driver struct {
+	App          string  `json:"app"`
+	Variant      string  `json:"variant"`
+	Ranks        int     `json:"ranks"`
+	Cores        int     `json:"cores"`
+	TotalSeconds float64 `json:"total_seconds"`
+	Flops        int64   `json:"flops"`
+	GFLOPS       float64 `json:"gflops"`
+	Tasks        int     `json:"tasks,omitempty"`
+	Messages     int64   `json:"messages"`
+	CommBytes    int64   `json:"comm_bytes"`
+	ArenaGets    int64   `json:"arena_gets"`
+	ArenaHitRate float64 `json:"arena_hit_rate"`
+	HeapAllocs   uint64  `json:"heap_allocs"`
+}
+
+// Report is the whole document.
+type Report struct {
+	Schema    int      `json:"schema"`
+	GoVersion string   `json:"go_version"`
+	GOOS      string   `json:"goos"`
+	GOARCH    string   `json:"goarch"`
+	Date      string   `json:"date"`
+	BenchTime string   `json:"benchtime"`
+	Micro     []Micro  `json:"microbenchmarks"`
+	Drivers   []Driver `json:"drivers"`
+}
+
+func main() {
+	out := flag.String("o", "BENCH.json", "output path of the JSON report")
+	benchtime := flag.String("benchtime", "2000x", "benchtime of the micro-benchmarks")
+	flag.Parse()
+
+	rep := Report{
+		Schema:    1,
+		GoVersion: runtime.Version(),
+		GOOS:      runtime.GOOS,
+		GOARCH:    runtime.GOARCH,
+		Date:      time.Now().UTC().Format(time.RFC3339),
+		BenchTime: *benchtime,
+	}
+
+	micro, err := runMicro(*benchtime)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	rep.Micro = micro
+
+	drivers, err := runDrivers()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	rep.Drivers = drivers
+
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("benchjson: %d micro-benchmarks, %d driver runs -> %s\n",
+		len(rep.Micro), len(rep.Drivers), *out)
+}
+
+// runMicro executes the allocation benchmarks through the go tool and
+// parses the standard -benchmem output lines.
+func runMicro(benchtime string) ([]Micro, error) {
+	pkgs := []string{"./internal/mpi", "./internal/amr/app"}
+	args := append([]string{
+		"test", "-run", "xxx",
+		"-bench", "BenchmarkPingPong|BenchmarkGhostExchange",
+		"-benchmem", "-benchtime", benchtime,
+	}, pkgs...)
+	cmd := exec.Command("go", args...)
+	cmd.Stderr = os.Stderr
+	outBytes, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("go test -bench: %w", err)
+	}
+
+	var micro []Micro
+	pkg := ""
+	for _, line := range strings.Split(string(outBytes), "\n") {
+		fields := strings.Fields(line)
+		// Package trailer lines ("ok   miniamr/internal/mpi  1.2s") bind
+		// the preceding benchmark lines to their package.
+		if len(fields) >= 2 && fields[0] == "pkg:" {
+			pkg = fields[1]
+			continue
+		}
+		if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+			continue
+		}
+		m := Micro{Package: pkg}
+		m.Name = strings.SplitN(fields[0], "-", 2)[0]
+		m.Iterations, _ = strconv.ParseInt(fields[1], 10, 64)
+		for i := 2; i+1 < len(fields); i += 2 {
+			v := fields[i]
+			switch fields[i+1] {
+			case "ns/op":
+				m.NsPerOp, _ = strconv.ParseFloat(v, 64)
+			case "B/op":
+				m.BytesPerOp, _ = strconv.ParseInt(v, 10, 64)
+			case "allocs/op":
+				m.AllocsPerOp, _ = strconv.ParseInt(v, 10, 64)
+			}
+		}
+		micro = append(micro, m)
+	}
+	if len(micro) == 0 {
+		return nil, fmt.Errorf("no benchmark lines parsed from go test output")
+	}
+	return micro, nil
+}
+
+// runDrivers runs both applications in every variant on the same small
+// virtual cluster and snapshots the harness metrics.
+func runDrivers() ([]Driver, error) {
+	variants := []harness.Variant{driver.MPIOnly, driver.ForkJoin, driver.DataFlow}
+
+	miniSpec := func(v harness.Variant) harness.RunSpec {
+		cfg := harness.SingleSphere([3]int{2, 2, 1}, harness.Scale{
+			BlockCells: 8, Vars: 4,
+			Timesteps: 4, StagesPerTimestep: 4, MaxLevel: 1,
+		})
+		return harness.RunSpec{
+			Nodes: 2, RanksPerNode: 1, CoresPerRank: 2,
+			Net: simnet.None(), Job: app.Job(cfg), Variant: v,
+		}
+	}
+	hydroSpec := func(v harness.Variant) harness.RunSpec {
+		cfg := hydro.Config{
+			NX: 64, NY: 64, TilesX: 4, TilesY: 4,
+			Timesteps: 8, ChecksumEvery: 4,
+		}
+		return harness.RunSpec{
+			Nodes: 2, RanksPerNode: 1, CoresPerRank: 2,
+			Net: simnet.None(), Job: hydro.Job(cfg), Variant: v,
+		}
+	}
+	var out []Driver
+	for _, spec := range []struct {
+		app string
+		mk  func(harness.Variant) harness.RunSpec
+	}{
+		{"miniamr", miniSpec},
+		{"hydro", hydroSpec},
+	} {
+		for _, v := range variants {
+			m, err := harness.Run(spec.mk(v))
+			if err != nil {
+				return nil, fmt.Errorf("%s %s: %w", spec.app, v, err)
+			}
+			out = append(out, Driver{
+				App: spec.app, Variant: string(v),
+				Ranks: m.Ranks, Cores: m.Cores,
+				TotalSeconds: m.Total.Seconds(),
+				Flops:        m.Flops,
+				GFLOPS:       m.GFLOPS,
+				Tasks:        m.Tasks,
+				Messages:     m.Messages,
+				CommBytes:    m.CommBytes,
+				ArenaGets:    m.Arena.Gets,
+				ArenaHitRate: m.Arena.HitRate(),
+				HeapAllocs:   m.HeapAllocs,
+			})
+		}
+	}
+	return out, nil
+}

@@ -4,6 +4,7 @@ import (
 	"testing"
 
 	"miniamr/internal/cluster"
+	"miniamr/internal/driver"
 	"miniamr/internal/mpi"
 	"miniamr/internal/simnet"
 )
@@ -31,13 +32,13 @@ func benchGhostExchange(b *testing.B) {
 			if err != nil {
 				panic(err)
 			}
-			d := &mpiOnlyDriver{s: s, scratch: s.arena.GetFloat64(scratchLen(&cfg))}
+			d := &mpiOnlyDriver{s: s, eng: driver.NewSerialEngine(s.arena, scratchLen(&cfg))}
 			for i := 0; i < b.N; i++ {
 				if err := d.communicate(0, cfg.CommVars); err != nil {
 					panic(err)
 				}
 			}
-			s.arena.PutFloat64(d.scratch)
+			d.eng.Close()
 			s.close()
 		})
 	}()

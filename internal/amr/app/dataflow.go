@@ -7,9 +7,8 @@ import (
 	"miniamr/internal/amr/comm"
 	"miniamr/internal/amr/grid"
 	"miniamr/internal/amr/mesh"
+	"miniamr/internal/driver"
 	"miniamr/internal/mpi"
-	"miniamr/internal/sanitize"
-	"miniamr/internal/tampi"
 	"miniamr/internal/task"
 	"miniamr/internal/trace"
 )
@@ -73,95 +72,39 @@ func RunDataFlow(cfg Config, c *mpi.Comm, rec *trace.Recorder) (Result, error) {
 	if err != nil {
 		return Result{}, err
 	}
-	opts := task.Options{
+	g, err := driver.NewGraphEngine(driver.GraphOptions{
+		Comm:                      c,
+		Recorder:                  rec,
 		Workers:                   cfg.Workers,
 		DisableImmediateSuccessor: cfg.DisableImmediateSuccessor,
-	}
-	var san *sanitize.DepSanitizer
-	if cfg.Sanitizer != nil {
-		// The concrete observer is assigned only when non-nil, so the
-		// runtime's nil check stays meaningful (a nil *DepSanitizer in an
-		// interface would not compare equal to nil).
-		san = cfg.Sanitizer.Observer(c.Rank())
-		opts.Observer = san
-	}
-	rt, err := task.NewRuntime(opts)
+		Sanitizer:                 cfg.Sanitizer,
+		ScratchLen:                scratchLen(&cfg),
+	})
 	if err != nil {
 		return Result{}, err
 	}
-	d := &dataFlowDriver{
-		s:   s,
-		rt:  rt,
-		x:   tampi.New(c),
-		san: san,
-	}
-	d.scratches = make([][]float64, cfg.Workers)
-	for i := range d.scratches {
-		d.scratches[i] = s.arena.GetFloat64(scratchLen(&cfg))
-	}
+	d := &dataFlowDriver{s: s, g: g}
 	res, err := runMain(s, d)
 	if err != nil {
 		return Result{}, err
 	}
-	rt.Shutdown()
-	for _, sc := range d.scratches {
-		s.arena.PutFloat64(sc)
-	}
+	res.TaskCount = g.SpawnCount()
+	g.Close()
 	s.close()
-	res.TaskCount = rt.SpawnCount()
 	return res, nil
 }
 
 type dataFlowDriver struct {
-	s         *state
-	rt        *task.Runtime
-	x         *tampi.Context
-	san       *sanitize.DepSanitizer // nil when the sanitizer is off
-	scratches [][]float64
+	s *state
+	// g owns the task runtime, the task-aware MPI context, the per-worker
+	// scratch buffers and the sanitizer/trace plumbing.
+	g *driver.GraphEngine
 
 	// Delayed-checksum state: two parities of per-block sum slots.
 	parity     int
 	slots      [2]map[mesh.Coord][]float64
 	slotBlocks [2][]mesh.Coord
 	pending    [2]bool
-}
-
-// recordInFlight traces the window from operation start to request
-// completion — the in-flight communication that the data-flow model
-// overlaps with computation (what the paper's Figure 3 visualises).
-func (d *dataFlowDriver) recordInFlight(t *task.Task, label string, req *mpi.Request) {
-	if d.s.rec == nil {
-		return
-	}
-	rec, rank, worker := d.s.rec, d.s.rank, t.Worker()
-	start := time.Now()
-	req.OnComplete(func() {
-		rec.Record(rank, worker, label, start, time.Now())
-	})
-}
-
-// noteRead/noteWrite/bindSection report the task's actual accesses to the
-// dependency-race sanitizer. With the sanitizer off each is a nil check.
-func (d *dataFlowDriver) noteRead(t *task.Task, key any) {
-	if d.san != nil {
-		d.san.NoteRead(t, key)
-	}
-}
-
-func (d *dataFlowDriver) noteWrite(t *task.Task, key any) {
-	if d.san != nil {
-		d.san.NoteWrite(t, key)
-	}
-}
-
-// bindSection registers which storage a buffer-section key stands for, so
-// the sanitizer can flag one buffer bound under two keys. Only the
-// persistent receive buffers are bound: send sections live in per-stage
-// arena leases whose storage is legitimately recycled under fresh keys.
-func (d *dataFlowDriver) bindSection(key any, sec []float64) {
-	if d.san != nil && len(sec) > 0 {
-		d.san.BindRegion(key, &sec[0])
-	}
 }
 
 // dirKey folds the direction into buffer keys, or collapses all directions
@@ -186,11 +129,10 @@ func (d *dataFlowDriver) communicate(g0, g1 int) error {
 	s := d.s
 	gv := g1 - g0
 	gi := d.groupIndex(g0)
-	if d.san != nil {
-		// Refinement may have rebuilt the exchange plans with recycled
-		// storage; aliasing is only meaningful within one set of plans.
-		d.san.ResetBindings()
-	}
+	// Refinement may have rebuilt the exchange plans with recycled
+	// storage; aliasing is only meaningful within one set of plans
+	// (with the sanitizer off this is a nil check).
+	d.g.ResetBindings()
 	for dir := grid.DirX; dir <= grid.DirZ; dir++ {
 		sched := s.scheds[dir]
 		dk := d.dirKey(dir)
@@ -212,20 +154,20 @@ func (d *dataFlowDriver) communicate(g0, g1 int) error {
 		for pi := range s.recvPlans[dir] {
 			pl := &s.recvPlans[dir][pi]
 			peer, mi, msg, tag := pl.peer, pl.mi, pl.msg, pl.tag
-			buf := s.recvBufs[dir][pi][:pl.cells*gv]
+			buf := s.recvBufs[dir].Buf(pi)[:pl.cells*gv]
 			secs := make([]any, len(msg))
 			for i := range msg {
 				secs[i] = sectKey{dirKey: dk, peer: peer, msg: mi, idx: i}
 			}
-			d.rt.Spawn("recv", func(t *task.Task) {
+			d.g.Spawn("recv", func(t *task.Task) {
 				for _, k := range secs {
-					d.noteWrite(t, k) // the arriving message fills every section
+					d.g.NoteWrite(t, k) // the arriving message fills every section
 				}
 				if s.cfg.BlockingTAMPI {
 					// TAMPI's blocking mode: the task pauses until the
 					// message arrives, releasing its core meanwhile.
 					start := time.Now()
-					if _, err := d.x.Recv(t, buf, peer, tag); err != nil {
+					if _, err := d.g.X.Recv(t, buf, peer, tag); err != nil {
 						panic(err)
 					}
 					s.rec.Record(s.rank, t.Worker(), "recv-wait", start, time.Now())
@@ -235,15 +177,15 @@ func (d *dataFlowDriver) communicate(g0, g1 int) error {
 				if err != nil {
 					panic(err)
 				}
-				d.recordInFlight(t, "recv-wait", req)
-				d.x.Iwait(t, req)
+				d.g.RecordInFlight(t, "recv-wait", req)
+				d.g.X.Iwait(t, req)
 			}, task.Out(secs...)...)
 
 			off := 0
 			for i, tr := range msg {
 				sec := buf[off : off+tr.Len(gv)]
 				off += tr.Len(gv)
-				d.bindSection(secs[i], sec)
+				d.g.BindSection(secs[i], sec)
 				unpacks = append(unpacks, unpackJob{tr: tr, sec: sec, key: secs[i].(sectKey)})
 			}
 		}
@@ -269,9 +211,9 @@ func (d *dataFlowDriver) communicate(g0, g1 int) error {
 				sec := buf[off : off+tr.Len(gv)]
 				off += tr.Len(gv)
 				secKey := secs[i]
-				d.rt.Spawn("pack", func(t *task.Task) {
-					d.noteRead(t, blockKey{c: tr.Src, g: gi})
-					d.noteWrite(t, secKey)
+				d.g.Spawn("pack", func(t *task.Task) {
+					d.g.NoteRead(t, blockKey{c: tr.Src, g: gi})
+					d.g.NoteWrite(t, secKey)
 					s.rec.Span(s.rank, t.Worker(), "pack", func() {
 						comm.Pack(tr, s.data[tr.Src], g0, g1, sec)
 					})
@@ -280,13 +222,13 @@ func (d *dataFlowDriver) communicate(g0, g1 int) error {
 					task.Out(secKey),
 				)...)
 			}
-			d.rt.Spawn("send", func(t *task.Task) {
+			d.g.Spawn("send", func(t *task.Task) {
 				for _, k := range secs {
-					d.noteRead(t, k) // the send serialises every packed section
+					d.g.NoteRead(t, k) // the send serialises every packed section
 				}
 				if s.cfg.BlockingTAMPI {
 					start := time.Now()
-					if err := d.x.SendOwned(t, lease, peer, tag); err != nil {
+					if err := d.g.X.SendOwned(t, lease, peer, tag); err != nil {
 						panic(err)
 					}
 					s.rec.Record(s.rank, t.Worker(), "send-wait", start, time.Now())
@@ -296,8 +238,8 @@ func (d *dataFlowDriver) communicate(g0, g1 int) error {
 				if err != nil {
 					panic(err)
 				}
-				d.recordInFlight(t, "send-wait", req)
-				d.x.Iwait(t, req)
+				d.g.RecordInFlight(t, "send-wait", req)
+				d.g.X.Iwait(t, req)
 			}, task.In(secs...)...)
 		}
 
@@ -305,11 +247,11 @@ func (d *dataFlowDriver) communicate(g0, g1 int) error {
 		// blocks of this rank.
 		for _, tr := range sched.Local {
 			tr := tr
-			d.rt.Spawn("local-copy", func(t *task.Task) {
-				d.noteRead(t, blockKey{c: tr.Src, g: gi})
-				d.noteWrite(t, blockKey{c: tr.Recv, g: gi})
+			d.g.Spawn("local-copy", func(t *task.Task) {
+				d.g.NoteRead(t, blockKey{c: tr.Src, g: gi})
+				d.g.NoteWrite(t, blockKey{c: tr.Recv, g: gi})
 				s.rec.Span(s.rank, t.Worker(), "local-copy", func() {
-					comm.ExecuteLocal(tr, s.data[tr.Src], s.data[tr.Recv], g0, g1, d.scratches[t.Worker()])
+					comm.ExecuteLocal(tr, s.data[tr.Src], s.data[tr.Recv], g0, g1, d.g.Scratch(t.Worker()))
 				})
 			}, task.Merge(
 				task.In(blockKey{c: tr.Src, g: gi}),
@@ -319,8 +261,8 @@ func (d *dataFlowDriver) communicate(g0, g1 int) error {
 		for _, bf := range sched.Boundary {
 			bf := bf
 			dir := dir
-			d.rt.Spawn("boundary", func(t *task.Task) {
-				d.noteWrite(t, blockKey{c: bf.Block, g: gi})
+			d.g.Spawn("boundary", func(t *task.Task) {
+				d.g.NoteWrite(t, blockKey{c: bf.Block, g: gi})
 				s.data[bf.Block].ApplyDomainBoundary(dir, bf.Side, g0, g1)
 			}, task.InOut(blockKey{c: bf.Block, g: gi})...)
 		}
@@ -330,9 +272,9 @@ func (d *dataFlowDriver) communicate(g0, g1 int) error {
 		for _, uj := range unpacks {
 			tr, sec := uj.tr, uj.sec
 			key := uj.key
-			d.rt.Spawn("unpack", func(t *task.Task) {
-				d.noteRead(t, key)
-				d.noteWrite(t, blockKey{c: tr.Recv, g: gi})
+			d.g.Spawn("unpack", func(t *task.Task) {
+				d.g.NoteRead(t, key)
+				d.g.NoteWrite(t, blockKey{c: tr.Recv, g: gi})
 				s.rec.Span(s.rank, t.Worker(), "unpack", func() {
 					comm.Unpack(tr, s.data[tr.Recv], g0, g1, sec)
 				})
@@ -342,7 +284,7 @@ func (d *dataFlowDriver) communicate(g0, g1 int) error {
 			)...)
 		}
 	}
-	return d.x.Err()
+	return d.g.X.Err()
 }
 
 // stencil spawns one task per block, depending in-out on the block's
@@ -355,8 +297,8 @@ func (d *dataFlowDriver) stencil(g0, g1 int) error {
 	for _, bc := range s.owned() {
 		bc := bc
 		blk := s.data[bc]
-		d.rt.Spawn("stencil", func(t *task.Task) {
-			d.noteWrite(t, blockKey{c: bc, g: gi})
+		d.g.Spawn("stencil", func(t *task.Task) {
+			d.g.NoteWrite(t, blockKey{c: bc, g: gi})
 			s.rec.Span(s.rank, t.Worker(), "stencil", func() { s.runStencil(blk, g0, g1) })
 		}, task.InOut(blockKey{c: bc, g: gi})...)
 		s.flops += s.stencilFlops(blk, g0, g1)
@@ -387,11 +329,11 @@ func (d *dataFlowDriver) checksum() error {
 			deps = append(deps, blockKey{c: bc, g: gi})
 		}
 		bc := bc
-		d.rt.Spawn("cksum-local", func(t *task.Task) {
+		d.g.Spawn("cksum-local", func(t *task.Task) {
 			for _, dep := range deps {
-				d.noteRead(t, dep)
+				d.g.NoteRead(t, dep)
 			}
-			d.noteWrite(t, slotKey{c: bc, parity: par})
+			d.g.NoteWrite(t, slotKey{c: bc, parity: par})
 			s.rec.Span(s.rank, t.Worker(), "cksum-local", func() {
 				blk.Checksum(0, s.cfg.Vars, slot)
 			})
@@ -421,8 +363,8 @@ func (d *dataFlowDriver) flushChecksum(par int) error {
 	for i, bc := range blocks {
 		keys[i] = slotKey{c: bc, parity: par}
 	}
-	d.rt.WaitKeys(keys...)
-	if err := d.x.Err(); err != nil {
+	d.g.WaitKeys(keys...)
+	if err := d.g.X.Err(); err != nil {
 		return err
 	}
 	local := s.combineBlockSums(blocks, d.slots[par])
@@ -436,8 +378,8 @@ func (d *dataFlowDriver) flushChecksum(par int) error {
 // quiesce closes the parallelism (the explicit taskwait the paper keeps
 // before refinement) and settles any pending delayed checksum.
 func (d *dataFlowDriver) quiesce() error {
-	d.rt.Wait()
-	if err := d.x.Err(); err != nil {
+	d.g.Wait()
+	if err := d.g.X.Err(); err != nil {
 		return err
 	}
 	for par := 0; par < 2; par++ {
@@ -483,11 +425,11 @@ func (d *dataFlowDriver) splitOwned(refines []mesh.Coord) error {
 		}
 		parent := s.data[bc]
 		ch := &children[i]
-		d.rt.Spawn("split", func(t *task.Task) {
+		d.g.Spawn("split", func(t *task.Task) {
 			s.rec.Span(s.rank, t.Worker(), "split", func() { parent.SplitInto(ch) })
 		})
 	}
-	d.rt.Wait()
+	d.g.Wait()
 	for i, bc := range refines {
 		s.releaseBlock(s.data[bc])
 		delete(s.data, bc)
@@ -515,11 +457,11 @@ func (d *dataFlowDriver) consolidateOwned(parents []mesh.Coord) error {
 		}
 		newParents[i] = s.newBlockData(p, false)
 		parent := newParents[i]
-		d.rt.Spawn("consolidate", func(t *task.Task) {
+		d.g.Spawn("consolidate", func(t *task.Task) {
 			s.rec.Span(s.rank, t.Worker(), "consolidate", func() { parent.ConsolidateFrom(&ch) })
 		})
 	}
-	d.rt.Wait()
+	d.g.Wait()
 	for i, p := range parents {
 		for o := 0; o < 8; o++ {
 			s.releaseBlock(s.data[p.Child(o)])
@@ -533,13 +475,13 @@ func (d *dataFlowDriver) consolidateOwned(parents []mesh.Coord) error {
 // drain completes the run: wait out the graph and settle pending delayed
 // checksums.
 func (d *dataFlowDriver) drain() error {
-	d.rt.Wait()
+	d.g.Wait()
 	for par := 0; par < 2; par++ {
 		if err := d.flushChecksum(par); err != nil {
 			return err
 		}
 	}
-	return d.x.Err()
+	return d.g.X.Err()
 }
 
 // taskMover transfers whole blocks for the refinement exchange with
@@ -559,13 +501,13 @@ func (m *taskMover) sendBlock(bc mesh.Coord, blk *grid.Data, to, tag int) {
 	s := d.s
 	lease := s.arena.LeaseFloat64(blk.InteriorLen())
 	key := xferKey{tag: tag}
-	d.rt.Spawn("exchange-pack", func(t *task.Task) {
-		d.noteWrite(t, key)
+	d.g.Spawn("exchange-pack", func(t *task.Task) {
+		d.g.NoteWrite(t, key)
 		s.rec.Span(s.rank, t.Worker(), "exchange-pack", func() { blk.PackInterior(lease.Float64()) })
 	}, task.Out(key)...)
-	d.rt.Spawn("exchange-send", func(t *task.Task) {
-		d.noteRead(t, key)
-		if err := d.x.IsendOwned(t, lease, to, tag); err != nil {
+	d.g.Spawn("exchange-send", func(t *task.Task) {
+		d.g.NoteRead(t, key)
+		if err := d.g.X.IsendOwned(t, lease, to, tag); err != nil {
 			panic(err)
 		}
 	}, task.In(key)...)
@@ -578,14 +520,14 @@ func (m *taskMover) recvBlock(bc mesh.Coord, from, tag int) *grid.Data {
 	blk := s.newBlockData(bc, false)
 	buf := s.arena.GetFloat64(blk.InteriorLen())
 	key := xferKey{tag: tag, recv: true}
-	d.rt.Spawn("exchange-recv", func(t *task.Task) {
-		d.noteWrite(t, key)
-		if err := d.x.Irecv(t, buf, from, tag); err != nil {
+	d.g.Spawn("exchange-recv", func(t *task.Task) {
+		d.g.NoteWrite(t, key)
+		if err := d.g.X.Irecv(t, buf, from, tag); err != nil {
 			panic(err)
 		}
 	}, task.Out(key)...)
-	d.rt.Spawn("exchange-unpack", func(t *task.Task) {
-		d.noteRead(t, key)
+	d.g.Spawn("exchange-unpack", func(t *task.Task) {
+		d.g.NoteRead(t, key)
 		s.rec.Span(s.rank, t.Worker(), "exchange-unpack", func() { blk.UnpackInterior(buf) })
 		s.arena.PutFloat64(buf)
 	}, task.In(key)...)
@@ -593,6 +535,6 @@ func (m *taskMover) recvBlock(bc mesh.Coord, from, tag int) *grid.Data {
 }
 
 func (m *taskMover) barrier() error {
-	m.d.rt.Wait()
-	return m.d.x.Err()
+	m.d.g.Wait()
+	return m.d.g.X.Err()
 }

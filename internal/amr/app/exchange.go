@@ -247,7 +247,7 @@ func (s *state) refineEpoch(exec refineExec) (bool, error) {
 		}
 	}
 	// Coarsening changes sums legitimately; restart drift validation.
-	s.prevSums = nil
+	s.oracle.Reset()
 	if changed {
 		s.refineCount++
 	}

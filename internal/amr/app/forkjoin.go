@@ -7,7 +7,7 @@ import (
 	"miniamr/internal/amr/comm"
 	"miniamr/internal/amr/grid"
 	"miniamr/internal/amr/mesh"
-	"miniamr/internal/forkjoin"
+	"miniamr/internal/driver"
 	"miniamr/internal/membuf"
 	"miniamr/internal/mpi"
 	"miniamr/internal/trace"
@@ -26,64 +26,49 @@ func RunForkJoin(cfg Config, c *mpi.Comm, rec *trace.Recorder) (Result, error) {
 	if err != nil {
 		return Result{}, err
 	}
-	pool := forkjoin.MustNew(cfg.Workers)
-	defer pool.Close()
-	d := &forkJoinDriver{s: s, pool: pool}
-	d.scratches = make([][]float64, cfg.Workers)
-	d.caches = make([]*membuf.Cache, cfg.Workers)
-	for i := range d.scratches {
-		d.scratches[i] = s.arena.GetFloat64(scratchLen(&cfg))
-		d.caches[i] = membuf.NewCache(s.arena)
-	}
+	eng := driver.NewForkJoinEngine(s.arena, cfg.Workers, scratchLen(&cfg),
+		cfg.ForkJoinSchedule == "dynamic")
+	defer eng.ClosePool()
+	d := &forkJoinDriver{s: s, eng: eng}
 	res, err := runMain(s, d)
 	if err != nil {
 		return Result{}, err
 	}
-	for i := range d.scratches {
-		s.arena.PutFloat64(d.scratches[i])
-		d.caches[i].Flush()
-	}
+	eng.Close()
 	s.close()
 	return res, nil
 }
 
 type forkJoinDriver struct {
-	s         *state
-	pool      *forkjoin.Pool
-	scratches [][]float64     // per-worker staging for cross-level copies
-	caches    []*membuf.Cache // per-worker arena fronts for checksum slots
-	ws        *mpi.WaitSet    // reused across stages by the master thread
+	s *state
+	// eng owns the worker pool, the per-worker scratch buffers and arena
+	// caches, and the master thread's reused waitset.
+	eng *driver.ForkJoinEngine
 }
 
 // parFor dispatches a parallel loop with the configured schedule.
 func (d *forkJoinDriver) parFor(n int, body func(i, w int)) {
-	if d.s.cfg.ForkJoinSchedule == "dynamic" {
-		d.pool.ForDynamic(n, 1, body)
-		return
-	}
-	d.pool.ForWorker(n, body)
+	d.eng.ParFor(n, body)
 }
 
 //amr:graph driver=forkjoin phase=communicate seq=1
 func (d *forkJoinDriver) communicate(g0, g1 int) error {
 	s := d.s
 	gv := g1 - g0
-	if d.ws == nil {
-		d.ws = mpi.NewWaitSet()
-	}
+	ws := d.eng.Wait()
 	for dir := grid.DirX; dir <= grid.DirZ; dir++ {
 		sched := s.scheds[dir]
 
 		// Master posts all receives; the waitset index of each request is
 		// its plan index.
-		d.ws.Reset()
+		ws.Reset()
 		for i := range s.recvPlans[dir] {
 			pl := &s.recvPlans[dir][i]
-			req, err := s.comm.Irecv(s.recvBufs[dir][i][:pl.cells*gv], pl.peer, pl.tag)
+			req, err := s.comm.Irecv(s.recvBufs[dir].Buf(i)[:pl.cells*gv], pl.peer, pl.tag)
 			if err != nil {
 				return err
 			}
-			d.ws.Add(req)
+			ws.Add(req)
 		}
 
 		// Parallel region: pack every outgoing transfer (flat index space
@@ -137,26 +122,26 @@ func (d *forkJoinDriver) communicate(g0, g1 int) error {
 		d.parFor(len(sched.Local), func(i, w int) {
 			tr := sched.Local[i]
 			s.rec.Span(s.rank, w, "local-copy", func() {
-				comm.ExecuteLocal(tr, s.data[tr.Src], s.data[tr.Recv], g0, g1, d.scratches[w])
+				comm.ExecuteLocal(tr, s.data[tr.Src], s.data[tr.Recv], g0, g1, d.eng.Scratch(w))
 			})
 		})
-		d.pool.For(len(sched.Boundary), func(i int) {
+		d.eng.For(len(sched.Boundary), func(i int) {
 			bf := sched.Boundary[i]
 			s.data[bf.Block].ApplyDomainBoundary(dir, bf.Side, g0, g1)
 		})
 
 		// Master waits for arrivals; each message unpacks in parallel.
-		for remaining := d.ws.Len(); remaining > 0; remaining-- {
+		for remaining := ws.Len(); remaining > 0; remaining-- {
 			var idx int
 			var werr error
 			s.rec.Span(s.rank, 0, "MPI_Waitany", func() {
-				idx, _, werr = d.ws.Next()
+				idx, _, werr = ws.Next()
 			})
 			if werr != nil {
 				return werr
 			}
 			pl := &s.recvPlans[dir][idx]
-			msg, buf := pl.msg, s.recvBufs[dir][idx]
+			msg, buf := pl.msg, s.recvBufs[dir].Buf(idx)
 			offs := make([]int, len(msg))
 			off := 0
 			for i, tr := range msg {
@@ -200,7 +185,7 @@ func (d *forkJoinDriver) checksum() error {
 	owned := s.owned()
 	sums := make([][]float64, len(owned))
 	d.parFor(len(owned), func(i, w int) {
-		out := d.caches[w].GetFloat64(s.cfg.Vars) // Checksum overwrites it
+		out := d.eng.Cache(w).GetFloat64(s.cfg.Vars) // Checksum overwrites it
 		blk := s.data[owned[i]]
 		s.rec.Span(s.rank, w, "cksum-local", func() { blk.Checksum(0, s.cfg.Vars, out) })
 		sums[i] = out

@@ -1,0 +1,48 @@
+package app
+
+import (
+	"fmt"
+
+	"miniamr/internal/driver"
+	"miniamr/internal/mpi"
+	"miniamr/internal/sanitize"
+	"miniamr/internal/trace"
+)
+
+// Job packages a miniAMR configuration as a driver.Job, the
+// application-agnostic unit the harness executes. The zero-variant
+// dispatch lives here — the harness itself never names an application's
+// entry points.
+func Job(cfg Config) driver.Job { return job{cfg: cfg} }
+
+type job struct{ cfg Config }
+
+func (j job) App() string { return "miniamr" }
+
+// Bind resolves a variant to its entry point with the harness-owned
+// settings applied: workers overrides the per-rank core count and san,
+// when non-nil, attaches the runtime sanitizer.
+func (j job) Bind(v driver.Variant, workers int, san *sanitize.Sanitizer) (driver.Program, error) {
+	cfg := j.cfg
+	cfg.Workers = workers
+	if san != nil {
+		cfg.Sanitizer = san
+	}
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	var run func(Config, *mpi.Comm, *trace.Recorder) (Result, error)
+	switch v {
+	case driver.MPIOnly:
+		run = RunMPIOnly
+	case driver.ForkJoin:
+		run = RunForkJoin
+	case driver.DataFlow:
+		run = RunDataFlow
+	default:
+		return nil, fmt.Errorf("app: unknown variant %q (known: %v)", v, driver.Variants)
+	}
+	return func(c *mpi.Comm, rec *trace.Recorder) (driver.Result, error) {
+		return run(cfg, c, rec)
+	}, nil
+}

@@ -7,6 +7,7 @@ import (
 	"miniamr/internal/amr/comm"
 	"miniamr/internal/amr/grid"
 	"miniamr/internal/amr/mesh"
+	"miniamr/internal/driver"
 	"miniamr/internal/mpi"
 	"miniamr/internal/trace"
 )
@@ -23,12 +24,12 @@ func RunMPIOnly(cfg Config, c *mpi.Comm, rec *trace.Recorder) (Result, error) {
 	if err != nil {
 		return Result{}, err
 	}
-	d := &mpiOnlyDriver{s: s, scratch: s.arena.GetFloat64(scratchLen(&cfg))}
+	d := &mpiOnlyDriver{s: s, eng: driver.NewSerialEngine(s.arena, scratchLen(&cfg))}
 	res, err := runMain(s, d)
 	if err != nil {
 		return Result{}, err
 	}
-	s.arena.PutFloat64(d.scratch)
+	d.eng.Close()
 	s.close()
 	return res, nil
 }
@@ -46,39 +47,36 @@ func scratchLen(cfg *Config) int {
 }
 
 type mpiOnlyDriver struct {
-	s       *state
-	scratch []float64
-	// Reused per-stage communication state: the hot path must not allocate.
-	ws       *mpi.WaitSet
-	sendReqs []*mpi.Request
+	s *state
+	// eng owns the reused per-stage communication state (waitset, send
+	// list, scratch): the hot path must not allocate.
+	eng *driver.SerialEngine
 }
 
 //amr:graph driver=mpionly phase=communicate seq=1
 func (d *mpiOnlyDriver) communicate(g0, g1 int) error {
 	s := d.s
 	gv := g1 - g0
-	if d.ws == nil {
-		d.ws = mpi.NewWaitSet()
-	}
+	ws := d.eng.Wait()
+	scratch := d.eng.Scratch()
 	for dir := grid.DirX; dir <= grid.DirZ; dir++ {
 		sched := s.scheds[dir]
 
 		// Start receiving the required faces from every remote neighbour.
 		// The waitset index of each request is its plan index.
-		d.ws.Reset()
+		ws.Reset()
 		for i := range s.recvPlans[dir] {
 			pl := &s.recvPlans[dir][i]
-			req, err := s.comm.Irecv(s.recvBufs[dir][i][:pl.cells*gv], pl.peer, pl.tag)
+			req, err := s.comm.Irecv(s.recvBufs[dir].Buf(i)[:pl.cells*gv], pl.peer, pl.tag)
 			if err != nil {
 				return err
 			}
-			d.ws.Add(req)
+			ws.Add(req)
 		}
 
 		// Pack each outgoing face bundle into a fresh arena lease and send
 		// it with ownership transfer: the receiving rank returns the buffer
 		// to the arena after unpacking.
-		d.sendReqs = d.sendReqs[:0]
 		for i := range s.sendPlans[dir] {
 			pl := &s.sendPlans[dir][i]
 			lease := s.arena.LeaseFloat64(pl.cells * gv)
@@ -90,16 +88,16 @@ func (d *mpiOnlyDriver) communicate(g0, g1 int) error {
 				// This lease is still ours; earlier sends are in flight
 				// and must settle before their buffers die.
 				lease.Release()
-				mpi.Waitall(d.sendReqs)
+				d.eng.FlushSends()
 				return err
 			}
-			d.sendReqs = append(d.sendReqs, req)
+			d.eng.TrackSend(req)
 		}
 
 		// Intra-process exchanges overlap the in-flight MPI transfers.
 		start := time.Now()
 		for _, tr := range sched.Local {
-			comm.ExecuteLocal(tr, s.data[tr.Src], s.data[tr.Recv], g0, g1, d.scratch)
+			comm.ExecuteLocal(tr, s.data[tr.Src], s.data[tr.Recv], g0, g1, scratch)
 		}
 		for _, bf := range sched.Boundary {
 			s.data[bf.Block].ApplyDomainBoundary(dir, bf.Side, g0, g1)
@@ -107,26 +105,23 @@ func (d *mpiOnlyDriver) communicate(g0, g1 int) error {
 		s.rec.Record(s.rank, 0, "local-copy", start, time.Now())
 
 		// Unpack faces as they arrive.
-		for remaining := d.ws.Len(); remaining > 0; remaining-- {
+		for remaining := ws.Len(); remaining > 0; remaining-- {
 			wstart := time.Now()
-			idx, _, werr := d.ws.Next()
+			idx, _, werr := ws.Next()
 			s.rec.Record(s.rank, 0, "MPI_Waitany", wstart, time.Now())
 			if werr != nil {
 				return werr
 			}
 			pl := &s.recvPlans[dir][idx]
 			ustart := time.Now()
-			comm.UnpackMessage(pl.msg, s.blockAt, g0, g1, s.recvBufs[dir][idx][:pl.cells*gv])
+			comm.UnpackMessage(pl.msg, s.blockAt, g0, g1, s.recvBufs[dir].Buf(idx)[:pl.cells*gv])
 			s.rec.Record(s.rank, 0, "unpack", ustart, time.Now())
 		}
 
 		// Wait until all sends complete before reusing the direction's
-		// buffers, as the reference does; then recycle the requests.
-		if err := mpi.Waitall(d.sendReqs); err != nil {
+		// buffers, as the reference does; the engine recycles the requests.
+		if err := d.eng.FlushSends(); err != nil {
 			return err
-		}
-		for _, req := range d.sendReqs {
-			req.Free()
 		}
 	}
 	return nil

@@ -1,10 +1,20 @@
 package app
 
-import "time"
+import (
+	"time"
 
-// driver is the variant-specific execution strategy plugged into the
-// shared main loop.
-type driver interface {
+	"miniamr/internal/driver"
+)
+
+func init() {
+	driver.Register("miniamr", driver.Variants...)
+}
+
+// stages is the variant-specific stage set plugged into the shared main
+// loop. miniAMR's drivers are thin stage definitions against the
+// extracted skeleton in internal/driver; this interface is their common
+// face, adapted onto driver.Hooks below.
+type stages interface {
 	// communicate exchanges ghost faces for the variable group [g0, g1).
 	communicate(g0, g1 int) error
 	// stencil applies the 7-point stencil to all owned blocks for the
@@ -23,63 +33,49 @@ type driver interface {
 	drain() error
 }
 
+// hooks adapts a stage set to driver.Hooks. miniAMR's stages do not vary
+// within a timestep, so the per-step and per-stage position arguments are
+// unused.
+type hooks struct{ d stages }
+
+func (h hooks) BeginStep(int) error               { return nil }
+func (h hooks) Communicate(_, g0, g1 int) error   { return h.d.communicate(g0, g1) }
+func (h hooks) Compute(_, g0, g1 int) error       { return h.d.stencil(g0, g1) }
+func (h hooks) Checksum(int) error                { return h.d.checksum() }
+func (h hooks) Quiesce() error                    { return h.d.quiesce() }
+func (h hooks) Refine(advance bool) (bool, error) { return h.d.refine(advance) }
+func (h hooks) Drain() error                      { return h.d.drain() }
+
 // runMain executes the miniAMR main loop (the paper's Algorithm 1/4) over
-// a driver and collects the rank's results.
-func runMain(s *state, d driver) (Result, error) {
+// a stage set and collects the rank's results. The loop schedule itself
+// lives in the driver skeleton; miniAMR contributes the stage structure
+// (its variable groups, checksum cadence and refinement cadence) and the
+// checkpoint/result plumbing around it.
+func runMain(s *state, d stages) (Result, error) {
 	start := time.Now()
-
-	// Initial refinement: iterate to the objects' steady state, one level
-	// per epoch, exactly as the reference refines before the main loop.
-	// A restored run skips it: the snapshot's mesh already reflects the
-	// objects, and re-running it could diverge from the uninterrupted run.
-	if !s.restored {
-		rStart := time.Now()
-		for i := 0; i <= s.cfg.MaxLevel+1; i++ {
-			changed, err := d.refine(false)
-			if err != nil {
-				return Result{}, err
-			}
-			if !changed {
-				break
-			}
-		}
-		s.refineTime += time.Since(rStart)
+	loop := driver.Loop{
+		Timesteps:         s.cfg.Timesteps,
+		StagesPerTimestep: s.cfg.StagesPerTimestep,
+		ChecksumEvery:     s.cfg.ChecksumEvery,
+		RefineEvery:       s.cfg.RefineEvery,
+		Groups:            s.cfg.Groups(),
+		// Initial refinement iterates to the objects' steady state, one
+		// level per epoch, exactly as the reference refines before the
+		// main loop. A restored run skips it: the snapshot's mesh already
+		// reflects the objects, and re-running it could diverge from the
+		// uninterrupted run.
+		InitialRefine:    !s.restored,
+		MaxInitialRefine: s.cfg.MaxLevel + 1,
+		StartStep:        s.startStep,
+		StartStage:       s.startStage,
 	}
-
-	stage := s.startStage
-	for ts := s.startStep + 1; ts <= s.cfg.Timesteps; ts++ {
-		for st := 1; st <= s.cfg.StagesPerTimestep; st++ {
-			stage++
-			for _, g := range s.cfg.Groups() {
-				if err := d.communicate(g[0], g[1]); err != nil {
-					return Result{}, err
-				}
-				if err := d.stencil(g[0], g[1]); err != nil {
-					return Result{}, err
-				}
-			}
-			if stage%s.cfg.ChecksumEvery == 0 {
-				if err := d.checksum(); err != nil {
-					return Result{}, err
-				}
-			}
-		}
-		if ts%s.cfg.RefineEvery == 0 {
-			if err := d.quiesce(); err != nil {
-				return Result{}, err
-			}
-			rStart := time.Now()
-			if _, err := d.refine(true); err != nil {
-				return Result{}, err
-			}
-			s.refineTime += time.Since(rStart)
-		}
-	}
-	if err := d.drain(); err != nil {
+	lr, err := loop.Run(hooks{d})
+	s.refineTime += lr.RefineTime
+	if err != nil {
 		return Result{}, err
 	}
 	if s.cfg.CheckpointFile != "" {
-		if err := s.saveCheckpoint(s.cfg.Timesteps, stage); err != nil {
+		if err := s.saveCheckpoint(s.cfg.Timesteps, lr.FinalStage); err != nil {
 			return Result{}, err
 		}
 	}
@@ -87,7 +83,7 @@ func runMain(s *state, d driver) (Result, error) {
 		TotalTime:    time.Since(start),
 		RefineTime:   s.refineTime,
 		Flops:        s.flops,
-		Checksums:    s.checksums,
+		Checksums:    s.oracle.History,
 		FinalBlocks:  len(s.data),
 		RefineEpochs: s.refineCount,
 		Comm:         s.comm.Stats(),

@@ -2,7 +2,6 @@ package app
 
 import (
 	"fmt"
-	"math"
 	"time"
 
 	"miniamr/internal/amr/balance"
@@ -10,6 +9,7 @@ import (
 	"miniamr/internal/amr/grid"
 	"miniamr/internal/amr/mesh"
 	"miniamr/internal/amr/object"
+	"miniamr/internal/driver"
 	"miniamr/internal/membuf"
 	"miniamr/internal/mpi"
 	"miniamr/internal/trace"
@@ -32,17 +32,18 @@ type state struct {
 	scheds [3]*comm.Schedule
 	// sendPlans and recvPlans are the chunked ghost messages of each
 	// direction, derived once per mesh epoch: the per-stage hot paths walk
-	// them without re-planning (or allocating). recvBufs[dir][i] is the
-	// pooled receive slab backing recvPlans[dir][i], stable across the
+	// them without re-planning (or allocating). recvBufs[dir].Buf(i) is
+	// the pooled receive slab backing recvPlans[dir][i], stable across the
 	// epoch. Send-side slabs are not retained: each message is packed into
 	// a fresh arena lease whose ownership transfers to the MPI layer (the
-	// receiver returns it).
+	// receiver returns it). The plan tables keep miniAMR's historical
+	// field names (the golden task graphs render them); new applications
+	// use the equivalent driver.Plans cache.
 	sendPlans [3][]commPlan
 	recvPlans [3][]commPlan
-	recvBufs  [3][][]float64
+	recvBufs  [3]driver.Slabs
 
-	prevSums    []float64 // last validated global sums, nil right after refinement
-	checksums   [][]float64
+	oracle      driver.Oracle // cross-variant checksum history + drift validation
 	flops       int64
 	refineTime  time.Duration
 	refineCount int
@@ -66,13 +67,9 @@ type commPlan struct {
 	msg   []comm.Transfer
 }
 
-// MeshStat is a snapshot of the mesh shape after a refinement epoch.
-type MeshStat struct {
-	// Blocks is the total leaf count.
-	Blocks int
-	// PerLevel is the leaf count per refinement level.
-	PerLevel []int
-}
+// MeshStat is a snapshot of the mesh shape after a refinement epoch; the
+// shared shape lives in the driver skeleton.
+type MeshStat = driver.MeshStat
 
 // partition applies the configured load-balancing policy to a mesh.
 func partition(cfg *Config, m *mesh.Mesh, ranks int) map[mesh.Coord]int {
@@ -109,6 +106,10 @@ func newState(cfg *Config, c *mpi.Comm, rec *trace.Recorder, chunkCap int) (*sta
 		data:     make(map[mesh.Coord]*grid.Data),
 		objs:     append([]object.Object(nil), cfg.Objects...),
 		chunkCap: chunkCap,
+		oracle:   driver.Oracle{Tolerance: cfg.ChecksumTolerance},
+	}
+	for dir := range s.recvBufs {
+		s.recvBufs[dir].Init(s.arena)
 	}
 	if cfg.RestoreFile != "" {
 		if err := s.restoreState(); err != nil {
@@ -176,8 +177,7 @@ func (s *state) rebuildComm() error {
 					cells: comm.MessageLen(msg, 1), msg: msg,
 				}
 				s.recvPlans[dir] = append(s.recvPlans[dir], pl)
-				s.recvBufs[dir] = append(s.recvBufs[dir],
-					s.arena.GetFloat64(pl.cells*s.cfg.CommVars))
+				s.recvBufs[dir].Grab(pl.cells * s.cfg.CommVars)
 			}
 		}
 	}
@@ -189,10 +189,7 @@ func (s *state) rebuildComm() error {
 // only at quiesced points.
 func (s *state) releaseRecvBufs() {
 	for dir := range s.recvBufs {
-		for _, b := range s.recvBufs[dir] {
-			s.arena.PutFloat64(b)
-		}
-		s.recvBufs[dir] = s.recvBufs[dir][:0]
+		s.recvBufs[dir].ReleaseAll()
 	}
 }
 
@@ -300,75 +297,23 @@ func (s *state) advanceObjects() {
 // bit-deterministic regardless of which worker produced each block's sums.
 // The result is a pooled buffer; reduceAndValidate takes ownership of it.
 func (s *state) combineBlockSums(blocks []mesh.Coord, perBlock map[mesh.Coord][]float64) []float64 {
-	out := s.arena.GetFloat64(s.cfg.Vars)
-	clear(out)
-	for _, bc := range blocks {
-		sums := perBlock[bc]
-		for v := range sums {
-			out[v] += sums[v]
-		}
-	}
-	return out
+	return driver.CombineSums(s.arena, s.cfg.Vars, blocks, perBlock)
 }
 
 // reduceAndValidate completes a checksum: global reduction across ranks,
-// then drift validation against the previous validated sums. Refinement
-// resets the baseline because coarsening legitimately changes sums. It
-// takes ownership of local (a pooled buffer from combineBlockSums) and
-// returns it to the arena.
+// then the oracle's drift validation against the previous validated sums.
+// Refinement resets the oracle baseline because coarsening legitimately
+// changes sums. It takes ownership of local (a pooled buffer from
+// combineBlockSums) and returns it to the arena.
 func (s *state) reduceAndValidate(local []float64) error {
 	global, err := s.comm.AllreduceFloat64(local, mpi.Sum)
 	s.arena.PutFloat64(local)
 	if err != nil {
 		return err
 	}
-	s.checksums = append(s.checksums, global)
-	if s.prevSums != nil {
-		for v := range global {
-			ref := math.Abs(s.prevSums[v])
-			if ref < 1e-12 {
-				ref = 1e-12
-			}
-			if math.Abs(global[v]-s.prevSums[v]) > s.cfg.ChecksumTolerance*ref {
-				return fmt.Errorf("app: checksum validation failed: variable %d drifted from %v to %v (tolerance %v)",
-					v, s.prevSums[v], global[v], s.cfg.ChecksumTolerance)
-			}
-		}
-	}
-	s.prevSums = global
-	return nil
+	return s.oracle.Accept(global)
 }
 
-// Result summarises one rank's run.
-type Result struct {
-	// TotalTime is the rank's wall-clock time for the whole run.
-	TotalTime time.Duration
-	// RefineTime is the wall-clock time spent in refinement phases
-	// (including initial refinement, exchanges and load balancing).
-	RefineTime time.Duration
-	// Flops counts the stencil floating-point operations this rank
-	// executed.
-	Flops int64
-	// Checksums holds every validated global checksum (identical on all
-	// ranks); the cross-variant correctness oracle.
-	Checksums [][]float64
-	// FinalBlocks is the number of blocks the rank owns at the end.
-	FinalBlocks int
-	// RefineEpochs counts refinement phases that changed the mesh.
-	RefineEpochs int
-	// TaskCount is the number of tasks the data-flow variant spawned
-	// (zero for the other variants).
-	TaskCount int
-	// Comm counts the rank's point-to-point sends (collectives included).
-	Comm mpi.CommStats
-	// MeshHistory snapshots the mesh after every refinement epoch
-	// (identical on all ranks).
-	MeshHistory []MeshStat
-	// FinalMeshView is an ASCII slice of the final mesh, filled when
-	// Config.RenderMesh is set.
-	FinalMeshView string
-}
-
-// NoRefineTime is the time outside refinement phases, the paper's
-// "No Refine" column.
-func (r Result) NoRefineTime() time.Duration { return r.TotalTime - r.RefineTime }
+// Result summarises one rank's run; the shared shape lives in the driver
+// skeleton so every application reports through the same type.
+type Result = driver.Result

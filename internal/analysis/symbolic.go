@@ -237,11 +237,14 @@ func regionLabel(v symval) string {
 
 // mirrorNames is the send/recv reflection: applying it to a send's peer
 // and tag terms must yield the matching receive's terms. It covers the
-// repo's naming conventions for plan tables (sendPlans/recvPlans),
-// mover parameters (to/from) and move records (To/From).
+// repo's naming conventions for plan tables (sendPlans/recvPlans and the
+// driver skeleton's exported SendPlans/RecvPlans), mover parameters
+// (to/from) and move records (To/From).
 var mirrorNames = map[string]string{
 	"sendPlans": "recvPlans",
 	"recvPlans": "sendPlans",
+	"SendPlans": "RecvPlans",
+	"RecvPlans": "SendPlans",
 	"to":        "from",
 	"from":      "to",
 	"To":        "From",

@@ -1,0 +1,88 @@
+package driver
+
+import (
+	"miniamr/internal/forkjoin"
+	"miniamr/internal/membuf"
+	"miniamr/internal/mpi"
+)
+
+// ForkJoinEngine is the fork-join variant's execution engine: a worker
+// pool for parallel regions with static or dynamic scheduling, per-worker
+// scratch buffers and arena caches, and a reused waitset on the master
+// thread (all MPI communication stays on the master, as the hybrid
+// MPI+OpenMP reference does).
+type ForkJoinEngine struct {
+	arena     *membuf.Arena
+	pool      *forkjoin.Pool
+	dynamic   bool
+	scratches [][]float64     // per-worker staging for cross-level copies
+	caches    []*membuf.Cache // per-worker arena fronts
+	ws        *mpi.WaitSet    // reused across stages by the master thread
+	closed    bool
+}
+
+// NewForkJoinEngine builds a pool of workers with per-worker scratch
+// buffers of scratchLen float64s. dynamic selects work-stealing chunked
+// scheduling for parallel loops; the default is static per-worker
+// partitioning.
+func NewForkJoinEngine(a *membuf.Arena, workers, scratchLen int, dynamic bool) *ForkJoinEngine {
+	e := &ForkJoinEngine{
+		arena:     a,
+		pool:      forkjoin.MustNew(workers),
+		dynamic:   dynamic,
+		scratches: make([][]float64, workers),
+		caches:    make([]*membuf.Cache, workers),
+		ws:        mpi.NewWaitSet(),
+	}
+	for i := range e.scratches {
+		e.scratches[i] = a.GetFloat64(scratchLen)
+		e.caches[i] = membuf.NewCache(a)
+	}
+	return e
+}
+
+// ParFor dispatches a parallel loop with the configured schedule; body
+// receives the iteration index and the executing worker.
+func (e *ForkJoinEngine) ParFor(n int, body func(i, w int)) {
+	if e.dynamic {
+		e.pool.ForDynamic(n, 1, body)
+		return
+	}
+	e.pool.ForWorker(n, body)
+}
+
+// For dispatches a statically partitioned parallel loop without worker
+// identity.
+func (e *ForkJoinEngine) For(n int, body func(i int)) { e.pool.For(n, body) }
+
+// Scratch returns worker w's staging buffer.
+func (e *ForkJoinEngine) Scratch(w int) []float64 { return e.scratches[w] }
+
+// Cache returns worker w's arena front.
+func (e *ForkJoinEngine) Cache(w int) *membuf.Cache { return e.caches[w] }
+
+// Wait returns the master thread's reused waitset.
+func (e *ForkJoinEngine) Wait() *mpi.WaitSet { return e.ws }
+
+// ClosePool stops the workers. Safe to call twice; Close calls it too, so
+// error paths can stop the pool without releasing buffers the run may
+// still reference.
+func (e *ForkJoinEngine) ClosePool() {
+	if e.closed {
+		return
+	}
+	e.closed = true
+	e.pool.Close()
+}
+
+// Close stops the workers and returns every pooled buffer. Called after a
+// successful run.
+func (e *ForkJoinEngine) Close() {
+	e.ClosePool()
+	for i := range e.scratches {
+		e.arena.PutFloat64(e.scratches[i])
+		e.caches[i].Flush()
+	}
+	e.scratches = nil
+	e.caches = nil
+}

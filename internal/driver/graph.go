@@ -1,0 +1,157 @@
+package driver
+
+import (
+	"time"
+
+	"miniamr/internal/membuf"
+	"miniamr/internal/mpi"
+	"miniamr/internal/sanitize"
+	"miniamr/internal/tampi"
+	"miniamr/internal/task"
+	"miniamr/internal/trace"
+)
+
+// GraphOptions configures a GraphEngine.
+type GraphOptions struct {
+	// Comm is the rank's communicator; the task-aware MPI context binds
+	// to it.
+	Comm *mpi.Comm
+	// Recorder, when non-nil, receives in-flight communication spans.
+	Recorder *trace.Recorder
+	// Workers is the task runtime's worker count.
+	Workers int
+	// DisableImmediateSuccessor turns off the runtime's immediate
+	// successor scheduling policy (the paper's ablation).
+	DisableImmediateSuccessor bool
+	// Sanitizer, when non-nil, observes the task graph for
+	// dependency races.
+	Sanitizer *sanitize.Sanitizer
+	// ScratchLen sizes the per-worker staging buffers.
+	ScratchLen int
+}
+
+// GraphEngine is the data-flow variant's execution engine: a task runtime
+// with data dependencies, a task-aware MPI context issuing communication
+// from tasks, per-worker scratch buffers, and the sanitizer/trace
+// plumbing shared by every taskified application.
+type GraphEngine struct {
+	// X is the task-aware MPI context; stage definitions issue their
+	// communication through it (X.Recv, X.Iwait, X.SendOwned, ...).
+	X *tampi.Context
+
+	rt        *task.Runtime
+	san       *sanitize.DepSanitizer // nil when the sanitizer is off
+	rec       *trace.Recorder
+	rank      int
+	arena     *membuf.Arena
+	scratches [][]float64
+}
+
+// NewGraphEngine builds the task runtime, binds the task-aware MPI
+// context and allocates the per-worker scratch buffers.
+func NewGraphEngine(o GraphOptions) (*GraphEngine, error) {
+	opts := task.Options{
+		Workers:                   o.Workers,
+		DisableImmediateSuccessor: o.DisableImmediateSuccessor,
+	}
+	var san *sanitize.DepSanitizer
+	if o.Sanitizer != nil {
+		// The concrete observer is assigned only when non-nil, so the
+		// runtime's nil check stays meaningful (a nil *DepSanitizer in an
+		// interface would not compare equal to nil).
+		san = o.Sanitizer.Observer(o.Comm.Rank())
+		opts.Observer = san
+	}
+	rt, err := task.NewRuntime(opts)
+	if err != nil {
+		return nil, err
+	}
+	g := &GraphEngine{
+		X:         tampi.New(o.Comm),
+		rt:        rt,
+		san:       san,
+		rec:       o.Recorder,
+		rank:      o.Comm.Rank(),
+		arena:     o.Comm.World().Arena(),
+		scratches: make([][]float64, o.Workers),
+	}
+	for i := range g.scratches {
+		g.scratches[i] = g.arena.GetFloat64(o.ScratchLen)
+	}
+	return g, nil
+}
+
+// Spawn submits a task with the given dependency accesses.
+func (g *GraphEngine) Spawn(label string, body func(*task.Task), accs ...task.Access) {
+	g.rt.Spawn(label, body, accs...)
+}
+
+// Wait blocks until every spawned task completed (a global taskwait).
+func (g *GraphEngine) Wait() { g.rt.Wait() }
+
+// WaitKeys blocks until the tasks writing the given dependency keys
+// completed (a taskwait with dependencies).
+func (g *GraphEngine) WaitKeys(keys ...any) { g.rt.WaitKeys(keys...) }
+
+// SpawnCount returns the number of tasks spawned so far.
+func (g *GraphEngine) SpawnCount() int { return g.rt.SpawnCount() }
+
+// Scratch returns worker w's staging buffer.
+func (g *GraphEngine) Scratch(w int) []float64 { return g.scratches[w] }
+
+// NoteRead reports a task's actual read to the dependency-race
+// sanitizer. With the sanitizer off it is a nil check.
+func (g *GraphEngine) NoteRead(t *task.Task, key any) {
+	if g.san != nil {
+		g.san.NoteRead(t, key)
+	}
+}
+
+// NoteWrite reports a task's actual write to the sanitizer.
+func (g *GraphEngine) NoteWrite(t *task.Task, key any) {
+	if g.san != nil {
+		g.san.NoteWrite(t, key)
+	}
+}
+
+// BindSection registers which storage a buffer-section key stands for, so
+// the sanitizer can flag one buffer bound under two keys. Only persistent
+// buffers should be bound: sections of per-stage arena leases are
+// legitimately recycled under fresh keys.
+func (g *GraphEngine) BindSection(key any, sec []float64) {
+	if g.san != nil && len(sec) > 0 {
+		g.san.BindRegion(key, &sec[0])
+	}
+}
+
+// ResetBindings drops the sanitizer's section bindings; applications call
+// it when communication plans are rebuilt over recycled storage.
+func (g *GraphEngine) ResetBindings() {
+	if g.san != nil {
+		g.san.ResetBindings()
+	}
+}
+
+// RecordInFlight traces the window from operation start to request
+// completion — the in-flight communication that the data-flow model
+// overlaps with computation (what the paper's Figure 3 visualises).
+func (g *GraphEngine) RecordInFlight(t *task.Task, label string, req *mpi.Request) {
+	if g.rec == nil {
+		return
+	}
+	rec, rank, worker := g.rec, g.rank, t.Worker()
+	start := time.Now()
+	req.OnComplete(func() {
+		rec.Record(rank, worker, label, start, time.Now())
+	})
+}
+
+// Close shuts the task runtime down and returns the pooled scratch
+// buffers. Called after a successful run.
+func (g *GraphEngine) Close() {
+	g.rt.Shutdown()
+	for _, sc := range g.scratches {
+		g.arena.PutFloat64(sc)
+	}
+	g.scratches = nil
+}

@@ -1,0 +1,53 @@
+package driver
+
+import (
+	"time"
+
+	"miniamr/internal/mpi"
+)
+
+// Result summarises one rank's run. Every application reports through
+// this shape so the harness can aggregate Metrics without knowing the
+// application.
+type Result struct {
+	// TotalTime is the rank's wall-clock time for the whole run.
+	TotalTime time.Duration
+	// RefineTime is the wall-clock time spent in refinement phases
+	// (including initial refinement, exchanges and load balancing); zero
+	// for applications without mesh adaptation.
+	RefineTime time.Duration
+	// Flops counts the floating-point operations of the application's
+	// kernels on this rank.
+	Flops int64
+	// Checksums holds every validated global checksum (identical on all
+	// ranks); the cross-variant correctness oracle.
+	Checksums [][]float64
+	// FinalBlocks is the number of blocks (or tiles) the rank owns at the
+	// end.
+	FinalBlocks int
+	// RefineEpochs counts refinement phases that changed the mesh.
+	RefineEpochs int
+	// TaskCount is the number of tasks the data-flow variant spawned
+	// (zero for the other variants).
+	TaskCount int
+	// Comm counts the rank's point-to-point sends (collectives included).
+	Comm mpi.CommStats
+	// MeshHistory snapshots the mesh after every refinement epoch
+	// (identical on all ranks).
+	MeshHistory []MeshStat
+	// FinalMeshView is an ASCII rendering of the final mesh, filled when
+	// the application was asked to render it.
+	FinalMeshView string
+}
+
+// NoRefineTime is the time outside refinement phases, the paper's
+// "No Refine" column.
+func (r Result) NoRefineTime() time.Duration { return r.TotalTime - r.RefineTime }
+
+// MeshStat is a snapshot of the mesh shape after a refinement epoch.
+type MeshStat struct {
+	// Blocks is the total leaf count.
+	Blocks int
+	// PerLevel is the leaf count per refinement level.
+	PerLevel []int
+}

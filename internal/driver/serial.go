@@ -1,0 +1,61 @@
+package driver
+
+import (
+	"miniamr/internal/membuf"
+	"miniamr/internal/mpi"
+)
+
+// SerialEngine is the MPI-only variant's execution engine: one thread per
+// rank, a reused waitset driving Waitany-style unpacking, a reused
+// in-flight send list, and one pooled scratch buffer for cross-level
+// local copies. The hot path must not allocate, so every piece is
+// constructed once and recycled across stages.
+type SerialEngine struct {
+	arena    *membuf.Arena
+	ws       *mpi.WaitSet
+	sendReqs []*mpi.Request
+	scratch  []float64
+}
+
+// NewSerialEngine builds the engine over the world's arena with a scratch
+// buffer of scratchLen float64s.
+func NewSerialEngine(a *membuf.Arena, scratchLen int) *SerialEngine {
+	return &SerialEngine{
+		arena:   a,
+		ws:      mpi.NewWaitSet(),
+		scratch: a.GetFloat64(scratchLen),
+	}
+}
+
+// Scratch returns the engine's staging buffer.
+func (e *SerialEngine) Scratch() []float64 { return e.scratch }
+
+// Wait returns the reused waitset for this stage's receives.
+func (e *SerialEngine) Wait() *mpi.WaitSet { return e.ws }
+
+// TrackSend records an in-flight send request.
+func (e *SerialEngine) TrackSend(req *mpi.Request) {
+	e.sendReqs = append(e.sendReqs, req)
+}
+
+// FlushSends waits for the tracked sends to complete, recycles their
+// requests and resets the list. On a wait error the requests are not
+// freed (in-flight operations may still reference them); the run is over
+// anyway.
+func (e *SerialEngine) FlushSends() error {
+	err := mpi.Waitall(e.sendReqs)
+	if err == nil {
+		for _, req := range e.sendReqs {
+			req.Free()
+		}
+	}
+	e.sendReqs = e.sendReqs[:0]
+	return err
+}
+
+// Close returns the engine's pooled buffers. Called after a successful
+// run; a failed run abandons them like the rest of the rank's state.
+func (e *SerialEngine) Close() {
+	e.arena.PutFloat64(e.scratch)
+	e.scratch = nil
+}

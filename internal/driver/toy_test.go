@@ -1,0 +1,381 @@
+package driver_test
+
+// The toy application is the skeleton's proof of generality: a third app
+// (after miniAMR and HYDRO) — a 1D ring diffusion — built purely against
+// the exported driver API. It registers its variants, caches its message
+// plans in driver.Plans, runs all three execution engines through
+// driver.Loop and validates checksums through driver.Oracle, without a
+// single change to the task, tampi, mpi or membuf layers.
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	"miniamr/internal/cluster"
+	"miniamr/internal/driver"
+	"miniamr/internal/harness"
+	"miniamr/internal/membuf"
+	"miniamr/internal/mpi"
+	"miniamr/internal/sanitize"
+	"miniamr/internal/simnet"
+	"miniamr/internal/task"
+	"miniamr/internal/trace"
+)
+
+func init() {
+	driver.Register("toy", driver.Variants...)
+}
+
+const toyCells = 16 // interior cells per rank
+
+// toyState is the per-rank state: a strip of cells on a ring of ranks,
+// one ghost value per side, refreshed every stage.
+type toyState struct {
+	comm   *mpi.Comm
+	arena  *membuf.Arena
+	cur    []float64
+	next   []float64
+	ghost  [2]float64 // side 0 = from left neighbour, 1 = from right
+	plans  driver.Plans[int]
+	oracle driver.Oracle
+}
+
+// Message tags double as the sender's side: tag 0 carries a low edge
+// leftward, tag 1 a high edge rightward; the receiver maps them to the
+// opposite ghost.
+func newToyState(c *mpi.Comm) *toyState {
+	s := &toyState{
+		comm:   c,
+		arena:  c.World().Arena(),
+		oracle: driver.Oracle{Tolerance: 1e-9},
+	}
+	s.cur = s.arena.GetFloat64(toyCells)
+	s.next = s.arena.GetFloat64(toyCells)
+	for i := range s.cur {
+		s.cur[i] = math.Sin(float64(c.Rank()*toyCells+i)) + 2
+	}
+	s.plans.Init(s.arena)
+	size := c.Size()
+	left, right := (c.Rank()+size-1)%size, (c.Rank()+1)%size
+	// Segs[0] records the ghost side the plan's single value fills.
+	s.plans.AddSend(driver.Plan[int]{Peer: left, Tag: 0, Cells: 1, Segs: []int{0}})
+	s.plans.AddSend(driver.Plan[int]{Peer: right, Tag: 1, Cells: 1, Segs: []int{1}})
+	s.plans.AddRecv(driver.Plan[int]{Peer: right, Tag: 0, Cells: 1, Segs: []int{1}}, 1)
+	s.plans.AddRecv(driver.Plan[int]{Peer: left, Tag: 1, Cells: 1, Segs: []int{0}}, 1)
+	return s
+}
+
+func (s *toyState) close() {
+	s.arena.PutFloat64(s.cur)
+	s.arena.PutFloat64(s.next)
+	s.plans.Close()
+}
+
+func (s *toyState) edge(side int) float64 {
+	if side == 0 {
+		return s.cur[0]
+	}
+	return s.cur[toyCells-1]
+}
+
+// sweepInto computes one diffusion step from cur+ghosts into next.
+func (s *toyState) sweepInto(next []float64, lo, hi int) {
+	for i := lo; i < hi; i++ {
+		left, right := s.ghost[0], s.ghost[1]
+		if i > 0 {
+			left = s.cur[i-1]
+		}
+		if i < toyCells-1 {
+			right = s.cur[i+1]
+		}
+		next[i] = 0.25*left + 0.5*s.cur[i] + 0.25*right
+	}
+}
+
+func (s *toyState) localSum() float64 {
+	sum := 0.0
+	for _, v := range s.cur {
+		sum += v
+	}
+	return sum
+}
+
+func (s *toyState) validate() error {
+	local := s.arena.GetFloat64(1)
+	local[0] = s.localSum()
+	global, err := s.comm.AllreduceFloat64(local, mpi.Sum)
+	s.arena.PutFloat64(local)
+	if err != nil {
+		return err
+	}
+	return s.oracle.Accept(global)
+}
+
+func (s *toyState) result() driver.Result {
+	return driver.Result{Checksums: s.oracle.History, FinalBlocks: 1, Flops: 1}
+}
+
+func toyLoop() driver.Loop {
+	return driver.Loop{Timesteps: 3, StagesPerTimestep: 2, ChecksumEvery: 2, Groups: [][2]int{{0, 1}}}
+}
+
+// toySerial runs the diffusion on the SerialEngine.
+type toySerial struct {
+	s   *toyState
+	eng *driver.SerialEngine
+}
+
+func (d *toySerial) BeginStep(int) error { return nil }
+
+func (d *toySerial) Communicate(_, _, _ int) error {
+	s := d.s
+	ws := d.eng.Wait()
+	ws.Reset()
+	for i := range s.plans.RecvPlans {
+		pl := &s.plans.RecvPlans[i]
+		req, err := s.comm.Irecv(s.plans.RecvBuf(i)[:1], pl.Peer, pl.Tag)
+		if err != nil {
+			return err
+		}
+		ws.Add(req)
+	}
+	for i := range s.plans.SendPlans {
+		pl := &s.plans.SendPlans[i]
+		lease := s.arena.LeaseFloat64(1)
+		lease.Float64()[0] = s.edge(pl.Segs[0])
+		req, err := s.comm.IsendOwned(lease, pl.Peer, pl.Tag)
+		if err != nil {
+			lease.Release()
+			d.eng.FlushSends()
+			return err
+		}
+		d.eng.TrackSend(req)
+	}
+	for remaining := ws.Len(); remaining > 0; remaining-- {
+		idx, _, err := ws.Next()
+		if err != nil {
+			return err
+		}
+		s.ghost[s.plans.RecvPlans[idx].Segs[0]] = s.plans.RecvBuf(idx)[0]
+	}
+	return d.eng.FlushSends()
+}
+
+func (d *toySerial) Compute(_, _, _ int) error {
+	d.s.sweepInto(d.s.next, 0, toyCells)
+	copy(d.s.cur, d.s.next)
+	return nil
+}
+
+func (d *toySerial) Checksum(int) error        { return d.s.validate() }
+func (d *toySerial) Quiesce() error            { return nil }
+func (d *toySerial) Refine(bool) (bool, error) { return false, nil }
+func (d *toySerial) Drain() error              { return nil }
+
+// toyForkJoin runs the sweep in parallel loops on the ForkJoinEngine with
+// MPI on the master.
+type toyForkJoin struct {
+	toySerial // reuse the master-threaded communication stages
+	eng       *driver.ForkJoinEngine
+}
+
+func (d *toyForkJoin) Compute(_, _, _ int) error {
+	s := d.s
+	d.eng.For(toyCells, func(i int) { s.sweepInto(s.next, i, i+1) })
+	copy(s.cur, s.next)
+	return nil
+}
+
+// toyDataFlow taskifies the stages on the GraphEngine.
+type toyDataFlow struct {
+	s *toyState
+	g *driver.GraphEngine
+}
+
+type (
+	toyCellsKey struct{}
+	toyGhostKey struct{ side int }
+	toySumKey   struct{}
+)
+
+func (d *toyDataFlow) BeginStep(int) error { return nil }
+
+func (d *toyDataFlow) Communicate(_, _, _ int) error {
+	s := d.s
+	for i := range s.plans.RecvPlans {
+		pl := &s.plans.RecvPlans[i]
+		peer, tag, side := pl.Peer, pl.Tag, pl.Segs[0]
+		buf := s.plans.RecvBuf(i)[:1]
+		// Iwait never blocks: it defers the task's completion (and so the
+		// release of the ghost key) until the message lands in buf.
+		d.g.Spawn("recv", func(t *task.Task) {
+			req, err := s.comm.Irecv(buf, peer, tag)
+			if err != nil {
+				panic(err)
+			}
+			d.g.X.Iwait(t, req)
+		}, task.Out(toyGhostKey{side: side})...)
+	}
+	for i := range s.plans.SendPlans {
+		pl := &s.plans.SendPlans[i]
+		peer, tag, side := pl.Peer, pl.Tag, pl.Segs[0]
+		d.g.Spawn("send", func(t *task.Task) {
+			lease := s.arena.LeaseFloat64(1)
+			lease.Float64()[0] = s.edge(side)
+			if err := d.g.X.IsendOwned(t, lease, peer, tag); err != nil {
+				panic(err)
+			}
+		}, task.In(toyCellsKey{})...)
+	}
+	return d.g.X.Err()
+}
+
+func (d *toyDataFlow) Compute(_, _, _ int) error {
+	s := d.s
+	d.g.Spawn("sweep", func(*task.Task) {
+		for i := range s.plans.RecvPlans {
+			s.ghost[s.plans.RecvPlans[i].Segs[0]] = s.plans.RecvBuf(i)[0]
+		}
+		s.sweepInto(s.next, 0, toyCells)
+		copy(s.cur, s.next)
+	}, task.Merge(
+		task.In(toyGhostKey{side: 0}, toyGhostKey{side: 1}),
+		task.InOut(toyCellsKey{}),
+	)...)
+	return nil
+}
+
+func (d *toyDataFlow) Checksum(int) error {
+	s := d.s
+	slot := s.arena.GetFloat64(1)
+	d.g.Spawn("cksum", func(*task.Task) {
+		slot[0] = s.localSum()
+	}, task.Merge(task.In(toyCellsKey{}), task.Out(toySumKey{}))...)
+	d.g.WaitKeys(toySumKey{})
+	if err := d.g.X.Err(); err != nil {
+		return err
+	}
+	sum := slot[0]
+	s.arena.PutFloat64(slot)
+	local := s.arena.GetFloat64(1)
+	local[0] = sum
+	global, err := s.comm.AllreduceFloat64(local, mpi.Sum)
+	s.arena.PutFloat64(local)
+	if err != nil {
+		return err
+	}
+	return s.oracle.Accept(global)
+}
+
+func (d *toyDataFlow) Quiesce() error {
+	d.g.Wait()
+	return d.g.X.Err()
+}
+
+func (d *toyDataFlow) Refine(bool) (bool, error) { return false, nil }
+
+func (d *toyDataFlow) Drain() error {
+	d.g.Wait()
+	return d.g.X.Err()
+}
+
+// toyJob packages the toy app as a driver.Job.
+type toyJob struct{}
+
+func (toyJob) App() string { return "toy" }
+
+func (toyJob) Bind(v driver.Variant, workers int, _ *sanitize.Sanitizer) (driver.Program, error) {
+	return func(c *mpi.Comm, _ *trace.Recorder) (driver.Result, error) {
+		s := newToyState(c)
+		var h driver.Hooks
+		var cleanup func()
+		switch v {
+		case driver.MPIOnly:
+			eng := driver.NewSerialEngine(s.arena, 1)
+			h = &toySerial{s: s, eng: eng}
+			cleanup = eng.Close
+		case driver.ForkJoin:
+			eng := driver.NewForkJoinEngine(s.arena, workers, 1, false)
+			h = &toyForkJoin{toySerial: toySerial{s: s, eng: driver.NewSerialEngine(s.arena, 1)}, eng: eng}
+			se := h.(*toyForkJoin).toySerial.eng
+			cleanup = func() { se.Close(); eng.Close() }
+		case driver.DataFlow:
+			g, err := driver.NewGraphEngine(driver.GraphOptions{Comm: c, Workers: workers, ScratchLen: 1})
+			if err != nil {
+				return driver.Result{}, err
+			}
+			h = &toyDataFlow{s: s, g: g}
+			cleanup = g.Close
+		default:
+			return driver.Result{}, fmt.Errorf("toy: unknown variant %q", v)
+		}
+		if _, err := toyLoop().Run(h); err != nil {
+			return driver.Result{}, err
+		}
+		cleanup()
+		res := s.result()
+		s.close()
+		return res, nil
+	}, nil
+}
+
+// TestToyAppOnSkeleton registers the third application and runs it
+// through the harness on every variant: same registry path, same engines,
+// same loop — and bit-identical checksums across variants.
+func TestToyAppOnSkeleton(t *testing.T) {
+	for _, v := range driver.Variants {
+		if err := driver.CheckVariant("toy", v); err != nil {
+			t.Fatalf("registry: %v", err)
+		}
+	}
+	var ref []float64
+	for _, v := range driver.Variants {
+		m, err := harness.Run(harness.RunSpec{
+			Nodes: 1, RanksPerNode: 3, CoresPerRank: 2,
+			Net: simnet.None(), Job: toyJob{}, Variant: v,
+		})
+		if err != nil {
+			t.Fatalf("%s: %v", v, err)
+		}
+		if len(m.Checksums) != 3 {
+			t.Fatalf("%s: validated %d checksum stages, want 3", v, len(m.Checksums))
+		}
+		var got []float64
+		for _, ck := range m.Checksums {
+			got = append(got, ck...)
+		}
+		if ref == nil {
+			ref = got
+			continue
+		}
+		for i := range ref {
+			if math.Float64bits(got[i]) != math.Float64bits(ref[i]) {
+				t.Fatalf("%s: checksum %d = %v, want bit-identical %v", v, i, got[i], ref[i])
+			}
+		}
+	}
+}
+
+// TestToyAppArenaClean: the toy app must return every pooled buffer —
+// the lease/slab ownership rules of the driver contract hold for a third
+// application too.
+func TestToyAppArenaClean(t *testing.T) {
+	w := mpi.NewWorld(cluster.MustNew(1, 3, 1), simnet.None())
+	w.Arena().SetDebug(true)
+	program, err := toyJob{}.Bind(driver.DataFlow, 2, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Run(func(c *mpi.Comm) {
+		if _, err := program(c, nil); err != nil {
+			panic(err)
+		}
+	}); err != nil {
+		t.Fatal(err)
+	}
+	st := w.Arena().Stats()
+	if st.Live != 0 || st.LeasesLive != 0 || st.Gets != st.Puts {
+		t.Fatalf("arena not clean after toy run: %+v", st)
+	}
+}

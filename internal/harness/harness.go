@@ -10,13 +10,13 @@
 package harness
 
 import (
-	"fmt"
 	"os"
 	"runtime"
 	"time"
 
 	"miniamr/internal/amr/app"
 	"miniamr/internal/cluster"
+	"miniamr/internal/driver"
 	"miniamr/internal/membuf"
 	"miniamr/internal/mpi"
 	"miniamr/internal/sanitize"
@@ -24,34 +24,19 @@ import (
 	"miniamr/internal/trace"
 )
 
-// Variant selects a parallelisation strategy.
-type Variant string
+// Variant selects a parallelisation strategy; the type and the registry
+// of (application, variant) pairs live in the driver skeleton.
+type Variant = driver.Variant
 
 // The three variants the paper evaluates.
 const (
-	MPIOnly  Variant = "mpionly"  // reference MPI-only, one rank per core
-	ForkJoin Variant = "forkjoin" // hybrid MPI+OpenMP fork-join
-	DataFlow Variant = "dataflow" // hybrid TAMPI+OmpSs-2 data-flow (the paper's)
+	MPIOnly  = driver.MPIOnly  // reference MPI-only, one rank per core
+	ForkJoin = driver.ForkJoin // hybrid MPI+OpenMP fork-join
+	DataFlow = driver.DataFlow // hybrid TAMPI+OmpSs-2 data-flow (the paper's)
 )
 
 // Variants lists all variants in presentation order.
-var Variants = []Variant{MPIOnly, ForkJoin, DataFlow}
-
-// Runner returns the variant's entry point.
-func (v Variant) Runner() (func(app.Config, *mpi.Comm, *trace.Recorder) (app.Result, error), error) {
-	switch v {
-	case MPIOnly:
-		return app.RunMPIOnly, nil
-	case ForkJoin:
-		return app.RunForkJoin, nil
-	case DataFlow:
-		return app.RunDataFlow, nil
-	}
-	return nil, fmt.Errorf("harness: unknown variant %q", v)
-}
-
-// String implements flag.Value-style display.
-func (v Variant) String() string { return string(v) }
+var Variants = driver.Variants
 
 // RunSpec describes one measured execution.
 type RunSpec struct {
@@ -61,10 +46,15 @@ type RunSpec struct {
 	CoresPerRank int
 	// Net is the interconnect model; the zero model charges nothing.
 	Net simnet.Model
-	// Cfg is the application problem. Cfg.Workers is overridden with
-	// CoresPerRank.
+	// Cfg is the miniAMR problem, used when Job is nil. Cfg.Workers is
+	// overridden with CoresPerRank.
 	Cfg app.Config
-	// Variant selects the strategy.
+	// Job, when non-nil, selects the application to run (any registered
+	// driver.Job); Cfg is ignored. When nil the spec runs miniAMR on Cfg.
+	Job driver.Job
+	// Variant selects the strategy. It must be registered for the
+	// application; unknown variant names are rejected before the cluster
+	// is built.
 	Variant Variant
 	// Recorder, when non-nil, captures an execution trace.
 	Recorder *trace.Recorder
@@ -120,7 +110,7 @@ type Metrics struct {
 	// it shows how much of the message traffic the pooling absorbs.
 	HeapAllocs uint64
 	// MeshHistory and MeshView come from rank 0 (replicated state).
-	MeshHistory []app.MeshStat
+	MeshHistory []driver.MeshStat
 	MeshView    string
 	// Sanitizer holds the amrsan findings of a sanitized run (nil when the
 	// sanitizer was off; empty for a clean sanitized run).
@@ -137,17 +127,15 @@ type Metrics struct {
 
 // Run executes a spec and aggregates the metrics.
 func Run(spec RunSpec) (Metrics, error) {
-	runner, err := spec.Variant.Runner()
-	if err != nil {
+	job := spec.Job
+	if job == nil {
+		job = app.Job(spec.Cfg)
+	}
+	if err := driver.CheckVariant(job.App(), spec.Variant); err != nil {
 		return Metrics{}, err
 	}
 	topo, err := cluster.New(spec.Nodes, spec.RanksPerNode, spec.CoresPerRank)
 	if err != nil {
-		return Metrics{}, err
-	}
-	cfg := spec.Cfg
-	cfg.Workers = spec.CoresPerRank
-	if err := cfg.Validate(); err != nil {
 		return Metrics{}, err
 	}
 	world := mpi.NewWorld(topo, spec.Net)
@@ -166,14 +154,17 @@ func Run(spec RunSpec) (Metrics, error) {
 	if spec.Sanitize || sanitizeForced() {
 		san = sanitize.New(sanitize.Options{})
 		san.Attach(world)
-		cfg.Sanitizer = san
 	}
-	results := make([]app.Result, topo.Ranks())
+	program, err := job.Bind(spec.Variant, spec.CoresPerRank, san)
+	if err != nil {
+		return Metrics{}, err
+	}
+	results := make([]driver.Result, topo.Ranks())
 	errs := make([]error, topo.Ranks())
 	var ms0 runtime.MemStats
 	runtime.ReadMemStats(&ms0)
 	runErr := world.Run(func(c *mpi.Comm) {
-		res, err := runner(cfg, c, spec.Recorder)
+		res, err := program(c, spec.Recorder)
 		if err != nil {
 			errs[c.Rank()] = err
 			panic(err) // surface through World.Run and fail peers fast

@@ -4,6 +4,8 @@ import (
 	"strings"
 	"testing"
 
+	"miniamr/internal/amr/app"
+	"miniamr/internal/driver"
 	"miniamr/internal/simnet"
 )
 
@@ -96,14 +98,23 @@ func TestInputsValidate(t *testing.T) {
 	}
 }
 
-func TestVariantRunner(t *testing.T) {
+func TestVariantRegistry(t *testing.T) {
 	for _, v := range Variants {
-		if _, err := v.Runner(); err != nil {
+		if err := driver.CheckVariant("miniamr", v); err != nil {
 			t.Errorf("%s: %v", v, err)
 		}
+		if _, err := app.Job(SingleSphere([3]int{2, 2, 1}, Scale{})).Bind(v, 1, nil); err != nil {
+			t.Errorf("bind %s: %v", v, err)
+		}
 	}
-	if _, err := Variant("bogus").Runner(); err == nil {
+	if err := driver.CheckVariant("miniamr", Variant("bogus")); err == nil {
 		t.Error("bogus variant accepted")
+	}
+	if err := driver.CheckVariant("no-such-app", MPIOnly); err == nil {
+		t.Error("unregistered application accepted")
+	}
+	if _, err := app.Job(SingleSphere([3]int{2, 2, 1}, Scale{})).Bind(Variant("bogus"), 1, nil); err == nil {
+		t.Error("bogus variant bound")
 	}
 }
 

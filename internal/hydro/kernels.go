@@ -1,0 +1,181 @@
+package hydro
+
+import "math"
+
+// Tile storage layout: variable-major planes of (tny+2)x(tnx+2) cells
+// with a one-cell ghost frame. idx(v,j,i) = v*plane + j*stride + i with
+// stride = tnx+2, plane = (tny+2)*stride; interior cells are
+// j in [1,tny], i in [1,tnx].
+
+// Conserved variable indices.
+const (
+	varRho = iota // density
+	varMx         // x momentum
+	varMy         // y momentum
+	varE          // total energy
+)
+
+// flux evaluates the Rusanov (local Lax-Friedrichs) interface flux
+// between the cells at linear offsets il and ir of one tile, along the
+// axis whose momentum plane is mn (varMx for X sweeps, varMy for Y
+// sweeps; mt is the transverse momentum). The four flux components land
+// in out. The arithmetic is a fixed serial expression, so every variant
+// produces bit-identical updates regardless of tile visit order.
+func (s *state) flux(u []float64, il, ir, mn, mt int, out *[hydroVars]float64) {
+	g := s.cfg.Gamma
+	pl := s.plane
+
+	rl := u[varRho*pl+il]
+	nl := u[mn*pl+il]
+	tl := u[mt*pl+il]
+	el := u[varE*pl+il]
+	vl := nl / rl
+	wl := tl / rl
+	pwl := (g - 1) * (el - 0.5*(nl*vl+tl*wl))
+	cl := math.Sqrt(g * pwl / rl)
+
+	rr := u[varRho*pl+ir]
+	nr := u[mn*pl+ir]
+	tr := u[mt*pl+ir]
+	er := u[varE*pl+ir]
+	vr := nr / rr
+	wr := tr / rr
+	pwr := (g - 1) * (er - 0.5*(nr*vr+tr*wr))
+	cr := math.Sqrt(g * pwr / rr)
+
+	a := math.Abs(vl) + cl
+	if ar := math.Abs(vr) + cr; ar > a {
+		a = ar
+	}
+
+	out[varRho] = 0.5*(nl+nr) - 0.5*a*(rr-rl)
+	fn := 0.5*(nl*vl+pwl+nr*vr+pwr) - 0.5*a*(nr-nl)
+	ft := 0.5*(tl*vl+tr*vr) - 0.5*a*(tr-tl)
+	if mn == varMx {
+		out[varMx], out[varMy] = fn, ft
+	} else {
+		out[varMy], out[varMx] = fn, ft
+	}
+	out[varE] = 0.5*((el+pwl)*vl+(er+pwr)*vr) - 0.5*a*(er-el)
+}
+
+// sweepX applies one X-direction Godunov update to a tile in place. flux
+// is a scratch buffer of at least 4*(tnx+1) float64s (an engine scratch);
+// each row's interface fluxes are computed from the pre-update row before
+// the row is written, and rows are independent.
+func (s *state) sweepX(u, flux []float64) {
+	nx, ny := s.tnx, s.tny
+	st, pl := s.stride, s.plane
+	dtdx := s.dt / s.dx
+	var f [hydroVars]float64
+	for j := 1; j <= ny; j++ {
+		row := j * st
+		for k := 0; k <= nx; k++ {
+			s.flux(u, row+k, row+k+1, varMx, varMy, &f)
+			for v := 0; v < hydroVars; v++ {
+				flux[v*(nx+1)+k] = f[v]
+			}
+		}
+		for v := 0; v < hydroVars; v++ {
+			base := v*pl + row
+			fb := v * (nx + 1)
+			for i := 1; i <= nx; i++ {
+				u[base+i] -= dtdx * (flux[fb+i] - flux[fb+i-1])
+			}
+		}
+	}
+}
+
+// sweepY applies one Y-direction update; flux needs 4*(tny+1) float64s.
+// Columns are independent and each column's fluxes come from the
+// pre-update column.
+func (s *state) sweepY(u, flux []float64) {
+	nx, ny := s.tnx, s.tny
+	st, pl := s.stride, s.plane
+	dtdy := s.dt / s.dy
+	var f [hydroVars]float64
+	for i := 1; i <= nx; i++ {
+		for k := 0; k <= ny; k++ {
+			s.flux(u, k*st+i, (k+1)*st+i, varMy, varMx, &f)
+			for v := 0; v < hydroVars; v++ {
+				flux[v*(ny+1)+k] = f[v]
+			}
+		}
+		for v := 0; v < hydroVars; v++ {
+			base := v*pl + i
+			fb := v * (ny + 1)
+			for j := 1; j <= ny; j++ {
+				u[base+j*st] -= dtdy * (flux[fb+j] - flux[fb+j-1])
+			}
+		}
+	}
+}
+
+// sweep dispatches a tile update for the stage's direction.
+func (s *state) sweep(dir int, u, flux []float64) {
+	if dir == 0 {
+		s.sweepX(u, flux)
+	} else {
+		s.sweepY(u, flux)
+	}
+}
+
+// maxWave returns the tile's maximum characteristic speed scaled by the
+// cell widths, max((|vx|+c)/dx, (|vy|+c)/dy) over the interior — the
+// quantity whose global maximum fixes the CFL timestep. Maxima are
+// order-independent, so the reduction is bit-deterministic under any
+// parallel schedule.
+func (s *state) maxWave(u []float64) float64 {
+	g := s.cfg.Gamma
+	st, pl := s.stride, s.plane
+	wave := 0.0
+	for j := 1; j <= s.tny; j++ {
+		for i := 1; i <= s.tnx; i++ {
+			c0 := j*st + i
+			rho := u[varRho*pl+c0]
+			mx := u[varMx*pl+c0]
+			my := u[varMy*pl+c0]
+			e := u[varE*pl+c0]
+			vx := mx / rho
+			vy := my / rho
+			p := (g - 1) * (e - 0.5*(mx*vx+my*vy))
+			c := math.Sqrt(g * p / rho)
+			if w := (math.Abs(vx) + c) / s.dx; w > wave {
+				wave = w
+			}
+			if w := (math.Abs(vy) + c) / s.dy; w > wave {
+				wave = w
+			}
+		}
+	}
+	return wave
+}
+
+// tileSums accumulates the tile's interior sum of each conserved variable
+// into out (overwritten), in fixed row-major order.
+func (s *state) tileSums(u []float64, out []float64) {
+	st, pl := s.stride, s.plane
+	for v := 0; v < hydroVars; v++ {
+		sum := 0.0
+		for j := 1; j <= s.tny; j++ {
+			base := v*pl + j*st
+			for i := 1; i <= s.tnx; i++ {
+				sum += u[base+i]
+			}
+		}
+		out[v] = sum
+	}
+}
+
+// sweepFlops is the deterministic flop count of one tile sweep: ~34 per
+// interface flux plus 2 per cell-variable update.
+func (s *state) sweepFlops(dir int) int64 {
+	cells := int64(s.tnx) * int64(s.tny)
+	interfaces := cells + int64(s.faceLen(dir))
+	return interfaces*34 + cells*hydroVars*2
+}
+
+// waveFlops is the deterministic flop count of one tile's CFL scan.
+func (s *state) waveFlops() int64 {
+	return int64(s.tnx) * int64(s.tny) * 14
+}
