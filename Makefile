@@ -7,9 +7,10 @@ RACE_PKGS := ./internal/mpi ./internal/task ./internal/tampi ./internal/membuf \
 	./internal/simnet ./internal/amr/app ./internal/driver ./internal/hydro
 
 GOLDEN_DIR := internal/analysis/testdata/golden
+PERF_GOLDEN_DIR := $(GOLDEN_DIR)/perf
 GRAPH_PKGS := ./internal/amr/app ./internal/hydro
 
-.PHONY: test vet fmt-check lint graph golden sanitize chaos race check bench
+.PHONY: test vet fmt-check lint graph golden perf sanitize chaos race check bench
 
 test:
 	$(GO) build ./...
@@ -22,22 +23,34 @@ fmt-check:
 	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then echo "gofmt needed on:"; echo "$$out"; exit 1; fi
 
 # amrlint enforces the repo's ownership, collective and task-graph
-# invariants (leaselint, reqlint, deplint, collectivelint, graphlint);
-# amrgraph -check diffs the extracted driver DAGs against the committed
-# goldens. Both exit non-zero on findings or drift.
+# invariants (leaselint, reqlint, deplint, collectivelint, graphlint,
+# perflint); amrgraph -check diffs the extracted driver DAGs and amrperf
+# -check the static performance profiles against the committed goldens.
+# All exit non-zero on findings or drift.
 lint:
 	$(GO) run ./cmd/amrlint ./...
 	$(GO) run ./cmd/amrgraph -check $(GOLDEN_DIR) $(GRAPH_PKGS)
+	$(GO) run ./cmd/amrperf -check $(PERF_GOLDEN_DIR) $(GRAPH_PKGS)
 
 # Render the driver task graphs as DOT under build/graphs (pipe through
 # `dot -Tsvg` to visualise).
 graph:
 	$(GO) run ./cmd/amrgraph -format dot -o build/graphs $(GRAPH_PKGS)
 
-# Refresh the committed golden text graphs after an intentional change
-# to a driver pipeline.
+# Refresh the committed golden text graphs and performance profiles
+# after an intentional change to a driver pipeline or the cost presets.
 golden:
 	$(GO) run ./cmd/amrgraph -update $(GOLDEN_DIR) $(GRAPH_PKGS)
+	$(GO) run ./cmd/amrperf -update $(PERF_GOLDEN_DIR) $(GRAPH_PKGS)
+
+# Static performance model: diff the per-driver profiles (critical path,
+# concurrency width, comm volume) against the committed goldens, audit
+# the //amr:hot allocation pins against the compiler's escape analysis,
+# and emit the machine-readable JSON profiles under build/perf (the CI
+# artifact).
+perf:
+	$(GO) run ./cmd/amrperf -escape -check $(PERF_GOLDEN_DIR) ./...
+	$(GO) run ./cmd/amrperf -format json -o build/perf $(GRAPH_PKGS)
 
 # amrsan: the seeded-violation corpus plus full driver runs with the
 # runtime sanitizer forced on (AMRSAN=1), which must stay clean.
@@ -55,11 +68,15 @@ chaos:
 race:
 	$(GO) test -race $(RACE_PKGS)
 
-check: vet fmt-check lint test sanitize chaos race
+check: vet fmt-check lint test perf sanitize chaos race
 
 # Performance trajectory: the allocation benchmarks of the pooled message
 # path plus end-to-end driver runs of both applications, recorded as one
-# machine-readable JSON document (BENCH_<n>.json, committed per PR).
-BENCH_OUT := BENCH_6.json
+# machine-readable JSON document (BENCH_<n>.json, committed per PR) and
+# gated against the previous PR's document (any allocs/op increase or a
+# >10% ns/op slowdown in the micro-benchmarks fails).
+BENCH_BASE := BENCH_6.json
+BENCH_OUT := BENCH_7.json
 bench:
-	$(GO) run ./cmd/benchjson -o $(BENCH_OUT)
+	$(GO) run ./cmd/benchjson -benchtime 20000x -o $(BENCH_OUT)
+	$(GO) run ./cmd/benchjson -compare $(BENCH_BASE) $(BENCH_OUT)

@@ -4,7 +4,9 @@
 // module.
 //
 // -json switches the findings to one JSON record per line (file, line,
-// analyzer, message); -graph emits the extracted driver graphs instead of
+// id, analyzer, severity, message); the id is the stable analyzer/rule
+// slug shared with perflint, so suppressions and dashboards survive
+// message rewording. -graph emits the extracted driver graphs instead of
 // findings, as DOT by default or as JSON objects with -json.
 //
 // Exit status: 0 clean, 1 findings, 2 usage or load error.
@@ -24,7 +26,9 @@ import (
 type jsonFinding struct {
 	File     string `json:"file"`
 	Line     int    `json:"line"`
+	ID       string `json:"id"`
 	Analyzer string `json:"analyzer"`
+	Severity string `json:"severity"`
 	Message  string `json:"message"`
 }
 
@@ -81,10 +85,16 @@ func main() {
 	enc := json.NewEncoder(os.Stdout)
 	for _, f := range findings {
 		if *jsonOut {
+			sev := f.Severity
+			if sev == "" {
+				sev = "error"
+			}
 			enc.Encode(jsonFinding{ //nolint:errcheck // stdout encode of plain strings
 				File:     f.Pos.Filename,
 				Line:     f.Pos.Line,
+				ID:       f.ID(),
 				Analyzer: f.Analyzer,
+				Severity: sev,
 				Message:  f.Message,
 			})
 			continue

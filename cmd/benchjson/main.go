@@ -15,7 +15,14 @@
 //
 // Usage:
 //
-//	go run ./cmd/benchjson -o BENCH_6.json
+//	go run ./cmd/benchjson -o BENCH_7.json
+//	go run ./cmd/benchjson -compare BENCH_6.json BENCH_7.json
+//
+// -compare diffs two committed reports and fails (exit 1) on a
+// micro-benchmark regression: any increase in allocs/op — the pooled
+// message path pins exact counts — or more than 10% in ns/op. Driver
+// wall times are printed for context but never gate, as they vary
+// across hosts.
 package main
 
 import (
@@ -78,7 +85,16 @@ type Report struct {
 func main() {
 	out := flag.String("o", "BENCH.json", "output path of the JSON report")
 	benchtime := flag.String("benchtime", "2000x", "benchtime of the micro-benchmarks")
+	compare := flag.Bool("compare", false, "compare two reports (benchjson -compare old.json new.json) and exit 1 on regression")
 	flag.Parse()
+
+	if *compare {
+		if flag.NArg() != 2 {
+			fmt.Fprintln(os.Stderr, "usage: benchjson -compare old.json new.json")
+			os.Exit(2)
+		}
+		os.Exit(compareReports(flag.Arg(0), flag.Arg(1)))
+	}
 
 	rep := Report{
 		Schema:    1,
@@ -115,6 +131,105 @@ func main() {
 	}
 	fmt.Printf("benchjson: %d micro-benchmarks, %d driver runs -> %s\n",
 		len(rep.Micro), len(rep.Drivers), *out)
+}
+
+// compareReports diffs two committed reports micro-benchmark by
+// micro-benchmark. Allocation counts are deterministic, so any allocs/op
+// increase fails; ns/op carries host noise, so only a >10% slowdown
+// fails. Returns the process exit status.
+func compareReports(oldPath, newPath string) int {
+	oldRep, err := readReport(oldPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		return 2
+	}
+	newRep, err := readReport(newPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		return 2
+	}
+
+	key := func(m Micro) string { return m.Package + " " + m.Name }
+	olds := make(map[string]Micro, len(oldRep.Micro))
+	for _, m := range oldRep.Micro {
+		olds[key(m)] = m
+	}
+
+	status := 0
+	fail := func(format string, args ...any) {
+		fmt.Printf("REGRESSION "+format+"\n", args...)
+		status = 1
+	}
+	seen := 0
+	for _, m := range newRep.Micro {
+		o, ok := olds[key(m)]
+		if !ok {
+			fmt.Printf("new        %s: ns/op=%.1f allocs/op=%d (no baseline)\n", key(m), m.NsPerOp, m.AllocsPerOp)
+			continue
+		}
+		seen++
+		regressed := false
+		if m.AllocsPerOp > o.AllocsPerOp {
+			fail("%s: allocs/op %d -> %d", key(m), o.AllocsPerOp, m.AllocsPerOp)
+			regressed = true
+		}
+		if o.NsPerOp > 0 && m.NsPerOp > o.NsPerOp*1.10 {
+			fail("%s: ns/op %.1f -> %.1f (+%.1f%%)", key(m), o.NsPerOp, m.NsPerOp,
+				100*(m.NsPerOp-o.NsPerOp)/o.NsPerOp)
+			regressed = true
+		}
+		if !regressed {
+			fmt.Printf("ok         %s: ns/op %.1f -> %.1f, allocs/op %d -> %d\n",
+				key(m), o.NsPerOp, m.NsPerOp, o.AllocsPerOp, m.AllocsPerOp)
+		}
+	}
+	for k := range olds {
+		found := false
+		for _, m := range newRep.Micro {
+			if key(m) == k {
+				found = true
+				break
+			}
+		}
+		if !found {
+			fail("%s: benchmark disappeared from the new report", k)
+		}
+	}
+	if seen == 0 {
+		fmt.Fprintln(os.Stderr, "benchjson: no comparable micro-benchmarks between the reports")
+		return 2
+	}
+
+	// Driver wall times, informational only.
+	oldDrv := make(map[string]Driver, len(oldRep.Drivers))
+	for _, d := range oldRep.Drivers {
+		oldDrv[d.App+"/"+d.Variant] = d
+	}
+	for _, d := range newRep.Drivers {
+		if o, ok := oldDrv[d.App+"/"+d.Variant]; ok {
+			fmt.Printf("driver     %s/%s: %.3fs -> %.3fs (not gated)\n",
+				d.App, d.Variant, o.TotalSeconds, d.TotalSeconds)
+		}
+	}
+	if status == 0 {
+		fmt.Printf("benchjson: no regressions (%d benchmarks compared against %s)\n", seen, oldPath)
+	}
+	return status
+}
+
+func readReport(path string) (Report, error) {
+	var rep Report
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return rep, err
+	}
+	if err := json.Unmarshal(data, &rep); err != nil {
+		return rep, fmt.Errorf("%s: %w", path, err)
+	}
+	if rep.Schema != 1 {
+		return rep, fmt.Errorf("%s: unsupported schema %d", path, rep.Schema)
+	}
+	return rep, nil
 }
 
 // runMicro executes the allocation benchmarks through the go tool and

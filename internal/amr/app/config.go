@@ -23,6 +23,7 @@ import (
 	"miniamr/internal/amr/grid"
 	"miniamr/internal/amr/object"
 	"miniamr/internal/sanitize"
+	"miniamr/internal/task"
 )
 
 // Config describes one simulation. The option names follow the miniAMR
@@ -133,6 +134,10 @@ type Config struct {
 	// The caller owns attachment to the world (sanitize.Attach) and the
 	// end-of-run audit (Finish). Nil costs nothing.
 	Sanitizer *sanitize.Sanitizer
+	// TaskObserver, when non-nil, yields a per-rank task lifecycle
+	// observer for the data-flow variant (teed with the sanitizer's).
+	// Used to measure dynamic concurrency, e.g. with task.NewWidthMeter.
+	TaskObserver func(rank int) task.Observer
 }
 
 // defaultChecksumTolerance allows for the small non-conservation introduced

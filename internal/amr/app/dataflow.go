@@ -72,12 +72,17 @@ func RunDataFlow(cfg Config, c *mpi.Comm, rec *trace.Recorder) (Result, error) {
 	if err != nil {
 		return Result{}, err
 	}
+	var obs task.Observer
+	if cfg.TaskObserver != nil {
+		obs = cfg.TaskObserver(c.Rank())
+	}
 	g, err := driver.NewGraphEngine(driver.GraphOptions{
 		Comm:                      c,
 		Recorder:                  rec,
 		Workers:                   cfg.Workers,
 		DisableImmediateSuccessor: cfg.DisableImmediateSuccessor,
 		Sanitizer:                 cfg.Sanitizer,
+		Observer:                  obs,
 		ScratchLen:                scratchLen(&cfg),
 	})
 	if err != nil {
@@ -125,6 +130,12 @@ func (d *dataFlowDriver) groupIndex(g0 int) int { return g0 / d.s.cfg.CommVars }
 // copy tasks, and unpack tasks fed by the receive's buffer sections.
 //
 //amr:graph driver=dataflow phase=communicate seq=1
+//amr:par label=recv axis=msgs
+//amr:par label=pack axis=segs
+//amr:par label=send axis=msgs
+//amr:par label=local-copy axis=locals
+//amr:par label=boundary axis=bfaces
+//amr:par label=unpack axis=msgs
 func (d *dataFlowDriver) communicate(g0, g1 int) error {
 	s := d.s
 	gv := g1 - g0
@@ -291,6 +302,7 @@ func (d *dataFlowDriver) communicate(g0, g1 int) error {
 // variable group so it naturally follows the ghost fills.
 //
 //amr:graph driver=dataflow phase=stencil seq=2
+//amr:par label=stencil axis=blocks
 func (d *dataFlowDriver) stencil(g0, g1 int) error {
 	s := d.s
 	gi := d.groupIndex(g0)
@@ -311,6 +323,7 @@ func (d *dataFlowDriver) stencil(g0, g1 int) error {
 // (DelayedChecksum), so the barrier does not drain in-flight stages.
 //
 //amr:graph driver=dataflow phase=checksum seq=3
+//amr:par label=cksum-local axis=blocks
 func (d *dataFlowDriver) checksum() error {
 	s := d.s
 	par := d.parity
@@ -416,6 +429,7 @@ func (d *dataFlowDriver) refine(advance bool) (bool, error) {
 // splitOwned taskifies the block-splitting copies.
 //
 //amr:graph driver=dataflow phase=split seq=4
+//amr:par label=split axis=splits
 func (d *dataFlowDriver) splitOwned(refines []mesh.Coord) error {
 	s := d.s
 	children := make([][8]*grid.Data, len(refines))
@@ -443,6 +457,7 @@ func (d *dataFlowDriver) splitOwned(refines []mesh.Coord) error {
 // consolidateOwned taskifies the coarsening copies.
 //
 //amr:graph driver=dataflow phase=consolidate seq=5
+//amr:par label=consolidate axis=merges
 func (d *dataFlowDriver) consolidateOwned(parents []mesh.Coord) error {
 	s := d.s
 	newParents := make([]*grid.Data, len(parents))
@@ -496,6 +511,8 @@ type taskMover struct {
 // through.
 //
 //amr:graph driver=dataflow phase=exchange-send seq=6
+//amr:par label=exchange-pack axis=xfers
+//amr:par label=exchange-send axis=xfers
 func (m *taskMover) sendBlock(bc mesh.Coord, blk *grid.Data, to, tag int) {
 	d := m.d
 	s := d.s
@@ -514,6 +531,8 @@ func (m *taskMover) sendBlock(bc mesh.Coord, blk *grid.Data, to, tag int) {
 }
 
 //amr:graph driver=dataflow phase=exchange-recv seq=7
+//amr:par label=exchange-recv axis=xfers
+//amr:par label=exchange-unpack axis=xfers
 func (m *taskMover) recvBlock(bc mesh.Coord, from, tag int) *grid.Data {
 	d := m.d
 	s := d.s

@@ -52,6 +52,12 @@ func (d *forkJoinDriver) parFor(n int, body func(i, w int)) {
 }
 
 //amr:graph driver=forkjoin phase=communicate seq=1
+//amr:par label=Irecv axis=msgs serial
+//amr:par label=IsendOwned axis=msgs serial
+//amr:par label=pack axis=segs
+//amr:par label=local-copy axis=locals
+//amr:par label=boundary axis=bfaces
+//amr:par label=unpack axis=segs
 func (d *forkJoinDriver) communicate(g0, g1 int) error {
 	s := d.s
 	gv := g1 - g0
@@ -166,6 +172,7 @@ func (d *forkJoinDriver) communicate(g0, g1 int) error {
 }
 
 //amr:graph driver=forkjoin phase=stencil seq=2
+//amr:par label=stencil axis=blocks
 func (d *forkJoinDriver) stencil(g0, g1 int) error {
 	s := d.s
 	owned := s.owned()
@@ -180,6 +187,7 @@ func (d *forkJoinDriver) stencil(g0, g1 int) error {
 }
 
 //amr:graph driver=forkjoin phase=checksum seq=3
+//amr:par label=cksum-local axis=blocks
 func (d *forkJoinDriver) checksum() error {
 	s := d.s
 	owned := s.owned()
@@ -277,6 +285,7 @@ type forkJoinMover struct {
 }
 
 //amr:graph driver=forkjoin phase=exchange-send seq=4
+//amr:par label=SendOwned axis=xfers serial
 func (m *forkJoinMover) sendBlock(bc mesh.Coord, blk *grid.Data, to, tag int) {
 	s := m.d.s
 	lease := s.arena.LeaseFloat64(blk.InteriorLen())
@@ -289,6 +298,7 @@ func (m *forkJoinMover) sendBlock(bc mesh.Coord, blk *grid.Data, to, tag int) {
 }
 
 //amr:graph driver=forkjoin phase=exchange-recv seq=5
+//amr:par label=Recv axis=xfers serial
 func (m *forkJoinMover) recvBlock(bc mesh.Coord, from, tag int) *grid.Data {
 	s := m.d.s
 	blk := s.newBlockData(bc, false)

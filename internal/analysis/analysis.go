@@ -40,11 +40,28 @@ import (
 type Finding struct {
 	Pos      token.Position
 	Analyzer string
+	// Rule is the stable machine-readable rule slug within the analyzer
+	// (e.g. "perf-needless-barrier"). Analyzers with a single rule leave
+	// it equal to their name.
+	Rule string
+	// Severity is "error" or "warning"; errors gate the build, warnings
+	// pin drift.
+	Severity string
 	Message  string
 }
 
+// ID is the stable finding identifier shared by amrlint, graphlint and
+// perflint JSON output: the analyzer name, qualified by the rule when
+// the analyzer distinguishes several.
+func (f Finding) ID() string {
+	if f.Rule == "" || f.Rule == f.Analyzer {
+		return f.Analyzer
+	}
+	return f.Analyzer + "/" + f.Rule
+}
+
 func (f Finding) String() string {
-	return fmt.Sprintf("%s: %s: %s", f.Pos, f.Analyzer, f.Message)
+	return fmt.Sprintf("%s: %s: %s", f.Pos, f.ID(), f.Message)
 }
 
 // Analyzer is one named check over a loaded package.
@@ -56,7 +73,7 @@ type Analyzer struct {
 
 // All returns the full amrlint suite in reporting order.
 func All() []*Analyzer {
-	return []*Analyzer{LeaseLint, ReqLint, DepLint, CollectiveLint, GraphLint}
+	return []*Analyzer{LeaseLint, ReqLint, DepLint, CollectiveLint, GraphLint, PerfLint}
 }
 
 // Pass carries one analyzer's view of one package.
@@ -68,11 +85,20 @@ type Pass struct {
 	findings *[]Finding
 }
 
-// Reportf records a finding at pos.
+// Reportf records an error-severity finding at pos under the analyzer's
+// default rule.
 func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.ReportRulef(pos, p.analyzer.Name, "error", format, args...)
+}
+
+// ReportRulef records a finding at pos under an explicit rule slug and
+// severity ("error" or "warning").
+func (p *Pass) ReportRulef(pos token.Pos, rule, severity, format string, args ...any) {
 	*p.findings = append(*p.findings, Finding{
 		Pos:      p.Fset.Position(pos),
 		Analyzer: p.analyzer.Name,
+		Rule:     rule,
+		Severity: severity,
 		Message:  fmt.Sprintf(format, args...),
 	})
 }

@@ -38,6 +38,25 @@ type graphAnchor struct {
 	phase  string
 	seq    int
 	fd     *ast.FuncDecl
+	pars   []parSpec
+}
+
+// parSpec is one parsed //amr:par directive: the declared multiplicity of
+// a parallel (or deliberately serial) work region inside an anchored
+// phase. label names the work — a spawned task label in the data-flow
+// drivers, a parallel-for or master-serial loop in the others — and axis
+// names the instance-count knob the cost model scales it by (blocks,
+// segs, msgs, ...). Regions whose label matches no extracted node become
+// synthetic parallel-region nodes of the phase, which is how the
+// fork-join and MPI-only drivers (whose loops the extractor does not
+// materialise) declare their width.
+type parSpec struct {
+	Phase  string `json:"phase"`
+	Label  string `json:"label"`
+	Axis   string `json:"axis"`
+	Serial bool   `json:"serial,omitempty"`
+
+	pos token.Pos
 }
 
 // extractor indexes one package's directives, types and functions.
@@ -94,6 +113,7 @@ func (ex *extractor) indexFunc(fd *ast.FuncDecl) {
 	} else {
 		ex.byName[fd.Name.Name] = fd
 	}
+	pars := ex.parsePars(fd)
 	if dir, ok := directiveLine(fd.Doc, "amr:graph"); ok {
 		a := graphAnchor{phase: fd.Name.Name, seq: -1, fd: fd}
 		for _, f := range strings.Fields(dir) {
@@ -113,8 +133,35 @@ func (ex *extractor) indexFunc(fd *ast.FuncDecl) {
 			ex.pass.Reportf(fd.Pos(), "malformed //amr:graph directive: need driver=<name> and seq=<int>")
 			return
 		}
+		a.pars = pars
 		ex.anchors = append(ex.anchors, a)
+	} else if len(pars) > 0 {
+		ex.pass.Reportf(fd.Pos(), "//amr:par requires an //amr:graph anchor on the same function")
 	}
+}
+
+// parsePars reads every //amr:par directive of a function's doc comment.
+func (ex *extractor) parsePars(fd *ast.FuncDecl) []parSpec {
+	var pars []parSpec
+	for _, dir := range directiveLines(fd.Doc, "amr:par") {
+		p := parSpec{pos: fd.Pos()}
+		for _, f := range strings.Fields(dir) {
+			switch {
+			case strings.HasPrefix(f, "label="):
+				p.Label = strings.TrimPrefix(f, "label=")
+			case strings.HasPrefix(f, "axis="):
+				p.Axis = strings.TrimPrefix(f, "axis=")
+			case f == "serial":
+				p.Serial = true
+			}
+		}
+		if p.Label == "" || p.Axis == "" {
+			ex.pass.Reportf(fd.Pos(), "malformed //amr:par directive: need label=<name> and axis=<name>")
+			continue
+		}
+		pars = append(pars, p)
+	}
+	return pars
 }
 
 func (ex *extractor) indexType(ts *ast.TypeSpec, doc *ast.CommentGroup) {
@@ -173,6 +220,22 @@ func directiveLine(doc *ast.CommentGroup, prefix string) (string, bool) {
 	return "", false
 }
 
+// directiveLines finds every `//<prefix> rest` in a comment group, in
+// source order; directives like //amr:par may repeat.
+func directiveLines(doc *ast.CommentGroup, prefix string) []string {
+	if doc == nil {
+		return nil
+	}
+	var out []string
+	for _, c := range doc.List {
+		text := strings.TrimPrefix(c.Text, "//")
+		if rest, ok := strings.CutPrefix(text, prefix); ok {
+			out = append(out, strings.TrimSpace(rest))
+		}
+	}
+	return out
+}
+
 // baseTypeName strips pointers and package qualifiers from a type
 // expression, returning the bare type name.
 func baseTypeName(t ast.Expr) string {
@@ -214,6 +277,10 @@ func (ex *extractor) graphs() []*Graph {
 		g := newGraph(driver)
 		for _, a := range anchors {
 			g.Phases = append(g.Phases, Phase{Name: a.phase, Seq: a.seq})
+			for _, p := range a.pars {
+				p.Phase = a.phase
+				g.pars = append(g.pars, p)
+			}
 			w := &gwalker{
 				ex: ex, g: g, phase: a.phase,
 				env:   make(map[types.Object]symval),

@@ -74,9 +74,15 @@ type Graph struct {
 	Nodes  []*Node `json:"nodes"`
 	Edges  []Edge  `json:"edges"`
 
-	ids map[string]int // id -> count of labels used, for disambiguation
-	idx map[string]int // id -> node index
+	ids  map[string]int // id -> count of labels used, for disambiguation
+	idx  map[string]int // id -> node index
+	pars []parSpec      // //amr:par multiplicity declarations, in anchor order
 }
+
+// Pars returns the //amr:par multiplicity declarations of the graph's
+// anchors, in pipeline order. The cost model consumes them; they are
+// deliberately not part of the graph's golden Text form.
+func (g *Graph) Pars() []parSpec { return g.pars }
 
 func newGraph(driver string) *Graph {
 	return &Graph{Driver: driver, ids: make(map[string]int), idx: make(map[string]int)}

@@ -1,0 +1,113 @@
+package analysis
+
+import (
+	"go/token"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// allProfiles extracts every driver graph from both applications and
+// evaluates it at its committed default configuration.
+func allProfiles(t *testing.T) map[string]*Profile {
+	t.Helper()
+	fset := token.NewFileSet()
+	pkgs, err := Load(fset, []string{
+		filepath.Join("..", "amr", "app"),
+		filepath.Join("..", "hydro"),
+	}, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	graphs, findings := ExtractGraphs(pkgs)
+	for _, f := range findings {
+		t.Errorf("graph finding on the real tree: %s", f)
+	}
+	profiles := make(map[string]*Profile, len(graphs))
+	for _, g := range graphs {
+		cfg, ok := DefaultCostConfig(g.Driver)
+		if !ok {
+			t.Errorf("driver %s has no default cost configuration", g.Driver)
+		}
+		p := ProfileGraph(g, cfg)
+		for _, w := range p.Warnings {
+			t.Errorf("driver %s: %s", g.Driver, w)
+		}
+		profiles[g.Driver] = p
+	}
+	return profiles
+}
+
+// TestGoldenPerfProfiles locks the static performance profiles of every
+// driver against the committed goldens, so any change to the task
+// structure, the //amr:par multiplicities or the cost presets shows up
+// as a reviewable perf diff. Refresh with:
+//
+//	go run ./cmd/amrperf -update internal/analysis/testdata/golden/perf ./internal/amr/app ./internal/hydro
+func TestGoldenPerfProfiles(t *testing.T) {
+	profiles := allProfiles(t)
+	want := []string{"dataflow", "exchange", "forkjoin", "mpionly",
+		"hydro-dataflow", "hydro-forkjoin", "hydro-mpionly"}
+	if len(profiles) != len(want) {
+		t.Errorf("profiled %d drivers, want %d", len(profiles), len(want))
+	}
+	for _, driver := range want {
+		p := profiles[driver]
+		if p == nil {
+			t.Errorf("driver %s not profiled", driver)
+			continue
+		}
+		path := filepath.Join("testdata", "golden", "perf", driver+".txt")
+		golden, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatalf("missing perf golden (refresh with cmd/amrperf -update): %v", err)
+		}
+		if text := p.Text(); text != string(golden) {
+			t.Errorf("driver %s diverges from %s:\n--- got ---\n%s--- want ---\n%s",
+				driver, path, text, golden)
+		}
+	}
+}
+
+// TestDataflowWidthBeatsForkJoin pins the paper's core claim in the
+// static model: on the same configuration, whole-DAG data-flow execution
+// exposes strictly more concurrency than fork-join's barrier-composed
+// regions, which in turn beat the serial MPI-only rank — for both
+// applications.
+func TestDataflowWidthBeatsForkJoin(t *testing.T) {
+	profiles := allProfiles(t)
+	for _, app := range []struct{ df, fj, serial string }{
+		{"dataflow", "forkjoin", "mpionly"},
+		{"hydro-dataflow", "hydro-forkjoin", "hydro-mpionly"},
+	} {
+		df, fj, serial := profiles[app.df], profiles[app.fj], profiles[app.serial]
+		if df == nil || fj == nil || serial == nil {
+			t.Fatalf("missing profiles for %v", app)
+		}
+		if df.Mode != "dataflow" || fj.Mode != "barrier" || serial.Mode != "barrier" {
+			t.Errorf("modes: %s=%s %s=%s %s=%s", app.df, df.Mode, app.fj, fj.Mode, app.serial, serial.Mode)
+		}
+		if df.MaxWidth <= fj.MaxWidth {
+			t.Errorf("%s max width %d does not exceed %s max width %d",
+				app.df, df.MaxWidth, app.fj, fj.MaxWidth)
+		}
+		if df.Span >= fj.Span {
+			t.Errorf("%s span %d is not shorter than %s span %d",
+				app.df, df.Span, app.fj, fj.Span)
+		}
+		if df.SpeedupBound <= fj.SpeedupBound {
+			t.Errorf("%s speedup bound %v does not exceed %s bound %v",
+				app.df, df.SpeedupBound, app.fj, fj.SpeedupBound)
+		}
+		if serial.MaxWidth != 1 || serial.SpeedupBound != 1 {
+			t.Errorf("%s width %d / bound %v, want the serial rank's 1/1",
+				app.serial, serial.MaxWidth, serial.SpeedupBound)
+		}
+		// Same configuration, same per-rank traffic: the variants differ
+		// in scheduling, not in what they communicate.
+		if df.SendBytes != fj.SendBytes || fj.SendBytes != serial.SendBytes {
+			t.Errorf("send volumes diverge across variants: %d / %d / %d",
+				df.SendBytes, fj.SendBytes, serial.SendBytes)
+		}
+	}
+}

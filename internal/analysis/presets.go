@@ -1,0 +1,46 @@
+package analysis
+
+// DefaultCostConfig returns the committed evaluation point for a
+// driver's static performance profile: the per-rank instance counts of
+// the repo's reference configuration (a 2x2x2-block rank with four
+// remote neighbour messages), the payload bytes that encode the
+// surface-to-volume split between ghost-face messages and whole-block
+// exchange transfers, and the worker count of the variant's execution
+// model. The perf goldens under testdata/golden/perf are rendered at
+// exactly these points; amrperf applies user overrides on top.
+func DefaultCostConfig(driver string) (CostConfig, bool) {
+	// One rank of the miniAMR reference configuration: 8 owned blocks,
+	// 4 remote neighbour messages per direction carrying 16 packed
+	// segments, 24 same-rank copies and 24 domain-boundary faces, a
+	// regrid epoch splitting 8 blocks, consolidating 8 and moving 2.
+	miniamr := map[string]int{
+		"blocks": 8, "msgs": 4, "segs": 16, "locals": 24,
+		"bfaces": 24, "splits": 8, "merges": 8, "xfers": 2,
+	}
+	// A ghost-face message carries one face bundle (surface), a block
+	// exchange carries a whole interior (volume).
+	miniamrBytes := map[string]int{"msgs": 8192, "xfers": 16384}
+
+	// One rank of the HYDRO reference configuration: 8 tiles in a row,
+	// one neighbour message per direction carrying 8 edge segments, 8
+	// same-rank edge copies.
+	hydro := map[string]int{"tiles": 8, "msgs": 1, "segs": 8, "locals": 8}
+	hydroBytes := map[string]int{"msgs": 4096}
+
+	switch driver {
+	case "dataflow", "forkjoin":
+		return CostConfig{Workers: 16, Axes: miniamr, Bytes: miniamrBytes, CollectiveBytes: 8}, true
+	case "mpionly":
+		// One single-threaded rank per core.
+		return CostConfig{Workers: 1, Axes: miniamr, Bytes: miniamrBytes, CollectiveBytes: 8}, true
+	case "exchange":
+		// The block-ownership handshake is a fixed four-message protocol
+		// with no parallel regions.
+		return CostConfig{Workers: 1, CollectiveBytes: 8}, true
+	case "hydro-dataflow", "hydro-forkjoin":
+		return CostConfig{Workers: 16, Axes: hydro, Bytes: hydroBytes, CollectiveBytes: 8}, true
+	case "hydro-mpionly":
+		return CostConfig{Workers: 1, Axes: hydro, Bytes: hydroBytes, CollectiveBytes: 8}, true
+	}
+	return CostConfig{Workers: 1}, false
+}

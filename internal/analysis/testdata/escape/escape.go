@@ -1,0 +1,35 @@
+// Package escapecorpus seeds //amr:hot violations for the escape lint's
+// real-compile test. Unlike the analyzer corpora this package must
+// compile: the test runs `go build -gcflags=-m` over it and checks the
+// compiler's escape diagnostics against the declared budgets.
+package escapecorpus
+
+// leak escapes its boxed argument: one site over its zero budget.
+//
+//amr:hot allocs=0
+func leak(n int) *int {
+	v := n
+	return &v
+}
+
+// pinned stays allocation-free and matches its budget exactly.
+//
+//amr:hot allocs=0
+func pinned(a, b int) int {
+	return a + b
+}
+
+// drifted declares more sites than it has: the pin should be lowered.
+//
+//amr:hot allocs=3
+func drifted(n int) []int {
+	return make([]int, n)
+}
+
+var sink any
+
+func use() {
+	sink = leak(1)
+	sink = pinned(1, 2)
+	sink = drifted(3)
+}

@@ -1,0 +1,93 @@
+// Package perfcorpus seeds perflint violations next to a clean exemplar
+// pipeline. The stubs mirror the task-runtime and comm API shapes the
+// extractor interprets by name; the corpus is analyzed, not compiled.
+package perfcorpus
+
+// --- stubs mirroring the task runtime and comm layer ---
+
+type access struct{}
+
+func In(keys ...any) access       { return access{} }
+func Out(keys ...any) access      { return access{} }
+func InOut(keys ...any) access    { return access{} }
+func Merge(accs ...access) access { return access{} }
+
+type runtime struct{}
+
+func (r *runtime) Spawn(label string, fn func(), deps ...access) {}
+func (r *runtime) WaitKeys(keys ...any)                          {}
+
+type Op int
+
+type Comm struct{ rank int }
+
+func (c *Comm) AllreduceFloat64(v float64, op Op) (float64, error) { return 0, nil }
+
+// stageKey names a per-timestep staging buffer, narrowed to its index.
+//
+//amr:region stage match=idx
+type stageKey struct {
+	idx int
+}
+
+// wideKey is the seeded violation for perf-wide-key: a stage class with
+// no match fields, so every key of the class is the same region.
+//
+//amr:region stage
+type wideKey struct {
+	n int
+}
+
+// gridKey names persistent block state carried across timesteps.
+//
+//amr:region state
+type gridKey struct {
+	c int
+}
+
+// --- clean exemplar: parallel stages funneled into a collective ---
+
+//amr:graph driver=clean phase=checksum seq=1
+//amr:par label=partial axis=blocks
+func cleanChecksum(rt *runtime, c *Comm) {
+	for i := 0; i < 4; i++ {
+		rt.Spawn("partial", func() {}, In(gridKey{c: i}), Out(stageKey{idx: i}))
+	}
+	rt.WaitKeys(stageKey{idx: 0})
+	_, _ = c.AllreduceFloat64(0, 0)
+}
+
+// --- needless barrier: a wait that reaches no collective ---
+
+//amr:graph driver=barrier phase=step seq=1
+//amr:par label=work axis=blocks
+func needlessBarrier(rt *runtime) {
+	for i := 0; i < 4; i++ {
+		rt.Spawn("work", func() {}, InOut(gridKey{c: i}), Out(stageKey{idx: i}))
+	}
+	rt.WaitKeys(stageKey{idx: 0}) // want "pure barrier"
+}
+
+// --- serial funnel: one reduce task wedged between parallel stages ---
+
+//amr:graph driver=funnel phase=step seq=1
+//amr:par label=scatter axis=blocks
+//amr:par label=gather axis=blocks
+func serialFunnel(rt *runtime) {
+	rt.Spawn("scatter", func() {}, Out(stageKey{idx: 0}))
+	rt.Spawn("scatter", func() {}, Out(stageKey{idx: 1}))
+	rt.Spawn("reduce", func() {}, // want "the graph narrows to width 1 here"
+		In(stageKey{idx: 0}), In(stageKey{idx: 1}), Out(gridKey{c: 0}))
+	rt.Spawn("gather", func() {}, In(gridKey{c: 0}))
+	rt.Spawn("gather", func() {}, InOut(gridKey{c: 0}))
+}
+
+// --- wide key: a task-to-task dependence through a matchless class ---
+
+//amr:graph driver=widekey phase=step seq=1
+//amr:par label=produce axis=blocks
+//amr:par label=consume axis=blocks
+func overWideKey(rt *runtime) {
+	rt.Spawn("produce", func() {}, Out(wideKey{n: 0}))
+	rt.Spawn("consume", func() {}, In(wideKey{n: 1})) // want "serializing all instance pairs"
+}

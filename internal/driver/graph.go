@@ -26,6 +26,11 @@ type GraphOptions struct {
 	// Sanitizer, when non-nil, observes the task graph for
 	// dependency races.
 	Sanitizer *sanitize.Sanitizer
+	// Observer, when non-nil, additionally receives the task graph's
+	// lifecycle events (teed with the sanitizer's observer). Used by the
+	// width-measurement harness to compare dynamic concurrency against
+	// the static model.
+	Observer task.Observer
 	// ScratchLen sizes the per-worker staging buffers.
 	ScratchLen int
 }
@@ -60,7 +65,9 @@ func NewGraphEngine(o GraphOptions) (*GraphEngine, error) {
 		// runtime's nil check stays meaningful (a nil *DepSanitizer in an
 		// interface would not compare equal to nil).
 		san = o.Sanitizer.Observer(o.Comm.Rank())
-		opts.Observer = san
+		opts.Observer = task.Tee(san, o.Observer)
+	} else {
+		opts.Observer = o.Observer
 	}
 	rt, err := task.NewRuntime(opts)
 	if err != nil {
@@ -135,6 +142,8 @@ func (g *GraphEngine) ResetBindings() {
 // RecordInFlight traces the window from operation start to request
 // completion — the in-flight communication that the data-flow model
 // overlaps with computation (what the paper's Figure 3 visualises).
+//
+//amr:hot allocs=1
 func (g *GraphEngine) RecordInFlight(t *task.Task, label string, req *mpi.Request) {
 	if g.rec == nil {
 		return

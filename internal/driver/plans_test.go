@@ -1,0 +1,105 @@
+package driver_test
+
+// Plans is the epoch-cache contract the per-stage hot paths lean on: the
+// message plans and their pooled receive slabs are built once per
+// communication epoch (after a refinement changes the mesh), stay stable
+// across every stage of the epoch, and recycle their arena memory when the
+// epoch turns over. These tests pin that contract directly, without an
+// application on top.
+
+import (
+	"testing"
+
+	"miniamr/internal/driver"
+	"miniamr/internal/membuf"
+)
+
+// seg is a toy segment type; Plans is generic over it.
+type seg struct{ off, n int }
+
+func buildEpoch(p *driver.Plans[seg], peers []int, cells, width int) {
+	for _, peer := range peers {
+		p.AddSend(driver.Plan[seg]{Peer: peer, Tag: 7, Cells: cells,
+			Segs: []seg{{0, cells}}})
+		p.AddRecv(driver.Plan[seg]{Peer: peer, Tag: 7, Cells: cells,
+			Segs: []seg{{0, cells}}}, width)
+	}
+}
+
+func TestPlansEpochRebuild(t *testing.T) {
+	arena := membuf.New()
+	var p driver.Plans[seg]
+	p.Init(arena)
+
+	// Epoch 1: two neighbours, 12 cells, 3 variables.
+	buildEpoch(&p, []int{1, 2}, 12, 3)
+	if len(p.SendPlans) != 2 || len(p.RecvPlans) != 2 {
+		t.Fatalf("epoch 1: %d send / %d recv plans, want 2/2",
+			len(p.SendPlans), len(p.RecvPlans))
+	}
+	for i, pl := range p.RecvPlans {
+		if got := len(p.RecvBuf(i)); got != pl.Cells*3 {
+			t.Fatalf("epoch 1: recv slab %d has %d floats, want %d", i, got, pl.Cells*3)
+		}
+	}
+	if p.RecvPlans[0].Peer != 1 || p.RecvPlans[1].Peer != 2 {
+		t.Fatalf("epoch 1: recv peers %d,%d, want 1,2",
+			p.RecvPlans[0].Peer, p.RecvPlans[1].Peer)
+	}
+	// Epoch turnover: Reset must drop every plan and return every slab.
+	p.Reset()
+	if len(p.SendPlans) != 0 || len(p.RecvPlans) != 0 {
+		t.Fatalf("after Reset: %d send / %d recv plans linger",
+			len(p.SendPlans), len(p.RecvPlans))
+	}
+	if live := arena.Stats().Live; live != 0 {
+		t.Fatalf("after Reset: %d arena buffers still checked out", live)
+	}
+
+	// Epoch 2: a different mesh — three neighbours, different sizes. The
+	// cache must reflect only the new epoch.
+	buildEpoch(&p, []int{1, 2, 3}, 8, 3)
+	if len(p.SendPlans) != 3 || len(p.RecvPlans) != 3 {
+		t.Fatalf("epoch 2: %d send / %d recv plans, want 3/3",
+			len(p.SendPlans), len(p.RecvPlans))
+	}
+	for i := range p.RecvPlans {
+		if got := len(p.RecvBuf(i)); got != 8*3 {
+			t.Fatalf("epoch 2: recv slab %d has %d floats, want %d", i, got, 8*3)
+		}
+	}
+	p.Close()
+	if live := arena.Stats().Live; live != 0 {
+		t.Fatalf("after Close: %d arena buffers still checked out", live)
+	}
+}
+
+func TestPlansSlabReuseAcrossEpochs(t *testing.T) {
+	arena := membuf.New()
+	var p driver.Plans[seg]
+	p.Init(arena)
+
+	// Same epoch shape rebuilt repeatedly (the steady AMR state where a
+	// refinement epoch does not change the neighbour set): after the first
+	// build, every slab Get must be a pool hit — the hot path allocates
+	// nothing new.
+	buildEpoch(&p, []int{1, 2}, 16, 4)
+	first := arena.Stats()
+	if first.Misses == 0 {
+		t.Fatalf("first epoch: expected cold-start pool misses, got none")
+	}
+	for epoch := 0; epoch < 5; epoch++ {
+		p.Reset()
+		buildEpoch(&p, []int{1, 2}, 16, 4)
+	}
+	now := arena.Stats()
+	if now.Misses != first.Misses {
+		t.Fatalf("steady-state rebuilds allocated: misses %d -> %d",
+			first.Misses, now.Misses)
+	}
+	if now.Hits <= first.Hits {
+		t.Fatalf("steady-state rebuilds did not hit the pool: hits %d -> %d",
+			first.Hits, now.Hits)
+	}
+	p.Close()
+}

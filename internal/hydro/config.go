@@ -16,6 +16,7 @@ import (
 	"fmt"
 
 	"miniamr/internal/sanitize"
+	"miniamr/internal/task"
 )
 
 // hydroVars is the number of conserved variables per cell: density, x/y
@@ -51,6 +52,10 @@ type Config struct {
 	// Sanitizer, when non-nil, attaches the amrsan dependency sanitizer
 	// to the data-flow variant.
 	Sanitizer *sanitize.Sanitizer
+	// TaskObserver, when non-nil, yields a per-rank task lifecycle
+	// observer for the data-flow variant (teed with the sanitizer's).
+	// Used to measure dynamic concurrency, e.g. with task.NewWidthMeter.
+	TaskObserver func(rank int) task.Observer
 	// BlockingTAMPI uses blocking TAMPI operations in communication tasks
 	// instead of Irecv/Isend + Iwait.
 	BlockingTAMPI bool

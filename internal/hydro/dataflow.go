@@ -73,6 +73,7 @@ func (d *dfDriver) dirKey(dir int) int {
 // following s.dt update never races a sweep.
 //
 //amr:graph driver=hydro-dataflow phase=timestep seq=1
+//amr:par label=cfl-scan axis=tiles
 func (d *dfDriver) BeginStep(ts int) error {
 	s := d.s
 	waves := make([]float64, len(s.tiles))
@@ -109,6 +110,11 @@ func (d *dfDriver) BeginStep(ts int) error {
 // tasks fed by the receive's buffer sections.
 //
 //amr:graph driver=hydro-dataflow phase=communicate seq=2
+//amr:par label=recv axis=msgs
+//amr:par label=pack axis=segs
+//amr:par label=send axis=msgs
+//amr:par label=local-copy axis=locals
+//amr:par label=unpack axis=msgs
 func (d *dfDriver) Communicate(stage, g0, g1 int) error {
 	s := d.s
 	dir := stage - 1
@@ -255,6 +261,7 @@ func (d *dfDriver) Communicate(stage, g0, g1 int) error {
 // it naturally follows the ghost fills.
 //
 //amr:graph driver=hydro-dataflow phase=sweep seq=3
+//amr:par label=sweep axis=tiles
 func (d *dfDriver) Compute(stage, g0, g1 int) error {
 	s := d.s
 	dir := stage - 1
@@ -277,6 +284,7 @@ func (d *dfDriver) Compute(stage, g0, g1 int) error {
 // on the main goroutine.
 //
 //amr:graph driver=hydro-dataflow phase=checksum seq=4
+//amr:par label=cksum-local axis=tiles
 func (d *dfDriver) Checksum(int) error {
 	s := d.s
 	perTile := make(map[int][]float64, len(s.tiles))

@@ -7,6 +7,7 @@ import (
 	"miniamr/internal/driver"
 	"miniamr/internal/mpi"
 	"miniamr/internal/sanitize"
+	"miniamr/internal/task"
 	"miniamr/internal/trace"
 )
 
@@ -83,11 +84,16 @@ func RunDataFlow(cfg Config, c *mpi.Comm, rec *trace.Recorder) (Result, error) {
 		return Result{}, err
 	}
 	s := newState(&cfg, c, rec)
+	var obs task.Observer
+	if cfg.TaskObserver != nil {
+		obs = cfg.TaskObserver(c.Rank())
+	}
 	g, err := driver.NewGraphEngine(driver.GraphOptions{
 		Comm:       c,
 		Recorder:   rec,
 		Workers:    cfg.Workers,
 		Sanitizer:  cfg.Sanitizer,
+		Observer:   obs,
 		ScratchLen: scratchLen(&cfg),
 	})
 	if err != nil {

@@ -88,6 +88,8 @@ func (x *Context) record(err error) {
 // Iwait binds the completion of the given requests to t: t will not
 // release its dependencies until all of them complete. It never blocks.
 // Corresponds to TAMPI_Iwait/TAMPI_Iwaitall.
+//
+//amr:hot allocs=2
 func (x *Context) Iwait(t *task.Task, reqs ...*mpi.Request) {
 	live := 0
 	for _, r := range reqs {
@@ -116,6 +118,8 @@ func (x *Context) Iwait(t *task.Task, reqs ...*mpi.Request) {
 // send buffer is copied eagerly by the MPI layer, so the caller may reuse
 // it; the binding still delays dependency release until the message is on
 // the wire, preserving TAMPI's completion semantics.
+//
+//amr:hot allocs=0
 func (x *Context) Isend(t *task.Task, buf any, dest, tag int) error {
 	req, err := x.comm.Isend(buf, dest, tag)
 	if err != nil {
@@ -129,6 +133,8 @@ func (x *Context) Isend(t *task.Task, buf any, dest, tag int) error {
 // t: the lease passes to the MPI layer without a copy, and the receiving
 // side returns the buffer to the arena. The caller must not touch the
 // lease after a successful call; on error it retains ownership.
+//
+//amr:hot allocs=0
 func (x *Context) IsendOwned(t *task.Task, pay *membuf.Lease, dest, tag int) error {
 	req, err := x.comm.IsendOwned(pay, dest, tag)
 	if err != nil {
@@ -141,6 +147,8 @@ func (x *Context) IsendOwned(t *task.Task, pay *membuf.Lease, dest, tag int) err
 // SendOwned performs a blocking ownership-transfer send from inside a
 // task: the task pauses until the message has been delivered, releasing
 // its core meanwhile. Lease ownership follows IsendOwned's rules.
+//
+//amr:hot allocs=0
 func (x *Context) SendOwned(t *task.Task, pay *membuf.Lease, dest, tag int) error {
 	req, err := x.comm.IsendOwned(pay, dest, tag)
 	if err != nil {
@@ -154,6 +162,8 @@ func (x *Context) SendOwned(t *task.Task, pay *membuf.Lease, dest, tag int) erro
 // Irecv starts a non-blocking receive into buf and binds it to t
 // (TAMPI_Irecv). The buffer must not be consumed inside the task: it is
 // valid only for successor tasks that depend on the task's out-access.
+//
+//amr:hot allocs=0
 func (x *Context) Irecv(t *task.Task, buf any, source, tag int) error {
 	req, err := x.comm.Irecv(buf, source, tag)
 	if err != nil {
@@ -165,6 +175,8 @@ func (x *Context) Irecv(t *task.Task, buf any, source, tag int) error {
 
 // Send performs a blocking send from inside a task: the task pauses until
 // the message has been delivered, releasing its core meanwhile.
+//
+//amr:hot allocs=0
 func (x *Context) Send(t *task.Task, buf any, dest, tag int) error {
 	req, err := x.comm.Isend(buf, dest, tag)
 	if err != nil {
@@ -178,6 +190,8 @@ func (x *Context) Send(t *task.Task, buf any, dest, tag int) error {
 // Recv performs a blocking receive from inside a task: the task pauses
 // until a matching message has been copied into buf, releasing its core
 // meanwhile.
+//
+//amr:hot allocs=0
 func (x *Context) Recv(t *task.Task, buf any, source, tag int) (mpi.Status, error) {
 	req, err := x.comm.Irecv(buf, source, tag)
 	if err != nil {

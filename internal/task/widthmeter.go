@@ -1,0 +1,133 @@
+package task
+
+// WidthMeter is an Observer that measures the dynamic concurrency width
+// of a task graph: the high-water mark of the ready set — tasks whose
+// predecessors have all finished but which have not themselves finished,
+// i.e. everything the scheduler could legally run at one instant. The
+// ready set is always an antichain of the dependence DAG, so the
+// high-water mark is the empirical counterpart of the static model's
+// MaxWidth (see internal/analysis' cost model) and must stay at or below
+// it when the model's instance counts match the run.
+//
+// All callbacks arrive serialised under the runtime's lock, so the meter
+// needs no locking of its own; read the results only after the graph
+// quiesced (Wait returned or the runtime shut down).
+//
+// The meter deliberately samples on dependence and finish events, not on
+// spawns: a task's edges arrive immediately after its spawn under the
+// same lock hold, so sampling at spawn would briefly count a dependent
+// task as ready. The measurement is therefore a lower bound on the true
+// ready-set maximum — safe on both sides of the static comparison.
+type WidthMeter struct {
+	pending map[uint64]int      // task -> unfinished predecessor count
+	succs   map[uint64][]uint64 // finished-notification fan-out
+	ready   int
+	hwm     int
+	spawned int
+}
+
+// NewWidthMeter returns an empty meter, ready to be passed as
+// task.Options.Observer (or teed alongside a sanitizer with Tee).
+func NewWidthMeter() *WidthMeter {
+	return &WidthMeter{
+		pending: make(map[uint64]int),
+		succs:   make(map[uint64][]uint64),
+	}
+}
+
+// TaskSpawned implements Observer.
+func (m *WidthMeter) TaskSpawned(id uint64, label string, accs []Access) {
+	m.pending[id] = 0
+	m.ready++
+	m.spawned++
+}
+
+// TaskDependence implements Observer. The runtime reports edges only
+// from unfinished predecessors, so every edge gates the successor.
+func (m *WidthMeter) TaskDependence(pred, succ uint64) {
+	if _, live := m.pending[pred]; !live {
+		return
+	}
+	m.succs[pred] = append(m.succs[pred], succ)
+	m.pending[succ]++
+	if m.pending[succ] == 1 {
+		m.ready--
+	}
+	m.sample()
+}
+
+// TaskFinished implements Observer.
+func (m *WidthMeter) TaskFinished(id uint64) {
+	m.sample() // the finishing task still holds its slot
+	m.ready--
+	for _, s := range m.succs[id] {
+		m.pending[s]--
+		if m.pending[s] == 0 {
+			m.ready++
+		}
+	}
+	delete(m.succs, id)
+	delete(m.pending, id)
+	m.sample()
+}
+
+// Quiesced implements Observer.
+func (m *WidthMeter) Quiesced() {}
+
+func (m *WidthMeter) sample() {
+	if m.ready > m.hwm {
+		m.hwm = m.ready
+	}
+}
+
+// HighWater returns the ready-set high-water mark observed so far.
+func (m *WidthMeter) HighWater() int { return m.hwm }
+
+// Spawned returns the number of tasks observed.
+func (m *WidthMeter) Spawned() int { return m.spawned }
+
+// Tee fans lifecycle events out to several observers in argument order.
+// Nil entries are dropped; with one live observer it is returned
+// unwrapped, and with none Tee returns nil, preserving the runtime's
+// observer-is-nil fast path.
+func Tee(obs ...Observer) Observer {
+	live := make([]Observer, 0, len(obs))
+	for _, o := range obs {
+		if o != nil {
+			live = append(live, o)
+		}
+	}
+	switch len(live) {
+	case 0:
+		return nil
+	case 1:
+		return live[0]
+	}
+	return tee(live)
+}
+
+type tee []Observer
+
+func (t tee) TaskSpawned(id uint64, label string, accs []Access) {
+	for _, o := range t {
+		o.TaskSpawned(id, label, accs)
+	}
+}
+
+func (t tee) TaskDependence(pred, succ uint64) {
+	for _, o := range t {
+		o.TaskDependence(pred, succ)
+	}
+}
+
+func (t tee) TaskFinished(id uint64) {
+	for _, o := range t {
+		o.TaskFinished(id)
+	}
+}
+
+func (t tee) Quiesced() {
+	for _, o := range t {
+		o.Quiesced()
+	}
+}
