@@ -23,6 +23,15 @@
 // message path pins exact counts — or more than 10% in ns/op. Driver
 // wall times are printed for context but never gate, as they vary
 // across hosts.
+//
+// The micro-benchmarks are scheduler-handoff-bound (a ping-pong is two
+// goroutine wakeups), so a single ns/op sample carries enough noise to
+// produce both fluke regressions and fluke baselines. Each benchmark is
+// therefore run -count times (default 5) and the report records the
+// median ns/op plus the raw samples. The ns/op gate only applies when
+// the baseline also carries samples; against a legacy single-sample
+// baseline the ns/op delta is printed as informational and only the
+// deterministic allocs/op gate holds.
 package main
 
 import (
@@ -32,6 +41,7 @@ import (
 	"os"
 	"os/exec"
 	"runtime"
+	"sort"
 	"strconv"
 	"strings"
 	"time"
@@ -43,14 +53,17 @@ import (
 	"miniamr/internal/simnet"
 )
 
-// Micro is one parsed `go test -bench` result line.
+// Micro is one micro-benchmark: the median over -count runs, with the
+// raw ns/op samples kept so future comparisons can see the spread. A
+// legacy report (recorded before multi-sampling) has no Samples.
 type Micro struct {
-	Name        string  `json:"name"`
-	Package     string  `json:"package"`
-	Iterations  int64   `json:"iterations"`
-	NsPerOp     float64 `json:"ns_per_op"`
-	BytesPerOp  int64   `json:"bytes_per_op"`
-	AllocsPerOp int64   `json:"allocs_per_op"`
+	Name        string    `json:"name"`
+	Package     string    `json:"package"`
+	Iterations  int64     `json:"iterations"`
+	NsPerOp     float64   `json:"ns_per_op"`
+	BytesPerOp  int64     `json:"bytes_per_op"`
+	AllocsPerOp int64     `json:"allocs_per_op"`
+	Samples     []float64 `json:"ns_per_op_samples,omitempty"`
 }
 
 // Driver is one end-to-end application run.
@@ -85,6 +98,7 @@ type Report struct {
 func main() {
 	out := flag.String("o", "BENCH.json", "output path of the JSON report")
 	benchtime := flag.String("benchtime", "2000x", "benchtime of the micro-benchmarks")
+	count := flag.Int("count", 5, "samples per micro-benchmark (the median ns/op is recorded)")
 	compare := flag.Bool("compare", false, "compare two reports (benchjson -compare old.json new.json) and exit 1 on regression")
 	flag.Parse()
 
@@ -105,7 +119,7 @@ func main() {
 		BenchTime: *benchtime,
 	}
 
-	micro, err := runMicro(*benchtime)
+	micro, err := runMicro(*benchtime, *count)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)
 		os.Exit(1)
@@ -173,12 +187,22 @@ func compareReports(oldPath, newPath string) int {
 			fail("%s: allocs/op %d -> %d", key(m), o.AllocsPerOp, m.AllocsPerOp)
 			regressed = true
 		}
-		if o.NsPerOp > 0 && m.NsPerOp > o.NsPerOp*1.10 {
-			fail("%s: ns/op %.1f -> %.1f (+%.1f%%)", key(m), o.NsPerOp, m.NsPerOp,
-				100*(m.NsPerOp-o.NsPerOp)/o.NsPerOp)
+		// The ns/op gate needs a median on both sides: one sample of a
+		// goroutine-handoff-bound benchmark can sit well off the true
+		// cost in either direction, so against a legacy single-sample
+		// baseline the wall-clock delta is informational only.
+		noisy := false
+		if len(o.Samples) == 0 && o.NsPerOp > 0 && m.NsPerOp > o.NsPerOp*1.10 {
+			fmt.Printf("noisy      %s: ns/op %.1f -> %.1f (+%.1f%%; single-sample baseline, not gated)\n",
+				key(m), o.NsPerOp, m.NsPerOp, 100*(m.NsPerOp-o.NsPerOp)/o.NsPerOp)
+			noisy = true
+		} else if len(o.Samples) > 0 && o.NsPerOp > 0 && m.NsPerOp > o.NsPerOp*1.10 {
+			fail("%s: ns/op %.1f -> %.1f (+%.1f%%, medians of %d and %d samples)",
+				key(m), o.NsPerOp, m.NsPerOp, 100*(m.NsPerOp-o.NsPerOp)/o.NsPerOp,
+				len(o.Samples), max(len(m.Samples), 1))
 			regressed = true
 		}
-		if !regressed {
+		if !regressed && !noisy {
 			fmt.Printf("ok         %s: ns/op %.1f -> %.1f, allocs/op %d -> %d\n",
 				key(m), o.NsPerOp, m.NsPerOp, o.AllocsPerOp, m.AllocsPerOp)
 		}
@@ -233,13 +257,19 @@ func readReport(path string) (Report, error) {
 }
 
 // runMicro executes the allocation benchmarks through the go tool and
-// parses the standard -benchmem output lines.
-func runMicro(benchtime string) ([]Micro, error) {
+// parses the standard -benchmem output lines. Each benchmark runs count
+// times; the recorded ns/op is the median sample (allocation counts are
+// deterministic, so the last sample stands for them all).
+func runMicro(benchtime string, count int) ([]Micro, error) {
+	if count < 1 {
+		count = 1
+	}
 	pkgs := []string{"./internal/mpi", "./internal/amr/app"}
 	args := append([]string{
 		"test", "-run", "xxx",
 		"-bench", "BenchmarkPingPong|BenchmarkGhostExchange",
 		"-benchmem", "-benchtime", benchtime,
+		"-count", strconv.Itoa(count),
 	}, pkgs...)
 	cmd := exec.Command("go", args...)
 	cmd.Stderr = os.Stderr
@@ -249,6 +279,7 @@ func runMicro(benchtime string) ([]Micro, error) {
 	}
 
 	var micro []Micro
+	index := make(map[string]int) // package+name -> position in micro
 	pkg := ""
 	for _, line := range strings.Split(string(outBytes), "\n") {
 		fields := strings.Fields(line)
@@ -275,12 +306,36 @@ func runMicro(benchtime string) ([]Micro, error) {
 				m.AllocsPerOp, _ = strconv.ParseInt(v, 10, 64)
 			}
 		}
-		micro = append(micro, m)
+		// -count repeats each benchmark; fold repeats into one entry.
+		if at, ok := index[m.Package+" "+m.Name]; ok {
+			micro[at].Samples = append(micro[at].Samples, m.NsPerOp)
+			micro[at].AllocsPerOp = m.AllocsPerOp
+			micro[at].BytesPerOp = m.BytesPerOp
+		} else {
+			m.Samples = []float64{m.NsPerOp}
+			index[m.Package+" "+m.Name] = len(micro)
+			micro = append(micro, m)
+		}
 	}
 	if len(micro) == 0 {
 		return nil, fmt.Errorf("no benchmark lines parsed from go test output")
 	}
+	for i := range micro {
+		micro[i].NsPerOp = median(micro[i].Samples)
+	}
 	return micro, nil
+}
+
+// median of a non-empty sample set (the mean of the middle two when the
+// count is even).
+func median(s []float64) float64 {
+	sorted := append([]float64(nil), s...)
+	sort.Float64s(sorted)
+	n := len(sorted)
+	if n%2 == 1 {
+		return sorted[n/2]
+	}
+	return (sorted[n/2-1] + sorted[n/2]) / 2
 }
 
 // runDrivers runs both applications in every variant on the same small

@@ -1,0 +1,397 @@
+package analysis
+
+// The channel-lifecycle half of conclint (conc-chan-close): a small
+// per-function flow over locally-created channels — open, closed, or
+// maybe-closed after a merge — that reports double close, close of a
+// possibly-closed channel, and sends that can panic on a closed channel.
+// Tracking is conservative: a channel that escapes (passed to a call,
+// stored into a structure, captured by a literal, returned) is dropped
+// rather than guessed at.
+//
+// Channels held in struct fields or package variables get the ownership
+// check instead: an `//amr:chan owner=a,b` annotation on the declaration
+// names the only functions allowed to close that channel, and any other
+// close site is reported. Unannotated shared channels are not checked.
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+type chanStatus int
+
+const (
+	chOpen chanStatus = iota
+	chClosed
+	chMaybeClosed
+)
+
+// chanState is the per-path map of tracked local channels.
+type chanState struct {
+	vars map[types.Object]chanStatus
+	dead bool
+}
+
+func newChanState() *chanState {
+	return &chanState{vars: make(map[types.Object]chanStatus)}
+}
+
+func (s *chanState) clone() *chanState {
+	c := newChanState()
+	c.dead = s.dead
+	for k, v := range s.vars {
+		c.vars[k] = v
+	}
+	return c
+}
+
+func mergeChanStates(a, b *chanState) *chanState {
+	if a == nil || a.dead {
+		return b
+	}
+	if b == nil || b.dead {
+		return a
+	}
+	out := newChanState()
+	for k, av := range a.vars {
+		bv, ok := b.vars[k]
+		switch {
+		case !ok:
+			// Tracked on one path only (declared in a branch): keep it.
+			out.vars[k] = av
+		case av == bv:
+			out.vars[k] = av
+		default:
+			out.vars[k] = chMaybeClosed
+		}
+	}
+	for k, bv := range b.vars {
+		if _, ok := a.vars[k]; !ok {
+			out.vars[k] = bv
+		}
+	}
+	return out
+}
+
+// chanFlow walks one function for channel lifecycle violations. silent
+// runs evolve the state without reporting (loop probes).
+type chanFlow struct {
+	c      *concPass
+	fname  string
+	silent bool
+}
+
+// checkChanFlow runs the channel pass over a declared function and every
+// literal inside it (literals are separate execution contexts: channels
+// they create are theirs, channels they capture are dropped).
+func (c *concPass) checkChanFlow(fd *ast.FuncDecl) {
+	f := &chanFlow{c: c, fname: fd.Name.Name}
+	f.run(fd.Body)
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if lit, ok := n.(*ast.FuncLit); ok {
+			lf := &chanFlow{c: c, fname: fd.Name.Name}
+			lf.run(lit.Body)
+		}
+		return true
+	})
+}
+
+func (f *chanFlow) run(body *ast.BlockStmt) {
+	st := newChanState()
+	f.walkStmts(body.List, st)
+}
+
+func (f *chanFlow) walkStmts(list []ast.Stmt, st *chanState) {
+	for _, s := range list {
+		if st.dead {
+			return
+		}
+		f.walkStmt(s, st)
+	}
+}
+
+func (f *chanFlow) walkStmt(s ast.Stmt, st *chanState) {
+	switch t := s.(type) {
+	case *ast.ExprStmt:
+		f.walkExpr(t.X, st)
+	case *ast.SendStmt:
+		f.walkExpr(t.Value, st)
+		f.checkSend(t, st)
+		f.escape(t.Value, st) // a channel sent over a channel escapes
+	case *ast.AssignStmt:
+		f.walkAssign(t, st)
+	case *ast.DeclStmt:
+		if gd, ok := t.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok {
+					continue
+				}
+				for i, name := range vs.Names {
+					if i < len(vs.Values) {
+						f.walkExpr(vs.Values[i], st)
+						f.trackIfMake(name, vs.Values[i], st)
+					}
+				}
+			}
+		}
+	case *ast.ReturnStmt:
+		for _, res := range t.Results {
+			f.walkExpr(res, st)
+			f.escape(res, st) // returned channels leave our scope
+		}
+		st.dead = true
+	case *ast.IncDecStmt:
+		f.walkExpr(t.X, st)
+	case *ast.DeferStmt:
+		f.walkCall(t.Call, st)
+	case *ast.GoStmt:
+		f.walkCall(t.Call, st)
+	case *ast.BlockStmt:
+		f.walkStmts(t.List, st)
+	case *ast.IfStmt:
+		if t.Init != nil {
+			f.walkStmt(t.Init, st)
+		}
+		f.walkExpr(t.Cond, st)
+		then := st.clone()
+		f.walkStmts(t.Body.List, then)
+		els := st.clone()
+		if t.Else != nil {
+			f.walkStmt(t.Else, els)
+		}
+		*st = *mergeChanStates(then, els)
+	case *ast.ForStmt:
+		if t.Init != nil {
+			f.walkStmt(t.Init, st)
+		}
+		f.walkExpr(t.Cond, st)
+		f.walkChanLoop(t.Body, st)
+	case *ast.RangeStmt:
+		f.walkExpr(t.X, st)
+		f.walkChanLoop(t.Body, st)
+	case *ast.SwitchStmt, *ast.TypeSwitchStmt, *ast.SelectStmt:
+		f.walkBranches(s, st)
+	case *ast.LabeledStmt:
+		f.walkStmt(t.Stmt, st)
+	}
+}
+
+// walkChanLoop analyzes a loop body with the merged entry state of "never
+// ran" and "ran once", so a close inside the loop is diagnosed as a
+// possible double close on the second iteration.
+func (f *chanFlow) walkChanLoop(body *ast.BlockStmt, st *chanState) {
+	probe := st.clone()
+	silent := &chanFlow{c: f.c, fname: f.fname, silent: true}
+	silent.walkStmts(body.List, probe)
+	entry := mergeChanStates(st.clone(), probe)
+	f.walkStmts(body.List, entry)
+	*st = *mergeChanStates(st, entry)
+}
+
+// walkBranches merges switch/select arms from a shared entry state.
+func (f *chanFlow) walkBranches(s ast.Stmt, st *chanState) {
+	var body *ast.BlockStmt
+	switch t := s.(type) {
+	case *ast.SwitchStmt:
+		if t.Init != nil {
+			f.walkStmt(t.Init, st)
+		}
+		if t.Tag != nil {
+			f.walkExpr(t.Tag, st)
+		}
+		body = t.Body
+	case *ast.TypeSwitchStmt:
+		body = t.Body
+	case *ast.SelectStmt:
+		body = t.Body
+	}
+	merged := st.clone()
+	for _, cs := range body.List {
+		branch := st.clone()
+		switch cc := cs.(type) {
+		case *ast.CaseClause:
+			f.walkStmts(cc.Body, branch)
+		case *ast.CommClause:
+			if cc.Comm != nil {
+				f.walkStmt(cc.Comm, branch)
+			}
+			f.walkStmts(cc.Body, branch)
+		}
+		merged = mergeChanStates(merged, branch)
+	}
+	*st = *merged
+}
+
+func (f *chanFlow) walkAssign(a *ast.AssignStmt, st *chanState) {
+	for _, rhs := range a.Rhs {
+		f.walkExpr(rhs, st)
+	}
+	if len(a.Lhs) == len(a.Rhs) {
+		for i, lhs := range a.Lhs {
+			if id, ok := ast.Unparen(lhs).(*ast.Ident); ok {
+				f.trackIfMake(id, a.Rhs[i], st)
+				continue
+			}
+			// Storing a tracked channel into a field/slice ends tracking.
+			f.escape(a.Rhs[i], st)
+		}
+		return
+	}
+	for _, rhs := range a.Rhs {
+		f.escape(rhs, st)
+	}
+}
+
+// trackIfMake starts (or restarts) tracking name when the value is a
+// make(chan ...) expression; any other assignment drops tracking.
+func (f *chanFlow) trackIfMake(name *ast.Ident, value ast.Expr, st *chanState) {
+	obj := f.c.pass.objOf(name)
+	if obj == nil || name.Name == "_" {
+		return
+	}
+	if call, ok := ast.Unparen(value).(*ast.CallExpr); ok {
+		if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok && id.Name == "make" && len(call.Args) > 0 {
+			if _, isChan := ast.Unparen(call.Args[0]).(*ast.ChanType); isChan {
+				st.vars[obj] = chOpen
+				return
+			}
+		}
+	}
+	delete(st.vars, obj)
+}
+
+func (f *chanFlow) walkExpr(e ast.Expr, st *chanState) {
+	if e == nil {
+		return
+	}
+	switch t := e.(type) {
+	case *ast.CallExpr:
+		f.walkCall(t, st)
+	case *ast.UnaryExpr:
+		if t.Op != token.ARROW { // receiving does not affect close state
+			f.walkExpr(t.X, st)
+		}
+	case *ast.BinaryExpr:
+		f.walkExpr(t.X, st)
+		f.walkExpr(t.Y, st)
+	case *ast.ParenExpr:
+		f.walkExpr(t.X, st)
+	case *ast.CompositeLit:
+		for _, el := range t.Elts {
+			f.escape(el, st)
+		}
+	case *ast.FuncLit:
+		// Captured channels may be closed concurrently; stop tracking
+		// every local the literal mentions.
+		ast.Inspect(t.Body, func(n ast.Node) bool {
+			if id, ok := n.(*ast.Ident); ok {
+				if obj := f.c.pass.objOf(id); obj != nil {
+					delete(st.vars, obj)
+				}
+			}
+			return true
+		})
+	}
+}
+
+// walkCall handles close(...) specially and treats any other call as an
+// escape point for channel arguments.
+func (f *chanFlow) walkCall(call *ast.CallExpr, st *chanState) {
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok && id.Name == "close" && len(call.Args) == 1 {
+		f.checkClose(call, st)
+		return
+	}
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok && (id.Name == "len" || id.Name == "cap") {
+		return
+	}
+	for _, arg := range call.Args {
+		f.walkExpr(arg, st)
+		f.escape(arg, st)
+	}
+	if lit, ok := ast.Unparen(call.Fun).(*ast.FuncLit); ok {
+		_ = lit // inner literals handled by checkChanFlow's Inspect
+	}
+}
+
+// escape drops tracking for a local channel whose value leaves the
+// function's hands.
+func (f *chanFlow) escape(e ast.Expr, st *chanState) {
+	if id, ok := ast.Unparen(e).(*ast.Ident); ok {
+		if obj := f.c.pass.objOf(id); obj != nil {
+			delete(st.vars, obj)
+		}
+	}
+}
+
+// checkClose reports double closes on tracked locals and ownership
+// violations on annotated shared channels.
+func (f *chanFlow) checkClose(call *ast.CallExpr, st *chanState) {
+	arg := ast.Unparen(call.Args[0])
+	switch x := arg.(type) {
+	case *ast.Ident:
+		obj := f.c.pass.objOf(x)
+		if obj == nil {
+			return
+		}
+		if status, ok := st.vars[obj]; ok {
+			if !f.silent {
+				switch status {
+				case chClosed:
+					f.c.report(call.Pos(), ruleChanClose, "error", x.Name,
+						"close of closed channel %s", x.Name)
+				case chMaybeClosed:
+					f.c.report(call.Pos(), ruleChanClose, "error", x.Name,
+						"channel %s may already be closed on this path", x.Name)
+				}
+			}
+			st.vars[obj] = chClosed
+			return
+		}
+		f.checkOwner(call.Pos(), obj, x.Name)
+	case *ast.SelectorExpr:
+		if obj := f.c.pass.objOf(x.Sel); obj != nil {
+			f.checkOwner(call.Pos(), obj, x.Sel.Name)
+		}
+	}
+}
+
+// checkOwner enforces //amr:chan owner= annotations for shared channels.
+func (f *chanFlow) checkOwner(pos token.Pos, obj types.Object, name string) {
+	if f.silent || !f.c.chanObjs[obj] {
+		return
+	}
+	class := f.c.classOfObj(obj, name)
+	owners, ok := f.c.owners[class]
+	if !ok {
+		return
+	}
+	for _, o := range owners {
+		if o == f.fname {
+			return
+		}
+	}
+	f.c.report(pos, ruleChanClose, "error", class,
+		"close of %s outside its declared owner(s) %v", class, owners)
+}
+
+// checkSend reports sends on channels some path has closed.
+func (f *chanFlow) checkSend(s *ast.SendStmt, st *chanState) {
+	id, ok := ast.Unparen(s.Chan).(*ast.Ident)
+	if !ok {
+		return
+	}
+	obj := f.c.pass.objOf(id)
+	if obj == nil || f.silent {
+		return
+	}
+	switch st.vars[obj] {
+	case chClosed:
+		f.c.report(s.Arrow, ruleChanClose, "error", id.Name,
+			"send on closed channel %s", id.Name)
+	case chMaybeClosed:
+		f.c.report(s.Arrow, ruleChanClose, "error", id.Name,
+			"send on possibly-closed channel %s", id.Name)
+	}
+}

@@ -1,0 +1,626 @@
+package analysis
+
+// conclint is the static concurrency verifier for the runtime substrate:
+// the counterpart of the dynamic sanitizer (internal/sanitize) for bugs
+// that only exist in interleavings a test run may never execute. It
+// computes, per function, the set of locks held at every statement
+// (sync.Mutex, sync.RWMutex and the channel-backed chanMutex, with
+// defer-aware release tracking), extends the per-function facts through
+// an interprocedural summary fixpoint, and reports seven rules:
+//
+//	conc-lock-cycle       lock-order cycles in the package lock graph
+//	conc-block-under-lock blocking operations reached while a lock is held
+//	conc-lock-leak        double lock, unlock-without-lock, lock held at return
+//	conc-chan-close       double close, send on (possibly) closed channel,
+//	                      close outside the //amr:chan owner= set
+//	conc-goroutine-leak   go statements whose goroutine has no shutdown edge
+//	conc-waiver-reason    //amr:nolint waiver without a "-- reason" string
+//	conc-waiver-stale     waiver that matches no finding (warning)
+//
+// Findings are waivable with `//amr:nolint conc-rule[,conc-rule] -- reason`
+// on the finding's line or the line above it; a waiver written on a mutex
+// or channel declaration waives by lock/channel class across the package,
+// which is how intentionally-blocking designs (the collectives serializing
+// on collMu) are recorded once instead of per call site. Waivers must
+// carry a reason and are audited: a waiver that suppresses nothing is
+// itself reported.
+//
+// Like the rest of the suite the analysis is conservative: cross-package
+// calls are opaque (assumed non-blocking and lock-neutral), control-flow
+// merges that disagree about a lock move it to an "unknown" state that
+// suppresses reporting rather than guessing, and loops are analyzed as
+// one iteration merged with the zero-iteration path.
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// ConcLint statically verifies the locking and channel discipline of the
+// concurrency substrate.
+var ConcLint = &Analyzer{
+	Name: "conclint",
+	Doc:  "verify lock ordering, blocking-under-lock, lock/channel lifecycle and goroutine shutdown",
+	run:  runConcLint,
+}
+
+// Rule slugs. Stable: they are the JSON ids (conclint/<rule>) dashboards
+// and waivers key on.
+const (
+	ruleLockCycle    = "conc-lock-cycle"
+	ruleBlockLock    = "conc-block-under-lock"
+	ruleLockLeak     = "conc-lock-leak"
+	ruleChanClose    = "conc-chan-close"
+	ruleGoLeak       = "conc-goroutine-leak"
+	ruleWaiverReason = "conc-waiver-reason"
+	ruleWaiverStale  = "conc-waiver-stale"
+)
+
+// concFinding is a pre-waiver finding. class carries the lock or channel
+// class for decl-scoped waiver matching; it is empty when only line
+// waivers apply.
+type concFinding struct {
+	pos   token.Pos
+	rule  string
+	sev   string
+	class string
+	msg   string
+}
+
+// concWaiver is one parsed //amr:nolint directive carrying conc-* rules.
+type concWaiver struct {
+	pos    token.Pos
+	file   string
+	line   int
+	rules  map[string]bool
+	reason string
+	// classes holds lock/channel classes when the waiver sits on a mutex
+	// or channel declaration; such waivers match by class package-wide.
+	classes map[string]bool
+	used    bool
+}
+
+// concPass is the shared state of one conclint run over one package.
+type concPass struct {
+	pass *Pass
+
+	// fieldOwner maps a struct field object to its enclosing type name,
+	// which qualifies lock and channel classes ("Comm.collMu").
+	fieldOwner map[types.Object]string
+	pkgLevel   map[types.Object]bool
+	mutexObjs  map[types.Object]bool
+	chanObjs   map[types.Object]bool
+	funcDecls  map[types.Object]*ast.FuncDecl
+
+	// owners maps an annotated channel class to the function names allowed
+	// to close it (//amr:chan owner=...).
+	owners  map[string][]string
+	waivers []*concWaiver
+
+	sums  map[types.Object]*lockSummary
+	edges map[[2]string]token.Pos
+	raw   []concFinding
+}
+
+func runConcLint(pass *Pass) {
+	c := &concPass{
+		pass:       pass,
+		fieldOwner: make(map[types.Object]string),
+		pkgLevel:   make(map[types.Object]bool),
+		mutexObjs:  make(map[types.Object]bool),
+		chanObjs:   make(map[types.Object]bool),
+		funcDecls:  make(map[types.Object]*ast.FuncDecl),
+		owners:     make(map[string][]string),
+		edges:      make(map[[2]string]token.Pos),
+	}
+	c.scanDecls()
+	c.scanDirectives()
+	c.sums = c.computeLockSummaries()
+	funcBodies(pass.Pkg, func(fd *ast.FuncDecl) {
+		c.analyzeFunc(fd)
+		c.checkChanFlow(fd)
+	})
+	c.checkLockCycles()
+	c.checkGoroutineLeaks()
+	c.emit()
+}
+
+func (c *concPass) report(pos token.Pos, rule, sev, class, format string, args ...any) {
+	c.raw = append(c.raw, concFinding{
+		pos: pos, rule: rule, sev: sev, class: class,
+		msg: fmt.Sprintf(format, args...),
+	})
+}
+
+// ---- declaration scan ----------------------------------------------------
+
+// isMutexType reports whether a declared type expression is lock-like:
+// sync.Mutex, sync.RWMutex, or a package-local mutex type such as
+// chanMutex. The check is syntactic because the loader type-checks
+// packages in isolation.
+func isMutexType(expr ast.Expr) bool {
+	switch t := ast.Unparen(expr).(type) {
+	case *ast.SelectorExpr:
+		if base, ok := t.X.(*ast.Ident); ok && base.Name == "sync" {
+			return t.Sel.Name == "Mutex" || t.Sel.Name == "RWMutex"
+		}
+	case *ast.Ident:
+		return strings.Contains(t.Name, "Mutex") || strings.Contains(t.Name, "mutex")
+	}
+	return false
+}
+
+func isChanType(expr ast.Expr) bool {
+	_, ok := ast.Unparen(expr).(*ast.ChanType)
+	return ok
+}
+
+// scanDecls indexes struct fields, package-level variables, function-local
+// mutex declarations and function declarations for class resolution and
+// summary lookup.
+func (c *concPass) scanDecls() {
+	info := c.pass.Pkg.Info
+	for _, file := range c.pass.Pkg.Files {
+		for _, decl := range file.Decls {
+			switch d := decl.(type) {
+			case *ast.GenDecl:
+				if d.Tok != token.VAR {
+					continue
+				}
+				for _, spec := range d.Specs {
+					vs, ok := spec.(*ast.ValueSpec)
+					if !ok {
+						continue
+					}
+					for _, name := range vs.Names {
+						obj := info.Defs[name]
+						if obj == nil {
+							continue
+						}
+						c.pkgLevel[obj] = true
+						if vs.Type != nil && isMutexType(vs.Type) {
+							c.mutexObjs[obj] = true
+						}
+						if vs.Type != nil && isChanType(vs.Type) {
+							c.chanObjs[obj] = true
+						}
+					}
+				}
+			case *ast.FuncDecl:
+				if obj := info.Defs[d.Name]; obj != nil && d.Body != nil {
+					c.funcDecls[obj] = d
+				}
+			}
+		}
+		// Struct fields and function-local mutex declarations, wherever
+		// they appear (top level or inside bodies).
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch t := n.(type) {
+			case *ast.TypeSpec:
+				st, ok := t.Type.(*ast.StructType)
+				if !ok {
+					return true
+				}
+				for _, field := range st.Fields.List {
+					for _, name := range field.Names {
+						obj := info.Defs[name]
+						if obj == nil {
+							continue
+						}
+						c.fieldOwner[obj] = t.Name.Name
+						if isMutexType(field.Type) {
+							c.mutexObjs[obj] = true
+						}
+						if isChanType(field.Type) {
+							c.chanObjs[obj] = true
+						}
+					}
+				}
+			case *ast.ValueSpec:
+				if t.Type == nil || !isMutexType(t.Type) {
+					return true
+				}
+				for _, name := range t.Names {
+					if obj := info.Defs[name]; obj != nil {
+						c.mutexObjs[obj] = true
+					}
+				}
+			}
+			return true
+		})
+	}
+}
+
+// lockClass names a lock (or channel) so that the same mutex reached
+// through different receivers compares equal: struct fields become
+// "Type.field", package-level variables keep their name, and local
+// mutexes are pinned to their declaration line.
+func (c *concPass) lockClass(expr ast.Expr) string {
+	switch x := ast.Unparen(expr).(type) {
+	case *ast.Ident:
+		if obj := c.pass.objOf(x); obj != nil {
+			return c.classOfObj(obj, x.Name)
+		}
+		return x.Name
+	case *ast.SelectorExpr:
+		if obj := c.pass.objOf(x.Sel); obj != nil {
+			return c.classOfObj(obj, x.Sel.Name)
+		}
+		return types.ExprString(x)
+	}
+	return ""
+}
+
+func (c *concPass) classOfObj(obj types.Object, name string) string {
+	if owner, ok := c.fieldOwner[obj]; ok {
+		return owner + "." + name
+	}
+	if c.pkgLevel[obj] {
+		return name
+	}
+	return name + "@" + strconv.Itoa(c.pass.Fset.Position(obj.Pos()).Line)
+}
+
+// localClass reports whether a class names a function-local mutex, which
+// must not leak into cross-function summaries.
+func localClass(class string) bool { return strings.Contains(class, "@") }
+
+// mutexRecv resolves the receiver of a .Lock()/.Unlock() selector to a
+// lock class, returning "" when the receiver is not a known mutex.
+func (c *concPass) mutexRecv(expr ast.Expr) string {
+	var obj types.Object
+	switch x := ast.Unparen(expr).(type) {
+	case *ast.Ident:
+		obj = c.pass.objOf(x)
+	case *ast.SelectorExpr:
+		obj = c.pass.objOf(x.Sel)
+	}
+	if obj == nil || !c.mutexObjs[obj] {
+		return ""
+	}
+	return c.lockClass(expr)
+}
+
+// ---- directives ----------------------------------------------------------
+
+// scanDirectives parses //amr:nolint and //amr:chan comments and binds
+// decl-scoped ones to the mutex/channel declarations they annotate (same
+// line, or the line immediately below the directive).
+func (c *concPass) scanDirectives() {
+	type declSite struct {
+		class string
+		file  string
+		line  int
+	}
+	var mutexDecls, chanDecls []declSite
+	collect := func(obj types.Object, name string, kinds *[]declSite) {
+		pos := c.pass.Fset.Position(obj.Pos())
+		*kinds = append(*kinds, declSite{class: c.classOfObj(obj, name), file: pos.Filename, line: pos.Line})
+	}
+	for obj := range c.mutexObjs {
+		collect(obj, obj.Name(), &mutexDecls)
+	}
+	for obj := range c.chanObjs {
+		collect(obj, obj.Name(), &chanDecls)
+	}
+
+	for _, file := range c.pass.Pkg.Files {
+		for _, cg := range file.Comments {
+			for _, cm := range cg.List {
+				text := cm.Text
+				pos := c.pass.Fset.Position(cm.Pos())
+				if rest, ok := strings.CutPrefix(text, "//amr:nolint"); ok {
+					w := parseWaiver(rest, cm.Pos(), pos)
+					if w == nil {
+						continue
+					}
+					// Decl scope: the directive sits on a lock/chan
+					// declaration line or directly above one.
+					for _, d := range append(mutexDecls, chanDecls...) {
+						if d.file == pos.Filename && (d.line == pos.Line || d.line == pos.Line+1) {
+							if w.classes == nil {
+								w.classes = make(map[string]bool)
+							}
+							w.classes[d.class] = true
+						}
+					}
+					c.waivers = append(c.waivers, w)
+				}
+				if rest, ok := strings.CutPrefix(text, "//amr:chan"); ok {
+					names := parseChanOwners(rest)
+					if len(names) == 0 {
+						continue
+					}
+					for _, d := range chanDecls {
+						if d.file == pos.Filename && (d.line == pos.Line || d.line == pos.Line+1) {
+							c.owners[d.class] = names
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// parseWaiver parses the tail of an //amr:nolint comment. Only waivers
+// naming at least one conc-* rule belong to conclint; others are left to
+// whatever tool owns them.
+func parseWaiver(rest string, pos token.Pos, p token.Position) *concWaiver {
+	reason := ""
+	if i := strings.Index(rest, " -- "); i >= 0 {
+		reason = strings.TrimSpace(rest[i+4:])
+		rest = rest[:i]
+	}
+	// Strip a trailing line comment (corpus files put // want markers on
+	// directive lines).
+	if i := strings.Index(rest, "//"); i >= 0 {
+		rest = rest[:i]
+	}
+	rules := make(map[string]bool)
+	for _, tok := range strings.FieldsFunc(rest, func(r rune) bool { return r == ',' || r == ' ' || r == '\t' }) {
+		if strings.HasPrefix(tok, "conc-") {
+			rules[tok] = true
+		}
+	}
+	if len(rules) == 0 {
+		return nil
+	}
+	return &concWaiver{pos: pos, file: p.Filename, line: p.Line, rules: rules, reason: reason}
+}
+
+// parseChanOwners parses `owner=a,b` from an //amr:chan directive.
+func parseChanOwners(rest string) []string {
+	for _, f := range strings.Fields(rest) {
+		if val, ok := strings.CutPrefix(f, "owner="); ok {
+			var names []string
+			for _, n := range strings.Split(val, ",") {
+				if n = strings.TrimSpace(n); n != "" {
+					names = append(names, n)
+				}
+			}
+			return names
+		}
+	}
+	return nil
+}
+
+// ---- lock-order cycles ---------------------------------------------------
+
+// addEdge records "to acquired while holding from" in the package lock
+// graph, keeping the first position seen for reporting.
+func (c *concPass) addEdge(from, to string, pos token.Pos) {
+	key := [2]string{from, to}
+	if _, ok := c.edges[key]; !ok {
+		c.edges[key] = pos
+	}
+}
+
+// checkLockCycles finds strongly-connected components of the lock graph
+// and reports each cycle once, at the earliest edge inside the component.
+func (c *concPass) checkLockCycles() {
+	adj := make(map[string][]string)
+	for key := range c.edges {
+		adj[key[0]] = append(adj[key[0]], key[1])
+	}
+	for n := range adj {
+		sort.Strings(adj[n])
+	}
+	sccs := stronglyConnected(adj)
+	for _, scc := range sccs {
+		if len(scc) < 2 {
+			continue // self-edges are reported as double locks, not cycles
+		}
+		sort.Strings(scc)
+		in := make(map[string]bool, len(scc))
+		for _, n := range scc {
+			in[n] = true
+		}
+		// Report at the earliest edge position inside the component.
+		var pos token.Pos
+		for key, p := range c.edges {
+			if in[key[0]] && in[key[1]] && (pos == token.NoPos || p < pos) {
+				pos = p
+			}
+		}
+		cycle := strings.Join(scc, " -> ") + " -> " + scc[0]
+		c.report(pos, ruleLockCycle, "error", scc[0],
+			"lock-order cycle: %s (a consistent acquisition order prevents deadlock)", cycle)
+	}
+}
+
+// stronglyConnected is Tarjan's algorithm over the lock graph.
+func stronglyConnected(adj map[string][]string) [][]string {
+	index := make(map[string]int)
+	low := make(map[string]int)
+	onStack := make(map[string]bool)
+	var stack []string
+	var sccs [][]string
+	next := 0
+
+	var strong func(v string)
+	strong = func(v string) {
+		index[v] = next
+		low[v] = next
+		next++
+		stack = append(stack, v)
+		onStack[v] = true
+		for _, w := range adj[v] {
+			if _, seen := index[w]; !seen {
+				strong(w)
+				if low[w] < low[v] {
+					low[v] = low[w]
+				}
+			} else if onStack[w] && index[w] < low[v] {
+				low[v] = index[w]
+			}
+		}
+		if low[v] == index[v] {
+			var scc []string
+			for {
+				n := len(stack) - 1
+				w := stack[n]
+				stack = stack[:n]
+				onStack[w] = false
+				scc = append(scc, w)
+				if w == v {
+					break
+				}
+			}
+			sccs = append(sccs, scc)
+		}
+	}
+	var nodes []string
+	for n := range adj {
+		nodes = append(nodes, n)
+	}
+	sort.Strings(nodes)
+	for _, n := range nodes {
+		if _, seen := index[n]; !seen {
+			strong(n)
+		}
+	}
+	return sccs
+}
+
+// ---- goroutine leaks -----------------------------------------------------
+
+// checkGoroutineLeaks flags go statements whose body spins in an infinite
+// for loop with no reachable shutdown edge: no return, no break, and no
+// channel receive that could deliver one. `for range ch` loops terminate
+// when the channel closes and are never flagged.
+func (c *concPass) checkGoroutineLeaks() {
+	for _, file := range c.pass.Pkg.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			g, ok := n.(*ast.GoStmt)
+			if !ok {
+				return true
+			}
+			body := c.goBody(g.Call)
+			if body == nil {
+				return true
+			}
+			if loop := findUnexitableLoop(body); loop != nil {
+				c.report(g.Pos(), ruleGoLeak, "error", "",
+					"goroutine has no shutdown edge: its infinite loop has no return, break or channel receive")
+			}
+			return true
+		})
+	}
+}
+
+// goBody resolves the body a go statement will run: a literal, or the
+// declaration of a package function or method.
+func (c *concPass) goBody(call *ast.CallExpr) *ast.BlockStmt {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.FuncLit:
+		return fun.Body
+	case *ast.Ident:
+		if obj := c.pass.objOf(fun); obj != nil {
+			if fd := c.funcDecls[obj]; fd != nil {
+				return fd.Body
+			}
+		}
+	case *ast.SelectorExpr:
+		if obj := c.pass.objOf(fun.Sel); obj != nil {
+			if fd := c.funcDecls[obj]; fd != nil {
+				return fd.Body
+			}
+		}
+	}
+	return nil
+}
+
+// findUnexitableLoop returns a `for {}` loop in body that contains no
+// return, break or channel receive, or nil if every loop has an exit.
+func findUnexitableLoop(body *ast.BlockStmt) *ast.ForStmt {
+	var found *ast.ForStmt
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found != nil {
+			return false
+		}
+		loop, ok := n.(*ast.ForStmt)
+		if !ok || loop.Cond != nil || loop.Init != nil || loop.Post != nil {
+			return true
+		}
+		exitable := false
+		ast.Inspect(loop.Body, func(m ast.Node) bool {
+			switch t := m.(type) {
+			case *ast.ReturnStmt:
+				exitable = true
+			case *ast.BranchStmt:
+				if t.Tok == token.BREAK || t.Tok == token.GOTO {
+					exitable = true
+				}
+			case *ast.UnaryExpr:
+				if t.Op == token.ARROW {
+					exitable = true // a receive can deliver shutdown
+				}
+			case *ast.RangeStmt:
+				exitable = true // ranging a channel ends on close
+			case *ast.FuncLit:
+				return false // nested goroutines judged on their own
+			}
+			return !exitable
+		})
+		if !exitable {
+			found = loop
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+// ---- waiver filtering and emission ---------------------------------------
+
+// waived reports whether f is suppressed by a waiver, marking the waiver
+// used. Line waivers match the finding's line or the line above it;
+// decl-scoped waivers match the finding's lock/channel class anywhere in
+// the package.
+func (c *concPass) waived(f concFinding) bool {
+	pos := c.pass.Fset.Position(f.pos)
+	hit := false
+	for _, w := range c.waivers {
+		if !w.rules[f.rule] {
+			continue
+		}
+		lineScoped := w.file == pos.Filename && (w.line == pos.Line || w.line+1 == pos.Line)
+		declScoped := f.class != "" && w.classes[f.class]
+		if lineScoped || declScoped {
+			w.used = true
+			hit = true // keep scanning: every matching waiver counts as used
+		}
+	}
+	return hit
+}
+
+// emit applies waivers and reports the surviving findings plus the waiver
+// audit: reason-less waivers are errors, unused waivers are warnings.
+func (c *concPass) emit() {
+	for _, f := range c.raw {
+		if c.waived(f) {
+			continue
+		}
+		c.pass.ReportRulef(f.pos, f.rule, f.sev, "%s", f.msg)
+	}
+	for _, w := range c.waivers {
+		if w.reason == "" {
+			c.pass.ReportRulef(w.pos, ruleWaiverReason, "error",
+				"amr:nolint waiver missing a '-- reason' justification")
+		}
+		if !w.used {
+			var rules []string
+			for r := range w.rules {
+				rules = append(rules, r)
+			}
+			sort.Strings(rules)
+			c.pass.ReportRulef(w.pos, ruleWaiverStale, "warning",
+				"stale waiver: no %s finding matches it", strings.Join(rules, ","))
+		}
+	}
+}

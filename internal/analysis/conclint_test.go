@@ -1,0 +1,66 @@
+package analysis
+
+import (
+	"go/token"
+	"testing"
+)
+
+// TestConcLintRuleIDs locks in the stable finding ids and severities of
+// every conclint rule: the seeded corpus must trip all seven, each under
+// its documented conclint/<rule> id, with conc-waiver-stale as the only
+// warning. Dashboards and waivers key on these ids.
+func TestConcLintRuleIDs(t *testing.T) {
+	fset := token.NewFileSet()
+	pkgs, err := Load(fset, []string{"testdata/conclint"}, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	findings := Run(pkgs, []*Analyzer{ConcLint})
+
+	wantSeverity := map[string]string{
+		"conclint/" + ruleLockCycle:    "error",
+		"conclint/" + ruleBlockLock:    "error",
+		"conclint/" + ruleLockLeak:     "error",
+		"conclint/" + ruleChanClose:    "error",
+		"conclint/" + ruleGoLeak:       "error",
+		"conclint/" + ruleWaiverReason: "error",
+		"conclint/" + ruleWaiverStale:  "warning",
+	}
+	seen := make(map[string]bool)
+	for _, f := range findings {
+		sev, ok := wantSeverity[f.ID()]
+		if !ok {
+			t.Errorf("finding with unknown id %q: %s", f.ID(), f)
+			continue
+		}
+		if f.Severity != sev {
+			t.Errorf("id %s has severity %q, want %q", f.ID(), f.Severity, sev)
+		}
+		seen[f.ID()] = true
+	}
+	for id := range wantSeverity {
+		if !seen[id] {
+			t.Errorf("rule %s produced no finding on the seeded corpus", id)
+		}
+	}
+}
+
+// TestConcLintRuntimePackagesClean pins the tentpole acceptance criterion
+// directly: the concurrency substrate packages are clean under conclint
+// (real findings fixed, intentional designs waived with reasons, and no
+// stale waivers — a stale waiver is itself a finding).
+func TestConcLintRuntimePackagesClean(t *testing.T) {
+	fset := token.NewFileSet()
+	pkgs, err := Load(fset, []string{
+		"../mpi", "../task", "../tampi", "../membuf", "../simnet", "../driver",
+	}, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgs) != 6 {
+		t.Fatalf("loaded %d packages, want 6", len(pkgs))
+	}
+	for _, f := range Run(pkgs, []*Analyzer{ConcLint}) {
+		t.Errorf("conclint finding in runtime package: %s", f)
+	}
+}

@@ -1,0 +1,918 @@
+package analysis
+
+// The lock-flow engine behind conclint: an abstract interpreter over
+// function bodies whose state is the ordered list of locks held on the
+// current path. It powers conc-lock-leak, conc-block-under-lock, the
+// edges of the conc-lock-cycle graph, and the per-function lockSummary
+// consulted at call sites.
+//
+// Merge semantics are deliberately lossy in the safe direction: when two
+// paths disagree about a lock it moves to the path's unknown set, where
+// it neither triggers reports nor suppresses later definite state. A
+// function may legitimately exit holding a lock only by returning the
+// lock's Unlock method value (the beginCollective pattern); the summary
+// records that as exitHeld plus an unlocker result so callers continue
+// the tracking.
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// heldLock is one acquired lock on the current path, in acquisition order.
+type heldLock struct {
+	class string
+	rlock bool
+	pos   token.Pos
+}
+
+// lockState is the per-path abstract state.
+type lockState struct {
+	held     []heldLock
+	deferred []string // classes released by pending defers at every exit
+	unknown  map[string]bool
+	// unlockers maps local variables bound to a lock's Unlock method value
+	// (release := mu.Unlock, or an unlocker-returning call) to the class
+	// they release.
+	unlockers map[types.Object]string
+	dead      bool
+}
+
+func newLockState() *lockState {
+	return &lockState{unknown: make(map[string]bool), unlockers: make(map[types.Object]string)}
+}
+
+func (s *lockState) clone() *lockState {
+	c := &lockState{
+		held:      append([]heldLock(nil), s.held...),
+		deferred:  append([]string(nil), s.deferred...),
+		unknown:   make(map[string]bool, len(s.unknown)),
+		unlockers: make(map[types.Object]string, len(s.unlockers)),
+		dead:      s.dead,
+	}
+	for k := range s.unknown {
+		c.unknown[k] = true
+	}
+	for k, v := range s.unlockers {
+		c.unlockers[k] = v
+	}
+	return c
+}
+
+func (s *lockState) heldIdx(class string) int {
+	for i, h := range s.held {
+		if h.class == class {
+			return i
+		}
+	}
+	return -1
+}
+
+func (s *lockState) dropHeld(class string) {
+	if i := s.heldIdx(class); i >= 0 {
+		s.held = append(s.held[:i], s.held[i+1:]...)
+	}
+}
+
+// mergeLockStates folds two path states at a join point. Locks the paths
+// disagree on become unknown.
+func mergeLockStates(a, b *lockState) *lockState {
+	if a == nil || a.dead {
+		return b
+	}
+	if b == nil || b.dead {
+		return a
+	}
+	out := newLockState()
+	for k := range a.unknown {
+		out.unknown[k] = true
+	}
+	for k := range b.unknown {
+		out.unknown[k] = true
+	}
+	for _, h := range a.held {
+		if b.heldIdx(h.class) >= 0 {
+			out.held = append(out.held, h)
+		} else {
+			out.unknown[h.class] = true
+		}
+	}
+	for _, h := range b.held {
+		if a.heldIdx(h.class) < 0 {
+			out.unknown[h.class] = true
+		}
+	}
+	for _, d := range a.deferred {
+		if hasString(b.deferred, d) {
+			out.deferred = append(out.deferred, d)
+		} else {
+			out.unknown[d] = true
+		}
+	}
+	for _, d := range b.deferred {
+		if !hasString(a.deferred, d) {
+			out.unknown[d] = true
+		}
+	}
+	for k, v := range a.unlockers {
+		if b.unlockers[k] == v {
+			out.unlockers[k] = v
+		}
+	}
+	return out
+}
+
+func hasString(xs []string, s string) bool {
+	for _, x := range xs {
+		if x == s {
+			return true
+		}
+	}
+	return false
+}
+
+// lockSummary is the interprocedural fact sheet for one function.
+type lockSummary struct {
+	// acquires are the field- or package-level lock classes the function
+	// (transitively) acquires; used for call-site lock-order edges and
+	// re-acquire detection.
+	acquires map[string]bool
+	// releases are classes the function unlocks without having locked,
+	// i.e. locks it releases on behalf of the caller.
+	releases map[string]bool
+	// blocks records that some path performs a blocking operation.
+	blocks    bool
+	blockDesc string
+	// exitHeld are classes held at every normal exit (the function hands
+	// the lock to its caller); unlockers maps result indices that return
+	// the matching Unlock method value.
+	exitHeld  []string
+	unlockers map[int]string
+}
+
+func summariesEqual(a, b *lockSummary) bool {
+	if (a == nil) != (b == nil) {
+		return false
+	}
+	if a == nil {
+		return true
+	}
+	if a.blocks != b.blocks || len(a.acquires) != len(b.acquires) ||
+		len(a.releases) != len(b.releases) || len(a.exitHeld) != len(b.exitHeld) ||
+		len(a.unlockers) != len(b.unlockers) {
+		return false
+	}
+	for k := range a.acquires {
+		if !b.acquires[k] {
+			return false
+		}
+	}
+	for k := range a.releases {
+		if !b.releases[k] {
+			return false
+		}
+	}
+	for i, v := range a.exitHeld {
+		if b.exitHeld[i] != v {
+			return false
+		}
+	}
+	for k, v := range a.unlockers {
+		if b.unlockers[k] != v {
+			return false
+		}
+	}
+	return true
+}
+
+// lockExit is one normal (non-panicking) function exit seen by the walker.
+type lockExit struct {
+	held      []heldLock
+	unlockers map[int]string // result index -> class, when the exit returns unlockers
+}
+
+// lockFlow walks one function body.
+type lockFlow struct {
+	c *concPass
+	// silent suppresses findings (summary fixpoint); litMode marks a
+	// function-literal body analyzed out of context, where
+	// unlock-without-lock cannot be judged.
+	silent  bool
+	litMode bool
+	fname   string
+	sum     *lockSummary // facts accumulated during the walk
+	exits   []lockExit
+	// inComm suppresses channel-op blocking reports while walking a
+	// select comm clause: the select statement is the blocking point.
+	inComm bool
+	// breakTargets / continueTargets collect states jumping to the
+	// innermost breakable/continuable construct.
+	breaks    [][]*lockState
+	continues [][]*lockState
+}
+
+// analyzeFunc runs the reporting pass over one declared function.
+func (c *concPass) analyzeFunc(fd *ast.FuncDecl) {
+	f := &lockFlow{c: c, fname: fd.Name.Name, sum: newLockSummary()}
+	f.runBody(fd.Body)
+}
+
+// analyzeLit analyzes a function literal out of context: locks held by
+// the enclosing function are unknown, so unlock-without-lock is not
+// judged, but everything acquired inside the literal is checked fully.
+func (c *concPass) analyzeLit(lit *ast.FuncLit, silent bool) {
+	f := &lockFlow{c: c, silent: silent, litMode: true, fname: "func literal", sum: newLockSummary()}
+	f.runBody(lit.Body)
+}
+
+func newLockSummary() *lockSummary {
+	return &lockSummary{acquires: make(map[string]bool), releases: make(map[string]bool)}
+}
+
+func (f *lockFlow) runBody(body *ast.BlockStmt) {
+	st := newLockState()
+	f.walkStmts(body.List, st)
+	if !st.dead {
+		f.exit(st, nil, body.Rbrace)
+	}
+}
+
+// computeLockSummaries runs the silent fixpoint: each iteration re-walks
+// every function with the summaries of the previous round visible at call
+// sites, so delegation chains (helper locks, caller blocks) converge.
+func (c *concPass) computeLockSummaries() map[types.Object]*lockSummary {
+	sums := make(map[types.Object]*lockSummary)
+	c.sums = sums
+	for iter := 0; iter < maxSummaryIters; iter++ {
+		changed := false
+		for obj, fd := range c.funcDecls {
+			f := &lockFlow{c: c, silent: true, fname: fd.Name.Name, sum: newLockSummary()}
+			f.runBody(fd.Body)
+			next := f.finishSummary()
+			if !summariesEqual(sums[obj], next) {
+				sums[obj] = next
+				changed = true
+			}
+		}
+		if !changed {
+			break
+		}
+	}
+	return sums
+}
+
+// finishSummary folds the walk's exits into the summary: exitHeld and
+// unlockers are kept only when every normal exit agrees, and local lock
+// classes never escape the function.
+func (f *lockFlow) finishSummary() *lockSummary {
+	s := f.sum
+	for class := range s.acquires {
+		if localClass(class) {
+			delete(s.acquires, class)
+		}
+	}
+	for class := range s.releases {
+		if localClass(class) {
+			delete(s.releases, class)
+		}
+	}
+	if len(f.exits) > 0 {
+		first := f.exits[0]
+		agree := true
+		for _, e := range f.exits[1:] {
+			if !exitsAgree(first, e) {
+				agree = false
+				break
+			}
+		}
+		if agree {
+			for _, h := range first.held {
+				if !localClass(h.class) {
+					s.exitHeld = append(s.exitHeld, h.class)
+				}
+			}
+			sort.Strings(s.exitHeld)
+			if len(first.unlockers) > 0 {
+				s.unlockers = make(map[int]string, len(first.unlockers))
+				for i, cl := range first.unlockers {
+					if !localClass(cl) {
+						s.unlockers[i] = cl
+					}
+				}
+			}
+		}
+	}
+	return s
+}
+
+func exitsAgree(a, b lockExit) bool {
+	if len(a.held) != len(b.held) || len(a.unlockers) != len(b.unlockers) {
+		return false
+	}
+	for i := range a.held {
+		if a.held[i].class != b.held[i].class {
+			return false
+		}
+	}
+	for k, v := range a.unlockers {
+		if b.unlockers[k] != v {
+			return false
+		}
+	}
+	return true
+}
+
+// exit handles one normal function exit: result expressions were already
+// walked by the caller; pending defers release their locks, then any lock
+// still held must be covered by a returned unlocker or it is a leak.
+func (f *lockFlow) exit(st *lockState, ret *ast.ReturnStmt, pos token.Pos) {
+	st = st.clone()
+	for _, class := range st.deferred {
+		if st.heldIdx(class) >= 0 {
+			st.dropHeld(class)
+		} else if !st.unknown[class] && !f.silent && !f.litMode {
+			f.c.report(pos, ruleLockLeak, "error", class,
+				"deferred unlock of %s but %s is no longer held at this return", class, class)
+		}
+	}
+	unlockers := make(map[int]string)
+	if ret != nil {
+		for i, res := range ret.Results {
+			if class := f.unlockerValue(res); class != "" {
+				unlockers[i] = class
+			}
+		}
+	}
+	returned := make(map[string]bool, len(unlockers))
+	for _, cl := range unlockers {
+		returned[cl] = true
+	}
+	for _, h := range st.held {
+		if st.unknown[h.class] || returned[h.class] {
+			continue
+		}
+		if !f.silent {
+			f.c.report(pos, ruleLockLeak, "error", h.class,
+				"%s may still be held when %s returns (no unlock on this path)", h.class, f.fname)
+		}
+	}
+	f.exits = append(f.exits, lockExit{held: append([]heldLock(nil), st.held...), unlockers: unlockers})
+}
+
+// unlockerValue recognizes expressions that evaluate to a lock's Unlock
+// method value (mu.Unlock / c.collMu.Unlock), returning its class.
+func (f *lockFlow) unlockerValue(expr ast.Expr) string {
+	sel, ok := ast.Unparen(expr).(*ast.SelectorExpr)
+	if !ok || (sel.Sel.Name != "Unlock" && sel.Sel.Name != "RUnlock") {
+		return ""
+	}
+	return f.c.mutexRecv(sel.X)
+}
+
+// ---- statement walk ------------------------------------------------------
+
+func (f *lockFlow) walkStmts(list []ast.Stmt, st *lockState) {
+	for _, s := range list {
+		if st.dead {
+			return
+		}
+		f.walkStmt(s, st)
+	}
+}
+
+func (f *lockFlow) walkStmt(s ast.Stmt, st *lockState) {
+	switch t := s.(type) {
+	case *ast.ExprStmt:
+		f.walkExpr(t.X, st)
+	case *ast.SendStmt:
+		f.walkExpr(t.Chan, st)
+		f.walkExpr(t.Value, st)
+		f.blockingOp(t.Arrow, "channel send", st)
+	case *ast.AssignStmt:
+		for _, rhs := range t.Rhs {
+			f.walkExpr(rhs, st)
+		}
+		f.bindUnlockers(t, st)
+	case *ast.DeclStmt:
+		if gd, ok := t.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok {
+					for _, v := range vs.Values {
+						f.walkExpr(v, st)
+					}
+				}
+			}
+		}
+	case *ast.IncDecStmt:
+		f.walkExpr(t.X, st)
+	case *ast.ReturnStmt:
+		for _, res := range t.Results {
+			f.walkExpr(res, st)
+		}
+		f.exit(st, t, t.Pos())
+		st.dead = true
+	case *ast.DeferStmt:
+		f.walkDefer(t, st)
+	case *ast.GoStmt:
+		for _, arg := range t.Call.Args {
+			f.walkExpr(arg, st)
+		}
+		if lit, ok := ast.Unparen(t.Call.Fun).(*ast.FuncLit); ok {
+			f.c.analyzeLit(lit, f.silent)
+		}
+	case *ast.BlockStmt:
+		f.walkStmts(t.List, st)
+	case *ast.IfStmt:
+		if t.Init != nil {
+			f.walkStmt(t.Init, st)
+		}
+		f.walkExpr(t.Cond, st)
+		then := st.clone()
+		f.walkStmts(t.Body.List, then)
+		els := st.clone()
+		if t.Else != nil {
+			f.walkStmt(t.Else, els)
+		}
+		*st = *mergeLockStates(then, els)
+	case *ast.ForStmt:
+		if t.Init != nil {
+			f.walkStmt(t.Init, st)
+		}
+		if t.Cond != nil {
+			f.walkExpr(t.Cond, st)
+		}
+		f.walkLoop(t.Body, t.Post, st, t.Cond == nil)
+	case *ast.RangeStmt:
+		f.walkExpr(t.X, st)
+		f.walkLoop(t.Body, nil, st, false)
+	case *ast.SwitchStmt:
+		if t.Init != nil {
+			f.walkStmt(t.Init, st)
+		}
+		if t.Tag != nil {
+			f.walkExpr(t.Tag, st)
+		}
+		f.walkCases(t.Body, st, switchHasDefault(t.Body))
+	case *ast.TypeSwitchStmt:
+		if t.Init != nil {
+			f.walkStmt(t.Init, st)
+		}
+		f.walkCases(t.Body, st, switchHasDefault(t.Body))
+	case *ast.SelectStmt:
+		if !selectHasDefault(t) {
+			f.blockingOp(t.Pos(), "select without default", st)
+		}
+		f.walkCases(t.Body, st, true) // some case always runs once unblocked
+	case *ast.BranchStmt:
+		switch t.Tok {
+		case token.BREAK:
+			f.jump(&f.breaks, st)
+		case token.CONTINUE:
+			f.jump(&f.continues, st)
+		case token.GOTO:
+			st.dead = true // no label tracking; stay conservative
+		}
+	case *ast.LabeledStmt:
+		f.walkStmt(t.Stmt, st)
+	}
+}
+
+// walkLoop analyzes a loop body once and merges the result with the
+// zero-iteration path; locks whose state differs across iterations become
+// unknown. An infinite loop with no break leaves the path dead.
+func (f *lockFlow) walkLoop(body *ast.BlockStmt, post ast.Stmt, st *lockState, infinite bool) {
+	f.breaks = append(f.breaks, nil)
+	f.continues = append(f.continues, nil)
+	iter := st.clone()
+	f.walkStmts(body.List, iter)
+	n := len(f.continues) - 1
+	for _, cs := range f.continues[n] {
+		iter = mergeLockStates(iter, cs)
+	}
+	f.continues = f.continues[:n]
+	if post != nil && !iter.dead {
+		f.walkStmt(post, iter)
+	}
+	var after *lockState
+	if infinite {
+		after = &lockState{dead: true}
+	} else {
+		after = mergeLockStates(st.clone(), iter)
+	}
+	n = len(f.breaks) - 1
+	for _, bs := range f.breaks[n] {
+		after = mergeLockStates(after, bs)
+	}
+	f.breaks = f.breaks[:n]
+	*st = *after
+}
+
+// walkCases merges all case bodies of a switch/select from the same entry
+// state; withDefault marks constructs where some body always runs.
+func (f *lockFlow) walkCases(body *ast.BlockStmt, st *lockState, withDefault bool) {
+	f.breaks = append(f.breaks, nil)
+	var merged *lockState
+	if !withDefault {
+		merged = st.clone()
+	}
+	for _, cs := range body.List {
+		branch := st.clone()
+		switch cc := cs.(type) {
+		case *ast.CaseClause:
+			for _, e := range cc.List {
+				f.walkExpr(e, branch)
+			}
+			f.walkStmts(cc.Body, branch)
+		case *ast.CommClause:
+			if cc.Comm != nil {
+				f.inComm = true
+				f.walkStmt(cc.Comm, branch)
+				f.inComm = false
+			}
+			f.walkStmts(cc.Body, branch)
+		}
+		merged = mergeLockStates(merged, branch)
+	}
+	if merged == nil {
+		merged = st.clone()
+	}
+	n := len(f.breaks) - 1
+	for _, bs := range f.breaks[n] {
+		merged = mergeLockStates(merged, bs)
+	}
+	f.breaks = f.breaks[:n]
+	*st = *merged
+}
+
+func (f *lockFlow) jump(targets *[][]*lockState, st *lockState) {
+	if n := len(*targets) - 1; n >= 0 {
+		(*targets)[n] = append((*targets)[n], st.clone())
+	}
+	st.dead = true
+}
+
+func switchHasDefault(body *ast.BlockStmt) bool {
+	for _, cs := range body.List {
+		if cc, ok := cs.(*ast.CaseClause); ok && cc.List == nil {
+			return true
+		}
+	}
+	return false
+}
+
+func selectHasDefault(sel *ast.SelectStmt) bool {
+	for _, cs := range sel.Body.List {
+		if cc, ok := cs.(*ast.CommClause); ok && cc.Comm == nil {
+			return true
+		}
+	}
+	return false
+}
+
+// walkDefer processes defer statements: deferred unlocks (direct, through
+// a bound unlocker variable, or inside a deferred literal) register the
+// release that happens at every exit.
+func (f *lockFlow) walkDefer(d *ast.DeferStmt, st *lockState) {
+	call := d.Call
+	for _, arg := range call.Args {
+		f.walkExpr(arg, st)
+	}
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.SelectorExpr:
+		if fun.Sel.Name == "Unlock" || fun.Sel.Name == "RUnlock" {
+			if class := f.c.mutexRecv(fun.X); class != "" {
+				st.deferred = append(st.deferred, class)
+				return
+			}
+		}
+	case *ast.Ident:
+		if obj := f.c.pass.objOf(fun); obj != nil {
+			if class, ok := st.unlockers[obj]; ok {
+				st.deferred = append(st.deferred, class)
+				return
+			}
+		}
+	case *ast.FuncLit:
+		// Unlocks inside a deferred literal run at exit like direct
+		// deferred unlocks; the literal's other contents are not executed
+		// under the current path's state, so they are not walked here.
+		ast.Inspect(fun.Body, func(n ast.Node) bool {
+			ce, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if sel, ok := ast.Unparen(ce.Fun).(*ast.SelectorExpr); ok &&
+				(sel.Sel.Name == "Unlock" || sel.Sel.Name == "RUnlock") {
+				if class := f.c.mutexRecv(sel.X); class != "" {
+					st.deferred = append(st.deferred, class)
+				}
+			}
+			return true
+		})
+	}
+}
+
+// bindUnlockers records assignments that bind a local variable to a
+// lock's release: either a method value (release := mu.Unlock) or the
+// unlocker result of a summarized call (seq, release := c.begin()).
+func (f *lockFlow) bindUnlockers(a *ast.AssignStmt, st *lockState) {
+	bind := func(lhs ast.Expr, class string) {
+		id, ok := ast.Unparen(lhs).(*ast.Ident)
+		if !ok || id.Name == "_" {
+			return
+		}
+		obj := f.c.pass.objOf(id)
+		if obj == nil {
+			return
+		}
+		if class == "" {
+			delete(st.unlockers, obj) // overwritten binding
+			return
+		}
+		st.unlockers[obj] = class
+	}
+	if len(a.Rhs) == 1 {
+		if call, ok := ast.Unparen(a.Rhs[0]).(*ast.CallExpr); ok {
+			if sum := f.calleeSummary(call); sum != nil && len(sum.unlockers) > 0 {
+				for i, lhs := range a.Lhs {
+					bind(lhs, sum.unlockers[i])
+				}
+				return
+			}
+		}
+	}
+	if len(a.Lhs) == len(a.Rhs) {
+		for i := range a.Lhs {
+			bind(a.Lhs[i], f.unlockerValue(a.Rhs[i]))
+		}
+	}
+}
+
+// ---- expressions and calls -----------------------------------------------
+
+func (f *lockFlow) walkExpr(e ast.Expr, st *lockState) {
+	if e == nil || st.dead {
+		return
+	}
+	switch t := e.(type) {
+	case *ast.CallExpr:
+		for _, arg := range t.Args {
+			f.walkExpr(arg, st)
+		}
+		f.walkCall(t, st)
+	case *ast.UnaryExpr:
+		f.walkExpr(t.X, st)
+		if t.Op == token.ARROW {
+			f.blockingOp(t.Pos(), "channel receive", st)
+		}
+	case *ast.BinaryExpr:
+		f.walkExpr(t.X, st)
+		f.walkExpr(t.Y, st)
+	case *ast.ParenExpr:
+		f.walkExpr(t.X, st)
+	case *ast.StarExpr:
+		f.walkExpr(t.X, st)
+	case *ast.IndexExpr:
+		f.walkExpr(t.X, st)
+		f.walkExpr(t.Index, st)
+	case *ast.SliceExpr:
+		f.walkExpr(t.X, st)
+		f.walkExpr(t.Low, st)
+		f.walkExpr(t.High, st)
+		f.walkExpr(t.Max, st)
+	case *ast.CompositeLit:
+		for _, el := range t.Elts {
+			f.walkExpr(el, st)
+		}
+	case *ast.KeyValueExpr:
+		f.walkExpr(t.Value, st)
+	case *ast.TypeAssertExpr:
+		f.walkExpr(t.X, st)
+	case *ast.FuncLit:
+		// A literal used as a value (callback, AfterFunc body) runs in an
+		// unknown context later; analyze it fresh.
+		f.c.analyzeLit(t, f.silent)
+	}
+}
+
+// blockingMethods are method names that block by design in this codebase
+// (MPI waits, collectives, task suspension) or in the stdlib (Sleep,
+// WaitGroup.Wait).
+var blockingMethods = map[string]bool{
+	"Wait": true, "Waitall": true, "Waitany": true, "Sleep": true,
+	"Suspend": true, "Barrier": true, "Bcast": true, "Send": true,
+	"Recv": true, "SendOwned": true, "AllreduceFloat64": true,
+	"AllreduceInt": true, "Allgatherv": true, "AllgathervInt": true,
+	"Gather": true, "Reduce": true,
+}
+
+// terminalFuncs end the goroutine; paths through them never reach a
+// function exit, so locks they strand are not leaks.
+var terminalFuncs = map[string]bool{
+	"panic": true, "Fatal": true, "Fatalf": true, "Exit": true,
+	"Goexit": true, "Fatalln": true,
+}
+
+// walkCall classifies one call: lock acquire/release first (so
+// chanMutex.Lock is an acquire, not a blocking send), then bound
+// unlockers, then blocking by name, then the callee's summary, then
+// terminal functions. Anything else — cross-package, interface or
+// unresolved — is assumed lock-neutral and non-blocking.
+func (f *lockFlow) walkCall(call *ast.CallExpr, st *lockState) {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.SelectorExpr:
+		name := fun.Sel.Name
+		switch name {
+		case "Lock", "RLock":
+			if class := f.c.mutexRecv(fun.X); class != "" {
+				f.acquire(class, name == "RLock", call.Pos(), st)
+				return
+			}
+		case "Unlock", "RUnlock":
+			if class := f.c.mutexRecv(fun.X); class != "" {
+				f.release(class, call.Pos(), st)
+				return
+			}
+		}
+		if name == "Wait" && strings.Contains(strings.ToLower(types.ExprString(fun.X)), "cond") {
+			// cond.Wait releases its own mutex while parked; holding just
+			// that one lock is the intended pattern. Two or more is still
+			// a block-under-lock.
+			if len(st.held) >= 2 {
+				f.blockingOp(call.Pos(), "call to cond Wait", st)
+			}
+			return
+		}
+		if blockingMethods[name] {
+			f.blockingOp(call.Pos(), "call to "+name, st)
+			return
+		}
+		if terminalFuncs[name] {
+			st.dead = true
+			return
+		}
+		f.applySummary(call, fun.Sel, st)
+	case *ast.Ident:
+		if obj := f.c.pass.objOf(fun); obj != nil {
+			if class, ok := st.unlockers[obj]; ok {
+				f.release(class, call.Pos(), st)
+				return
+			}
+		}
+		if terminalFuncs[fun.Name] {
+			st.dead = true
+			return
+		}
+		if blockingMethods[fun.Name] {
+			f.blockingOp(call.Pos(), "call to "+fun.Name, st)
+			return
+		}
+		f.applySummary(call, fun, st)
+	case *ast.FuncLit:
+		// Immediately-invoked literal: runs inline under the current
+		// locks.
+		f.walkStmts(fun.Body.List, st)
+	}
+}
+
+// calleeSummary resolves a call to a summarized package function.
+func (f *lockFlow) calleeSummary(call *ast.CallExpr) *lockSummary {
+	var id *ast.Ident
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return nil
+	}
+	obj := f.c.pass.objOf(id)
+	if obj == nil {
+		return nil
+	}
+	return f.c.sums[obj]
+}
+
+// applySummary folds a package-local callee's summary into the path
+// state: transitive acquisitions create lock-order edges (or re-acquire
+// reports), releases-on-behalf drop held locks, blocking callees are
+// blocking ops, and exit-held locks transfer to the caller.
+func (f *lockFlow) applySummary(call *ast.CallExpr, id *ast.Ident, st *lockState) {
+	obj := f.c.pass.objOf(id)
+	if obj == nil {
+		return
+	}
+	sum := f.c.sums[obj]
+	if sum == nil {
+		return
+	}
+	var acquired []string
+	for class := range sum.acquires {
+		acquired = append(acquired, class)
+	}
+	sort.Strings(acquired)
+	for _, class := range acquired {
+		f.sum.acquires[class] = true
+		if st.heldIdx(class) >= 0 {
+			if !f.silent {
+				f.c.report(call.Pos(), ruleLockLeak, "error", class,
+					"call to %s acquires %s while it is already held (self-deadlock)", id.Name, class)
+			}
+			continue
+		}
+		if !f.silent {
+			for _, h := range st.held {
+				if h.class != class {
+					f.c.addEdge(h.class, class, call.Pos())
+				}
+			}
+		}
+	}
+	for class := range sum.releases {
+		if st.heldIdx(class) >= 0 {
+			// The callee may release on our behalf; keep both reports
+			// honest by moving the lock to unknown.
+			st.dropHeld(class)
+			st.unknown[class] = true
+		}
+		f.sum.releases[class] = true
+	}
+	if sum.blocks {
+		// Report the primitive that ultimately blocks, not the whole
+		// delegation chain: "call to recv (channel send)".
+		leaf := sum.blockDesc
+		if i := strings.LastIndex(leaf, "("); i >= 0 {
+			leaf = strings.TrimRight(leaf[i+1:], ")")
+		}
+		desc := "call to " + id.Name
+		if leaf != "" {
+			desc += " (" + leaf + ")"
+		}
+		f.blockingOp(call.Pos(), desc, st)
+	}
+	for _, class := range sum.exitHeld {
+		if st.heldIdx(class) < 0 {
+			st.held = append(st.held, heldLock{class: class, pos: call.Pos()})
+		}
+	}
+}
+
+// acquire processes a Lock/RLock on class.
+func (f *lockFlow) acquire(class string, rlock bool, pos token.Pos, st *lockState) {
+	f.sum.acquires[class] = true
+	if i := st.heldIdx(class); i >= 0 {
+		if !rlock && !st.held[i].rlock && !f.silent {
+			f.c.report(pos, ruleLockLeak, "error", class,
+				"%s locked again while already held (self-deadlock)", class)
+		}
+		return
+	}
+	if !f.silent {
+		for _, h := range st.held {
+			f.c.addEdge(h.class, class, pos)
+		}
+	}
+	delete(st.unknown, class)
+	st.held = append(st.held, heldLock{class: class, rlock: rlock, pos: pos})
+}
+
+// release processes an Unlock/RUnlock (or bound unlocker call) on class.
+func (f *lockFlow) release(class string, pos token.Pos, st *lockState) {
+	if st.heldIdx(class) >= 0 {
+		st.dropHeld(class)
+		return
+	}
+	if st.unknown[class] {
+		delete(st.unknown, class) // now definitely released
+		return
+	}
+	f.sum.releases[class] = true
+	if !f.silent && !f.litMode {
+		f.c.report(pos, ruleLockLeak, "error", class,
+			"%s unlocked but not held on this path", class)
+	}
+}
+
+// blockingOp reports a blocking operation when any lock is definitely
+// held, and records the fact in the summary either way.
+func (f *lockFlow) blockingOp(pos token.Pos, desc string, st *lockState) {
+	if st.dead || (f.inComm && strings.HasPrefix(desc, "channel ")) {
+		return
+	}
+	if !f.sum.blocks {
+		f.sum.blocks = true
+		f.sum.blockDesc = desc
+	}
+	if f.silent || len(st.held) == 0 {
+		return
+	}
+	classes := make([]string, len(st.held))
+	for i, h := range st.held {
+		classes[i] = h.class
+	}
+	f.c.report(pos, ruleBlockLock, "error", classes[len(classes)-1],
+		"blocking %s while holding %s", desc, strings.Join(classes, ", "))
+}

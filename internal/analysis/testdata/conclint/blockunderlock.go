@@ -1,0 +1,58 @@
+// Corpus: conc-block-under-lock. Blocking operations — channel send and
+// receive, select without default, time.Sleep — reached while a mutex is
+// held. A select with a default branch polls and is fine, as is blocking
+// after the lock is released.
+package conclint
+
+import (
+	"sync"
+	"time"
+)
+
+type box struct {
+	mu sync.Mutex
+	ch chan int
+}
+
+func sendUnderLock(b *box) {
+	b.mu.Lock()
+	b.ch <- 1 // want "blocking channel send while holding box.mu"
+	b.mu.Unlock()
+}
+
+func recvUnderDeferredLock(b *box) int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return <-b.ch // want "blocking channel receive while holding box.mu"
+}
+
+func selectUnderLock(b *box) {
+	b.mu.Lock()
+	select { // want "blocking select without default while holding box.mu"
+	case v := <-b.ch:
+		_ = v
+	}
+	b.mu.Unlock()
+}
+
+func pollUnderLock(b *box) {
+	b.mu.Lock()
+	select {
+	case v := <-b.ch:
+		_ = v
+	default:
+	}
+	b.mu.Unlock()
+}
+
+func sleepUnderLock(b *box) {
+	b.mu.Lock()
+	time.Sleep(time.Millisecond) // want "blocking call to Sleep while holding box.mu"
+	b.mu.Unlock()
+}
+
+func blockAfterUnlock(b *box) int {
+	b.mu.Lock()
+	b.mu.Unlock()
+	return <-b.ch
+}

@@ -1,0 +1,52 @@
+// Corpus: conc-chan-close. Double close, send after close, maybe-closed
+// merges, and the //amr:chan owner= ownership rule for shared channels.
+package conclint
+
+type owned struct {
+	//amr:chan owner=shutdown
+	done chan struct{}
+	data chan int // unannotated: closes are not ownership-checked
+}
+
+func doubleClose() {
+	ch := make(chan int)
+	close(ch)
+	close(ch) // want "close of closed channel ch"
+}
+
+func sendAfterClose() {
+	ch := make(chan int, 1)
+	close(ch)
+	ch <- 1 // want "send on closed channel ch"
+}
+
+func sendMaybeClosed(flush bool) {
+	ch := make(chan int, 1)
+	if flush {
+		close(ch)
+	}
+	ch <- 1 // want "send on possibly-closed channel ch"
+}
+
+func closeInLoop(n int) {
+	ch := make(chan int)
+	for i := 0; i < n; i++ {
+		close(ch) // want "channel ch may already be closed"
+	}
+}
+
+func (o *owned) shutdown() {
+	close(o.done)
+}
+
+func rogueClose(o *owned) {
+	close(o.done) // want "close of owned.done outside its declared owner(s) [shutdown]"
+	close(o.data)
+}
+
+func cleanLifecycle() chan int {
+	ch := make(chan int, 4)
+	ch <- 1
+	close(ch)
+	return ch
+}

@@ -1,0 +1,48 @@
+// Corpus: conc-goroutine-leak. Goroutines whose body spins in a `for {}`
+// loop with no return, break or channel receive can never be shut down.
+// Workers that range over a channel, select on a stop channel, or simply
+// terminate are fine.
+package conclint
+
+func spinForever(n *int) {
+	for {
+		*n++
+	}
+}
+
+func leakNamed() {
+	n := 0
+	go spinForever(&n) // want "goroutine has no shutdown edge"
+}
+
+func leakLiteral() {
+	n := 0
+	go func() { // want "goroutine has no shutdown edge"
+		for {
+			n++
+		}
+	}()
+}
+
+func cleanWorkers(work chan func(), stop chan struct{}) {
+	go func() {
+		for {
+			select {
+			case fn := <-work:
+				fn()
+			case <-stop:
+				return
+			}
+		}
+	}()
+	go func() {
+		for fn := range work {
+			fn()
+		}
+	}()
+	go func() {
+		for i := 0; i < 8; i++ {
+			work <- nil
+		}
+	}()
+}

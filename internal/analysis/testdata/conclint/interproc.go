@@ -1,0 +1,44 @@
+// Corpus: interprocedural summaries. bump's summary records that it
+// acquires guard.mu, so calling it with the lock held is a self-deadlock;
+// waitCh's summary records that it blocks on a channel receive, so
+// calling it under the lock is a block-under-lock even though the receive
+// is a function away.
+package conclint
+
+import "sync"
+
+type guard struct {
+	mu sync.Mutex
+	n  int
+}
+
+func bump(g *guard) {
+	g.mu.Lock()
+	g.n++
+	g.mu.Unlock()
+}
+
+func bumpTwice(g *guard) {
+	g.mu.Lock()
+	bump(g) // want "call to bump acquires guard.mu while it is already held"
+	g.mu.Unlock()
+}
+
+func waitCh(ch chan int) int {
+	return <-ch
+}
+
+func waitUnderLock(g *guard, ch chan int) int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return waitCh(ch) // want "blocking call to waitCh (channel receive) while holding guard.mu"
+}
+
+// bumpClean takes the lock only after the helper returned: no findings.
+func bumpClean(g *guard, ch chan int) int {
+	v := waitCh(ch)
+	bump(g)
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.n + v
+}

@@ -1,0 +1,38 @@
+// Corpus: conc-lock-cycle. lockAB acquires a then b, lockBA acquires b
+// then a; together they form a cycle in the package lock-order graph,
+// reported once at the earliest edge.
+package conclint
+
+import "sync"
+
+type pair struct {
+	a sync.Mutex
+	b sync.Mutex
+	n int
+}
+
+func lockAB(p *pair) {
+	p.a.Lock()
+	p.b.Lock() // want "lock-order cycle: pair.a -> pair.b -> pair.a"
+	p.n++
+	p.b.Unlock()
+	p.a.Unlock()
+}
+
+func lockBA(p *pair) {
+	p.b.Lock()
+	p.a.Lock()
+	p.n++
+	p.a.Unlock()
+	p.b.Unlock()
+}
+
+// nestedConsistent holds a then b everywhere else too — consistent with
+// lockAB, so only the lockBA inversion creates the cycle.
+func nestedConsistent(p *pair) {
+	p.a.Lock()
+	defer p.a.Unlock()
+	p.b.Lock()
+	defer p.b.Unlock()
+	p.n++
+}

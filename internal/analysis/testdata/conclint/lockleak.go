@@ -1,0 +1,49 @@
+// Corpus: conc-lock-leak. Double lock, unlock without a matching lock,
+// and a return path that leaves the mutex held. The begin/release pair
+// shows the one legal way to exit holding a lock: returning its Unlock
+// method value for the caller to defer.
+package conclint
+
+import "sync"
+
+type counter struct {
+	mu sync.Mutex
+	n  int
+}
+
+func doubleLock(c *counter) {
+	c.mu.Lock()
+	c.mu.Lock() // want "counter.mu locked again while already held"
+	c.n++
+	c.mu.Unlock()
+}
+
+func unlockNotHeld(c *counter) {
+	c.n++
+	c.mu.Unlock() // want "counter.mu unlocked but not held"
+}
+
+func leakOnEarlyReturn(c *counter, fail bool) int {
+	c.mu.Lock()
+	if fail {
+		return -1 // want "counter.mu may still be held when leakOnEarlyReturn returns"
+	}
+	n := c.n
+	c.mu.Unlock()
+	return n
+}
+
+// begin exits holding counter.mu legally: it returns the unlocker.
+func (c *counter) begin() (int, func()) {
+	c.mu.Lock()
+	c.n++
+	return c.n, c.mu.Unlock
+}
+
+// useBegin continues the tracking across the call: the lock acquired by
+// begin is released by the deferred unlocker, so nothing is reported.
+func useBegin(c *counter) int {
+	n, release := c.begin()
+	defer release()
+	return n
+}

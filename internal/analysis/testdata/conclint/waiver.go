@@ -1,0 +1,50 @@
+// Corpus: the waiver machinery. A line waiver with a reason suppresses
+// the finding on the next line; a waiver without a "-- reason" string is
+// itself an error; a waiver that suppresses nothing is reported stale;
+// and a waiver on a mutex declaration suppresses by lock class across
+// the package.
+package conclint
+
+import "sync"
+
+type wbox struct {
+	mu sync.Mutex
+	ch chan int
+}
+
+type declWaived struct {
+	//amr:nolint conc-block-under-lock -- handshake sends under this lock are bounded: the peer posts its receive first
+	mu sync.Mutex
+	ch chan int
+}
+
+func waivedSend(w *wbox) {
+	w.mu.Lock()
+	//amr:nolint conc-block-under-lock -- the buffer is sized for one message, the send cannot park
+	w.ch <- 1
+	w.mu.Unlock()
+}
+
+func reasonlessWaiver(w *wbox) {
+	w.mu.Lock()
+	//amr:nolint conc-block-under-lock // want "waiver missing a '-- reason' justification"
+	w.ch <- 2
+	w.mu.Unlock()
+}
+
+func staleWaiver(w *wbox) {
+	//amr:nolint conc-lock-leak -- left over from a refactor // want "stale waiver: no conc-lock-leak finding matches it"
+	w.ch <- 3
+}
+
+func declWaivedSends(d *declWaived) {
+	d.mu.Lock()
+	d.ch <- 1
+	d.mu.Unlock()
+}
+
+func declWaivedMore(d *declWaived) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.ch <- 2
+}

@@ -18,8 +18,9 @@ import (
 // The zero value is not usable; create pools with New.
 type Pool struct {
 	workers int
-	work    chan func(worker int)
-	wg      sync.WaitGroup // tracks pool lifetime
+	//amr:chan owner=Close
+	work chan func(worker int)
+	wg   sync.WaitGroup // tracks pool lifetime
 }
 
 // New creates a pool with the given number of workers.

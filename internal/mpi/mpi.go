@@ -138,6 +138,11 @@ type Comm struct {
 	box   *mailbox
 	rel   *relComm // reliable-transport state; nil unless chaos is enabled
 
+	// Collectives deliberately hold collMu across their blocking
+	// sends/recvs: the lock serialises collectives within the rank while
+	// progress is driven by the peer ranks' mailboxes, never by another
+	// goroutine of this rank needing collMu.
+	//amr:nolint conc-block-under-lock -- collectives block under collMu by design; peer ranks drive progress, no same-rank goroutine contends for it
 	collMu  sync.Mutex // serialises collectives within the rank
 	collSeq int        // per-rank collective sequence number
 

@@ -162,6 +162,14 @@ type outEntry struct {
 
 // outPair is the sender-side stream state of one (this rank -> dest)
 // pair.
+//
+// Lock order: outPair.mu and inPair.mu are leaf locks — neither is ever
+// held while acquiring the other (or any other lock), so no ordering
+// between them needs to be imposed. Channel operations and mailbox
+// delivery always happen after the pair lock is released: arrive drops
+// inPair.mu before handing ready messages to deliver, and ackData
+// releases payload leases only after unlocking (verified by conclint's
+// lock-order and block-under-lock rules).
 type outPair struct {
 	mu      sync.Mutex
 	nextSeq int
@@ -214,6 +222,7 @@ func (c *Comm) dispatchReliable(pay *membuf.Lease, dest, tag, count int, req *Re
 	seq := op.nextSeq
 	op.nextSeq++
 	// The seeded schedule decides the primary transmission's fate.
+	//amr:nolint conc-block-under-lock -- Injector.Send is a seeded decision lookup (drop/duplicate/cut), not a transport operation; it never blocks
 	dec := inj.Send(w.topo.SameNode(c.rank, dest), c.rank, dest, seq)
 	e := &outEntry{
 		seq: seq, tag: tag, count: count, bytes: bytes,

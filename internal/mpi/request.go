@@ -11,8 +11,9 @@ import "sync"
 // with Free so the hot paths run allocation-free. Freeing is optional —
 // an un-freed request is simply collected by the GC.
 type Request struct {
-	mu        sync.Mutex
-	done      bool
+	mu   sync.Mutex
+	done bool
+	//amr:chan owner=complete,abort,Done
 	doneCh    chan struct{} // lazily created by Wait/Done on incomplete requests
 	status    Status
 	err       error

@@ -55,6 +55,7 @@ type mpiMonitor struct {
 	ranksDone   map[int]bool
 	deadlocked  bool
 
+	//amr:chan owner=stop
 	stopCh   chan struct{}
 	stopOnce sync.Once
 }

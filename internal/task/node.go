@@ -20,6 +20,7 @@ type node struct {
 	// dependencies) when events reaches zero. Accessed atomically.
 	events int32
 
+	//amr:chan owner=finish
 	waitCh chan struct{} // non-nil only for WaitAccess pseudo-nodes
 }
 
