@@ -4,7 +4,8 @@
 
 GO ?= go
 RACE_PKGS := ./internal/mpi ./internal/task ./internal/tampi ./internal/membuf \
-	./internal/simnet ./internal/amr/app ./internal/driver ./internal/hydro
+	./internal/simnet ./internal/amr/app ./internal/driver ./internal/hydro \
+	./internal/harness
 
 GOLDEN_DIR := internal/analysis/testdata/golden
 PERF_GOLDEN_DIR := $(GOLDEN_DIR)/perf
@@ -27,9 +28,10 @@ vet:
 fmt-check:
 	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then echo "gofmt needed on:"; echo "$$out"; exit 1; fi
 
-# amrlint enforces the repo's ownership, collective, task-graph and
-# concurrency invariants (leaselint, reqlint, deplint, collectivelint,
-# graphlint, perflint, conclint); amrgraph -check diffs the extracted
+# amrlint enforces the repo's ownership, collective, task-graph,
+# concurrency and determinism invariants (leaselint, reqlint, deplint,
+# collectivelint, graphlint, perflint, conclint, determlint);
+# amrgraph -check diffs the extracted
 # driver DAGs and amrperf -check the static performance profiles against
 # the committed goldens. All exit non-zero on findings or drift.
 lint:
@@ -83,8 +85,8 @@ check: vet fmt-check lint test perf sanitize chaos race
 # medians (benchjson records median-of-5; a legacy single-sample baseline
 # makes ns/op informational — one sample of a handoff-bound benchmark is
 # noise in either direction).
-BENCH_BASE := BENCH_7.json
-BENCH_OUT := BENCH_8.json
+BENCH_BASE := BENCH_8.json
+BENCH_OUT := BENCH_9.json
 bench:
 	$(GO) run ./cmd/benchjson -benchtime 20000x -o $(BENCH_OUT)
 	$(GO) run ./cmd/benchjson -compare $(BENCH_BASE) $(BENCH_OUT)

@@ -1,7 +1,7 @@
 // Command amrlint runs the repo-specific static-analysis suite: leaselint,
-// reqlint, deplint, collectivelint, graphlint, perflint and conclint (see
-// internal/analysis). Patterns are directories or dir/... trees; the
-// default ./... covers the module.
+// reqlint, deplint, collectivelint, graphlint, perflint, conclint and
+// determlint (see internal/analysis). Patterns are directories or dir/...
+// trees; the default ./... covers the module.
 //
 // -json switches the findings to one JSON record per line (file, line,
 // id, analyzer, severity, message); the id is the stable analyzer/rule

@@ -67,6 +67,7 @@ func info(path string) error {
 			ranks = r + 1
 		}
 	}
+	//amr:nolint det-map-order -- ranks is a max fold over the rank map's keys; max is order-insensitive
 	fmt.Printf("ownership:         %d ranks", ranks)
 	mn, mx := -1, 0
 	for r := 0; r < ranks; r++ {

@@ -65,10 +65,14 @@ func main() {
 		fmt.Printf("non-refinement speedup: %.2fx\n", mpiM.NoRefine.Seconds()/dfM.NoRefine.Seconds())
 	}
 
-	for name, rec := range map[string]*miniamr.TraceRecorder{
-		"trace-mpionly.csv":  mpiRec,
-		"trace-dataflow.csv": dfRec,
+	for _, out := range []struct {
+		name string
+		rec  *miniamr.TraceRecorder
+	}{
+		{"trace-mpionly.csv", mpiRec},
+		{"trace-dataflow.csv", dfRec},
 	} {
+		name, rec := out.name, out.rec
 		f, err := os.Create(name)
 		if err != nil {
 			log.Fatal(err)

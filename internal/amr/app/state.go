@@ -296,6 +296,8 @@ func (s *state) advanceObjects() {
 // local sums: blocks are combined in coordinate order so the result is
 // bit-deterministic regardless of which worker produced each block's sums.
 // The result is a pooled buffer; reduceAndValidate takes ownership of it.
+//
+//amr:det
 func (s *state) combineBlockSums(blocks []mesh.Coord, perBlock map[mesh.Coord][]float64) []float64 {
 	return driver.CombineSums(s.arena, s.cfg.Vars, blocks, perBlock)
 }

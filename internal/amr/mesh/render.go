@@ -79,7 +79,7 @@ func (m *Mesh) RenderSlice(zFrac float64, byOwner bool) string {
 		}
 	}
 	var sb strings.Builder
-	fmt.Fprintf(&sb, "mesh slice z=%.3f (%d x %d cells at level %d; digits = %s)\n",
+	fmt.Fprintf(&sb, "mesh slice z=%.3f (%d x %d cells at level %d; digits = %s)\n", //amr:nolint det-map-order -- maxL is a max fold over the block map; max is order-insensitive
 		zFrac, nx, ny, maxL, map[bool]string{false: "refinement level", true: "owning rank"}[byOwner])
 	for j := ny - 1; j >= 0; j-- { // y grows upward
 		sb.Write(rows[j])

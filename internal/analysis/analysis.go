@@ -7,7 +7,7 @@
 // hide inside rank-conditional branches. Each of those conventions is a
 // deadlock or a leak when violated, and none of them is visible to go vet.
 //
-// Four analyzers cover them:
+// The core analyzers cover them:
 //
 //   - leaselint: membuf leases and pooled buffers reach Release/Put or an
 //     ownership-transfer send on every path; flags double release and
@@ -20,6 +20,12 @@
 //   - collectivelint: collective operations (Barrier, Bcast, Allreduce,
 //     Allgatherv, ...) must be unconditional with respect to the rank;
 //     flags the classic collective-mismatch deadlock.
+//
+// Four whole-program verifiers ride on the same loader: graphlint
+// (task-graph and communication-topology invariants), perflint (the
+// static cost model), conclint (lock order, blocking-under-lock, channel
+// lifecycle) and determlint (nondeterminism sources must not reach
+// checksum, output or protocol sinks).
 //
 // The suite is stdlib-only: a go/parser+go/types loader over the module
 // tree (no go/packages, no external dependencies). Analysis is
@@ -73,7 +79,7 @@ type Analyzer struct {
 
 // All returns the full amrlint suite in reporting order.
 func All() []*Analyzer {
-	return []*Analyzer{LeaseLint, ReqLint, DepLint, CollectiveLint, GraphLint, PerfLint, ConcLint}
+	return []*Analyzer{LeaseLint, ReqLint, DepLint, CollectiveLint, GraphLint, PerfLint, ConcLint, DetermLint}
 }
 
 // Pass carries one analyzer's view of one package.

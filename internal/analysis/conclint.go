@@ -315,7 +315,7 @@ func (c *concPass) scanDirectives() {
 				text := cm.Text
 				pos := c.pass.Fset.Position(cm.Pos())
 				if rest, ok := strings.CutPrefix(text, "//amr:nolint"); ok {
-					w := parseWaiver(rest, cm.Pos(), pos)
+					w := parseWaiver(rest, "conc-", cm.Pos(), pos)
 					if w == nil {
 						continue
 					}
@@ -347,10 +347,11 @@ func (c *concPass) scanDirectives() {
 	}
 }
 
-// parseWaiver parses the tail of an //amr:nolint comment. Only waivers
-// naming at least one conc-* rule belong to conclint; others are left to
-// whatever tool owns them.
-func parseWaiver(rest string, pos token.Pos, p token.Position) *concWaiver {
+// parseWaiver parses the tail of an //amr:nolint comment. Each analyzer
+// owns the rule prefix it waives ("conc-" for conclint, "det-" for
+// determlint); waivers naming no rule under the prefix belong to whatever
+// tool owns them and are left alone.
+func parseWaiver(rest, prefix string, pos token.Pos, p token.Position) *concWaiver {
 	reason := ""
 	if i := strings.Index(rest, " -- "); i >= 0 {
 		reason = strings.TrimSpace(rest[i+4:])
@@ -363,7 +364,7 @@ func parseWaiver(rest string, pos token.Pos, p token.Position) *concWaiver {
 	}
 	rules := make(map[string]bool)
 	for _, tok := range strings.FieldsFunc(rest, func(r rune) bool { return r == ',' || r == ' ' || r == '\t' }) {
-		if strings.HasPrefix(tok, "conc-") {
+		if strings.HasPrefix(tok, prefix) {
 			rules[tok] = true
 		}
 	}
@@ -428,6 +429,7 @@ func (c *concPass) checkLockCycles() {
 			}
 		}
 		cycle := strings.Join(scc, " -> ") + " -> " + scc[0]
+		//amr:nolint det-map-order -- pos is a min fold over the edge map; min is order-insensitive
 		c.report(pos, ruleLockCycle, "error", scc[0],
 			"lock-order cycle: %s (a consistent acquisition order prevents deadlock)", cycle)
 	}

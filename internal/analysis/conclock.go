@@ -250,6 +250,7 @@ func (c *concPass) computeLockSummaries() map[types.Object]*lockSummary {
 		changed := false
 		for obj, fd := range c.funcDecls {
 			f := &lockFlow{c: c, silent: true, fname: fd.Name.Name, sum: newLockSummary()}
+			//amr:nolint det-map-order -- silent pass: findings are discarded, summaries converge to the same fixpoint in any order
 			f.runBody(fd.Body)
 			next := f.finishSummary()
 			if !summariesEqual(sums[obj], next) {

@@ -1,0 +1,243 @@
+package analysis
+
+// determlint is the whole-program determinism and reproducibility
+// verifier: every oracle in this repo — cross-variant bit-identical
+// checksums, golden DAGs, byte-identical seeded fault logs — silently
+// assumes the code is deterministic, and determlint makes that property
+// statically checkable. It runs a taint-flow analysis from
+// nondeterminism sources to determinism sinks:
+//
+// Sources:
+//   - map (and sync.Map) iteration order
+//   - unseeded math/rand package-level calls
+//   - time.Now wall-clock reads
+//   - multi-case select choice
+//   - Waitany / WaitSet completion order
+//
+// Sinks:
+//   - checksum and oracle accumulation (CombineSums, Oracle.Accept,
+//     anything with "checksum" in its name)
+//   - event/audit/log byte output (Fprintf and friends, Write*,
+//     report/Report, trace Record)
+//   - message tag/sequence assignment (stores to tag/seq fields)
+//   - every parameter of, and everything computed inside, a function
+//     annotated //amr:det
+//
+// Rules (stable ids, waivable with //amr:nolint det-rule -- reason):
+//
+//	det-map-order      sink bytes or sink-bound sequences produced under
+//	                   map iteration order
+//	det-float-order    float += in a loop with unpinned iteration order
+//	                   (map range, unsorted key slice, Waitany loop) —
+//	                   float addition is not reassociation-safe
+//	det-unseeded-rand  package-level math/rand call (randomness must come
+//	                   from an explicitly seeded stream, e.g. rand.NewPCG)
+//	det-time-sink      wall-clock value reaching a non-timing sink
+//	det-select-sink    value selected by multi-case select or completion
+//	                   order reaching a sink
+//	det-waiver-reason  //amr:nolint det-* waiver without a "-- reason"
+//	det-waiver-stale   waiver matching no finding (warning)
+//
+// Order-taint kills: sorting pins an iteration order, so sort.*,
+// slices.Sort* and helpers whose summary says they sort a parameter
+// (sortRoutes-style) clear the taint; values drawn from a seeded
+// rand.New(rand.NewPCG(...)) stream are never sources. Trace-span
+// timestamps are exempt from det-time-sink by design: a Record sink's
+// purpose is wall-clock telemetry and the rendered timelines are
+// display-only (the lattice drops time taint at timing sinks instead of
+// demanding a waiver per measured phase).
+//
+// The machinery mirrors conclint: per-function facts extended by an
+// interprocedural summary fixpoint (functions that return tainted
+// values, forward parameters into sinks, or sort parameter slices), and
+// reasoned waivers with a staleness audit. Like the rest of the suite
+// the analysis is conservative — escape into a struct field, channel or
+// closure ends tracking — so a finding is very likely a real
+// reproducibility hazard.
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// DetermLint statically verifies that nondeterminism sources cannot
+// reach checksum, output and decision sinks.
+var DetermLint = &Analyzer{
+	Name: "determlint",
+	Doc:  "verify determinism: no map-order, unseeded-rand, wall-clock or select-choice flow into checksums, logs or decisions",
+	run:  runDetermLint,
+}
+
+// Rule slugs. Stable: they are the JSON ids (determlint/<rule>)
+// dashboards and waivers key on.
+const (
+	ruleMapOrder        = "det-map-order"
+	ruleFloatOrder      = "det-float-order"
+	ruleUnseededRand    = "det-unseeded-rand"
+	ruleTimeSink        = "det-time-sink"
+	ruleSelectSink      = "det-select-sink"
+	ruleDetWaiverReason = "det-waiver-reason"
+	ruleDetWaiverStale  = "det-waiver-stale"
+)
+
+// detFinding is one pre-waiver finding.
+type detFinding struct {
+	pos  token.Pos
+	rule string
+	msg  string
+}
+
+// detWaiver is one parsed //amr:nolint directive carrying det-* rules.
+// A waiver written on (or directly above) a function declaration waives
+// its rules across the whole body, which is how an intentionally
+// nondeterministic helper is recorded once instead of per line.
+type detWaiver struct {
+	*concWaiver
+	// bodyFile/bodyStart/bodyEnd delimit the annotated function's body
+	// when the waiver is declaration-scoped (bodyFile == "" otherwise).
+	bodyFile           string
+	bodyStart, bodyEnd int
+}
+
+func runDetermLint(pass *Pass) {
+	d := &detPass{pass: pass}
+	d.scanDecls()
+	d.scanDirectives()
+	d.sums = d.computeDetSummaries()
+	funcBodies(pass.Pkg, func(fd *ast.FuncDecl) {
+		d.analyzeFunc(fd)
+	})
+	d.emit()
+}
+
+// report records a raw finding, deduplicating on (pos, rule): the
+// order-context rule and the value-taint rule can legitimately diagnose
+// the same call site.
+func (d *detPass) report(pos token.Pos, rule, format string, args ...any) {
+	key := reportKey{pos: pos, rule: rule}
+	if d.reported == nil {
+		d.reported = make(map[reportKey]bool)
+	}
+	if d.reported[key] {
+		return
+	}
+	d.reported[key] = true
+	d.raw = append(d.raw, detFinding{pos: pos, rule: rule, msg: fmt.Sprintf(format, args...)})
+}
+
+type reportKey struct {
+	pos  token.Pos
+	rule string
+}
+
+// scanDirectives parses //amr:nolint waivers carrying det-* rules and
+// //amr:det sink annotations, binding declaration-scoped ones to the
+// function they sit on (same line as the declaration, or the line
+// immediately above it).
+func (d *detPass) scanDirectives() {
+	type fnSite struct {
+		fd   *ast.FuncDecl
+		file string
+		line int
+	}
+	var fns []fnSite
+	for _, file := range d.pass.Pkg.Files {
+		for _, decl := range file.Decls {
+			if fd, ok := decl.(*ast.FuncDecl); ok && fd.Body != nil {
+				pos := d.pass.Fset.Position(fd.Pos())
+				fns = append(fns, fnSite{fd: fd, file: pos.Filename, line: pos.Line})
+			}
+		}
+	}
+	for _, file := range d.pass.Pkg.Files {
+		for _, cg := range file.Comments {
+			for _, cm := range cg.List {
+				text := cm.Text
+				pos := d.pass.Fset.Position(cm.Pos())
+				if rest, ok := strings.CutPrefix(text, "//amr:nolint"); ok {
+					cw := parseWaiver(rest, "det-", cm.Pos(), pos)
+					if cw == nil {
+						continue
+					}
+					w := &detWaiver{concWaiver: cw}
+					for _, fn := range fns {
+						if fn.file == pos.Filename && (fn.line == pos.Line || fn.line == pos.Line+1) {
+							w.bodyFile = fn.file
+							w.bodyStart = fn.line
+							w.bodyEnd = d.pass.Fset.Position(fn.fd.Body.Rbrace).Line
+						}
+					}
+					d.waivers = append(d.waivers, w)
+				}
+				if strings.HasPrefix(text, "//amr:det") {
+					rest := strings.TrimPrefix(text, "//amr:det")
+					if rest != "" && rest[0] != ' ' && rest[0] != '\t' {
+						continue // a different directive family (amr:detXYZ)
+					}
+					for _, fn := range fns {
+						if fn.file == pos.Filename && (fn.line == pos.Line || fn.line == pos.Line+1) {
+							if d.detFuncs == nil {
+								d.detFuncs = make(map[*ast.FuncDecl]bool)
+								d.detObjs = make(map[types.Object]bool)
+							}
+							d.detFuncs[fn.fd] = true
+							if obj := d.pass.Pkg.Info.Defs[fn.fd.Name]; obj != nil {
+								d.detObjs[obj] = true
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// waived reports whether f is suppressed, marking every matching waiver
+// used. Line waivers match the finding's line or the line above it;
+// declaration-scoped waivers match anywhere in the annotated body.
+func (d *detPass) waived(f detFinding) bool {
+	pos := d.pass.Fset.Position(f.pos)
+	hit := false
+	for _, w := range d.waivers {
+		if !w.rules[f.rule] {
+			continue
+		}
+		lineScoped := w.file == pos.Filename && (w.line == pos.Line || w.line+1 == pos.Line)
+		bodyScoped := w.bodyFile == pos.Filename && w.bodyStart <= pos.Line && pos.Line <= w.bodyEnd
+		if lineScoped || bodyScoped {
+			w.used = true
+			hit = true
+		}
+	}
+	return hit
+}
+
+// emit applies waivers and reports the surviving findings plus the
+// waiver audit: reason-less waivers are errors, unused waivers warnings.
+func (d *detPass) emit() {
+	for _, f := range d.raw {
+		if d.waived(f) {
+			continue
+		}
+		d.pass.ReportRulef(f.pos, f.rule, "error", "%s", f.msg)
+	}
+	for _, w := range d.waivers {
+		if w.reason == "" {
+			d.pass.ReportRulef(w.pos, ruleDetWaiverReason, "error",
+				"amr:nolint waiver missing a '-- reason' justification")
+		}
+		if !w.used {
+			var rules []string
+			for r := range w.rules {
+				rules = append(rules, r)
+			}
+			sort.Strings(rules)
+			d.pass.ReportRulef(w.pos, ruleDetWaiverStale, "warning",
+				"stale waiver: no %s finding matches it", strings.Join(rules, ","))
+		}
+	}
+}

@@ -1,0 +1,68 @@
+package analysis
+
+import (
+	"go/token"
+	"testing"
+)
+
+// TestDetermLintRuleIDs locks in the stable finding ids and severities of
+// every determlint rule: the seeded corpus must trip all seven, each under
+// its documented determlint/<rule> id, with det-waiver-stale as the only
+// warning. Waivers and CI dashboards key on these ids.
+func TestDetermLintRuleIDs(t *testing.T) {
+	fset := token.NewFileSet()
+	pkgs, err := Load(fset, []string{"testdata/determlint"}, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	findings := Run(pkgs, []*Analyzer{DetermLint})
+
+	wantSeverity := map[string]string{
+		"determlint/" + ruleMapOrder:        "error",
+		"determlint/" + ruleFloatOrder:      "error",
+		"determlint/" + ruleUnseededRand:    "error",
+		"determlint/" + ruleTimeSink:        "error",
+		"determlint/" + ruleSelectSink:      "error",
+		"determlint/" + ruleDetWaiverReason: "error",
+		"determlint/" + ruleDetWaiverStale:  "warning",
+	}
+	seen := make(map[string]bool)
+	for _, f := range findings {
+		sev, ok := wantSeverity[f.ID()]
+		if !ok {
+			t.Errorf("finding with unknown id %q: %s", f.ID(), f)
+			continue
+		}
+		if f.Severity != sev {
+			t.Errorf("id %s has severity %q, want %q", f.ID(), f.Severity, sev)
+		}
+		seen[f.ID()] = true
+	}
+	for id := range wantSeverity {
+		if !seen[id] {
+			t.Errorf("rule %s produced no finding on the seeded corpus", id)
+		}
+	}
+}
+
+// TestDetermLintRuntimePackagesClean pins the tentpole acceptance
+// criterion: the packages that produce oracle checksums, fault decisions,
+// and rendered reports are clean under determlint — genuine findings
+// fixed, commutative folds waived with reasons, and no stale waivers.
+func TestDetermLintRuntimePackagesClean(t *testing.T) {
+	fset := token.NewFileSet()
+	dirs := []string{
+		".", "../driver", "../harness", "../sanitize", "../simnet",
+		"../trace", "../hydro", "../amr/app", "../amr/mesh", "../mpi",
+	}
+	pkgs, err := Load(fset, dirs, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgs) != len(dirs) {
+		t.Fatalf("loaded %d packages, want %d", len(pkgs), len(dirs))
+	}
+	for _, f := range Run(pkgs, []*Analyzer{DetermLint}) {
+		t.Errorf("determlint finding in runtime package: %s", f)
+	}
+}

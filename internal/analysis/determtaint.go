@@ -1,0 +1,1047 @@
+package analysis
+
+// This file is determlint's taint engine: the lattice (detKind/dtaint),
+// the declaration scan that classifies map-, sync.Map- and float-typed
+// names, the branch-insensitive flow walker (detFlow) that propagates
+// taint from sources to sinks, and the interprocedural summary fixpoint
+// (detSummary) that extends the walker through package-local helpers.
+// determ.go holds the analyzer shell: rules, directives, waivers and
+// reporting.
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// ---- taint lattice ---------------------------------------------------------
+
+// detKind classifies why a value is nondeterministic.
+type detKind int
+
+const (
+	detNone     detKind = iota
+	detMapOrder         // produced under map/sync.Map iteration order
+	detRand             // drawn from the shared package-level rand stream
+	detTime             // read from the wall clock
+	detSelect           // chosen by a multi-case select
+	detWaitany          // chosen by request/goroutine completion order
+)
+
+func (k detKind) String() string {
+	switch k {
+	case detMapOrder:
+		return "map-iteration-order"
+	case detRand:
+		return "unseeded-rand"
+	case detTime:
+		return "wall-clock"
+	case detSelect:
+		return "select-choice"
+	case detWaitany:
+		return "completion-order"
+	}
+	return "none"
+}
+
+// rule maps a source kind to the rule its sink findings report under.
+func (k detKind) rule() string {
+	switch k {
+	case detMapOrder:
+		return ruleMapOrder
+	case detRand:
+		return ruleUnseededRand
+	case detTime:
+		return ruleTimeSink
+	case detSelect, detWaitany:
+		return ruleSelectSink
+	}
+	return ""
+}
+
+// dtaint is one value's taint: a source kind, plus (during summary
+// computation only) the index of the parameter the value flowed from.
+type dtaint struct {
+	kind  detKind
+	param int
+}
+
+var noTaint = dtaint{param: -1}
+
+func (t dtaint) tainted() bool { return t.kind != detNone }
+
+// mergeTaint joins two taints: the first source kind wins, parameter
+// provenance is kept if either side has it.
+func mergeTaint(a, b dtaint) dtaint {
+	if a.kind == detNone {
+		a.kind = b.kind
+	}
+	if a.param < 0 {
+		a.param = b.param
+	}
+	return a
+}
+
+// ---- name tables -----------------------------------------------------------
+
+// randTopFuncs are the math/rand (v1 and v2) package-level draws that use
+// the shared global stream. Constructors (New, NewPCG, NewSource,
+// NewChaCha8) are absent on purpose: an explicitly seeded *rand.Rand is
+// the deterministic replacement.
+var randTopFuncs = map[string]bool{
+	"Int": true, "Intn": true, "IntN": true, "Int31": true, "Int31n": true,
+	"Int63": true, "Int63n": true, "Int64": true, "Int64N": true,
+	"Uint32": true, "Uint64": true, "Uint64N": true, "UintN": true,
+	"Float32": true, "Float64": true, "NormFloat64": true, "ExpFloat64": true,
+	"Perm": true, "Shuffle": true, "N": true,
+}
+
+// sortKillFuncs are the sort/slices calls that pin an iteration order in
+// place, killing order taint on their first argument.
+var sortKillFuncs = map[string]bool{
+	"Sort": true, "SortFunc": true, "SortStableFunc": true, "Stable": true,
+	"Slice": true, "SliceStable": true, "Strings": true, "Ints": true,
+	"Float64s": true,
+}
+
+// sortedValueFuncs are the slices calls that return a freshly sorted
+// sequence: their result is order-clean whatever went in.
+var sortedValueFuncs = map[string]bool{
+	"Sorted": true, "SortedFunc": true, "SortedStableFunc": true,
+}
+
+// outputSinks are byte-emitting calls, matched by name: once
+// nondeterministic bytes are written, every downstream diff/golden/log
+// comparison breaks. Record is the trace-event sink; it is special-cased
+// as timing-exempt (see sinkOf).
+var outputSinks = map[string]bool{
+	"Fprintf": true, "Fprint": true, "Fprintln": true,
+	"Printf": true, "Print": true, "Println": true,
+	"Write": true, "WriteString": true, "WriteByte": true, "WriteRune": true,
+	"Record": true, "Report": true, "report": true, "Log": true, "Logf": true,
+}
+
+// checksumSink reports whether a callee name is checksum/oracle
+// accumulation, where argument order and value must be reproducible.
+func checksumSink(name string) bool {
+	return name == "CombineSums" || name == "Accept" ||
+		strings.Contains(strings.ToLower(name), "checksum")
+}
+
+// tagSeqName reports whether a store target names a message tag or
+// sequence number, whose values must be reproducible for matching.
+func tagSeqName(name string) bool {
+	switch name {
+	case "tag", "Tag", "seq", "Seq":
+		return true
+	}
+	return false
+}
+
+// ---- pass state and declaration scan --------------------------------------
+
+// detPass is the shared state of one determlint run over one package.
+type detPass struct {
+	pass *Pass
+
+	mapObjs     map[types.Object]bool // declared with map[...]T syntax
+	syncMapObjs map[types.Object]bool // declared sync.Map
+	floatObjs   map[types.Object]bool // declared float32/float64
+	floatElems  map[types.Object]bool // declared []float or map[...]float
+	funcDecls   map[types.Object]*ast.FuncDecl
+
+	detFuncs map[*ast.FuncDecl]bool // //amr:det-annotated declarations
+	detObjs  map[types.Object]bool  // their objects, for call-site lookup
+
+	waivers []*detWaiver
+	sums    map[types.Object]*detSummary
+
+	raw      []detFinding
+	reported map[reportKey]bool
+}
+
+func isSyncMapTypeExpr(expr ast.Expr) bool {
+	sel, ok := ast.Unparen(expr).(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	base, ok := sel.X.(*ast.Ident)
+	return ok && base.Name == "sync" && sel.Sel.Name == "Map"
+}
+
+func isFloatTypeExpr(expr ast.Expr) bool {
+	id, ok := ast.Unparen(expr).(*ast.Ident)
+	return ok && (id.Name == "float64" || id.Name == "float32")
+}
+
+// isFloatContainerExpr matches []floatN and map[...]floatN declarations,
+// so indexed accumulators classify as float even when the tolerant
+// type-check could not resolve the container.
+func isFloatContainerExpr(expr ast.Expr) bool {
+	switch t := ast.Unparen(expr).(type) {
+	case *ast.ArrayType:
+		return isFloatTypeExpr(t.Elt)
+	case *ast.MapType:
+		return isFloatTypeExpr(t.Value)
+	}
+	return false
+}
+
+// scanDecls indexes declared names whose type syntax identifies them as
+// maps, sync.Maps or floats, plus function declarations for summaries.
+// The Types map covers locally-inferred expressions; this scan is the
+// fallback for declared struct fields and cross-package shapes.
+func (d *detPass) scanDecls() {
+	d.mapObjs = make(map[types.Object]bool)
+	d.syncMapObjs = make(map[types.Object]bool)
+	d.floatObjs = make(map[types.Object]bool)
+	d.floatElems = make(map[types.Object]bool)
+	d.funcDecls = make(map[types.Object]*ast.FuncDecl)
+	info := d.pass.Pkg.Info
+
+	classify := func(names []*ast.Ident, typ ast.Expr) {
+		if typ == nil {
+			return
+		}
+		for _, name := range names {
+			obj := info.Defs[name]
+			if obj == nil {
+				continue
+			}
+			switch {
+			case isSyncMapTypeExpr(typ):
+				d.syncMapObjs[obj] = true
+			case isFloatTypeExpr(typ):
+				d.floatObjs[obj] = true
+			case isFloatContainerExpr(typ):
+				d.floatElems[obj] = true
+			default:
+				if _, ok := ast.Unparen(typ).(*ast.MapType); ok {
+					d.mapObjs[obj] = true
+				}
+			}
+		}
+	}
+
+	for _, file := range d.pass.Pkg.Files {
+		for _, decl := range file.Decls {
+			if fd, ok := decl.(*ast.FuncDecl); ok && fd.Body != nil {
+				if obj := info.Defs[fd.Name]; obj != nil {
+					d.funcDecls[obj] = fd
+				}
+			}
+		}
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch t := n.(type) {
+			case *ast.ValueSpec:
+				classify(t.Names, t.Type)
+			case *ast.StructType:
+				for _, field := range t.Fields.List {
+					classify(field.Names, field.Type)
+				}
+			case *ast.FuncType:
+				if t.Params != nil {
+					for _, field := range t.Params.List {
+						classify(field.Names, field.Type)
+					}
+				}
+			}
+			return true
+		})
+	}
+}
+
+// ---- type queries ----------------------------------------------------------
+
+// typeOf returns the locally-inferred type of expr, or nil when the
+// tolerant check left it unresolved or invalid.
+func (d *detPass) typeOf(expr ast.Expr) types.Type {
+	if tv, ok := d.pass.Pkg.Info.Types[expr]; ok && tv.Type != nil {
+		if basic, ok := tv.Type.(*types.Basic); ok && basic.Kind() == types.Invalid {
+			return nil
+		}
+		return tv.Type
+	}
+	return nil
+}
+
+func (d *detPass) exprIsMap(expr ast.Expr) bool {
+	expr = ast.Unparen(expr)
+	if t := d.typeOf(expr); t != nil {
+		_, ok := t.Underlying().(*types.Map)
+		return ok
+	}
+	if obj := exprObj(d.pass, expr); obj != nil {
+		return d.mapObjs[obj]
+	}
+	return false
+}
+
+func (d *detPass) exprIsFloat(expr ast.Expr) bool {
+	expr = ast.Unparen(expr)
+	if t := d.typeOf(expr); t != nil {
+		basic, ok := t.Underlying().(*types.Basic)
+		return ok && basic.Info()&types.IsFloat != 0
+	}
+	switch x := expr.(type) {
+	case *ast.Ident, *ast.SelectorExpr:
+		if obj := exprObj(d.pass, expr); obj != nil {
+			return d.floatObjs[obj]
+		}
+	case *ast.IndexExpr:
+		if obj := exprObj(d.pass, x.X); obj != nil {
+			return d.floatElems[obj]
+		}
+	}
+	return false
+}
+
+func (d *detPass) exprIsString(expr ast.Expr) bool {
+	if t := d.typeOf(ast.Unparen(expr)); t != nil {
+		basic, ok := t.Underlying().(*types.Basic)
+		return ok && basic.Info()&types.IsString != 0
+	}
+	return false
+}
+
+// exprObj resolves an identifier or selector tail to its object.
+func exprObj(pass *Pass, expr ast.Expr) types.Object {
+	switch x := ast.Unparen(expr).(type) {
+	case *ast.Ident:
+		return pass.objOf(x)
+	case *ast.SelectorExpr:
+		return pass.objOf(x.Sel)
+	}
+	return nil
+}
+
+// pkgSelector reports whether call.Fun is pkg.Name for an imported
+// package identifier. Even with the failing importer, go/types records a
+// *types.PkgName for the base identifier, which distinguishes `rand.Int`
+// the package call from a method on a local variable named rand (whose
+// object is a *types.Var).
+func pkgSelector(pass *Pass, call *ast.CallExpr, pkg string) bool {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	base, ok := sel.X.(*ast.Ident)
+	if !ok || base.Name != pkg {
+		return false
+	}
+	obj := pass.objOf(base)
+	if obj == nil {
+		return true // unresolved: no local shadows the name
+	}
+	_, isPkg := obj.(*types.PkgName)
+	return isPkg
+}
+
+func calleeObj(pass *Pass, call *ast.CallExpr) types.Object {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		return pass.objOf(fun)
+	case *ast.SelectorExpr:
+		return pass.objOf(fun.Sel)
+	}
+	return nil
+}
+
+// ---- interprocedural summaries ---------------------------------------------
+
+// detSummary is what call sites know about a package-local callee.
+type detSummary struct {
+	// retKind is non-none when every return hands back a value tainted
+	// with the same source kind (a time.Now wrapper, a maps.Keys helper).
+	retKind detKind
+	// sinkParams maps parameter positions the body forwards into a sink
+	// to that sink's description.
+	sinkParams map[int]string
+	// sortParams marks parameter positions the body sorts — calling such
+	// a helper pins the argument's order just like a direct sort call.
+	sortParams map[int]bool
+}
+
+func (a *detSummary) equal(b *detSummary) bool {
+	if (a == nil) != (b == nil) {
+		return false
+	}
+	if a == nil {
+		return true
+	}
+	if a.retKind != b.retKind || len(a.sinkParams) != len(b.sinkParams) || len(a.sortParams) != len(b.sortParams) {
+		return false
+	}
+	for k, v := range a.sinkParams {
+		if b.sinkParams[k] != v {
+			return false
+		}
+	}
+	for k := range a.sortParams {
+		if !b.sortParams[k] {
+			return false
+		}
+	}
+	return true
+}
+
+// computeDetSummaries runs the silent summary pass over every function
+// until the summaries stop changing, so helpers that delegate to other
+// helpers (emit → report, sortRoutes → sort.Slice) summarize too.
+func (d *detPass) computeDetSummaries() map[types.Object]*detSummary {
+	sums := make(map[types.Object]*detSummary)
+	for iter := 0; iter < maxSummaryIters; iter++ {
+		changed := false
+		for obj, fd := range d.funcDecls {
+			next := d.summarizeDetFunc(fd, sums)
+			if !sums[obj].equal(next) {
+				changed = true
+				if next == nil {
+					delete(sums, obj)
+				} else {
+					sums[obj] = next
+				}
+			}
+		}
+		if !changed {
+			break
+		}
+	}
+	return sums
+}
+
+// summarizeDetFunc walks one body silently with every parameter seeded
+// as parameter-tainted and folds what reached sinks, sorts and returns.
+func (d *detPass) summarizeDetFunc(fd *ast.FuncDecl, sums map[types.Object]*detSummary) *detSummary {
+	env := make(map[types.Object]dtaint)
+	idx := 0
+	if fd.Type.Params != nil {
+		for _, field := range fd.Type.Params.List {
+			n := len(field.Names)
+			if n == 0 {
+				idx++
+				continue
+			}
+			for _, name := range field.Names {
+				if name.Name != "_" {
+					if obj := d.pass.Pkg.Info.Defs[name]; obj != nil {
+						env[obj] = dtaint{kind: detNone, param: idx}
+					}
+				}
+				idx++
+			}
+		}
+	}
+	f := &detFlow{
+		d: d, env: env, sums: sums, silent: true,
+		sinkHits: make(map[int]string),
+		sortHits: make(map[int]bool),
+	}
+	f.walkBody(fd.Body)
+
+	sum := &detSummary{retKind: f.retFold()}
+	if len(f.sinkHits) > 0 {
+		sum.sinkParams = f.sinkHits
+	}
+	if len(f.sortHits) > 0 {
+		sum.sortParams = f.sortHits
+	}
+	if sum.retKind == detNone && sum.sinkParams == nil && sum.sortParams == nil {
+		return nil
+	}
+	return sum
+}
+
+// retFold folds the kinds seen at return statements: a summary exists
+// only when every return was tainted and all agree.
+func (f *detFlow) retFold() detKind {
+	if len(f.retKinds) == 0 {
+		return detNone
+	}
+	k := f.retKinds[0]
+	for _, rk := range f.retKinds[1:] {
+		if rk != k {
+			return detNone
+		}
+	}
+	return k
+}
+
+// ---- flow walker -----------------------------------------------------------
+
+// detFlow walks one function body, branch-insensitively and in source
+// order: taint and kills apply on any path (a finding needs only one
+// schedule to break reproducibility, and a sort on any path was written
+// to pin the order).
+type detFlow struct {
+	d    *detPass
+	env  map[types.Object]dtaint
+	sums map[types.Object]*detSummary
+
+	// orderCtx counts enclosing unordered-iteration scopes (map range,
+	// range over order-tainted sequence, sync.Map.Range callback).
+	orderCtx int
+	// loopDepth counts enclosing loops of any kind, for the
+	// completion-order float-accumulation rule.
+	loopDepth int
+
+	// silent is set during summary computation: record flows, report
+	// nothing.
+	silent   bool
+	sinkHits map[int]string
+	sortHits map[int]bool
+	retKinds []detKind
+
+	// detFn is set when walking the body of an //amr:det function, whose
+	// returns must be deterministic.
+	detFn bool
+}
+
+// analyzeFunc runs the reporting walk over one declaration. Parameters
+// start untainted — the caller's arguments are the caller's findings,
+// via summaries and the //amr:det sink rule.
+func (d *detPass) analyzeFunc(fd *ast.FuncDecl) {
+	f := &detFlow{
+		d: d, env: make(map[types.Object]dtaint), sums: d.sums,
+		detFn: d.detFuncs[fd],
+	}
+	f.walkBody(fd.Body)
+}
+
+func (f *detFlow) report(pos token.Pos, rule, format string, args ...any) {
+	if f.silent {
+		return
+	}
+	f.d.report(pos, rule, format, args...)
+}
+
+func (f *detFlow) walkBody(body *ast.BlockStmt) {
+	if body == nil {
+		return
+	}
+	for _, stmt := range body.List {
+		f.walkStmt(stmt)
+	}
+}
+
+func (f *detFlow) walkStmt(stmt ast.Stmt) {
+	switch s := stmt.(type) {
+	case *ast.BlockStmt:
+		f.walkBody(s)
+	case *ast.ExprStmt:
+		f.walkExpr(s.X)
+	case *ast.AssignStmt:
+		f.walkAssign(s)
+	case *ast.DeclStmt:
+		if gd, ok := s.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok {
+					continue
+				}
+				for i, name := range vs.Names {
+					if i < len(vs.Values) {
+						f.walkExpr(vs.Values[i])
+						f.bind(name, f.taintOf(vs.Values[i]))
+					}
+				}
+			}
+		}
+	case *ast.IfStmt:
+		f.walkStmtOpt(s.Init)
+		f.walkExpr(s.Cond)
+		f.walkBody(s.Body)
+		f.walkStmtOpt(s.Else)
+	case *ast.ForStmt:
+		f.walkStmtOpt(s.Init)
+		if s.Cond != nil {
+			f.walkExpr(s.Cond)
+		}
+		f.loopDepth++
+		f.walkBody(s.Body)
+		f.walkStmtOpt(s.Post)
+		f.loopDepth--
+	case *ast.RangeStmt:
+		f.walkRange(s)
+	case *ast.SelectStmt:
+		f.walkSelect(s)
+	case *ast.SwitchStmt:
+		f.walkStmtOpt(s.Init)
+		if s.Tag != nil {
+			f.walkExpr(s.Tag)
+		}
+		for _, c := range s.Body.List {
+			if cc, ok := c.(*ast.CaseClause); ok {
+				for _, e := range cc.List {
+					f.walkExpr(e)
+				}
+				for _, st := range cc.Body {
+					f.walkStmt(st)
+				}
+			}
+		}
+	case *ast.TypeSwitchStmt:
+		f.walkStmtOpt(s.Init)
+		f.walkStmtOpt(s.Assign)
+		for _, c := range s.Body.List {
+			if cc, ok := c.(*ast.CaseClause); ok {
+				for _, st := range cc.Body {
+					f.walkStmt(st)
+				}
+			}
+		}
+	case *ast.ReturnStmt:
+		ret := dtaint{param: -1}
+		for _, res := range s.Results {
+			f.walkExpr(res)
+			ret = mergeTaint(ret, f.taintOf(res))
+		}
+		if f.silent {
+			f.retKinds = append(f.retKinds, ret.kind)
+		} else if f.detFn && ret.tainted() {
+			f.report(s.Pos(), ret.kind.rule(),
+				"//amr:det function returns a %s-dependent value", ret.kind)
+		}
+	case *ast.GoStmt:
+		f.walkCall(s.Call)
+	case *ast.DeferStmt:
+		f.walkCall(s.Call)
+	case *ast.SendStmt:
+		// A tainted value entering a channel escapes tracking; the
+		// receiver side re-derives taint only from select choice.
+		f.walkExpr(s.Chan)
+		f.walkExpr(s.Value)
+	case *ast.IncDecStmt:
+		f.walkExpr(s.X)
+	case *ast.LabeledStmt:
+		f.walkStmt(s.Stmt)
+	}
+}
+
+func (f *detFlow) walkStmtOpt(stmt ast.Stmt) {
+	if stmt != nil {
+		f.walkStmt(stmt)
+	}
+}
+
+func (f *detFlow) walkAssign(s *ast.AssignStmt) {
+	for _, rhs := range s.Rhs {
+		f.walkExpr(rhs)
+	}
+	switch s.Tok {
+	case token.ASSIGN, token.DEFINE:
+		if len(s.Rhs) == 1 && len(s.Lhs) > 1 {
+			// Tuple assignment: Waitany-style completion picks taint all
+			// results (the index selects which request finished).
+			t := f.taintOf(s.Rhs[0])
+			if call, ok := ast.Unparen(s.Rhs[0]).(*ast.CallExpr); ok && calleeName(call) == "Waitany" {
+				t = mergeTaint(dtaint{kind: detWaitany, param: -1}, t)
+			}
+			for _, lhs := range s.Lhs {
+				f.bind(lhs, t)
+			}
+			return
+		}
+		for i, lhs := range s.Lhs {
+			if i < len(s.Rhs) {
+				f.bind(lhs, f.taintOf(s.Rhs[i]))
+			}
+		}
+	case token.ADD_ASSIGN, token.SUB_ASSIGN, token.MUL_ASSIGN, token.QUO_ASSIGN:
+		lhs := s.Lhs[0]
+		rhs := f.taintOf(s.Rhs[0])
+		if f.d.exprIsFloat(lhs) {
+			// Float arithmetic is not reassociation-safe: the fold order
+			// must be pinned for the result to be bit-reproducible.
+			if f.orderCtx > 0 {
+				f.report(s.Pos(), ruleFloatOrder,
+					"float accumulation under unpinned iteration order; collect keys and sort before folding")
+			} else if f.loopDepth > 0 && (rhs.kind == detWaitany || rhs.kind == detSelect) {
+				f.report(s.Pos(), ruleFloatOrder,
+					"float accumulation in %s; buffer per slot and fold in index order", rhs.kind)
+			}
+		}
+		if f.orderCtx > 0 && s.Tok == token.ADD_ASSIGN && f.d.exprIsString(lhs) {
+			// Sequence building: string concatenation under map order
+			// bakes the order into the bytes.
+			f.bindMerge(lhs, dtaint{kind: detMapOrder, param: -1})
+		}
+		f.bindMerge(lhs, rhs)
+	default:
+		// Other op= forms (&=, |=, ...) are order-insensitive folds;
+		// still propagate value taint.
+		f.bindMerge(s.Lhs[0], f.taintOf(s.Rhs[0]))
+	}
+}
+
+// bind records taint for an assignment target. Stores into fields and
+// elements escape tracking, except the message tag/seq store, which is a
+// sink of its own: nondeterministic tags break matching reproducibility.
+func (f *detFlow) bind(lhs ast.Expr, t dtaint) {
+	switch x := ast.Unparen(lhs).(type) {
+	case *ast.Ident:
+		if x.Name == "_" {
+			return
+		}
+		if obj := f.d.pass.objOf(x); obj != nil {
+			f.env[obj] = t
+		}
+	case *ast.SelectorExpr:
+		if t.tainted() && tagSeqName(x.Sel.Name) {
+			f.report(x.Pos(), t.kind.rule(),
+				"%s value stored into message %s field", t.kind, x.Sel.Name)
+		}
+	}
+}
+
+// bindMerge joins new taint into an existing binding (compound assigns).
+func (f *detFlow) bindMerge(lhs ast.Expr, t dtaint) {
+	if id, ok := ast.Unparen(lhs).(*ast.Ident); ok && id.Name != "_" {
+		if obj := f.d.pass.objOf(id); obj != nil {
+			f.bind(lhs, mergeTaint(f.env[obj], t))
+			return
+		}
+	}
+	f.bind(lhs, t)
+}
+
+// kill clears order taint from a sorted value and records the sort when
+// the value carried parameter provenance (the sortParams summary).
+func (f *detFlow) kill(arg ast.Expr) {
+	obj := exprObj(f.d.pass, arg)
+	if obj == nil {
+		return
+	}
+	if t, ok := f.env[obj]; ok && t.param >= 0 && f.sortHits != nil {
+		f.sortHits[t.param] = true
+	}
+	f.env[obj] = noTaint
+}
+
+func (f *detFlow) walkRange(s *ast.RangeStmt) {
+	f.walkExpr(s.X)
+	t := f.taintOf(s.X)
+	unordered := f.d.exprIsMap(s.X) || t.kind == detMapOrder
+	if unordered {
+		f.orderCtx++
+		f.bindRangeVars(s, dtaint{kind: detMapOrder, param: -1})
+	} else {
+		// Ordered sequence: elements inherit the sequence's remaining
+		// taint (and parameter provenance during summarization).
+		f.bindRangeVars(s, t)
+	}
+	f.loopDepth++
+	f.walkBody(s.Body)
+	f.loopDepth--
+	if unordered {
+		f.orderCtx--
+	}
+}
+
+func (f *detFlow) bindRangeVars(s *ast.RangeStmt, t dtaint) {
+	if s.Key != nil {
+		f.bind(s.Key, t)
+	}
+	if s.Value != nil {
+		f.bind(s.Value, t)
+	}
+}
+
+// walkSelect taints values bound by multi-case selects: which case ran
+// is a scheduling decision, so the received values are
+// nondeterministically chosen even though each channel is FIFO.
+func (f *detFlow) walkSelect(s *ast.SelectStmt) {
+	comm := 0
+	for _, c := range s.Body.List {
+		if cc, ok := c.(*ast.CommClause); ok && cc.Comm != nil {
+			comm++
+		}
+	}
+	for _, c := range s.Body.List {
+		cc, ok := c.(*ast.CommClause)
+		if !ok {
+			continue
+		}
+		if cc.Comm != nil {
+			if as, ok := cc.Comm.(*ast.AssignStmt); ok && comm >= 2 {
+				for _, lhs := range as.Lhs {
+					f.bind(lhs, dtaint{kind: detSelect, param: -1})
+				}
+			} else {
+				f.walkStmtOpt(cc.Comm)
+			}
+		}
+		for _, st := range cc.Body {
+			f.walkStmt(st)
+		}
+	}
+}
+
+// ---- expression walk and call classification -------------------------------
+
+// walkExpr visits an expression tree for its side effects on the
+// analysis: call sites (sources, sinks, kills) and function literals.
+func (f *detFlow) walkExpr(expr ast.Expr) {
+	switch x := expr.(type) {
+	case *ast.CallExpr:
+		f.walkCall(x)
+	case *ast.FuncLit:
+		f.walkFuncLit(x)
+	case *ast.ParenExpr:
+		f.walkExpr(x.X)
+	case *ast.BinaryExpr:
+		f.walkExpr(x.X)
+		f.walkExpr(x.Y)
+	case *ast.UnaryExpr:
+		f.walkExpr(x.X)
+	case *ast.StarExpr:
+		f.walkExpr(x.X)
+	case *ast.IndexExpr:
+		f.walkExpr(x.X)
+		f.walkExpr(x.Index)
+	case *ast.IndexListExpr:
+		f.walkExpr(x.X)
+	case *ast.SliceExpr:
+		f.walkExpr(x.X)
+	case *ast.SelectorExpr:
+		f.walkExpr(x.X)
+	case *ast.TypeAssertExpr:
+		f.walkExpr(x.X)
+	case *ast.KeyValueExpr:
+		f.walkExpr(x.Value)
+	case *ast.CompositeLit:
+		for _, elt := range x.Elts {
+			f.walkExpr(elt)
+		}
+	}
+}
+
+// walkFuncLit walks a literal's body with the lexical order context
+// reset: the closure may run later (goroutine, callback), so "inside a
+// map range" does not hold for it, while captured-variable taint still
+// flows through the shared environment.
+func (f *detFlow) walkFuncLit(lit *ast.FuncLit) {
+	savedOrder, savedLoop := f.orderCtx, f.loopDepth
+	f.orderCtx, f.loopDepth = 0, 0
+	f.walkBody(lit.Body)
+	f.orderCtx, f.loopDepth = savedOrder, savedLoop
+}
+
+func (f *detFlow) walkCall(call *ast.CallExpr) {
+	name := calleeName(call)
+
+	// sync.Map.Range(func(k, v) bool {...}): the callback body runs once
+	// per entry in map order.
+	if name == "Range" && len(call.Args) == 1 {
+		if lit, ok := call.Args[0].(*ast.FuncLit); ok && f.recvIsSyncMap(call) {
+			f.orderCtx++
+			for _, field := range lit.Type.Params.List {
+				for _, p := range field.Names {
+					f.bind(p, dtaint{kind: detMapOrder, param: -1})
+				}
+			}
+			f.walkBody(lit.Body)
+			f.orderCtx--
+			return
+		}
+	}
+
+	for _, arg := range call.Args {
+		f.walkExpr(arg)
+	}
+	if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+		f.walkExpr(sel.X)
+	}
+
+	// Source report: package-level math/rand draws share one racy,
+	// unseedable-v2 stream — a finding wherever they appear.
+	if pkgSelector(f.d.pass, call, "rand") && randTopFuncs[name] {
+		f.report(call.Pos(), ruleUnseededRand,
+			"package-level rand.%s draws from the shared stream; use a seeded rand.New(rand.NewPCG(...))", name)
+	}
+
+	// Kills: direct sorts and helpers summarized as sorting a parameter.
+	if (pkgSelector(f.d.pass, call, "sort") || pkgSelector(f.d.pass, call, "slices")) &&
+		sortKillFuncs[name] && len(call.Args) >= 1 {
+		f.kill(call.Args[0])
+		return
+	}
+	obj := calleeObj(f.d.pass, call)
+	var sum *detSummary
+	if obj != nil {
+		sum = f.sums[obj]
+	}
+	if sum != nil {
+		for i, arg := range call.Args {
+			if sum.sortParams[i] {
+				f.kill(arg)
+			}
+		}
+	}
+
+	// Sinks: builtin classification, then summarized parameter flows,
+	// then //amr:det annotations.
+	if sinkName, timing, ok := f.sinkOf(call, name); ok {
+		if f.orderCtx > 0 {
+			f.report(call.Pos(), ruleMapOrder,
+				"%s sink called under map iteration; emitted bytes depend on map order — collect, sort, then emit", sinkName)
+		}
+		f.sinkArgs(call.Args, sinkName, timing)
+	}
+	if sum != nil {
+		for i, arg := range call.Args {
+			if sn, ok := sum.sinkParams[i]; ok {
+				f.sinkArgs([]ast.Expr{arg}, sn+" (via "+name+")", false)
+			}
+		}
+	}
+	if obj != nil && f.d.detObjs[obj] {
+		f.sinkArgs(call.Args, "//amr:det function "+name, false)
+	}
+}
+
+// sinkArgs reports source-tainted arguments reaching a sink and records
+// parameter provenance during summarization. Timing sinks drop
+// wall-clock taint: a trace Record's timestamps are telemetry, not
+// oracle bytes.
+func (f *detFlow) sinkArgs(args []ast.Expr, sinkName string, timing bool) {
+	for _, arg := range args {
+		t := f.taintOf(arg)
+		if t.tainted() && !(timing && t.kind == detTime) {
+			f.report(arg.Pos(), t.kind.rule(),
+				"%s value reaches %s sink", t.kind, sinkName)
+		}
+		if t.param >= 0 && f.sinkHits != nil && !timing {
+			f.sinkHits[t.param] = sinkName
+		}
+	}
+}
+
+// sinkOf classifies a call as a determinism sink by callee name.
+func (f *detFlow) sinkOf(call *ast.CallExpr, name string) (string, bool, bool) {
+	if checksumSink(name) {
+		return "checksum " + name, false, true
+	}
+	if outputSinks[name] {
+		return "output " + name, name == "Record", true
+	}
+	return "", false, false
+}
+
+// recvIsSyncMap reports whether the receiver of a .Range call resolves
+// to a declared sync.Map variable or field.
+func (f *detFlow) recvIsSyncMap(call *ast.CallExpr) bool {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	if obj := exprObj(f.d.pass, sel.X); obj != nil {
+		return f.d.syncMapObjs[obj]
+	}
+	return false
+}
+
+// ---- taint propagation -----------------------------------------------------
+
+// taintOf computes an expression's taint from the environment and the
+// source/propagator tables. Unknown calls and composite literals return
+// clean: the engine under-taints rather than guessing (conservative for
+// false positives, like the rest of the suite).
+func (f *detFlow) taintOf(expr ast.Expr) dtaint {
+	switch x := ast.Unparen(expr).(type) {
+	case *ast.Ident:
+		if obj := f.d.pass.objOf(x); obj != nil {
+			if t, ok := f.env[obj]; ok {
+				return t
+			}
+		}
+	case *ast.BinaryExpr:
+		return mergeTaint(f.taintOf(x.X), f.taintOf(x.Y))
+	case *ast.UnaryExpr:
+		if x.Op == token.ARROW {
+			// Single-channel receive: FIFO order, no choice involved.
+			return noTaint
+		}
+		return f.taintOf(x.X)
+	case *ast.StarExpr:
+		return f.taintOf(x.X)
+	case *ast.IndexExpr:
+		return mergeTaint(f.taintOf(x.X), f.taintOf(x.Index))
+	case *ast.SliceExpr:
+		return f.taintOf(x.X)
+	case *ast.SelectorExpr:
+		if obj := f.d.pass.objOf(x.Sel); obj != nil {
+			if t, ok := f.env[obj]; ok {
+				return t
+			}
+		}
+		return f.taintOf(x.X)
+	case *ast.TypeAssertExpr:
+		return f.taintOf(x.X)
+	case *ast.CallExpr:
+		return f.callTaint(x)
+	}
+	return noTaint
+}
+
+// callTaint classifies a call's result: sources, order-clean sorted
+// values, propagators, conversions and summarized returns.
+func (f *detFlow) callTaint(call *ast.CallExpr) dtaint {
+	name := calleeName(call)
+	pass := f.d.pass
+
+	switch {
+	case pkgSelector(pass, call, "time") && name == "Now":
+		return dtaint{kind: detTime, param: -1}
+	case pkgSelector(pass, call, "maps") && (name == "Keys" || name == "Values"):
+		return dtaint{kind: detMapOrder, param: -1}
+	case pkgSelector(pass, call, "slices") && sortedValueFuncs[name]:
+		return noTaint // freshly sorted: order pinned whatever went in
+	case name == "Waitany":
+		return dtaint{kind: detWaitany, param: -1}
+	}
+
+	// Propagators: formatting, joining and building carry taint through.
+	propagate := func() dtaint {
+		t := noTaint
+		for _, arg := range call.Args {
+			t = mergeTaint(t, f.taintOf(arg))
+		}
+		return t
+	}
+	if pkgSelector(pass, call, "fmt") && (name == "Sprintf" || name == "Sprint" || name == "Sprintln") {
+		return propagate()
+	}
+	if pkgSelector(pass, call, "strings") {
+		return propagate()
+	}
+	if fun, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+		if fun.Name == "append" || fun.Name == "min" || fun.Name == "max" {
+			return propagate()
+		}
+		// Conversions: T(x) keeps x's taint.
+		if obj := pass.objOf(fun); obj != nil {
+			if _, isType := obj.(*types.TypeName); isType && len(call.Args) == 1 {
+				return f.taintOf(call.Args[0])
+			}
+		}
+	}
+
+	// Summarized returns: a package-local wrapper whose every return is
+	// tainted the same way taints its call sites.
+	if obj := calleeObj(pass, call); obj != nil {
+		if sum := f.sums[obj]; sum != nil && sum.retKind != detNone {
+			return dtaint{kind: sum.retKind, param: -1}
+		}
+	}
+	// Method call on a tainted receiver: derived accessors
+	// (time.Now().UnixNano(), builder.String()) keep the receiver's
+	// taint.
+	if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+		if t := f.taintOf(sel.X); t.tainted() {
+			return t
+		}
+	}
+	return noTaint
+}

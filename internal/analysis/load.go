@@ -31,7 +31,7 @@ type Package struct {
 	Fset *token.FileSet
 	// Files are the parsed sources in file-name order.
 	Files []*ast.File
-	// Info carries the tolerant type-check's Defs and Uses maps.
+	// Info carries the tolerant type-check's Defs, Uses and Types maps.
 	Info *types.Info
 }
 
@@ -212,6 +212,11 @@ func checkTolerant(fset *token.FileSet, files []*ast.File) *types.Info {
 	info := &types.Info{
 		Defs: make(map[*ast.Ident]types.Object),
 		Uses: make(map[*ast.Ident]types.Object),
+		// Types lets analyzers classify locally-resolvable expressions
+		// (map-typed range operands, float accumulators) without a full
+		// module type graph; cross-package expressions stay untyped and
+		// the analyzers fall back to declaration syntax.
+		Types: make(map[ast.Expr]types.TypeAndValue),
 	}
 	conf := types.Config{
 		Error:    func(error) {}, // incomplete programs are expected

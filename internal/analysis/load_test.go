@@ -104,3 +104,23 @@ func TestRunDeduplicatesFindings(t *testing.T) {
 		}
 	}
 }
+
+// TestLoadGenerics locks in the loader's generics coverage: the shapes
+// the runtime leans on (CombineSums[K]-style generic reductions and
+// Plans[S]-style generic containers with pointer-receiver methods) must
+// load, type-check tolerantly, and come out clean under the full
+// analyzer suite — no crashes and no spurious findings on instantiation
+// syntax.
+func TestLoadGenerics(t *testing.T) {
+	fset := token.NewFileSet()
+	pkgs, err := Load(fset, []string{filepath.Join("testdata", "generics")}, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgs) != 1 {
+		t.Fatalf("got %d packages, want 1", len(pkgs))
+	}
+	for _, f := range Run(pkgs, All()) {
+		t.Errorf("spurious finding on generic fixture: %s", f)
+	}
+}

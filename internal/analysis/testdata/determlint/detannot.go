@@ -1,0 +1,33 @@
+// Corpus: //amr:det annotations. Marking a function det makes every
+// argument a determinism sink (callers may not pass nondeterministic
+// values in) and requires the function's own returns to be reproducible.
+package determ
+
+import "time"
+
+// combine folds per-key sums in the caller's key order: deterministic
+// exactly when the caller pins that order.
+//
+//amr:det
+func combine(keys []string, per map[string][]float64) []float64 {
+	out := make([]float64, 4)
+	for _, k := range keys {
+		for v, x := range per[k] {
+			out[v] += x
+		}
+	}
+	return out
+}
+
+func combineUnsorted(per map[string][]float64) []float64 {
+	var keys []string
+	for k := range per {
+		keys = append(keys, k)
+	}
+	return combine(keys, per) // want "reaches //amr:det function combine"
+}
+
+//amr:det
+func badStamp() int64 {
+	return time.Now().UnixNano() // want "returns a wall-clock-dependent value"
+}

@@ -1,0 +1,59 @@
+// Corpus: det-float-order. Float addition is not reassociation-safe, so
+// a float accumulator folded in map-iteration or completion order gives
+// bit-different results run to run even though the multiset of addends
+// is identical. Pinning the fold order (sorted keys, per-slot buffers)
+// is the deterministic form.
+package determ
+
+import "sort"
+
+func sumInMapOrder(per map[string]float64) float64 {
+	total := 0.0
+	for _, v := range per {
+		total += v // want "float accumulation under unpinned iteration order"
+	}
+	return total
+}
+
+func sumSorted(per map[string]float64) float64 {
+	keys := make([]string, 0, len(per))
+	for k := range per {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	total := 0.0
+	for _, k := range keys {
+		total += per[k] // clean: fold order pinned
+	}
+	return total
+}
+
+func countInMapOrder(per map[string]float64) int {
+	n := 0
+	for range per {
+		n++ // clean: integer counting is order-insensitive
+	}
+	return n
+}
+
+func sumCompletionOrder(reqs []*request, vals []float64) float64 {
+	total := 0.0
+	for range reqs {
+		idx, _, _ := Waitany(reqs)
+		total += vals[idx] // want "float accumulation in completion-order"
+	}
+	return total
+}
+
+func sumIndexOrder(reqs []*request, vals []float64) float64 {
+	done := make([]float64, len(reqs))
+	for range reqs {
+		idx, _, _ := Waitany(reqs)
+		done[idx] = vals[idx] // clean: buffered per slot
+	}
+	total := 0.0
+	for _, v := range done {
+		total += v // clean: folded in index order
+	}
+	return total
+}

@@ -1,0 +1,52 @@
+// Corpus: interprocedural summaries. Helpers that forward a parameter
+// into a sink (sinkParams), return a tainted value from every exit
+// (retKind), or sort a parameter in place (sortParams) extend the flow
+// analysis through one level of delegation — the same fixpoint machinery
+// conclint uses for lock summaries.
+package determ
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"time"
+)
+
+// emit forwards line into the output stream, so a tainted argument at
+// any emit call site is a finding there.
+func emit(w io.Writer, line string) {
+	fmt.Fprintln(w, line)
+}
+
+func emitMapOrder(w io.Writer, m map[string]int) {
+	for k := range m {
+		emit(w, k) // want "via emit"
+	}
+}
+
+// nowStamp wraps time.Now: every return is wall-clock tainted, so call
+// sites inherit the taint.
+func nowStamp() time.Time {
+	return time.Now()
+}
+
+func logStamp(w io.Writer) {
+	fmt.Fprintf(w, "at %v\n", nowStamp()) // want "wall-clock value reaches output Fprintf"
+}
+
+// sortKeys pins the order of its argument; its summary kills order
+// taint at call sites exactly like a direct sort.Strings call.
+func sortKeys(keys []string) {
+	sort.Strings(keys)
+}
+
+func emitSortedByHelper(w io.Writer, m map[string]int) {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sortKeys(keys)
+	for _, k := range keys {
+		fmt.Fprintln(w, k) // clean: the helper pinned the order
+	}
+}

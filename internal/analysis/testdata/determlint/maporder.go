@@ -1,0 +1,67 @@
+// Corpus: det-map-order. Emitting bytes while iterating a map (or a
+// sequence derived from one) bakes the run's iteration order into the
+// output; collecting, sorting, then emitting is the deterministic form.
+package determ
+
+import (
+	"fmt"
+	"io"
+	"maps"
+	"slices"
+	"sort"
+	"sync"
+)
+
+func printInMapOrder(w io.Writer, m map[string]int) {
+	for k, v := range m {
+		fmt.Fprintf(w, "%s=%d\n", k, v) // want "called under map iteration" // want "value reaches output Fprintf" // want "value reaches output Fprintf"
+	}
+}
+
+func printSorted(w io.Writer, m map[string]int) {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		fmt.Fprintf(w, "%s=%d\n", k, m[k]) // clean: order pinned by sort
+	}
+}
+
+func printViaKeysIter(w io.Writer, m map[string]int) {
+	for k := range maps.Keys(m) {
+		fmt.Fprintln(w, k) // want "called under map iteration" // want "value reaches output Fprintln"
+	}
+}
+
+func printSortedKeys(w io.Writer, m map[string]int) {
+	for _, k := range slices.Sorted(maps.Keys(m)) {
+		fmt.Fprintln(w, k, m[k]) // clean: slices.Sorted pins the order
+	}
+}
+
+// joinInMapOrder builds a sequence under map order; its summary marks
+// every return as order-tainted, so the caller's print is the finding.
+func joinInMapOrder(m map[string]int) string {
+	s := ""
+	for k := range m {
+		s += k
+	}
+	return s
+}
+
+func printJoined(w io.Writer, m map[string]int) {
+	fmt.Fprintln(w, joinInMapOrder(m)) // want "map-iteration-order value reaches output Fprintln"
+}
+
+type syncRegistry struct {
+	entries sync.Map
+}
+
+func (r *syncRegistry) dump(w io.Writer) {
+	r.entries.Range(func(k, v any) bool {
+		fmt.Fprintln(w, k, v) // want "called under map iteration" // want "value reaches output Fprintln" // want "value reaches output Fprintln"
+		return true
+	})
+}

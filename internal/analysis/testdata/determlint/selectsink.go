@@ -1,0 +1,32 @@
+// Corpus: det-select-sink. A multi-case select (and a Waitany loop) is a
+// scheduling race by construction: which case ran, and therefore which
+// value was bound, differs run to run. Such values must not reach output
+// or checksum sinks.
+package determ
+
+import (
+	"fmt"
+	"io"
+)
+
+func logFirstArrival(w io.Writer, a, b chan string) {
+	select {
+	case v := <-a:
+		fmt.Fprintln(w, v) // want "select-choice value reaches output Fprintln"
+	case v := <-b:
+		fmt.Fprintln(w, v) // want "select-choice value reaches output Fprintln"
+	}
+}
+
+func logOnlyChannel(w io.Writer, a chan string) {
+	for v := range a {
+		fmt.Fprintln(w, v) // clean: single FIFO channel, no choice
+	}
+}
+
+func acceptCompletionOrder(o *oracle, reqs []*request, vals [][]float64) {
+	for range reqs {
+		idx, _, _ := Waitany(reqs)
+		o.Accept(vals[idx]) // want "completion-order value reaches checksum Accept"
+	}
+}

@@ -1,0 +1,31 @@
+// Corpus support: local stand-ins shaped like the runtime APIs the
+// determlint corpus exercises. The analyzer classifies sinks and
+// completion sources by name, so these stubs trip the same rules the
+// real mpi/driver/trace APIs do.
+package determ
+
+import "time"
+
+type request struct{ done bool }
+
+type status struct{ src, tag int }
+
+// Waitany mimics mpi.Waitany's shape: which request completes first is a
+// scheduling decision, so its results carry completion-order taint.
+func Waitany(reqs []*request) (int, status, error) { return 0, status{}, nil }
+
+// oracle mimics driver.Oracle: Accept is a checksum sink by name.
+type oracle struct{ history [][]float64 }
+
+func (o *oracle) Accept(sums []float64) { o.history = append(o.history, sums) }
+
+// recorder mimics trace.Recorder: Record is the timing-exempt event sink.
+type recorder struct{}
+
+func (r *recorder) Record(src, dst int, label string, start, end time.Time) {}
+
+// message mimics a wire message whose tag and seq drive matching.
+type message struct {
+	tag int
+	seq int
+}

@@ -1,0 +1,28 @@
+// Corpus: det-time-sink. Wall-clock values reaching oracle bytes or
+// protocol state break reproducibility. Trace Record timestamps are the
+// deliberate exemption: span timings are telemetry, rendered for humans,
+// never compared against goldens.
+package determ
+
+import (
+	"fmt"
+	"io"
+	"time"
+)
+
+func logWallClock(w io.Writer) {
+	fmt.Fprintf(w, "finished at %v\n", time.Now()) // want "wall-clock value reaches output Fprintf"
+}
+
+func traceSpan(rec *recorder, label string) {
+	start := time.Now()
+	rec.Record(0, 0, label, start, time.Now()) // clean: Record is timing-exempt
+}
+
+func stampSeq(msg *message) {
+	msg.seq = int(time.Now().UnixNano()) // want "stored into message seq field"
+}
+
+func stampFixed(msg *message, epoch int) {
+	msg.seq = epoch // clean: derived from protocol state
+}

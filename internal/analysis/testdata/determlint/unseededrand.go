@@ -1,0 +1,22 @@
+// Corpus: det-unseeded-rand. Package-level math/rand draws come from the
+// shared process-global stream: unseedable in v2, racy under concurrency,
+// and different every run. Randomness on any decision or data path must
+// come from an explicitly seeded stream so a seed reproduces the run.
+package determ
+
+import "math/rand/v2"
+
+func pickGlobal(n int) int {
+	return rand.IntN(n) // want "package-level rand.IntN"
+}
+
+func shuffleGlobal(xs []int) {
+	rand.Shuffle(len(xs), func(i, j int) { // want "package-level rand.Shuffle"
+		xs[i], xs[j] = xs[j], xs[i]
+	})
+}
+
+func pickSeeded(seed uint64, n int) int {
+	r := rand.New(rand.NewPCG(seed, 7))
+	return r.IntN(n) // clean: seeded stream reproduces from the seed
+}

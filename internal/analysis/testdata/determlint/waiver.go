@@ -1,0 +1,36 @@
+// Corpus: the det waiver machinery. A reasoned //amr:nolint on (or
+// above) the finding line suppresses it; a waiver without a "-- reason"
+// is itself an error; a waiver matching nothing is reported stale; and a
+// waiver on a function declaration suppresses its rules across the body.
+package determ
+
+import (
+	"fmt"
+	"io"
+)
+
+func waivedDump(w io.Writer, m map[string]int) {
+	for k := range m {
+		//amr:nolint det-map-order -- debug helper: output order is cosmetic and never diffed
+		fmt.Fprintln(w, k)
+	}
+}
+
+func reasonlessWaived(w io.Writer, m map[string]int) {
+	for k := range m {
+		//amr:nolint det-map-order // want "missing a '-- reason'"
+		fmt.Fprintln(w, k)
+	}
+}
+
+func staleWaived(w io.Writer) {
+	//amr:nolint det-unseeded-rand -- left over from a refactor // want "stale waiver"
+	fmt.Fprintln(w, "static")
+}
+
+//amr:nolint det-map-order -- whole function renders a debug view; order is cosmetic
+func declWaivedDump(w io.Writer, m map[string]int) {
+	for k, v := range m {
+		fmt.Fprintln(w, k, v)
+	}
+}

@@ -25,6 +25,8 @@ type Oracle struct {
 // Accept records a reduced global checksum and validates it against the
 // previous one. The caller passes a fresh slice (the collective's
 // result); the oracle retains it.
+//
+//amr:det
 func (o *Oracle) Accept(global []float64) error {
 	o.History = append(o.History, global)
 	if o.prev != nil {
@@ -53,6 +55,8 @@ func (o *Oracle) Reset() { o.prev = nil }
 // bit-identical regardless of which worker produced each block's sums.
 // The result is a pooled arena buffer; the caller owns it and must put it
 // back (typically after the global reduction).
+//
+//amr:det
 func CombineSums[K comparable](a *membuf.Arena, vars int, blocks []K, perBlock map[K][]float64) []float64 {
 	out := a.GetFloat64(vars)
 	clear(out)

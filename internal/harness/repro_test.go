@@ -1,0 +1,113 @@
+package harness
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"strings"
+	"testing"
+
+	"miniamr/internal/hydro"
+	"miniamr/internal/simnet"
+)
+
+// The reproducibility suite is the runtime counterpart of determlint:
+// the linter proves nondeterminism sources cannot reach the oracles
+// statically, and this suite checks the end-to-end property it protects —
+// every application x variant pair, run twice under different scheduler
+// pressure (GOMAXPROCS), must produce byte-identical oracle output:
+// bit-identical checksums, a byte-identical seeded fault log, and a
+// byte-identical rendered sanitizer report.
+
+// reproOracle renders everything a run promises to reproduce into one
+// byte string: checksum history as exact float bits, the injected-fault
+// log, and the sanitizer findings.
+func reproOracle(m Metrics) string {
+	var b strings.Builder
+	for i, sums := range m.Checksums {
+		fmt.Fprintf(&b, "stage %d:", i)
+		for _, s := range sums {
+			fmt.Fprintf(&b, " %016x", math.Float64bits(s))
+		}
+		b.WriteByte('\n')
+	}
+	b.WriteString("faults:\n")
+	b.WriteString(simnet.LogString(m.FaultLog))
+	b.WriteString("audit:\n")
+	for _, r := range m.Sanitizer {
+		b.WriteString(r.String())
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// reproRun executes spec with GOMAXPROCS pinned to procs (restored
+// afterwards) and renders its oracle bytes. GOMAXPROCS is process-global,
+// so callers must not run concurrently with other tests' runs — the
+// suite is deliberately not parallel.
+func reproRun(t *testing.T, spec RunSpec, procs int) string {
+	t.Helper()
+	prev := runtime.GOMAXPROCS(procs)
+	defer runtime.GOMAXPROCS(prev)
+	m, err := Run(spec)
+	if err != nil {
+		t.Fatalf("GOMAXPROCS=%d: %v", procs, err)
+	}
+	if len(m.Checksums) == 0 {
+		t.Fatalf("GOMAXPROCS=%d: run produced no checksums; the comparison proves nothing", procs)
+	}
+	if spec.Chaos != nil && m.Faults.Total() == 0 {
+		t.Fatalf("GOMAXPROCS=%d: chaos schedule injected nothing; the fault log proves nothing", procs)
+	}
+	return reproOracle(m)
+}
+
+// TestReproducibleAcrossSchedules runs each registered application under
+// each variant twice — once on a single scheduler thread, once on all
+// host cores — with the sanitizer attached and a seeded fault schedule
+// active, and asserts the rendered oracle bytes are identical.
+func TestReproducibleAcrossSchedules(t *testing.T) {
+	if testing.Short() {
+		t.Skip("repro suite runs every app x variant twice")
+	}
+	apps := []struct {
+		name string
+		spec func(v Variant) RunSpec
+	}{
+		{"miniamr", func(v Variant) RunSpec {
+			faults := simnet.DefaultFaults(42)
+			spec := chaosSpec(v, &faults)
+			spec.Sanitize = true
+			return spec
+		}},
+		{"hydro", func(v Variant) RunSpec {
+			faults := simnet.DefaultFaults(42)
+			cfg := hydro.Config{
+				NX: 32, NY: 32, TilesX: 4, TilesY: 4,
+				Timesteps: 4, ChecksumEvery: 2,
+			}
+			return RunSpec{
+				Nodes: 2, RanksPerNode: 2, CoresPerRank: 2,
+				Net: simnet.None(), Job: hydro.Job(cfg), Variant: v,
+				Chaos: &faults, Resilience: chaosResilience,
+				Sanitize: true,
+			}
+		}},
+	}
+	wide := runtime.NumCPU()
+	if wide < 2 {
+		wide = 2
+	}
+	for _, app := range apps {
+		for _, v := range Variants {
+			t.Run(app.name+"/"+string(v), func(t *testing.T) {
+				narrow := reproRun(t, app.spec(v), 1)
+				again := reproRun(t, app.spec(v), wide)
+				if narrow != again {
+					t.Errorf("oracle bytes differ between GOMAXPROCS=1 and GOMAXPROCS=%d:\n--- narrow\n%s--- wide\n%s",
+						wide, narrow, again)
+				}
+			})
+		}
+	}
+}

@@ -312,6 +312,8 @@ func scratchLen(cfg *Config) int {
 // reduceAndValidate folds the rank-local conserved sums into the global
 // checksum and feeds the cross-variant oracle. local is a pooled buffer
 // owned by this call.
+//
+//amr:det
 func (s *state) reduceAndValidate(local []float64) error {
 	global, err := s.comm.AllreduceFloat64(local, mpi.Sum)
 	s.arena.PutFloat64(local)

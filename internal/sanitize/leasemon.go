@@ -2,6 +2,7 @@ package sanitize
 
 import (
 	"fmt"
+	"sort"
 	"sync"
 
 	"miniamr/internal/membuf"
@@ -43,7 +44,9 @@ func (lm *leaseMonitor) LeaseReleased(l *membuf.Lease) {
 	lm.mu.Unlock()
 }
 
-// audit reports every lease still live at the end of the run.
+// audit reports every lease still live at the end of the run. The live
+// set is keyed by lease pointer, so the records are sorted before
+// reporting to keep the rendered report bytes run-independent.
 func (lm *leaseMonitor) audit() {
 	lm.mu.Lock()
 	recs := make([]leaseRec, 0, len(lm.live))
@@ -51,6 +54,16 @@ func (lm *leaseMonitor) audit() {
 		recs = append(recs, rec)
 	}
 	lm.mu.Unlock()
+	sort.Slice(recs, func(i, j int) bool {
+		a, b := recs[i], recs[j]
+		if a.kind != b.kind {
+			return a.kind < b.kind
+		}
+		if a.n != b.n {
+			return a.n < b.n
+		}
+		return a.stack < b.stack
+	})
 	for _, rec := range recs {
 		lm.s.report("", Report{
 			Check: KindLeaseLeak,

@@ -182,7 +182,10 @@ func (s *Sanitizer) report(dedup string, r Report) {
 }
 
 // Reports returns a snapshot of the findings so far, in a deterministic
-// order (by kind, then rank, then key, then message).
+// order (by kind, then rank, then key, then message, then stack). The
+// stack tiebreak matters: same-site leak reports agree on every other
+// field, and without it the order among them would follow insertion
+// order, which the collection maps do not pin.
 func (s *Sanitizer) Reports() []Report {
 	s.mu.Lock()
 	out := make([]Report, len(s.reports))
@@ -198,7 +201,10 @@ func (s *Sanitizer) Reports() []Report {
 		if out[i].Key != out[j].Key {
 			return out[i].Key < out[j].Key
 		}
-		return out[i].Msg < out[j].Msg
+		if out[i].Msg != out[j].Msg {
+			return out[i].Msg < out[j].Msg
+		}
+		return out[i].Stack < out[j].Stack
 	})
 	return out
 }

@@ -264,6 +264,8 @@ func linkClass(sameNode bool) int {
 // Send decides the fate of primary transmission seq on the (src, dst)
 // pair and records the injected event, if any. It must be called exactly
 // once per primary transmission; retransmissions must not consult it.
+//
+//amr:det
 func (in *Injector) Send(sameNode bool, src, dst, seq int) Decision {
 	var dec Decision
 	if in.cut != nil && in.cut[[2]int{src, dst}] {
