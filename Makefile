@@ -5,13 +5,13 @@
 GO ?= go
 RACE_PKGS := ./internal/mpi ./internal/task ./internal/tampi ./internal/membuf \
 	./internal/simnet ./internal/amr/app ./internal/driver ./internal/hydro \
-	./internal/harness
+	./internal/harness ./internal/wire
 
 GOLDEN_DIR := internal/analysis/testdata/golden
 PERF_GOLDEN_DIR := $(GOLDEN_DIR)/perf
 GRAPH_PKGS := ./internal/amr/app ./internal/hydro
 
-.PHONY: test vet fmt-check lint graph golden perf sanitize chaos race check bench
+.PHONY: test vet fmt-check lint graph golden perf sanitize chaos race transport check bench
 
 test:
 	$(GO) build ./...
@@ -75,7 +75,16 @@ chaos:
 race:
 	$(GO) test -race $(RACE_PKGS)
 
-check: vet fmt-check lint test perf sanitize chaos race
+# transport: the wire-transport proof chain under the race detector —
+# the conformance suite over both fabrics (channel and real loopback
+# TCP), the fuzz seed corpora of the wire codec, the transport
+# equivalence property, and the cross-process oracle (2 OS processes,
+# bit-identical checksums and fault logs vs the in-process run).
+transport:
+	$(GO) test -race -run 'Conformance|Fuzz|ReadFrame|Equivalence' ./internal/wire ./internal/mpi
+	$(GO) test -race -run 'CrossProcess|MultiProc' ./internal/harness
+
+check: vet fmt-check lint test perf sanitize chaos race transport
 
 # Performance trajectory: the allocation benchmarks of the pooled message
 # path plus end-to-end driver runs of both applications, recorded as one
@@ -85,8 +94,8 @@ check: vet fmt-check lint test perf sanitize chaos race
 # medians (benchjson records median-of-5; a legacy single-sample baseline
 # makes ns/op informational — one sample of a handoff-bound benchmark is
 # noise in either direction).
-BENCH_BASE := BENCH_8.json
-BENCH_OUT := BENCH_9.json
+BENCH_BASE := BENCH_9.json
+BENCH_OUT := BENCH_10.json
 bench:
 	$(GO) run ./cmd/benchjson -benchtime 20000x -o $(BENCH_OUT)
 	$(GO) run ./cmd/benchjson -compare $(BENCH_BASE) $(BENCH_OUT)

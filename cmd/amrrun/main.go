@@ -1,0 +1,169 @@
+// Command amrrun is the mpirun-style launcher of the reproduction: it
+// runs either bundled application (miniAMR or HYDRO) split across N OS
+// processes connected by the TCP wire transport, each process owning a
+// contiguous block of ranks. The launcher process is the harness parent;
+// the children are re-executions of this same binary (the harness plants
+// the job spec in their environment), so there is nothing to deploy
+// beyond this one executable.
+//
+// Examples:
+//
+//	amrrun -np 2 -variant dataflow -nodes 2 -ranks-per-node 2
+//	amrrun -np 4 -app hydro -variant mpionly -nodes 2 -ranks-per-node 2 -timesteps 8
+//	amrrun -np 2 -chaos -chaos-seed 7 -variant forkjoin
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"miniamr/internal/harness"
+	"miniamr/internal/hydro"
+	"miniamr/internal/simnet"
+)
+
+func main() {
+	// Children of this launcher are re-executions of this binary.
+	harness.MaybeRunWireChild()
+	var (
+		np           = flag.Int("np", 2, "number of OS processes to split the ranks across")
+		appName      = flag.String("app", "miniamr", "application: miniamr or hydro")
+		variant      = flag.String("variant", "dataflow", "parallelisation variant: mpionly, forkjoin or dataflow")
+		nodes        = flag.Int("nodes", 2, "virtual node count")
+		ranksPerNode = flag.Int("ranks-per-node", 2, "MPI ranks per node")
+		coresPerRank = flag.Int("cores-per-rank", 2, "cores per rank (workers of hybrid variants)")
+		netModel     = flag.String("net", "default", "interconnect model: none, default or slow")
+		timeout      = flag.Duration("timeout", 0, "hard deadline for the whole run (0: harness default)")
+
+		// miniAMR problem shape (ignored with -app hydro).
+		input      = flag.String("input", "four-spheres", "miniAMR problem preset: single-sphere or four-spheres")
+		blockCells = flag.Int("block-size", 8, "miniAMR cells per block edge (even)")
+		vars       = flag.Int("vars", 8, "miniAMR variables per cell")
+		timesteps  = flag.Int("timesteps", 6, "timesteps (both applications)")
+		stages     = flag.Int("stages", 6, "miniAMR stages per timestep")
+		maxLevel   = flag.Int("max-level", 2, "miniAMR maximum refinement level")
+
+		// HYDRO problem shape (ignored with -app miniamr).
+		nx     = flag.Int("nx", 96, "HYDRO global interior cells in x")
+		ny     = flag.Int("ny", 96, "HYDRO global interior cells in y")
+		tilesX = flag.Int("tiles-x", 8, "HYDRO tiles in x")
+		tilesY = flag.Int("tiles-y", 8, "HYDRO tiles in y")
+
+		chaosOn   = flag.Bool("chaos", false, "inject a seeded fault schedule and run the MPI layer's retransmit/ack path")
+		chaosSeed = flag.Uint64("chaos-seed", 1, "seed of the fault schedule (with -chaos)")
+	)
+	flag.Parse()
+
+	if err := run(runArgs{
+		np: *np, app: *appName, variant: *variant,
+		nodes: *nodes, ranksPerNode: *ranksPerNode, coresPerRank: *coresPerRank,
+		netModel: *netModel, timeout: *timeout,
+		input: *input, blockCells: *blockCells, vars: *vars,
+		timesteps: *timesteps, stages: *stages, maxLevel: *maxLevel,
+		nx: *nx, ny: *ny, tilesX: *tilesX, tilesY: *tilesY,
+		chaos: *chaosOn, chaosSeed: *chaosSeed,
+	}); err != nil {
+		fmt.Fprintln(os.Stderr, "amrrun:", err)
+		os.Exit(1)
+	}
+}
+
+type runArgs struct {
+	np                                int
+	app, variant                      string
+	nodes, ranksPerNode, coresPerRank int
+	netModel                          string
+	timeout                           time.Duration
+	input                             string
+	blockCells, vars                  int
+	timesteps, stages, maxLevel       int
+	nx, ny, tilesX, tilesY            int
+	chaos                             bool
+	chaosSeed                         uint64
+}
+
+func run(a runArgs) error {
+	if a.np < 1 {
+		return fmt.Errorf("-np %d must be at least 1", a.np)
+	}
+	var net simnet.Model
+	switch a.netModel {
+	case "none":
+		net = simnet.None()
+	case "default":
+		net = simnet.Default()
+	case "slow":
+		net = simnet.Slow()
+	default:
+		return fmt.Errorf("unknown net model %q (want none, default or slow)", a.netModel)
+	}
+	spec := harness.RunSpec{
+		Nodes: a.nodes, RanksPerNode: a.ranksPerNode, CoresPerRank: a.coresPerRank,
+		Net: net, Variant: harness.Variant(a.variant),
+		Procs: a.np, ProcTimeout: a.timeout,
+	}
+	switch a.app {
+	case "miniamr":
+		sc := harness.Scale{
+			BlockCells: a.blockCells, Vars: a.vars,
+			Timesteps: a.timesteps, StagesPerTimestep: a.stages, MaxLevel: a.maxLevel,
+		}
+		root, err := defaultRoot(a.nodes * a.ranksPerNode * a.coresPerRank)
+		if err != nil {
+			return err
+		}
+		var cfg = harness.FourSpheres(root, sc)
+		if a.input == "single-sphere" {
+			cfg = harness.SingleSphere(root, sc)
+		} else if a.input != "four-spheres" {
+			return fmt.Errorf("unknown input %q (want single-sphere or four-spheres)", a.input)
+		}
+		spec.Cfg = cfg
+	case "hydro":
+		spec.Job = hydro.Job(hydro.Config{
+			NX: a.nx, NY: a.ny, TilesX: a.tilesX, TilesY: a.tilesY,
+			Timesteps: a.timesteps,
+		})
+	default:
+		return fmt.Errorf("unknown application %q (want miniamr or hydro)", a.app)
+	}
+	if a.chaos {
+		faults := simnet.DefaultFaults(a.chaosSeed)
+		spec.Chaos = &faults
+	}
+
+	m, err := harness.Run(spec)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("app:               %s (%s)\n", a.app, a.variant)
+	fmt.Printf("processes:         %d (TCP wire transport)\n", a.np)
+	fmt.Printf("cluster:           %d nodes x %d ranks x %d cores (%d ranks, %d cores)\n",
+		a.nodes, a.ranksPerNode, a.coresPerRank, m.Ranks, m.Cores)
+	fmt.Printf("total time:        %.3fs\n", m.Total.Seconds())
+	fmt.Printf("flops:             %d (%.3f GFLOPS)\n", m.Flops, m.GFLOPS)
+	if m.Tasks > 0 {
+		fmt.Printf("tasks spawned:     %d\n", m.Tasks)
+	}
+	fmt.Printf("checksums passed:  %d\n", len(m.Checksums))
+	fmt.Printf("messages sent:     %d (%.2f MB total)\n", m.Messages, float64(m.CommBytes)/1e6)
+	fmt.Printf("buffer arenas:     %d gets, %.1f%% hit rate (summed over processes)\n",
+		m.Arena.Gets, 100*m.Arena.HitRate())
+	if a.chaos {
+		fmt.Printf("faults injected:   %d (seed %d): %s\n", m.Faults.Total(), a.chaosSeed, m.Faults)
+		fmt.Printf("fault recovery:    %d retransmits, %d drops recovered, %d duplicates discarded, %d reordered, %d abandoned\n",
+			m.Chaos.Retransmits, m.Chaos.Recovered, m.Chaos.DupsDiscarded, m.Chaos.Reordered, m.Chaos.Abandoned)
+	}
+	return nil
+}
+
+// defaultRoot mirrors cmd/miniamr's weak-scaling rule: one root block
+// per core, factored into a near-cubic mesh.
+func defaultRoot(cores int) ([3]int, error) {
+	if cores < 1 {
+		return [3]int{}, fmt.Errorf("cluster has no cores")
+	}
+	return harness.Factor3(cores), nil
+}

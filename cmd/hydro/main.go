@@ -23,6 +23,9 @@ import (
 )
 
 func main() {
+	// A multi-process parent re-executes this binary as a wire child; the
+	// child role must take over before flag parsing sees the child's argv.
+	harness.MaybeRunWireChild()
 	var (
 		variant      = flag.String("variant", "dataflow", "parallelisation variant: mpionly, forkjoin or dataflow")
 		nodes        = flag.Int("nodes", 2, "virtual node count")
@@ -40,12 +43,13 @@ func main() {
 		sepBufs    = flag.Bool("separate-buffers", false, "per-direction buffer-section keys in the data-flow variant")
 		blockTampi = flag.Bool("blocking-tampi", false, "use blocking TAMPI operations in communication tasks")
 
-		netModel   = flag.String("net", "default", "interconnect model: none, default or slow")
-		tracePath  = flag.String("trace", "", "write an execution trace CSV to this path")
-		traceWidth = flag.Int("trace-width", 100, "columns of the printed timeline (with -trace)")
-		sanitizeOn = flag.Bool("sanitize", false, "run under the amrsan runtime sanitizer (also AMRSAN=1); findings go to stderr and exit status 1")
-		chaosOn    = flag.Bool("chaos", false, "inject a seeded fault schedule and run the MPI layer's retransmit/ack path")
-		chaosSeed  = flag.Uint64("chaos-seed", 1, "seed of the fault schedule (with -chaos)")
+		netModel    = flag.String("net", "default", "interconnect model: none, default or slow")
+		tracePath   = flag.String("trace", "", "write an execution trace CSV to this path")
+		traceWidth  = flag.Int("trace-width", 100, "columns of the printed timeline (with -trace)")
+		sanitizeOn  = flag.Bool("sanitize", false, "run under the amrsan runtime sanitizer (also AMRSAN=1); findings go to stderr and exit status 1")
+		chaosOn     = flag.Bool("chaos", false, "inject a seeded fault schedule and run the MPI layer's retransmit/ack path")
+		chaosSeed   = flag.Uint64("chaos-seed", 1, "seed of the fault schedule (with -chaos)")
+		ranksRemote = flag.Int("ranks-remote", 0, "split the world across this many OS processes connected by the TCP wire transport (0: one process; incompatible with -trace and -sanitize)")
 	)
 	flag.Parse()
 
@@ -81,7 +85,7 @@ func main() {
 	spec := harness.RunSpec{
 		Nodes: *nodes, RanksPerNode: *ranksPerNode, CoresPerRank: *coresPerRank,
 		Net: net, Job: hydro.Job(cfg), Variant: harness.Variant(*variant),
-		Recorder: rec, Sanitize: *sanitizeOn,
+		Recorder: rec, Sanitize: *sanitizeOn, Procs: *ranksRemote,
 	}
 	if *chaosOn {
 		faults := simnet.DefaultFaults(*chaosSeed)
@@ -102,6 +106,9 @@ func run(spec harness.RunSpec, cfg hydro.Config, rec *trace.Recorder, tracePath 
 	fmt.Printf("variant:           %s\n", spec.Variant)
 	fmt.Printf("cluster:           %d nodes x %d ranks x %d cores (%d ranks, %d cores)\n",
 		spec.Nodes, spec.RanksPerNode, spec.CoresPerRank, m.Ranks, m.Cores)
+	if spec.Procs > 1 {
+		fmt.Printf("processes:         %d (TCP wire transport)\n", spec.Procs)
+	}
 	fmt.Printf("grid:              %dx%d cells in %dx%d tiles, %d timesteps\n",
 		cfg.NX, cfg.NY, cfg.TilesX, cfg.TilesY, cfg.Timesteps)
 	fmt.Printf("total time:        %.3fs\n", m.Total.Seconds())

@@ -22,6 +22,9 @@ import (
 )
 
 func main() {
+	// A multi-process parent re-executes this binary as a wire child; the
+	// child role must take over before flag parsing sees the child's argv.
+	harness.MaybeRunWireChild()
 	var (
 		variant      = flag.String("variant", "dataflow", "parallelisation variant: mpionly, forkjoin or dataflow")
 		nodes        = flag.Int("nodes", 2, "virtual node count")
@@ -39,27 +42,28 @@ func main() {
 		stages     = flag.Int("stages", 6, "stages per timestep")
 		maxLevel   = flag.Int("max-level", 2, "maximum refinement level")
 
-		sendFaces  = flag.Bool("send-faces", false, "one message per face (--send_faces)")
-		maxComm    = flag.Int("max-comm-tasks", 0, "cap on communication tasks per neighbour and direction (--max_comm_tasks)")
-		sepBufs    = flag.Bool("separate-buffers", false, "per-direction communication buffers (--separate_buffers)")
-		delayedCk  = flag.Bool("delayed-checksum", false, "validate the previous checksum stage (OmpSs-2 taskwait with deps)")
-		seqRefine  = flag.Bool("sequential-refine", false, "serialise the data-flow refinement phase (ablation)")
-		stencil    = flag.Int("stencil", 7, "stencil kernel: 7 or 27 points")
-		partition  = flag.String("partitioner", "rcb", "load-balance policy: rcb or sfc")
-		fjSchedule = flag.String("fj-schedule", "static", "fork-join loop schedule: static or dynamic")
-		noLB       = flag.Bool("no-load-balance", false, "skip post-refinement load balancing (ablation)")
-		blockTampi = flag.Bool("blocking-tampi", false, "use blocking TAMPI operations in communication tasks")
-		uniformRef = flag.Bool("uniform-refine", false, "refine every block each epoch (--uniform_refine)")
-		showMesh   = flag.Bool("show-mesh", false, "print an ASCII slice (z=0.5) of the final mesh")
-		checkpoint = flag.String("checkpoint", "", "write per-rank snapshots at the end (pattern with %d, e.g. ck-%d.bin)")
-		restore    = flag.String("restore", "", "resume from per-rank snapshots (pattern with %d)")
-		chromeOut  = flag.String("chrome-trace", "", "write the trace in Chrome Trace Event JSON to this path (with -trace or alone)")
-		netModel   = flag.String("net", "default", "interconnect model: none, default or slow")
-		tracePath  = flag.String("trace", "", "write an execution trace CSV to this path")
-		traceWidth = flag.Int("trace-width", 100, "columns of the printed timeline (with -trace)")
-		sanitizeOn = flag.Bool("sanitize", false, "run under the amrsan runtime sanitizer (also AMRSAN=1); findings go to stderr and exit status 1")
-		chaosOn    = flag.Bool("chaos", false, "inject a seeded fault schedule (drops, duplicates, latency spikes, partitions, stalls) and run the MPI layer's retransmit/ack path")
-		chaosSeed  = flag.Uint64("chaos-seed", 1, "seed of the fault schedule (with -chaos); the same seed reproduces the same injected-event log")
+		sendFaces   = flag.Bool("send-faces", false, "one message per face (--send_faces)")
+		maxComm     = flag.Int("max-comm-tasks", 0, "cap on communication tasks per neighbour and direction (--max_comm_tasks)")
+		sepBufs     = flag.Bool("separate-buffers", false, "per-direction communication buffers (--separate_buffers)")
+		delayedCk   = flag.Bool("delayed-checksum", false, "validate the previous checksum stage (OmpSs-2 taskwait with deps)")
+		seqRefine   = flag.Bool("sequential-refine", false, "serialise the data-flow refinement phase (ablation)")
+		stencil     = flag.Int("stencil", 7, "stencil kernel: 7 or 27 points")
+		partition   = flag.String("partitioner", "rcb", "load-balance policy: rcb or sfc")
+		fjSchedule  = flag.String("fj-schedule", "static", "fork-join loop schedule: static or dynamic")
+		noLB        = flag.Bool("no-load-balance", false, "skip post-refinement load balancing (ablation)")
+		blockTampi  = flag.Bool("blocking-tampi", false, "use blocking TAMPI operations in communication tasks")
+		uniformRef  = flag.Bool("uniform-refine", false, "refine every block each epoch (--uniform_refine)")
+		showMesh    = flag.Bool("show-mesh", false, "print an ASCII slice (z=0.5) of the final mesh")
+		checkpoint  = flag.String("checkpoint", "", "write per-rank snapshots at the end (pattern with %d, e.g. ck-%d.bin)")
+		restore     = flag.String("restore", "", "resume from per-rank snapshots (pattern with %d)")
+		chromeOut   = flag.String("chrome-trace", "", "write the trace in Chrome Trace Event JSON to this path (with -trace or alone)")
+		netModel    = flag.String("net", "default", "interconnect model: none, default or slow")
+		tracePath   = flag.String("trace", "", "write an execution trace CSV to this path")
+		traceWidth  = flag.Int("trace-width", 100, "columns of the printed timeline (with -trace)")
+		sanitizeOn  = flag.Bool("sanitize", false, "run under the amrsan runtime sanitizer (also AMRSAN=1); findings go to stderr and exit status 1")
+		chaosOn     = flag.Bool("chaos", false, "inject a seeded fault schedule (drops, duplicates, latency spikes, partitions, stalls) and run the MPI layer's retransmit/ack path")
+		chaosSeed   = flag.Uint64("chaos-seed", 1, "seed of the fault schedule (with -chaos); the same seed reproduces the same injected-event log")
+		ranksRemote = flag.Int("ranks-remote", 0, "split the world across this many OS processes connected by the TCP wire transport (0: one process; incompatible with -trace and -sanitize)")
 	)
 	flag.Parse()
 
@@ -73,7 +77,7 @@ func main() {
 		uniformRefine: *uniformRef, showMesh: *showMesh,
 		checkpoint: *checkpoint, restore: *restore, chromeOut: *chromeOut,
 		fjSchedule: *fjSchedule, sanitize: *sanitizeOn,
-		chaos: *chaosOn, chaosSeed: *chaosSeed,
+		chaos: *chaosOn, chaosSeed: *chaosSeed, procs: *ranksRemote,
 	}); err != nil {
 		fmt.Fprintln(os.Stderr, "miniamr:", err)
 		os.Exit(1)
@@ -102,6 +106,7 @@ type runArgs struct {
 	sanitize                          bool
 	chaos                             bool
 	chaosSeed                         uint64
+	procs                             int
 }
 
 func run(a runArgs) error {
@@ -164,7 +169,7 @@ func run(a runArgs) error {
 	spec := harness.RunSpec{
 		Nodes: a.nodes, RanksPerNode: a.ranksPerNode, CoresPerRank: a.coresPerRank,
 		Net: net, Cfg: cfg, Variant: harness.Variant(a.variant), Recorder: rec,
-		Sanitize: a.sanitize,
+		Sanitize: a.sanitize, Procs: a.procs,
 	}
 	if a.chaos {
 		faults := simnet.DefaultFaults(a.chaosSeed)
@@ -178,6 +183,9 @@ func run(a runArgs) error {
 	fmt.Printf("variant:           %s\n", a.variant)
 	fmt.Printf("cluster:           %d nodes x %d ranks x %d cores (%d ranks, %d cores)\n",
 		a.nodes, a.ranksPerNode, a.coresPerRank, m.Ranks, m.Cores)
+	if a.procs > 1 {
+		fmt.Printf("processes:         %d (TCP wire transport)\n", a.procs)
+	}
 	fmt.Printf("mesh:              %dx%dx%d root blocks, %d^3 cells, %d vars, max level %d\n",
 		root[0], root[1], root[2], a.blockCells, a.vars, a.maxLevel)
 	fmt.Printf("total time:        %.3fs\n", m.Total.Seconds())

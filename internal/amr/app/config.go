@@ -132,12 +132,15 @@ type Config struct {
 	// run: the data-flow variant registers a per-rank task observer and
 	// reports its tasks' actual accesses for dependency-race checking.
 	// The caller owns attachment to the world (sanitize.Attach) and the
-	// end-of-run audit (Finish). Nil costs nothing.
-	Sanitizer *sanitize.Sanitizer
+	// end-of-run audit (Finish). Nil costs nothing. Runtime-only: never
+	// crosses a process boundary (multi-process children re-attach their
+	// own), hence excluded from the wire encoding.
+	Sanitizer *sanitize.Sanitizer `json:"-"`
 	// TaskObserver, when non-nil, yields a per-rank task lifecycle
 	// observer for the data-flow variant (teed with the sanitizer's).
 	// Used to measure dynamic concurrency, e.g. with task.NewWidthMeter.
-	TaskObserver func(rank int) task.Observer
+	// Runtime-only, like Sanitizer.
+	TaskObserver func(rank int) task.Observer `json:"-"`
 }
 
 // defaultChecksumTolerance allows for the small non-conservation introduced

@@ -1,6 +1,7 @@
 package app
 
 import (
+	"encoding/json"
 	"fmt"
 
 	"miniamr/internal/driver"
@@ -8,6 +9,18 @@ import (
 	"miniamr/internal/sanitize"
 	"miniamr/internal/trace"
 )
+
+// The decoder lets a multi-process child rebuild the job from the JSON
+// the parent shipped (see driver.EncodeJob / DecodeJob).
+func init() {
+	driver.RegisterDecoder("miniamr", func(cfgJSON []byte) (driver.Job, error) {
+		var cfg Config
+		if err := json.Unmarshal(cfgJSON, &cfg); err != nil {
+			return nil, fmt.Errorf("app: decoding wire config: %w", err)
+		}
+		return Job(cfg), nil
+	})
+}
 
 // Job packages a miniAMR configuration as a driver.Job, the
 // application-agnostic unit the harness executes. The zero-variant
@@ -18,6 +31,9 @@ func Job(cfg Config) driver.Job { return job{cfg: cfg} }
 type job struct{ cfg Config }
 
 func (j job) App() string { return "miniamr" }
+
+// Config exposes the configuration for wire encoding (driver.ConfigJob).
+func (j job) Config() any { return j.cfg }
 
 // Bind resolves a variant to its entry point with the harness-owned
 // settings applied: workers overrides the per-rank core count and san,

@@ -1,0 +1,67 @@
+package driver
+
+import (
+	"encoding/json"
+	"fmt"
+)
+
+// Multi-process runs ship a Job across a process boundary as
+// (application name, JSON-encoded configuration): the parent encodes,
+// each child process decodes through a registry keyed by the name the
+// application already registers its variants under. The harness stays
+// application-agnostic on both sides of the boundary.
+
+// ConfigJob is the optional Job extension multi-process execution
+// requires: a job that can expose its configuration for wire encoding.
+// The configuration must survive a JSON round trip — runtime-only fields
+// (sanitizer handles, observer hooks) are tagged out and re-attached by
+// the child's own harness.
+type ConfigJob interface {
+	Job
+	// Config returns the job's validated-or-validatable configuration
+	// value, ready for json.Marshal.
+	Config() any
+}
+
+var decoders = map[string]func(cfgJSON []byte) (Job, error){}
+
+// RegisterDecoder records how to rebuild an application's Job from its
+// JSON-encoded configuration. Applications register from the same init
+// function that calls Register.
+func RegisterDecoder(app string, dec func(cfgJSON []byte) (Job, error)) {
+	regMu.Lock()
+	defer regMu.Unlock()
+	decoders[app] = dec
+}
+
+// EncodeJob serialises a job for a child process. It fails on jobs that
+// do not implement ConfigJob or whose application never registered a
+// decoder — at spawn time in the parent, not at decode time in a child.
+func EncodeJob(j Job) (app string, cfgJSON []byte, err error) {
+	cj, ok := j.(ConfigJob)
+	if !ok {
+		return "", nil, fmt.Errorf("driver: job for %q does not implement ConfigJob; cannot run multi-process", j.App())
+	}
+	regMu.Lock()
+	_, hasDec := decoders[j.App()]
+	regMu.Unlock()
+	if !hasDec {
+		return "", nil, fmt.Errorf("driver: application %q has no registered job decoder", j.App())
+	}
+	raw, err := json.Marshal(cj.Config())
+	if err != nil {
+		return "", nil, fmt.Errorf("driver: encoding %q config: %w", j.App(), err)
+	}
+	return j.App(), raw, nil
+}
+
+// DecodeJob rebuilds a job in a child process.
+func DecodeJob(app string, cfgJSON []byte) (Job, error) {
+	regMu.Lock()
+	dec, ok := decoders[app]
+	regMu.Unlock()
+	if !ok {
+		return nil, fmt.Errorf("driver: application %q has no registered job decoder (is its package imported?)", app)
+	}
+	return dec(cfgJSON)
+}

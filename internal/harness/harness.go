@@ -71,6 +71,17 @@ type RunSpec struct {
 	// Resilience tunes the retransmit protocol of a chaos run; the zero
 	// value selects the defaults. Ignored when Chaos is off.
 	Resilience mpi.Resilience
+	// Procs splits the run across this many OS processes connected by the
+	// TCP wire transport (internal/wire); each child process owns a
+	// contiguous rank block. 0 or 1 keeps the whole world in one process
+	// over the channel transport. Multi-process runs require the job to
+	// implement driver.ConfigJob (both bundled applications do) and reject
+	// Recorder and Sanitize, which are in-process instruments.
+	Procs int
+	// ProcTimeout bounds a multi-process run end to end, spawn through
+	// teardown; zero selects 2 minutes. On expiry the parent kills the
+	// whole child process tree.
+	ProcTimeout time.Duration
 }
 
 // sanitizeForced reports whether the environment forces sanitized runs.
@@ -127,6 +138,9 @@ type Metrics struct {
 
 // Run executes a spec and aggregates the metrics.
 func Run(spec RunSpec) (Metrics, error) {
+	if spec.Procs > 1 {
+		return runMultiProc(spec)
+	}
 	job := spec.Job
 	if job == nil {
 		job = app.Job(spec.Cfg)
@@ -171,6 +185,14 @@ func Run(spec RunSpec) (Metrics, error) {
 		}
 		results[c.Rank()] = res
 	})
+	if inj != nil && runErr == nil {
+		// Drain the reliable path before any audit or stats snapshot:
+		// a dropped ack can leave a sender's outbox clone leased after
+		// every rank's program has returned, and the sanitizer would
+		// (rightly, but unhelpfully) flag the in-flight retransmit
+		// state as a leak.
+		world.QuiesceReliable(5 * time.Second)
+	}
 	var findings []sanitize.Report
 	if san != nil {
 		findings = san.Finish()
@@ -189,18 +211,28 @@ func Run(spec RunSpec) (Metrics, error) {
 
 	m := Metrics{
 		Ranks: topo.Ranks(), Cores: topo.Cores(),
-		Checksums:   results[0].Checksums,
-		MeshHistory: results[0].MeshHistory,
-		MeshView:    results[0].FinalMeshView,
-		Arena:       world.Arena().Stats(),
-		HeapAllocs:  ms1.Mallocs - ms0.Mallocs,
-		Sanitizer:   findings,
+		Arena:      world.Arena().Stats(),
+		HeapAllocs: ms1.Mallocs - ms0.Mallocs,
+		Sanitizer:  findings,
 	}
 	if inj != nil {
 		m.Faults = inj.Stats()
 		m.FaultLog = inj.Log()
 		m.Chaos = world.ChaosStats()
 	}
+	m.aggregate(results)
+	return m, nil
+}
+
+// aggregate folds the per-rank results into the cross-rank aggregates and
+// derived rates the paper reports. Checksums, mesh history and the mesh
+// view come from rank 0 (replicated state). Both execution modes — the
+// in-process world and the multi-process parent — funnel through here, so
+// a metric's definition cannot drift between them.
+func (m *Metrics) aggregate(results []driver.Result) {
+	m.Checksums = results[0].Checksums
+	m.MeshHistory = results[0].MeshHistory
+	m.MeshView = results[0].FinalMeshView
 	for _, r := range results {
 		if r.TotalTime > m.Total {
 			m.Total = r.TotalTime
@@ -228,5 +260,4 @@ func Run(spec RunSpec) (Metrics, error) {
 	if m.NoRefine > 0 {
 		m.NRHostEff = ideal / m.NoRefine.Seconds()
 	}
-	return m, nil
 }

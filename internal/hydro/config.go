@@ -50,12 +50,14 @@ type Config struct {
 	// to 1.
 	Workers int
 	// Sanitizer, when non-nil, attaches the amrsan dependency sanitizer
-	// to the data-flow variant.
-	Sanitizer *sanitize.Sanitizer
+	// to the data-flow variant. Runtime-only: excluded from the wire
+	// encoding of multi-process runs.
+	Sanitizer *sanitize.Sanitizer `json:"-"`
 	// TaskObserver, when non-nil, yields a per-rank task lifecycle
 	// observer for the data-flow variant (teed with the sanitizer's).
 	// Used to measure dynamic concurrency, e.g. with task.NewWidthMeter.
-	TaskObserver func(rank int) task.Observer
+	// Runtime-only, like Sanitizer.
+	TaskObserver func(rank int) task.Observer `json:"-"`
 	// BlockingTAMPI uses blocking TAMPI operations in communication tasks
 	// instead of Irecv/Isend + Iwait.
 	BlockingTAMPI bool

@@ -1,6 +1,7 @@
 package hydro
 
 import (
+	"encoding/json"
 	"fmt"
 	"time"
 
@@ -113,9 +114,24 @@ func RunDataFlow(cfg Config, c *mpi.Comm, rec *trace.Recorder) (Result, error) {
 // Job packages a HYDRO configuration as a driver.Job for the harness.
 func Job(cfg Config) driver.Job { return job{cfg: cfg} }
 
+// The decoder lets a multi-process child rebuild the job from the JSON
+// the parent shipped (see driver.EncodeJob / DecodeJob).
+func init() {
+	driver.RegisterDecoder("hydro", func(cfgJSON []byte) (driver.Job, error) {
+		var cfg Config
+		if err := json.Unmarshal(cfgJSON, &cfg); err != nil {
+			return nil, fmt.Errorf("hydro: decoding wire config: %w", err)
+		}
+		return Job(cfg), nil
+	})
+}
+
 type job struct{ cfg Config }
 
 func (j job) App() string { return "hydro" }
+
+// Config exposes the configuration for wire encoding (driver.ConfigJob).
+func (j job) Config() any { return j.cfg }
 
 // Bind resolves a variant to its entry point with the harness-owned
 // settings applied: workers overrides the per-rank core count and san,

@@ -1,0 +1,15 @@
+package mpi_test
+
+import (
+	"testing"
+
+	"miniamr/internal/mpi/mpitest"
+)
+
+// TestConformanceChannel pins the in-process channel path to the shared
+// transport-conformance suite — the same test bodies the TCP transport
+// must pass (see internal/wire), so the two paths are held to one
+// semantic contract.
+func TestConformanceChannel(t *testing.T) {
+	mpitest.RunConformance(t, mpitest.ChannelFabric())
+}

@@ -87,6 +87,9 @@ func (w *World) SetMonitor(m Monitor) {
 	w.mon = m
 	w.fmon, _ = m.(FaultMonitor)
 	for r, c := range w.comms {
+		if c == nil { // remote rank of a partial world
+			continue
+		}
 		c.box.mon = m
 		c.box.rank = r
 	}

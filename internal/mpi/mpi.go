@@ -48,12 +48,17 @@ const (
 const MaxUserTag = 1 << 24
 
 // World is a virtual MPI job: a set of ranks that can exchange messages.
+// A world normally hosts every rank of its topology in-process; a world
+// built with NewWorldPart hosts only ranks [lo, hi) and reaches the rest
+// through its wire transport (see transport.go).
 type World struct {
-	topo  *cluster.Topology
-	net   simnet.Model
-	comms []*Comm
-	arena *membuf.Arena
-	mon   Monitor // optional sanitizer hooks; nil in normal runs
+	topo      *cluster.Topology
+	net       simnet.Model
+	comms     []*Comm
+	arena     *membuf.Arena
+	lo, hi    int       // local rank range; [0, Ranks) for in-process worlds
+	transport Transport // nil for in-process worlds
+	mon       Monitor   // optional sanitizer hooks; nil in normal runs
 
 	// Chaos state (see reliable.go); all nil/zero unless EnableChaos ran.
 	faults *simnet.Injector
@@ -65,8 +70,8 @@ type World struct {
 // NewWorld creates a world with one communicator handle per rank described
 // by the topology, charging message costs according to the model.
 func NewWorld(topo *cluster.Topology, net simnet.Model) *World {
-	w := &World{topo: topo, net: net, arena: membuf.New()}
 	n := topo.Ranks()
+	w := &World{topo: topo, net: net, arena: membuf.New(), lo: 0, hi: n}
 	w.comms = make([]*Comm, n)
 	for r := 0; r < n; r++ {
 		w.comms[r] = &Comm{world: w, rank: r, box: newMailbox()}
@@ -89,24 +94,29 @@ func (w *World) Arena() *membuf.Arena { return w.arena }
 // Size returns the number of ranks.
 func (w *World) Size() int { return len(w.comms) }
 
-// Comm returns the communicator handle of the given rank.
+// Comm returns the communicator handle of the given rank, which must be
+// hosted in this process.
 func (w *World) Comm(rank int) *Comm {
 	if rank < 0 || rank >= len(w.comms) {
 		panic(fmt.Sprintf("mpi: rank %d out of range [0,%d)", rank, len(w.comms)))
 	}
+	if w.comms[rank] == nil {
+		panic(fmt.Sprintf("mpi: rank %d is hosted by another process (local range [%d,%d))", rank, w.lo, w.hi))
+	}
 	return w.comms[rank]
 }
 
-// Run executes body once per rank, each on its own goroutine, and blocks
-// until every rank returns. A panic inside a rank is recovered and returned
-// as an error naming the rank; if any rank panics while others are blocked
-// in communication the job cannot terminate, matching the behaviour of a
-// real MPI job whose peer died (tests will hit their timeout and dump
-// goroutines).
+// Run executes body once per local rank, each on its own goroutine, and
+// blocks until every local rank returns. A panic inside a rank is recovered
+// and returned as an error naming the rank; if any rank panics while others
+// are blocked in communication the job cannot terminate, matching the
+// behaviour of a real MPI job whose peer died (tests will hit their timeout
+// and dump goroutines). On a partial world only ranks [lo, hi) run here;
+// the peer processes run the rest.
 func (w *World) Run(body func(c *Comm)) error {
 	var wg sync.WaitGroup
 	errs := make([]error, len(w.comms))
-	for r := range w.comms {
+	for r := w.lo; r < w.hi; r++ {
 		wg.Add(1)
 		go func(rank int) {
 			defer wg.Done()

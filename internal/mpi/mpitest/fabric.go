@@ -1,0 +1,208 @@
+// Package mpitest is the transport-conformance harness: one suite of MPI
+// semantic tests (point-to-point ordering, wildcard matching,
+// collectives, chaos recovery) that runs unchanged over every transport
+// the mpi package can sit on. A Fabric abstracts "how ranks are wired
+// together" — the in-process channel path or a real TCP mesh — and
+// RunConformance proves a fabric carries the full semantic contract, so
+// the wire transport is held to exactly the tests the channel path
+// already passes.
+package mpitest
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"miniamr/internal/cluster"
+	"miniamr/internal/mpi"
+	"miniamr/internal/simnet"
+	"miniamr/internal/wire"
+)
+
+// Options configures one cluster instance.
+type Options struct {
+	// Net is the simulated interconnect model; zero value is no cost.
+	Net simnet.Model
+	// Faults, when non-nil, enables the chaos path on every world with
+	// the same seeded schedule.
+	Faults *simnet.Faults
+	// Resilience tunes the chaos path's retry clock (defaults applied by
+	// mpi when zero).
+	Resilience mpi.Resilience
+}
+
+// Cluster is one running instance of a fabric: a set of worlds whose
+// local rank ranges partition the topology. A single-process fabric has
+// exactly one world; a wire fabric has one per simulated process, meshed
+// over real sockets.
+type Cluster struct {
+	// Worlds holds one world per process, in process-id order.
+	Worlds []*mpi.World
+
+	chaos bool
+	close func() error
+}
+
+// Comm returns the communicator of the world hosting the given rank.
+func (cl *Cluster) Comm(rank int) *mpi.Comm {
+	for _, w := range cl.Worlds {
+		if w.IsLocal(rank) {
+			return w.Comm(rank)
+		}
+	}
+	panic(fmt.Sprintf("mpitest: rank %d hosted by no world", rank))
+}
+
+// Run executes body once per rank across all worlds, mirroring
+// World.Run on a cluster: each world runs its local ranks concurrently
+// and Run blocks until every rank everywhere has returned.
+func (cl *Cluster) Run(body func(c *mpi.Comm)) error {
+	var wg sync.WaitGroup
+	errs := make([]error, len(cl.Worlds))
+	for i, w := range cl.Worlds {
+		wg.Add(1)
+		go func(i int, w *mpi.World) {
+			defer wg.Done()
+			errs[i] = w.Run(body)
+		}(i, w)
+	}
+	wg.Wait()
+	return errors.Join(errs...)
+}
+
+// ChaosStats sums the resilience counters across all worlds.
+func (cl *Cluster) ChaosStats() mpi.ChaosStats {
+	var sum mpi.ChaosStats
+	for _, w := range cl.Worlds {
+		st := w.ChaosStats()
+		sum.Retransmits += st.Retransmits
+		sum.DupsDiscarded += st.DupsDiscarded
+		sum.Reordered += st.Reordered
+		sum.Recovered += st.Recovered
+		sum.Abandoned += st.Abandoned
+	}
+	return sum
+}
+
+// LiveLeases sums the arenas' live lease counts across all worlds.
+func (cl *Cluster) LiveLeases() int64 {
+	var live int64
+	for _, w := range cl.Worlds {
+		live += w.Arena().Stats().Live
+	}
+	return live
+}
+
+// Close quiesces the chaos path (if enabled) and tears the fabric down.
+func (cl *Cluster) Close() error {
+	if cl.chaos {
+		for _, w := range cl.Worlds {
+			if !w.QuiesceReliable(5 * time.Second) {
+				return errors.New("mpitest: reliable outboxes did not quiesce before close")
+			}
+		}
+	}
+	if cl.close != nil {
+		return cl.close()
+	}
+	return nil
+}
+
+// Fabric builds clusters of a particular transport.
+type Fabric struct {
+	// Name labels the fabric in test output.
+	Name string
+	// New builds a cluster of the given rank count over a 1×ranks×1
+	// topology. Implementations fail the test on construction errors.
+	New func(tb testing.TB, ranks int, opt Options) *Cluster
+}
+
+// ChannelFabric is the in-process reference fabric: one world, every
+// rank local, the transport seam never engaged.
+func ChannelFabric() Fabric {
+	return Fabric{
+		Name: "channel",
+		New: func(tb testing.TB, ranks int, opt Options) *Cluster {
+			tb.Helper()
+			w := mpi.NewWorld(cluster.MustNew(1, ranks, 1), opt.Net)
+			cl := &Cluster{Worlds: []*mpi.World{w}}
+			if opt.Faults != nil {
+				w.EnableChaos(simnet.NewInjector(*opt.Faults), opt.Resilience)
+				cl.chaos = true
+			}
+			return cl
+		},
+	}
+}
+
+// TCPFabric wires the ranks as `procs` partial worlds inside this test
+// process, connected by a real loopback TCP mesh on ephemeral ports —
+// hermetic, yet every cross-world byte travels through the wire codec
+// and a kernel socket. When a test asks for fewer ranks than procs, the
+// process count shrinks to one per rank.
+func TCPFabric(procs int) Fabric {
+	return Fabric{
+		Name: fmt.Sprintf("tcp/%dproc", procs),
+		New: func(tb testing.TB, ranks int, opt Options) *Cluster {
+			tb.Helper()
+			np := procs
+			if np > ranks {
+				np = ranks
+			}
+			topo := cluster.MustNew(1, ranks, 1)
+			nodes := make([]*wire.Node, np)
+			for i := range nodes {
+				n, err := wire.Listen("")
+				if err != nil {
+					tb.Fatalf("mpitest: listen: %v", err)
+				}
+				nodes[i] = n
+			}
+			coord := nodes[0].Addr()
+			var wg sync.WaitGroup
+			bootErrs := make([]error, np)
+			for i, n := range nodes {
+				wg.Add(1)
+				go func(i int, n *wire.Node) {
+					defer wg.Done()
+					bootErrs[i] = n.Bootstrap(i, np, ranks, coord, 10*time.Second)
+				}(i, n)
+			}
+			wg.Wait()
+			if err := errors.Join(bootErrs...); err != nil {
+				tb.Fatalf("mpitest: bootstrap: %v", err)
+			}
+			cl := &Cluster{Worlds: make([]*mpi.World, np)}
+			for i, n := range nodes {
+				lo, hi := n.LocalRange()
+				w, err := mpi.NewWorldPart(topo, opt.Net, lo, hi, n)
+				if err != nil {
+					tb.Fatalf("mpitest: world part %d: %v", i, err)
+				}
+				if opt.Faults != nil {
+					w.EnableChaos(simnet.NewInjector(*opt.Faults), opt.Resilience)
+					cl.chaos = true
+				}
+				n.Start(w, w.Arena())
+				cl.Worlds[i] = w
+			}
+			cl.close = func() error {
+				var errs []error
+				for i, n := range nodes {
+					if err := n.Close(); err != nil {
+						errs = append(errs, fmt.Errorf("close node %d: %w", i, err))
+					}
+				}
+				for i, n := range nodes {
+					if err := n.Err(); err != nil {
+						errs = append(errs, fmt.Errorf("node %d read loop: %w", i, err))
+					}
+				}
+				return errors.Join(errs...)
+			}
+			return cl
+		},
+	}
+}

@@ -190,6 +190,14 @@ func (c *Comm) dispatch(pay *membuf.Lease, dest, tag, count int, req *Request) {
 	bytes := leaseBytes(pay)
 	c.sentMsgs.Add(1)
 	c.sentBytes.Add(int64(bytes))
+	if c.world.transport != nil && !c.world.IsLocal(dest) {
+		// Remote destination: serialise the lease into the wire transport.
+		// Monitor accounting happens at the receiving process, where the
+		// message materialises (see World.RemoteDeliver), so each process's
+		// sent/delivered ledger stays balanced.
+		c.dispatchRemote(pay, dest, tag, count, bytes, req)
+		return
+	}
 	if c.world.mon != nil {
 		c.world.mon.MessageSent(c.rank, dest, tag)
 	}
@@ -211,6 +219,45 @@ func (c *Comm) dispatch(pay *membuf.Lease, dest, tag, count int, req *Request) {
 	dstBox.deliver(msg)
 	if req != nil {
 		req.complete(st, nil)
+	}
+}
+
+// dispatchRemote writes one plain message to the wire transport. A
+// simulated interconnect cost still applies on top of the real wire time:
+// a model delay defers the socket write exactly as it defers in-process
+// delivery. A transport failure is fatal for the rank (the MPI job lost
+// its peer), surfaced as a panic that World.Run converts into an error.
+func (c *Comm) dispatchRemote(pay *membuf.Lease, dest, tag, count, bytes int, req *Request) {
+	st := Status{Source: c.rank, Tag: tag, Count: count}
+	if delay := c.delayFor(dest, bytes); delay > 0 {
+		go func() {
+			time.Sleep(delay)
+			c.wireSend(pay, dest, tag, 0, false)
+			pay.Release()
+			if req != nil {
+				req.complete(st, nil)
+			}
+		}()
+		return
+	}
+	c.wireSend(pay, dest, tag, 0, false)
+	pay.Release()
+	if req != nil {
+		req.complete(st, nil)
+	}
+}
+
+// wireSend pushes one delivery attempt through the transport, borrowing
+// the lease for the duration of the call. On the plain path a wire error
+// is fatal: nothing will retry, so losing the message silently would
+// wedge the receiver. On the reliable path a failed write is just
+// another dropped attempt — the outbox retransmits exactly as for an
+// injected drop — and, after the job has quiesced, a spurious
+// retransmission racing transport teardown must not take the process
+// down.
+func (c *Comm) wireSend(pay *membuf.Lease, dest, tag, seq int, reliable bool) {
+	if err := c.world.transport.Send(c.rank, dest, tag, seq, reliable, pay); err != nil && !reliable {
+		panic(fmt.Sprintf("mpi: wire send %d->%d tag %d: %v", c.rank, dest, tag, err))
 	}
 }
 

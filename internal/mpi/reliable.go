@@ -90,9 +90,14 @@ type ChaosStats struct {
 	Abandoned int64
 }
 
-// chaosCounters is the atomic backing store for ChaosStats.
+// chaosCounters is the atomic backing store for ChaosStats. inflight is
+// not a stat: it counts delivery-attempt goroutines that still hold
+// payload clones (or wire references), so QuiesceReliable can wait for
+// attempts whose outbox entry was already acked by a faster sibling —
+// e.g. a spiked primary overtaken by its own retransmission.
 type chaosCounters struct {
 	retransmits, dupsDiscarded, reordered, recovered, abandoned atomic.Int64
+	inflight                                                    atomic.Int64
 }
 
 // EnableChaos switches the world's transport onto the reliable path,
@@ -109,6 +114,9 @@ func (w *World) EnableChaos(inj *simnet.Injector, r Resilience) {
 	w.faults = inj
 	w.resil = r.withDefaults()
 	for _, c := range w.comms {
+		if c == nil { // remote rank of a partial world
+			continue
+		}
 		c.rel = newRelComm(len(w.comms))
 	}
 }
@@ -213,7 +221,11 @@ func (c *Comm) dispatchReliable(pay *membuf.Lease, dest, tag, count int, req *Re
 	bytes := leaseBytes(pay)
 	c.sentMsgs.Add(1)
 	c.sentBytes.Add(int64(bytes))
-	if w.mon != nil {
+	remote := w.transport != nil && !w.IsLocal(dest)
+	if w.mon != nil && !remote {
+		// For remote destinations the send-side hook fires at the receiving
+		// process when the message is accepted (see Comm.arrive), keeping
+		// each process's sent/delivered ledger balanced.
 		w.mon.MessageSent(c.rank, dest, tag)
 	}
 
@@ -230,13 +242,30 @@ func (c *Comm) dispatchReliable(pay *membuf.Lease, dest, tag, count int, req *Re
 	}
 	op.pending[seq] = e
 	var clones []*membuf.Lease
+	attempts := 0
 	if !dec.Drop {
-		clones = append(clones, cloneLease(w.arena, pay))
-		if dec.Duplicate {
+		if remote {
+			// Delivery attempts on the wire serialise straight from the
+			// original lease — no per-attempt clone. The attempt goroutine
+			// holds its own reference so an ack (or give-up) racing in
+			// cannot recycle the buffer mid-write.
+			attempts = 1
+			if dec.Duplicate {
+				attempts = 2
+			}
+			pay.Retain()
+		} else {
 			clones = append(clones, cloneLease(w.arena, pay))
+			if dec.Duplicate {
+				clones = append(clones, cloneLease(w.arena, pay))
+			}
 		}
 	}
 	e.timer = time.AfterFunc(e.timeout, func() { c.retransmit(dest, seq) })
+	// Counted while the outbox entry is still visibly pending, so a
+	// quiescence check can never observe an empty outbox before it sees
+	// this attempt in flight.
+	w.chaos.inflight.Add(1)
 	op.mu.Unlock()
 
 	if w.fmon != nil {
@@ -259,11 +288,21 @@ func (c *Comm) dispatchReliable(pay *membuf.Lease, dest, tag, count int, req *Re
 	st := Status{Source: c.rank, Tag: tag, Count: count}
 	delay := c.delayFor(dest, bytes) + dec.Spike
 	go func() {
+		defer w.chaos.inflight.Add(-1)
 		if delay > 0 {
 			time.Sleep(delay)
 		}
-		for _, cl := range clones {
-			w.comms[dest].arrive(c.rank, seq, tag, cl)
+		if remote {
+			for i := 0; i < attempts; i++ {
+				c.wireSend(pay, dest, tag, seq, true)
+			}
+			if attempts > 0 {
+				pay.Release()
+			}
+		} else {
+			for _, cl := range clones {
+				w.comms[dest].arrive(c.rank, seq, tag, cl)
+			}
 		}
 		if req != nil {
 			req.complete(st, nil)
@@ -297,24 +336,39 @@ func (c *Comm) retransmit(dest, seq int) {
 	}
 	e.attempts++
 	e.timeout = time.Duration(float64(e.timeout) * w.resil.Backoff)
+	remote := w.transport != nil && !w.IsLocal(dest)
+	cut := w.faults.Cut(c.rank, dest)
 	var clone *membuf.Lease
-	if !w.faults.Cut(c.rank, dest) {
+	if !cut && !remote {
 		clone = cloneLease(w.arena, e.pay)
+	}
+	pay := e.pay
+	if !cut && remote {
+		pay.Retain() // the attempt goroutine's reference (see dispatchReliable)
 	}
 	e.timer = time.AfterFunc(e.timeout, func() { c.retransmit(dest, seq) })
 	tag, bytes := e.tag, e.bytes
+	if !cut {
+		w.chaos.inflight.Add(1) // under the lock; see dispatchReliable
+	}
 	op.mu.Unlock()
 
 	w.chaos.retransmits.Add(1)
-	if clone == nil {
+	if cut {
 		return // cut link: burn the attempt, the budget will exhaust
 	}
 	delay := c.delayFor(dest, bytes)
 	go func() {
+		defer w.chaos.inflight.Add(-1)
 		if delay > 0 {
 			time.Sleep(delay)
 		}
-		w.comms[dest].arrive(c.rank, seq, tag, clone)
+		if remote {
+			c.wireSend(pay, dest, tag, seq, true)
+			pay.Release()
+		} else {
+			w.comms[dest].arrive(c.rank, seq, tag, clone)
+		}
 	}()
 }
 
@@ -325,6 +379,11 @@ func (c *Comm) retransmit(dest, seq int) {
 // arrival to the sender's outbox.
 func (c *Comm) arrive(src, seq, tag int, pay *membuf.Lease) {
 	w := c.world
+	// Messages that crossed the wire fire the send-side monitor hook on
+	// this process, in the release drain below (exactly once per accepted
+	// message; dedup discards fire nothing), so the receiving process's
+	// sent/delivered ledger balances; see dispatchReliable.
+	fromWire := w.transport != nil && !w.IsLocal(src)
 	ip := &c.rel.in[src]
 	ip.mu.Lock()
 	if _, dup := ip.held[seq]; dup || seq < ip.expected {
@@ -367,6 +426,12 @@ func (c *Comm) arrive(src, seq, tag int, pay *membuf.Lease) {
 		ip.ready = nil
 		ip.mu.Unlock()
 		for _, m := range batch {
+			if fromWire && w.mon != nil {
+				// Wire messages fire the send-side hook here, exactly once
+				// per accepted message and right before delivery, outside
+				// the pair lock (see dispatchReliable).
+				w.mon.MessageSent(src, c.rank, m.tag)
+			}
 			c.box.deliver(newMessage(src, m.tag, m.pay))
 		}
 		ip.mu.Lock()
@@ -376,12 +441,27 @@ func (c *Comm) arrive(src, seq, tag int, pay *membuf.Lease) {
 	w.ackData(src, c.rank, seq)
 }
 
-// ackData acknowledges sequence number seq of the (src -> dst) pair: the
-// sender's outbox drops the entry, stops its retransmit timer and
-// releases the original payload. Acks are idempotent (re-acks of an
-// already-cleared entry are no-ops), which makes duplicate deliveries
-// harmless on the control path too.
+// ackData acknowledges sequence number seq of the (src -> dst) pair. When
+// the sender is hosted by a peer process the ack crosses the wire as a
+// control frame (and lands in RemoteAck over there); otherwise the local
+// outbox is cleared directly. A failed wire ack is dropped, not fatal:
+// ack loss is already part of the reliable path's model (the sender just
+// retransmits and the dedup layer re-acks), and during teardown the ack
+// for a spurious late retransmission may race the transport closing.
 func (w *World) ackData(src, dst, seq int) {
+	if w.transport != nil && !w.IsLocal(src) {
+		_ = w.transport.SendAck(src, dst, seq)
+		return
+	}
+	w.ackLocal(src, dst, seq)
+}
+
+// ackLocal clears (src, dst, seq) from local rank src's outbox: the entry
+// is dropped, its retransmit timer stopped and the original payload
+// released. Acks are idempotent (re-acks of an already-cleared entry are
+// no-ops), which makes duplicate deliveries harmless on the control path
+// too.
+func (w *World) ackLocal(src, dst, seq int) {
 	op := &w.comms[src].rel.out[dst]
 	op.mu.Lock()
 	e := op.pending[seq]
@@ -398,6 +478,43 @@ func (w *World) ackData(src, dst, seq int) {
 	pay.Release()
 	if recovered {
 		w.chaos.recovered.Add(1)
+	}
+}
+
+// QuiesceReliable waits until every local rank's outbox is empty — all
+// sent messages acked (or abandoned) — and no delivery attempt is still
+// in flight (a spiked attempt can outlive its own outbox entry when a
+// retransmission overtakes it), polling until the timeout. It returns
+// whether quiescence was reached. A multi-process chaos run calls it
+// after Run and before tearing the transport down, so in-flight acks are
+// not lost to a closing socket; the in-process harness calls it before
+// the sanitizer's lease audit. On a world without chaos it returns true
+// immediately.
+func (w *World) QuiesceReliable(timeout time.Duration) bool {
+	if w.faults == nil {
+		return true
+	}
+	deadline := time.Now().Add(timeout)
+	for {
+		pending := int(w.chaos.inflight.Load())
+		for _, c := range w.comms {
+			if c == nil || c.rel == nil {
+				continue
+			}
+			for i := range c.rel.out {
+				op := &c.rel.out[i]
+				op.mu.Lock()
+				pending += len(op.pending)
+				op.mu.Unlock()
+			}
+		}
+		if pending == 0 {
+			return true
+		}
+		if time.Now().After(deadline) {
+			return false
+		}
+		time.Sleep(200 * time.Microsecond)
 	}
 }
 

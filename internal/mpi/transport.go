@@ -1,0 +1,118 @@
+package mpi
+
+import (
+	"fmt"
+
+	"miniamr/internal/cluster"
+	"miniamr/internal/membuf"
+	"miniamr/internal/simnet"
+)
+
+// Transport carries messages to ranks hosted outside this process. The
+// in-process fast path never touches it: a World built with NewWorld hosts
+// every rank locally and keeps its transport nil, so the matching engine's
+// hot paths pay exactly one pointer check for the feature. A World built
+// with NewWorldPart hosts a contiguous rank range and routes every send
+// whose destination lies outside that range through the Transport.
+//
+// Ownership contract: Send and SendAck borrow their arguments for the
+// duration of the call — the payload lease stays owned by the caller
+// (the plain path releases it right after Send returns; the reliable
+// path's outbox keeps it until the ack arrives). A transport therefore
+// serialises the lease synchronously (straight into its socket writes)
+// and must not retain a reference past return.
+//
+// Inbound traffic enters the world through RemoteDeliver /
+// RemoteDeliverSeq / RemoteAck, with payload leases drawn from this
+// world's arena; the matching engine releases them after copy-out,
+// exactly as for local traffic.
+type Transport interface {
+	// Send writes one delivery attempt of a message from local rank src to
+	// remote rank dst. seq is the reliable-path sequence number of the
+	// (src, dst) pair and reliable selects the receiving side's path:
+	// false delivers straight to the matching engine (the transport's own
+	// ordering guarantee stands in for sequence numbers), true routes
+	// through the dedup/reorder layer of reliable.go. The lease is
+	// borrowed: the caller releases it.
+	Send(src, dst, tag, seq int, reliable bool, pay *membuf.Lease) error
+	// SendAck routes a reliable-path acknowledgement of sequence number
+	// seq on the (src, dst) pair back to the process hosting src.
+	SendAck(src, dst, seq int) error
+	// Close tears the transport down. In-flight reads may fail afterwards;
+	// Close is only called once every local rank has returned.
+	Close() error
+}
+
+// NewWorldPart creates this process's slice of a multi-process job: the
+// topology is global, ranks [lo, hi) are hosted here, and every message
+// to a rank outside the range travels through tr. Run executes only the
+// local ranks; Comm panics for remote ones. The peer processes must be
+// built over the same topology with disjoint ranges covering [0, Ranks).
+func NewWorldPart(topo *cluster.Topology, net simnet.Model, lo, hi int, tr Transport) (*World, error) {
+	n := topo.Ranks()
+	if lo < 0 || hi > n || lo >= hi {
+		return nil, fmt.Errorf("mpi: local rank range [%d,%d) invalid for %d ranks", lo, hi, n)
+	}
+	if (lo > 0 || hi < n) && tr == nil {
+		return nil, fmt.Errorf("mpi: partial world [%d,%d) of %d ranks needs a transport", lo, hi, n)
+	}
+	w := &World{topo: topo, net: net, arena: membuf.New(), lo: lo, hi: hi, transport: tr}
+	w.comms = make([]*Comm, n)
+	for r := lo; r < hi; r++ {
+		w.comms[r] = &Comm{world: w, rank: r, box: newMailbox()}
+	}
+	return w, nil
+}
+
+// LocalRange returns the rank range [lo, hi) hosted by this process.
+// A single-process world spans all ranks.
+func (w *World) LocalRange() (lo, hi int) { return w.lo, w.hi }
+
+// IsLocal reports whether the given rank is hosted in this process.
+func (w *World) IsLocal(rank int) bool { return rank >= w.lo && rank < w.hi }
+
+// Transport returns the attached wire transport, or nil for an
+// in-process world.
+func (w *World) Transport() Transport { return w.transport }
+
+// RemoteDeliver is the transport's inbound entry point for a plain
+// (non-reliable) message: it hands the payload to local rank dst's
+// matching engine. Ownership of pay transfers to the engine, which
+// releases it into this world's arena after copy-out. Calls for one
+// (src, dst) pair must be made in wire order — the transport's stream
+// order is what carries MPI's non-overtaking guarantee across the wire.
+func (w *World) RemoteDeliver(src, dst, tag int, pay *membuf.Lease) {
+	c := w.localComm(dst)
+	if w.mon != nil {
+		w.mon.MessageSent(src, dst, tag) // the send-side hook fires where the message materialises
+	}
+	c.box.deliver(newMessage(src, tag, pay))
+}
+
+// RemoteDeliverSeq is RemoteDeliver for the reliable (chaos) path: the
+// message enters the dedup/reorder layer under its sequence number and
+// the ack travels back through the transport.
+func (w *World) RemoteDeliverSeq(src, dst, tag, seq int, pay *membuf.Lease) {
+	c := w.localComm(dst)
+	if c.rel == nil {
+		panic("mpi: sequenced wire delivery on a world without chaos enabled")
+	}
+	c.arrive(src, seq, tag, pay)
+}
+
+// RemoteAck is the transport's inbound entry point for a reliable-path
+// acknowledgement: local rank src's outbox drops (src, dst, seq).
+func (w *World) RemoteAck(src, dst, seq int) {
+	if !w.IsLocal(src) {
+		panic(fmt.Sprintf("mpi: wire ack for rank %d, which is not hosted here", src))
+	}
+	w.ackLocal(src, dst, seq)
+}
+
+// localComm returns the comm of a rank that must be hosted here.
+func (w *World) localComm(rank int) *Comm {
+	if rank < 0 || rank >= len(w.comms) || w.comms[rank] == nil {
+		panic(fmt.Sprintf("mpi: wire delivery for rank %d, which is not hosted here", rank))
+	}
+	return w.comms[rank]
+}

@@ -1,0 +1,23 @@
+package wire_test
+
+import (
+	"testing"
+
+	"miniamr/internal/mpi/mpitest"
+)
+
+// TestConformanceTCP2 runs the shared transport-conformance suite over a
+// two-process loopback TCP mesh: with two processes every 2-rank
+// point-to-point test crosses the wire on each message.
+func TestConformanceTCP2(t *testing.T) {
+	mpitest.RunConformance(t, mpitest.TCPFabric(2))
+}
+
+// TestConformanceTCP3 splits the same suite three ways, so collective
+// trees and multi-sender tests mix local and remote edges.
+func TestConformanceTCP3(t *testing.T) {
+	if testing.Short() {
+		t.Skip("3-process mesh skipped in short mode")
+	}
+	mpitest.RunConformance(t, mpitest.TCPFabric(3))
+}

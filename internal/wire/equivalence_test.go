@@ -1,0 +1,163 @@
+package wire_test
+
+import (
+	"fmt"
+	mrand "math/rand/v2"
+	"testing"
+	"time"
+
+	"miniamr/internal/mpi"
+	"miniamr/internal/mpi/mpitest"
+	"miniamr/internal/simnet"
+)
+
+// recvEvent is one entry of the matching-engine trace: what one receive
+// call of the schedule matched.
+type recvEvent struct {
+	Src, Tag, ID int
+}
+
+// runSchedule drives the seeded send/recv schedule over one fabric and
+// returns the receiver's trace. The schedule is built so its outcome is
+// a pure function of MPI's matching semantics: senders emit
+// deterministic per-sender sequences, and every receive names its source
+// (with a concrete or wildcard tag), so per-pair FIFO fully determines
+// which message each receive matches — any divergence between fabrics is
+// a transport bug, not scheduling noise.
+func runSchedule(t *testing.T, f mpitest.Fabric, seed uint64, chaos bool) []recvEvent {
+	t.Helper()
+	const (
+		senders  = 3
+		receiver = 3
+		perSrc   = 80
+		tags     = 4
+	)
+	opt := mpitest.Options{}
+	if chaos {
+		lf := simnet.LinkFaults{Drop: 0.1, Duplicate: 0.1, Spike: 0.1, SpikeMax: 100 * time.Microsecond}
+		opt.Faults = &simnet.Faults{Seed: seed, Intra: lf, Inter: lf}
+		opt.Resilience = mpi.Resilience{RetryTimeout: 500 * time.Microsecond, MaxRetries: 20, Backoff: 1.5}
+	}
+	cl := f.New(t, senders+1, opt)
+	defer func() {
+		if err := cl.Close(); err != nil {
+			t.Errorf("close: %v", err)
+		}
+	}()
+
+	// Deterministic per-sender tag sequences.
+	tagSeq := make([][]int, senders)
+	for s := 0; s < senders; s++ {
+		r := mrand.New(mrand.NewPCG(seed, uint64(s)))
+		tagSeq[s] = make([]int, perSrc)
+		for i := range tagSeq[s] {
+			tagSeq[s][i] = r.IntN(tags)
+		}
+	}
+	// The receiver's plan: for each step pick a source with messages
+	// left and receive with AnyTag or the tag its next pending message
+	// carries (so a concrete-tag receive can always match).
+	type planOp struct{ src, tag int }
+	pending := make([][]int, senders) // per-src tags not yet consumed, in send order
+	for s := range pending {
+		pending[s] = append([]int(nil), tagSeq[s]...)
+	}
+	rr := mrand.New(mrand.NewPCG(seed, 1234))
+	var plan []planOp
+	for left := senders * perSrc; left > 0; left-- {
+		src := rr.IntN(senders)
+		for len(pending[src]) == 0 {
+			src = (src + 1) % senders
+		}
+		op := planOp{src: src, tag: mpi.AnyTag}
+		if rr.IntN(2) == 0 {
+			op.tag = pending[src][0]
+		}
+		// Consume what per-pair FIFO says this receive will match: the
+		// earliest pending message from src with a matching tag.
+		for i, tg := range pending[src] {
+			if op.tag == mpi.AnyTag || op.tag == tg {
+				pending[src] = append(pending[src][:i], pending[src][i+1:]...)
+				break
+			}
+		}
+		plan = append(plan, op)
+	}
+
+	trace := make([]recvEvent, 0, len(plan))
+	err := cl.Run(func(c *mpi.Comm) {
+		if c.Rank() < senders {
+			r := mrand.New(mrand.NewPCG(seed, uint64(100+c.Rank())))
+			var reqs []*mpi.Request
+			for i, tag := range tagSeq[c.Rank()] {
+				if r.IntN(2) == 0 {
+					if err := c.Send([]int{c.Rank(), i}, receiver, tag); err != nil {
+						t.Errorf("send: %v", err)
+					}
+				} else {
+					req, err := c.Isend([]int{c.Rank(), i}, receiver, tag)
+					if err != nil {
+						t.Errorf("isend: %v", err)
+						continue
+					}
+					reqs = append(reqs, req)
+				}
+			}
+			if err := mpi.Waitall(reqs); err != nil {
+				t.Errorf("waitall: %v", err)
+			}
+			return
+		}
+		buf := make([]int, 2)
+		for i, op := range plan {
+			st, err := c.Recv(buf, op.src, op.tag)
+			if err != nil {
+				t.Errorf("recv %d: %v", i, err)
+				return
+			}
+			trace = append(trace, recvEvent{Src: st.Source, Tag: st.Tag, ID: buf[1]})
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return trace
+}
+
+// TestTransportEquivalence is the satellite property test: identical
+// seeded send/recv schedules pushed through the in-process channel path
+// and through real TCP meshes must produce identical delivery orders at
+// the matching engine — with and without injected faults.
+func TestTransportEquivalence(t *testing.T) {
+	fabrics := []mpitest.Fabric{mpitest.TCPFabric(2), mpitest.TCPFabric(4)}
+	seeds := []uint64{1, 2, 3, 4}
+	if testing.Short() {
+		fabrics = fabrics[:1]
+		seeds = seeds[:2]
+	}
+	for _, chaos := range []bool{false, true} {
+		name := "plain"
+		if chaos {
+			name = "chaos"
+		}
+		t.Run(name, func(t *testing.T) {
+			for _, seed := range seeds {
+				t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+					want := runSchedule(t, mpitest.ChannelFabric(), seed, chaos)
+					for _, f := range fabrics {
+						got := runSchedule(t, f, seed, chaos)
+						if len(got) != len(want) {
+							t.Fatalf("%s: trace length %d, channel reference %d", f.Name, len(got), len(want))
+						}
+						for i := range want {
+							if got[i] != want[i] {
+								t.Fatalf("%s: trace diverges at receive %d: got %+v, channel reference %+v",
+									f.Name, i, got[i], want[i])
+							}
+						}
+					}
+				})
+			}
+		})
+	}
+}

@@ -1,0 +1,435 @@
+// Package wire is the TCP transport behind internal/mpi: it lets one MPI
+// job span N OS processes (or machines), each hosting a contiguous rank
+// range, connected by a full mesh of length-prefixed TCP streams.
+//
+// The package has three layers:
+//
+//   - A frame codec (this file): every unit on a stream is one
+//     fixed-header, length-prefixed frame. Data frames carry a message
+//     payload that serialises straight out of (and into) membuf leases —
+//     no intermediate copy in user space. Control frames carry the
+//     bootstrap handshake and the reliable path's acknowledgements.
+//   - A rendezvous step (node.go): process 0 listens, peers dial it and
+//     exchange a process→address map, then the full mesh is built with a
+//     deterministic dial direction (higher id dials lower).
+//   - An mpi.Transport implementation (node.go): sends pick the stream by
+//     the destination rank's owning process; per-stream FIFO order is what
+//     carries MPI's non-overtaking guarantee across the wire.
+//
+// Wire format (all multi-byte fields little-endian):
+//
+//	offset  size  field
+//	0       4     magic "AMRW"
+//	4       1     version (currently 1)
+//	5       1     frame type
+//	6       1     payload kind ([]float64, []int, []byte, or none)
+//	7       1     reserved (must be 0)
+//	8       4     src rank (int32)
+//	12      4     dst rank (int32)
+//	16      4     tag (int32)
+//	20      4     sequence number (int32; 0 outside the reliable path)
+//	24      4     payload length in bytes (uint32)
+//
+// followed by exactly the announced payload bytes. Float64 and int
+// payloads are element-wise little-endian 8-byte values, which on
+// little-endian hosts is the in-memory representation — the codec then
+// reads and writes the lease's backing array directly.
+package wire
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"unsafe"
+
+	"miniamr/internal/membuf"
+)
+
+// Version is the wire-format version this package speaks. A peer
+// announcing any other version is rejected at frame parse time.
+const Version = 1
+
+// HeaderSize is the fixed size of every frame header.
+const HeaderSize = 28
+
+var magic = [4]byte{'A', 'M', 'R', 'W'}
+
+// MaxDataBytes caps a data frame's payload. A header announcing more is
+// rejected before any buffer is sized from it, so a corrupt or hostile
+// length field can never drive an unbounded allocation. 16 MiB is two
+// orders of magnitude above the largest message either application
+// sends; raise it alongside a wire version bump if that ever changes.
+const MaxDataBytes = 1 << 24 // 16 MiB
+
+// MaxControlBytes caps a control frame's payload (bootstrap JSON).
+const MaxControlBytes = 1 << 16
+
+// FrameType discriminates the units on a stream.
+type FrameType uint8
+
+// The frame types. Data frames carry message payloads; the rest are
+// control traffic.
+const (
+	// FrameData is a plain message: stream order is delivery order.
+	FrameData FrameType = 1
+	// FrameDataSeq is one delivery attempt of the reliable (chaos) path;
+	// Seq is meaningful and the receiver routes through dedup/reorder.
+	FrameDataSeq FrameType = 2
+	// FrameAck acknowledges Seq of the (Src, Dst) pair to Src's outbox.
+	FrameAck FrameType = 3
+	// FrameHello introduces a peer to the coordinator (JSON payload:
+	// helloInfo).
+	FrameHello FrameType = 4
+	// FrameWelcome is the coordinator's reply: the full process→address
+	// map (JSON payload: welcomeInfo).
+	FrameWelcome FrameType = 5
+	// FramePeer introduces the dialling process on a mesh connection
+	// (Src carries the process id; no payload).
+	FramePeer FrameType = 6
+	// FrameBye announces a graceful shutdown of the sending process.
+	FrameBye FrameType = 7
+)
+
+func (t FrameType) String() string {
+	switch t {
+	case FrameData:
+		return "data"
+	case FrameDataSeq:
+		return "data+seq"
+	case FrameAck:
+		return "ack"
+	case FrameHello:
+		return "hello"
+	case FrameWelcome:
+		return "welcome"
+	case FramePeer:
+		return "peer"
+	case FrameBye:
+		return "bye"
+	}
+	return fmt.Sprintf("frametype(%d)", uint8(t))
+}
+
+// PayloadKind mirrors membuf.Kind on the wire, plus "none" for control
+// frames.
+type PayloadKind uint8
+
+// The payload kinds.
+const (
+	KindFloat64 PayloadKind = 0
+	KindInt     PayloadKind = 1
+	KindByte    PayloadKind = 2
+	KindNone    PayloadKind = 0xFF
+)
+
+func (k PayloadKind) elemSize() int {
+	switch k {
+	case KindFloat64, KindInt:
+		return 8
+	case KindByte:
+		return 1
+	}
+	return 0
+}
+
+func (k PayloadKind) valid() bool {
+	return k == KindFloat64 || k == KindInt || k == KindByte || k == KindNone
+}
+
+// Header is a decoded frame header.
+type Header struct {
+	Type   FrameType
+	Kind   PayloadKind
+	Src    int // source rank (data, ack) or process id (peer)
+	Dst    int // destination rank
+	Tag    int
+	Seq    int
+	NBytes int // payload length in bytes
+}
+
+// Count returns the payload's element count.
+func (h Header) Count() int {
+	if es := h.Kind.elemSize(); es > 0 {
+		return h.NBytes / es
+	}
+	return 0
+}
+
+// Frame-structure errors. All decode failures wrap one of these (or an
+// underlying I/O error), and none of them is ever a panic: a garbage
+// stream must fail loudly, not take the process down.
+var (
+	ErrBadMagic    = errors.New("wire: bad frame magic")
+	ErrBadVersion  = errors.New("wire: unsupported wire version")
+	ErrBadType     = errors.New("wire: unknown frame type")
+	ErrBadKind     = errors.New("wire: unknown payload kind")
+	ErrBadLength   = errors.New("wire: invalid payload length")
+	ErrFrameTooBig = errors.New("wire: frame exceeds size cap")
+)
+
+// PutHeader encodes h into buf, which must hold HeaderSize bytes.
+func PutHeader(buf []byte, h Header) {
+	_ = buf[HeaderSize-1]
+	copy(buf[0:4], magic[:])
+	buf[4] = Version
+	buf[5] = byte(h.Type)
+	buf[6] = byte(h.Kind)
+	buf[7] = 0
+	binary.LittleEndian.PutUint32(buf[8:12], uint32(int32(h.Src)))
+	binary.LittleEndian.PutUint32(buf[12:16], uint32(int32(h.Dst)))
+	binary.LittleEndian.PutUint32(buf[16:20], uint32(int32(h.Tag)))
+	binary.LittleEndian.PutUint32(buf[20:24], uint32(int32(h.Seq)))
+	binary.LittleEndian.PutUint32(buf[24:28], uint32(h.NBytes))
+}
+
+// ParseHeader decodes and structurally validates a frame header: magic,
+// version, type, kind, and a payload length that is non-negative, under
+// the applicable cap, a multiple of the element size, and consistent with
+// the frame type (control frames other than hello/welcome carry none).
+func ParseHeader(buf []byte) (Header, error) {
+	if len(buf) < HeaderSize {
+		return Header{}, fmt.Errorf("%w: %d header bytes", ErrBadLength, len(buf))
+	}
+	if [4]byte(buf[0:4]) != magic {
+		return Header{}, ErrBadMagic
+	}
+	if buf[4] != Version {
+		return Header{}, fmt.Errorf("%w: got %d, speak %d", ErrBadVersion, buf[4], Version)
+	}
+	h := Header{
+		Type:   FrameType(buf[5]),
+		Kind:   PayloadKind(buf[6]),
+		Src:    int(int32(binary.LittleEndian.Uint32(buf[8:12]))),
+		Dst:    int(int32(binary.LittleEndian.Uint32(buf[12:16]))),
+		Tag:    int(int32(binary.LittleEndian.Uint32(buf[16:20]))),
+		Seq:    int(int32(binary.LittleEndian.Uint32(buf[20:24]))),
+		NBytes: 0,
+	}
+	nbytes := binary.LittleEndian.Uint32(buf[24:28])
+	if buf[7] != 0 {
+		return Header{}, fmt.Errorf("%w: reserved byte %d", ErrBadType, buf[7])
+	}
+	if !h.Kind.valid() {
+		return Header{}, fmt.Errorf("%w: %d", ErrBadKind, buf[6])
+	}
+	switch h.Type {
+	case FrameData, FrameDataSeq:
+		if h.Kind == KindNone {
+			return Header{}, fmt.Errorf("%w: data frame without payload kind", ErrBadKind)
+		}
+		if nbytes > MaxDataBytes {
+			return Header{}, fmt.Errorf("%w: %d data bytes (cap %d)", ErrFrameTooBig, nbytes, MaxDataBytes)
+		}
+		if es := h.Kind.elemSize(); int(nbytes)%es != 0 {
+			return Header{}, fmt.Errorf("%w: %d bytes is not a multiple of element size %d", ErrBadLength, nbytes, es)
+		}
+		if h.Src < 0 || h.Dst < 0 {
+			return Header{}, fmt.Errorf("%w: negative rank %d->%d", ErrBadLength, h.Src, h.Dst)
+		}
+	case FrameHello, FrameWelcome:
+		if nbytes > MaxControlBytes {
+			return Header{}, fmt.Errorf("%w: %d control bytes (cap %d)", ErrFrameTooBig, nbytes, MaxControlBytes)
+		}
+	case FrameAck, FramePeer, FrameBye:
+		if nbytes != 0 {
+			return Header{}, fmt.Errorf("%w: %v frame with %d payload bytes", ErrBadLength, h.Type, nbytes)
+		}
+		if h.Kind != KindNone {
+			return Header{}, fmt.Errorf("%w: %v frame with payload kind", ErrBadKind, h.Type)
+		}
+	default:
+		return Header{}, fmt.Errorf("%w: %d", ErrBadType, buf[5])
+	}
+	h.NBytes = int(nbytes)
+	return h, nil
+}
+
+// hostLittleEndian reports whether the in-memory representation of the
+// lease element types already matches the (little-endian) wire format, in
+// which case the codec reads and writes lease backing arrays directly.
+var hostLittleEndian = func() bool {
+	var x uint16 = 1
+	return *(*byte)(unsafe.Pointer(&x)) == 1
+}()
+
+// KindOf maps a lease's element type to its wire kind.
+func KindOf(pay *membuf.Lease) PayloadKind {
+	switch pay.Kind() {
+	case membuf.KindFloat64:
+		return KindFloat64
+	case membuf.KindInt:
+		return KindInt
+	case membuf.KindByte:
+		return KindByte
+	}
+	panic(fmt.Sprintf("wire: lease of unsupported kind %v", pay.Kind()))
+}
+
+// leaseView returns the lease's payload as the exact byte sequence the
+// wire carries. On little-endian hosts this is the backing array itself
+// (zero-copy); nil means the caller must fall back to elementwise
+// encoding.
+func leaseView(pay *membuf.Lease) []byte {
+	switch pay.Kind() {
+	case membuf.KindByte:
+		return pay.Byte()
+	case membuf.KindFloat64:
+		if !hostLittleEndian {
+			return nil
+		}
+		f := pay.Float64()
+		if len(f) == 0 {
+			return []byte{}
+		}
+		return unsafe.Slice((*byte)(unsafe.Pointer(&f[0])), len(f)*8)
+	case membuf.KindInt:
+		if !hostLittleEndian {
+			return nil
+		}
+		i := pay.Int()
+		if len(i) == 0 {
+			return []byte{}
+		}
+		return unsafe.Slice((*byte)(unsafe.Pointer(&i[0])), len(i)*8)
+	}
+	return nil
+}
+
+// encodePayload appends the lease's elementwise little-endian encoding to
+// dst — the big-endian-host fallback of leaseView's zero-copy path.
+func encodePayload(dst []byte, pay *membuf.Lease) []byte {
+	switch pay.Kind() {
+	case membuf.KindFloat64:
+		for _, v := range pay.Float64() {
+			dst = binary.LittleEndian.AppendUint64(dst, math.Float64bits(v))
+		}
+	case membuf.KindInt:
+		for _, v := range pay.Int() {
+			dst = binary.LittleEndian.AppendUint64(dst, uint64(v))
+		}
+	case membuf.KindByte:
+		dst = append(dst, pay.Byte()...)
+	}
+	return dst
+}
+
+// decodePayload fills the lease from its elementwise wire encoding — the
+// read-side big-endian fallback.
+func decodePayload(pay *membuf.Lease, src []byte) {
+	switch pay.Kind() {
+	case membuf.KindFloat64:
+		f := pay.Float64()
+		for i := range f {
+			f[i] = math.Float64frombits(binary.LittleEndian.Uint64(src[8*i:]))
+		}
+	case membuf.KindInt:
+		v := pay.Int()
+		for i := range v {
+			v[i] = int(int64(binary.LittleEndian.Uint64(src[8*i:])))
+		}
+	case membuf.KindByte:
+		copy(pay.Byte(), src)
+	}
+}
+
+// leaseFor leases a receive buffer of the header's kind and element count
+// from the arena.
+func leaseFor(arena *membuf.Arena, h Header) *membuf.Lease {
+	switch h.Kind {
+	case KindFloat64:
+		return arena.LeaseFloat64(h.Count())
+	case KindInt:
+		return arena.LeaseInt(h.Count())
+	default:
+		return arena.LeaseByte(h.Count())
+	}
+}
+
+// WriteFrame writes one frame — header, then payload — to w. Exactly one
+// of pay (data frames) and raw (hello/welcome) may be non-nil; both nil
+// writes a bare control frame. The lease is borrowed: it serialises
+// straight into w and remains owned by the caller. The caller must
+// serialise WriteFrame calls per stream (Node does, under the peer's
+// write lock).
+func WriteFrame(w io.Writer, h Header, pay *membuf.Lease, raw []byte, scratch *[]byte) error {
+	var hdr [HeaderSize]byte
+	switch {
+	case pay != nil:
+		h.Kind = KindOf(pay)
+		view := leaseView(pay)
+		if view == nil {
+			*scratch = encodePayload((*scratch)[:0], pay)
+			view = *scratch
+		}
+		h.NBytes = len(view)
+		PutHeader(hdr[:], h)
+		if _, err := w.Write(hdr[:]); err != nil {
+			return err
+		}
+		_, err := w.Write(view)
+		return err
+	case raw != nil:
+		h.NBytes = len(raw)
+		PutHeader(hdr[:], h)
+		if _, err := w.Write(hdr[:]); err != nil {
+			return err
+		}
+		_, err := w.Write(raw)
+		return err
+	default:
+		h.Kind = KindNone
+		h.NBytes = 0
+		PutHeader(hdr[:], h)
+		_, err := w.Write(hdr[:])
+		return err
+	}
+}
+
+// ReadFrame reads and validates one frame from r. Data frames return
+// their payload as a lease from arena (ownership passes to the caller);
+// hello/welcome frames return their raw payload bytes; bare control
+// frames return neither. A structurally invalid header or a short stream
+// returns an error with nothing allocated beyond the control-frame cap —
+// never a panic.
+func ReadFrame(r io.Reader, arena *membuf.Arena) (Header, *membuf.Lease, []byte, error) {
+	var hdr [HeaderSize]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return Header{}, nil, nil, err
+	}
+	h, err := ParseHeader(hdr[:])
+	if err != nil {
+		return Header{}, nil, nil, err
+	}
+	switch h.Type {
+	case FrameData, FrameDataSeq:
+		if arena == nil {
+			return Header{}, nil, nil, fmt.Errorf("%w: data frame before bootstrap completed", ErrBadType)
+		}
+		pay := leaseFor(arena, h)
+		view := leaseView(pay)
+		if view != nil {
+			if _, err := io.ReadFull(r, view); err != nil {
+				pay.Release()
+				return Header{}, nil, nil, fmt.Errorf("wire: truncated payload: %w", err)
+			}
+			return h, pay, nil, nil
+		}
+		tmp := make([]byte, h.NBytes)
+		if _, err := io.ReadFull(r, tmp); err != nil {
+			pay.Release()
+			return Header{}, nil, nil, fmt.Errorf("wire: truncated payload: %w", err)
+		}
+		decodePayload(pay, tmp)
+		return h, pay, nil, nil
+	case FrameHello, FrameWelcome:
+		raw := make([]byte, h.NBytes)
+		if _, err := io.ReadFull(r, raw); err != nil {
+			return Header{}, nil, nil, fmt.Errorf("wire: truncated control payload: %w", err)
+		}
+		return h, nil, raw, nil
+	default:
+		return h, nil, nil, nil
+	}
+}

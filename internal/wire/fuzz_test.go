@@ -1,0 +1,205 @@
+package wire_test
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"io"
+	"math"
+	"testing"
+
+	"miniamr/internal/membuf"
+	"miniamr/internal/wire"
+)
+
+// fuzzArena is shared across fuzz iterations so the pooled size classes
+// are reused instead of re-allocated: total fuzz memory stays bounded by
+// the frame size cap, whatever lengths the mutator invents.
+var fuzzArena = membuf.New()
+
+// mkFrame assembles a raw frame for the seed corpus.
+func mkFrame(typ wire.FrameType, kind wire.PayloadKind, src, dst, tag, seq int, payload []byte) []byte {
+	var hdr [wire.HeaderSize]byte
+	wire.PutHeader(hdr[:], wire.Header{
+		Type: typ, Kind: kind, Src: src, Dst: dst, Tag: tag, Seq: seq, NBytes: len(payload),
+	})
+	return append(hdr[:], payload...)
+}
+
+// FuzzReadFrame drives arbitrary byte streams through the frame decoder.
+// The invariant under test: whatever the bytes, ReadFrame either returns
+// a structurally valid frame whose payload length matches its header, or
+// an error — never a panic, and never an allocation beyond the frame
+// size caps (a lease is only sized from a header that passed
+// validation).
+func FuzzReadFrame(f *testing.F) {
+	f64 := binary.LittleEndian.AppendUint64(nil, 0x3ff8000000000000) // 1.5
+	f.Add(mkFrame(wire.FrameData, wire.KindFloat64, 0, 1, 7, 0, f64))
+	f.Add(mkFrame(wire.FrameDataSeq, wire.KindInt, 2, 3, 1, 9, make([]byte, 16)))
+	f.Add(mkFrame(wire.FrameData, wire.KindByte, 1, 0, 0, 0, []byte("amr")))
+	f.Add(mkFrame(wire.FrameAck, wire.KindNone, 0, 1, 0, 4, nil))
+	f.Add(mkFrame(wire.FrameBye, wire.KindNone, 0, 0, 0, 0, nil))
+	f.Add(mkFrame(wire.FrameHello, wire.KindNone, 0, 0, 0, 0, []byte(`{"proc":1,"addr":"127.0.0.1:1"}`)))
+	f.Add(mkFrame(wire.FramePeer, wire.KindNone, 2, 0, 0, 0, nil))
+	// Truncated header, truncated payload, bad magic, bad version,
+	// oversized length, misaligned length, unknown type/kind.
+	f.Add(mkFrame(wire.FrameData, wire.KindFloat64, 0, 1, 0, 0, f64)[:wire.HeaderSize-3])
+	f.Add(mkFrame(wire.FrameData, wire.KindFloat64, 0, 1, 0, 0, f64)[:wire.HeaderSize+2])
+	f.Add(append([]byte("XXXX"), mkFrame(wire.FrameData, wire.KindByte, 0, 1, 0, 0, nil)[4:]...))
+	f.Add(func() []byte {
+		b := mkFrame(wire.FrameData, wire.KindByte, 0, 1, 0, 0, nil)
+		b[4] = 99 // version
+		return b
+	}())
+	f.Add(func() []byte {
+		b := mkFrame(wire.FrameData, wire.KindByte, 0, 1, 0, 0, nil)
+		binary.LittleEndian.PutUint32(b[24:28], 1<<31) // oversized
+		return b
+	}())
+	f.Add(func() []byte {
+		b := mkFrame(wire.FrameData, wire.KindFloat64, 0, 1, 0, 0, nil)
+		binary.LittleEndian.PutUint32(b[24:28], 7) // not a multiple of 8
+		return b
+	}())
+	f.Add(mkFrame(wire.FrameType(42), wire.KindNone, 0, 0, 0, 0, nil))
+	f.Add(mkFrame(wire.FrameData, wire.PayloadKind(9), 0, 1, 0, 0, nil))
+	f.Add([]byte{})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r := bytes.NewReader(data)
+		for {
+			h, pay, raw, err := wire.ReadFrame(r, fuzzArena)
+			if err != nil {
+				// An error must leave no lease in the caller's hands, and a
+				// stream that lies about its length must land here.
+				break
+			}
+			switch h.Type {
+			case wire.FrameData, wire.FrameDataSeq:
+				if pay == nil {
+					t.Fatalf("data frame decoded without payload lease: %+v", h)
+				}
+				if pay.Len() != h.Count() {
+					t.Fatalf("lease length %d, header says %d elements", pay.Len(), h.Count())
+				}
+				if h.NBytes > wire.MaxDataBytes {
+					t.Fatalf("decoded data frame above size cap: %d", h.NBytes)
+				}
+				pay.Release()
+			case wire.FrameHello, wire.FrameWelcome:
+				if len(raw) != h.NBytes {
+					t.Fatalf("control payload %d bytes, header says %d", len(raw), h.NBytes)
+				}
+				if h.NBytes > wire.MaxControlBytes {
+					t.Fatalf("decoded control frame above size cap: %d", h.NBytes)
+				}
+			default:
+				if pay != nil || raw != nil {
+					t.Fatalf("%v frame decoded with payload", h.Type)
+				}
+			}
+		}
+	})
+}
+
+// FuzzFrameRoundTrip encodes a frame from fuzzed fields and requires the
+// decoder to return it bit-identically: header fields, payload kind and
+// payload bytes all survive the trip through the codec.
+func FuzzFrameRoundTrip(f *testing.F) {
+	f.Add(uint8(0), int32(0), int32(1), int32(7), int32(0), []byte{1, 2, 3, 4, 5, 6, 7, 8})
+	f.Add(uint8(1), int32(3), int32(2), int32(0), int32(41), make([]byte, 24))
+	f.Add(uint8(2), int32(1), int32(0), int32(1<<20), int32(0), []byte("payload"))
+	f.Add(uint8(5), int32(0), int32(0), int32(0), int32(0), []byte{})
+
+	f.Fuzz(func(t *testing.T, sel uint8, src, dst, tag, seq int32, payload []byte) {
+		if src < 0 || dst < 0 {
+			return // negative ranks are rejected by design; no frame to round-trip
+		}
+		var pay *membuf.Lease
+		switch sel % 3 {
+		case 0:
+			pay = fuzzArena.LeaseFloat64(len(payload) / 8)
+			tmp := pay.Float64()
+			for i := range tmp {
+				tmp[i] = float64frombytes(payload[8*i:])
+			}
+		case 1:
+			pay = fuzzArena.LeaseInt(len(payload) / 8)
+			tmp := pay.Int()
+			for i := range tmp {
+				tmp[i] = int(int64(binary.LittleEndian.Uint64(payload[8*i:])))
+			}
+		default:
+			pay = fuzzArena.LeaseByte(len(payload))
+			copy(pay.Byte(), payload)
+		}
+		defer pay.Release()
+		typ := wire.FrameData
+		if sel&0x80 != 0 {
+			typ = wire.FrameDataSeq
+		}
+		h := wire.Header{Type: typ, Src: int(src), Dst: int(dst), Tag: int(tag), Seq: int(seq)}
+		var buf bytes.Buffer
+		var scratch []byte
+		if err := wire.WriteFrame(&buf, h, pay, nil, &scratch); err != nil {
+			t.Fatalf("write: %v", err)
+		}
+		got, gotPay, _, err := wire.ReadFrame(&buf, fuzzArena)
+		if err != nil {
+			t.Fatalf("decode of freshly encoded frame: %v", err)
+		}
+		defer gotPay.Release()
+		if got.Type != typ || got.Src != int(src) || got.Dst != int(dst) || got.Tag != int(tag) || got.Seq != int(seq) {
+			t.Fatalf("header mangled: sent %+v, got %+v", h, got)
+		}
+		if gotPay.Kind() != pay.Kind() || gotPay.Len() != pay.Len() {
+			t.Fatalf("payload shape mangled: %v/%d -> %v/%d", pay.Kind(), pay.Len(), gotPay.Kind(), gotPay.Len())
+		}
+		switch pay.Kind() {
+		case membuf.KindFloat64:
+			a, b := pay.Float64(), gotPay.Float64()
+			for i := range a {
+				if math.Float64bits(a[i]) != math.Float64bits(b[i]) {
+					t.Fatalf("float64[%d]: %x != %x", i, math.Float64bits(a[i]), math.Float64bits(b[i]))
+				}
+			}
+		case membuf.KindInt:
+			a, b := pay.Int(), gotPay.Int()
+			for i := range a {
+				if a[i] != b[i] {
+					t.Fatalf("int[%d]: %d != %d", i, a[i], b[i])
+				}
+			}
+		default:
+			if !bytes.Equal(pay.Byte(), gotPay.Byte()) {
+				t.Fatal("byte payload mangled")
+			}
+		}
+		if buf.Len() != 0 {
+			t.Fatalf("%d trailing bytes after decode", buf.Len())
+		}
+	})
+}
+
+func float64frombytes(b []byte) float64 {
+	return math.Float64frombits(binary.LittleEndian.Uint64(b))
+}
+
+// TestReadFrameTruncatedStream pins the headline decoder property
+// outside the fuzzer: a frame whose stream ends early errors with an
+// unexpected-EOF, never a partial success.
+func TestReadFrameTruncatedStream(t *testing.T) {
+	full := mkFrame(wire.FrameData, wire.KindFloat64, 0, 1, 7, 0, make([]byte, 32))
+	for cut := 0; cut < len(full); cut++ {
+		_, pay, _, err := wire.ReadFrame(bytes.NewReader(full[:cut]), fuzzArena)
+		if err == nil {
+			t.Fatalf("cut=%d: truncated frame decoded successfully", cut)
+		}
+		if pay != nil {
+			t.Fatalf("cut=%d: error return leaked a lease", cut)
+		}
+		if cut > wire.HeaderSize && !errors.Is(err, io.ErrUnexpectedEOF) {
+			t.Fatalf("cut=%d: err = %v, want unexpected EOF", cut, err)
+		}
+	}
+}

@@ -1,0 +1,10 @@
+package wire
+
+import "miniamr/internal/mpi"
+
+// The node is the wire side of the mpi transport seam, and the world is
+// the wire's delivery target; the compiler holds both contracts.
+var (
+	_ mpi.Transport = (*Node)(nil)
+	_ Deliverer     = (*mpi.World)(nil)
+)

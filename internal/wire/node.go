@@ -1,0 +1,459 @@
+package wire
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"miniamr/internal/membuf"
+)
+
+// Deliverer receives inbound wire traffic. mpi.World satisfies it: data
+// frames land in the destination rank's matching engine, sequenced frames
+// route through the reliable path's dedup/reorder state, and acks settle
+// the local sender's outbox.
+type Deliverer interface {
+	// RemoteDeliver hands an inbound plain message to dst's matching
+	// engine. Ownership of pay transfers to the callee.
+	RemoteDeliver(src, dst, tag int, pay *membuf.Lease)
+	// RemoteDeliverSeq hands an inbound reliable-path attempt to dst's
+	// dedup/reorder state. Ownership of pay transfers to the callee.
+	RemoteDeliverSeq(src, dst, tag, seq int, pay *membuf.Lease)
+	// RemoteAck settles seq of the (src, dst) pair on src's outbox.
+	RemoteAck(src, dst, seq int)
+}
+
+// peer is one fully established mesh connection. The write side is
+// shared by every local rank goroutine and serialised by mu; the read
+// side is owned exclusively by the peer's read loop.
+type peer struct {
+	proc int
+	conn net.Conn
+
+	mu      sync.Mutex // serialises writes; leaf lock, nothing acquired under it
+	bw      *bufio.Writer
+	scratch []byte // big-endian-host encode fallback, reused under mu
+
+	br *bufio.Reader
+}
+
+// writeFrame writes one frame under the peer's write lock and flushes, so
+// a frame from one rank goroutine is never interleaved with another's.
+func (p *peer) writeFrame(h Header, pay *membuf.Lease, raw []byte) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if err := WriteFrame(p.bw, h, pay, raw, &p.scratch); err != nil {
+		return err
+	}
+	return p.bw.Flush()
+}
+
+// Node is one process's endpoint of the wire mesh: a listener, one
+// established connection per peer process, and the read loops that pump
+// inbound frames into the local World. It implements mpi.Transport.
+type Node struct {
+	id     int // this process's id
+	nprocs int
+	ranks  int // total ranks across all processes
+	ln     net.Listener
+	peers  []*peer // indexed by process id; nil at our own slot
+
+	arena   *membuf.Arena
+	deliver Deliverer
+
+	wg        sync.WaitGroup // read loops
+	closed    atomic.Bool
+	closeOnce sync.Once
+	closeErr  error        // set once, under closeOnce
+	readErr   atomic.Value // first read-loop error (error)
+	byesSeen  atomic.Int32
+}
+
+// helloInfo is the JSON payload of a hello frame.
+type helloInfo struct {
+	Proc   int    `json:"proc"`
+	Ranks  int    `json:"ranks"`
+	NProcs int    `json:"nprocs"`
+	Addr   string `json:"addr"`
+}
+
+// welcomeInfo is the JSON payload of a welcome frame.
+type welcomeInfo struct {
+	Addrs []string `json:"addrs"`
+}
+
+// Listen opens this process's listening socket. An empty addr listens on
+// an ephemeral loopback port — the hermetic default for tests; Addr
+// reports the bound address for the rendezvous.
+func Listen(addr string) (*Node, error) {
+	if addr == "" {
+		addr = "127.0.0.1:0"
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("wire: listen %s: %w", addr, err)
+	}
+	return &Node{ln: ln}, nil
+}
+
+// Addr returns the node's bound listen address.
+func (n *Node) Addr() string { return n.ln.Addr().String() }
+
+// Bootstrap performs the rendezvous and builds the full mesh. Process 0
+// is the coordinator: every other process dials coordAddr (ignored by
+// process 0 itself), announces itself with a hello frame, and receives
+// the full process→address map in the welcome reply; the hello connection
+// is kept as the 0↔i data connection. The remaining mesh edges are built
+// with a deterministic direction — higher id dials lower, announcing
+// itself with a peer frame — so exactly one connection exists per pair.
+// The whole step observes the timeout; established connections have their
+// deadlines cleared before Bootstrap returns.
+func (n *Node) Bootstrap(id, nprocs, ranks int, coordAddr string, timeout time.Duration) error {
+	if nprocs < 1 || id < 0 || id >= nprocs {
+		return fmt.Errorf("wire: bad process id %d of %d", id, nprocs)
+	}
+	if nprocs > ranks {
+		return fmt.Errorf("wire: %d processes for %d ranks; every process must host at least one rank", nprocs, ranks)
+	}
+	n.id, n.nprocs, n.ranks = id, nprocs, ranks
+	n.peers = make([]*peer, nprocs)
+	deadline := time.Now().Add(timeout)
+	if id == 0 {
+		if err := n.coordinate(deadline); err != nil {
+			return err
+		}
+	} else {
+		if err := n.join(coordAddr, deadline); err != nil {
+			return err
+		}
+	}
+	for _, p := range n.peers {
+		if p != nil {
+			if err := p.conn.SetDeadline(time.Time{}); err != nil {
+				return fmt.Errorf("wire: clear deadline to proc %d: %w", p.proc, err)
+			}
+		}
+	}
+	return nil
+}
+
+func newPeer(proc int, conn net.Conn) *peer {
+	return &peer{
+		proc: proc,
+		conn: conn,
+		bw:   bufio.NewWriter(conn),
+		br:   bufio.NewReader(conn),
+	}
+}
+
+// coordinate is process 0's side of the rendezvous: accept a hello from
+// every peer, then broadcast the completed address map.
+func (n *Node) coordinate(deadline time.Time) error {
+	addrs := make([]string, n.nprocs)
+	addrs[0] = n.Addr()
+	type deadliner interface{ SetDeadline(time.Time) error }
+	if d, ok := n.ln.(deadliner); ok {
+		if err := d.SetDeadline(deadline); err != nil {
+			return err
+		}
+	}
+	for got := 1; got < n.nprocs; got++ {
+		conn, err := n.ln.Accept()
+		if err != nil {
+			return fmt.Errorf("wire: coordinator accept (have %d/%d peers): %w", got-1, n.nprocs-1, err)
+		}
+		if err := conn.SetDeadline(deadline); err != nil {
+			conn.Close()
+			return err
+		}
+		p := newPeer(-1, conn)
+		h, _, raw, err := ReadFrame(p.br, nil)
+		if err != nil || h.Type != FrameHello {
+			conn.Close()
+			return fmt.Errorf("wire: coordinator: expected hello, got %v err %v", h.Type, err)
+		}
+		var hi helloInfo
+		if err := json.Unmarshal(raw, &hi); err != nil {
+			conn.Close()
+			return fmt.Errorf("wire: bad hello payload: %w", err)
+		}
+		if hi.Proc < 1 || hi.Proc >= n.nprocs || hi.NProcs != n.nprocs || hi.Ranks != n.ranks {
+			conn.Close()
+			return fmt.Errorf("wire: hello mismatch: %+v (want nprocs=%d ranks=%d)", hi, n.nprocs, n.ranks)
+		}
+		if n.peers[hi.Proc] != nil {
+			conn.Close()
+			return fmt.Errorf("wire: duplicate hello from proc %d", hi.Proc)
+		}
+		p.proc = hi.Proc
+		addrs[hi.Proc] = hi.Addr
+		n.peers[hi.Proc] = p
+	}
+	raw, err := json.Marshal(welcomeInfo{Addrs: addrs})
+	if err != nil {
+		return err
+	}
+	for _, p := range n.peers {
+		if p == nil {
+			continue
+		}
+		if err := p.writeFrame(Header{Type: FrameWelcome, Kind: KindNone}, nil, raw); err != nil {
+			return fmt.Errorf("wire: welcome to proc %d: %w", p.proc, err)
+		}
+	}
+	return nil
+}
+
+// join is a non-coordinator's side: dial the coordinator, hello/welcome,
+// then complete the mesh (dial lower ids, accept higher ones).
+func (n *Node) join(coordAddr string, deadline time.Time) error {
+	conn, err := net.DialTimeout("tcp", coordAddr, time.Until(deadline))
+	if err != nil {
+		return fmt.Errorf("wire: proc %d dial coordinator %s: %w", n.id, coordAddr, err)
+	}
+	if err := conn.SetDeadline(deadline); err != nil {
+		conn.Close()
+		return err
+	}
+	p0 := newPeer(0, conn)
+	raw, err := json.Marshal(helloInfo{Proc: n.id, Ranks: n.ranks, NProcs: n.nprocs, Addr: n.Addr()})
+	if err != nil {
+		return err
+	}
+	if err := p0.writeFrame(Header{Type: FrameHello, Kind: KindNone}, nil, raw); err != nil {
+		return fmt.Errorf("wire: proc %d hello: %w", n.id, err)
+	}
+	h, _, wraw, err := ReadFrame(p0.br, nil)
+	if err != nil || h.Type != FrameWelcome {
+		conn.Close()
+		return fmt.Errorf("wire: proc %d: expected welcome, got %v err %v", n.id, h.Type, err)
+	}
+	var wi welcomeInfo
+	if err := json.Unmarshal(wraw, &wi); err != nil || len(wi.Addrs) != n.nprocs {
+		conn.Close()
+		return fmt.Errorf("wire: bad welcome payload (%d addrs, want %d): %v", len(wi.Addrs), n.nprocs, err)
+	}
+	n.peers[0] = p0
+
+	// Dial every lower non-coordinator id, announcing ourselves.
+	for j := 1; j < n.id; j++ {
+		conn, err := net.DialTimeout("tcp", wi.Addrs[j], time.Until(deadline))
+		if err != nil {
+			return fmt.Errorf("wire: proc %d dial proc %d at %s: %w", n.id, j, wi.Addrs[j], err)
+		}
+		if err := conn.SetDeadline(deadline); err != nil {
+			conn.Close()
+			return err
+		}
+		p := newPeer(j, conn)
+		if err := p.writeFrame(Header{Type: FramePeer, Kind: KindNone, Src: n.id}, nil, nil); err != nil {
+			return fmt.Errorf("wire: proc %d introduce to proc %d: %w", n.id, j, err)
+		}
+		n.peers[j] = p
+	}
+
+	// Accept every higher id.
+	type deadliner interface{ SetDeadline(time.Time) error }
+	if d, ok := n.ln.(deadliner); ok {
+		if err := d.SetDeadline(deadline); err != nil {
+			return err
+		}
+	}
+	for need := n.nprocs - n.id - 1; need > 0; need-- {
+		conn, err := n.ln.Accept()
+		if err != nil {
+			return fmt.Errorf("wire: proc %d accept mesh peer: %w", n.id, err)
+		}
+		if err := conn.SetDeadline(deadline); err != nil {
+			conn.Close()
+			return err
+		}
+		p := newPeer(-1, conn)
+		h, _, _, err := ReadFrame(p.br, nil)
+		if err != nil || h.Type != FramePeer {
+			conn.Close()
+			return fmt.Errorf("wire: proc %d: expected peer intro, got %v err %v", n.id, h.Type, err)
+		}
+		if h.Src <= n.id || h.Src >= n.nprocs || n.peers[h.Src] != nil {
+			conn.Close()
+			return fmt.Errorf("wire: proc %d: bad peer intro from %d", n.id, h.Src)
+		}
+		p.proc = h.Src
+		n.peers[h.Src] = p
+	}
+	return nil
+}
+
+// Start attaches the local delivery target and receive arena and launches
+// one read loop per peer connection. It must be called exactly once,
+// after Bootstrap and before any traffic flows.
+func (n *Node) Start(deliver Deliverer, arena *membuf.Arena) {
+	n.deliver = deliver
+	n.arena = arena
+	for _, p := range n.peers {
+		if p == nil {
+			continue
+		}
+		n.wg.Add(1)
+		go n.readLoop(p)
+	}
+}
+
+// OwnerOf returns the process id hosting the given rank under this
+// node's contiguous partition.
+func (n *Node) OwnerOf(rank int) int { return OwnerOf(n.ranks, n.nprocs, rank) }
+
+// LocalRange returns the rank range [lo, hi) this process hosts.
+func (n *Node) LocalRange() (lo, hi int) { return RankRange(n.ranks, n.nprocs, n.id) }
+
+// ID returns this process's id.
+func (n *Node) ID() int { return n.id }
+
+// NProcs returns the number of processes in the mesh.
+func (n *Node) NProcs() int { return n.nprocs }
+
+func (n *Node) peerFor(rank int) (*peer, error) {
+	owner := n.OwnerOf(rank)
+	if owner == n.id {
+		return nil, fmt.Errorf("wire: rank %d is local to proc %d", rank, n.id)
+	}
+	if owner < 0 || owner >= len(n.peers) || n.peers[owner] == nil {
+		return nil, fmt.Errorf("wire: no connection to proc %d (rank %d)", owner, rank)
+	}
+	return n.peers[owner], nil
+}
+
+// Send implements mpi.Transport: it serialises pay as one data frame on
+// the stream to dst's owning process. The lease is borrowed — it streams
+// straight from its backing array into the socket and is returned to the
+// caller untouched. Per-stream FIFO order plus the receiver's in-order
+// read loop carry the non-overtaking guarantee across the wire.
+func (n *Node) Send(src, dst, tag, seq int, reliable bool, pay *membuf.Lease) error {
+	p, err := n.peerFor(dst)
+	if err != nil {
+		return err
+	}
+	typ := FrameData
+	if reliable {
+		typ = FrameDataSeq
+	}
+	return p.writeFrame(Header{Type: typ, Src: src, Dst: dst, Tag: tag, Seq: seq}, pay, nil)
+}
+
+// SendAck implements mpi.Transport: it acknowledges seq of the (src, dst)
+// pair to src's owning process.
+func (n *Node) SendAck(src, dst, seq int) error {
+	p, err := n.peerFor(src)
+	if err != nil {
+		return err
+	}
+	return p.writeFrame(Header{Type: FrameAck, Kind: KindNone, Src: src, Dst: dst, Seq: seq}, nil, nil)
+}
+
+// readLoop pumps one peer connection: data frames into the matching
+// engine, acks into the sender's outbox, until bye/EOF/Close. Payload
+// leases come from the node's arena and their ownership passes to the
+// Deliverer. A frame that is structurally valid but semantically wrong
+// for this process (a dst we don't host, a src the peer doesn't own)
+// poisons the connection rather than panicking the process.
+func (n *Node) readLoop(p *peer) {
+	defer n.wg.Done()
+	fail := func(err error) {
+		if n.closed.Load() {
+			return // errors after Close are expected teardown noise
+		}
+		n.readErr.CompareAndSwap(nil, error(fmt.Errorf("wire: proc %d reading from proc %d: %w", n.id, p.proc, err)))
+		p.conn.Close()
+	}
+	lo, hi := n.LocalRange()
+	for {
+		h, pay, _, err := ReadFrame(p.br, n.arena)
+		if err != nil {
+			// A bare EOF sits exactly on a frame boundary: the peer
+			// closed its end cleanly (its Bye may have raced our own
+			// close). Mid-frame truncation still comes back wrapped as
+			// ErrUnexpectedEOF and is a real failure.
+			if err != io.EOF {
+				fail(err)
+			}
+			return
+		}
+		switch h.Type {
+		case FrameData, FrameDataSeq:
+			if h.Dst < lo || h.Dst >= hi || n.OwnerOf(h.Src) != p.proc {
+				pay.Release()
+				fail(fmt.Errorf("misrouted data frame %d->%d", h.Src, h.Dst))
+				return
+			}
+			if h.Type == FrameData {
+				n.deliver.RemoteDeliver(h.Src, h.Dst, h.Tag, pay)
+			} else {
+				n.deliver.RemoteDeliverSeq(h.Src, h.Dst, h.Tag, h.Seq, pay)
+			}
+		case FrameAck:
+			if h.Src < lo || h.Src >= hi || n.OwnerOf(h.Dst) != p.proc {
+				fail(fmt.Errorf("misrouted ack %d->%d", h.Src, h.Dst))
+				return
+			}
+			n.deliver.RemoteAck(h.Src, h.Dst, h.Seq)
+		case FrameBye:
+			n.byesSeen.Add(1)
+			return
+		default:
+			fail(fmt.Errorf("unexpected %v frame after bootstrap", h.Type))
+			return
+		}
+	}
+}
+
+// Err returns the first read-loop error, if any. Useful after Close to
+// distinguish a clean shutdown from a poisoned connection.
+func (n *Node) Err() error {
+	if err, ok := n.readErr.Load().(error); ok {
+		return err
+	}
+	return nil
+}
+
+// Close implements mpi.Transport: it announces a graceful shutdown with a
+// bye frame on every stream, closes all connections and the listener, and
+// waits for the read loops to drain. Callers must have quiesced the MPI
+// job first (all ranks returned, and QuiesceReliable under chaos) — bytes
+// in flight at Close are lost, exactly like a real process exiting.
+func (n *Node) Close() error {
+	n.closeOnce.Do(func() { n.closeErr = n.doClose() })
+	return n.closeErr
+}
+
+func (n *Node) doClose() error {
+	for _, p := range n.peers {
+		if p == nil {
+			continue
+		}
+		// Best effort: a peer that already left gets a broken pipe here.
+		_ = p.writeFrame(Header{Type: FrameBye, Kind: KindNone, Src: n.id}, nil, nil)
+	}
+	n.closed.Store(true)
+	var firstErr error
+	for _, p := range n.peers {
+		if p == nil {
+			continue
+		}
+		// A read loop that failed has already closed this conn; that
+		// double close is not an error of ours.
+		if err := p.conn.Close(); err != nil && firstErr == nil && !errors.Is(err, net.ErrClosed) {
+			firstErr = err
+		}
+	}
+	if err := n.ln.Close(); err != nil && firstErr == nil && !errors.Is(err, net.ErrClosed) {
+		firstErr = err
+	}
+	n.wg.Wait()
+	return firstErr
+}

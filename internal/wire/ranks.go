@@ -1,0 +1,36 @@
+package wire
+
+import "fmt"
+
+// The rank partition is contiguous and deterministic: ranks are split
+// into nprocs blocks of size ⌈ranks/nprocs⌉ or ⌊ranks/nprocs⌋, with the
+// first ranks%nprocs processes taking the larger block. Every process
+// computes the same partition from (ranks, nprocs) alone, so no partition
+// table crosses the wire.
+
+// RankRange returns the rank range [lo, hi) hosted by process proc.
+func RankRange(ranks, nprocs, proc int) (lo, hi int) {
+	if nprocs <= 0 || proc < 0 || proc >= nprocs || ranks < nprocs {
+		panic(fmt.Sprintf("wire: bad partition: %d ranks over %d procs, proc %d", ranks, nprocs, proc))
+	}
+	base, rem := ranks/nprocs, ranks%nprocs
+	lo = proc*base + min(proc, rem)
+	hi = lo + base
+	if proc < rem {
+		hi++
+	}
+	return lo, hi
+}
+
+// OwnerOf returns the process id hosting the given rank.
+func OwnerOf(ranks, nprocs, rank int) int {
+	if rank < 0 || rank >= ranks {
+		panic(fmt.Sprintf("wire: rank %d out of range [0,%d)", rank, ranks))
+	}
+	base, rem := ranks/nprocs, ranks%nprocs
+	cut := rem * (base + 1) // first rank owned by a small-block process
+	if rank < cut {
+		return rank / (base + 1)
+	}
+	return rem + (rank-cut)/base
+}
